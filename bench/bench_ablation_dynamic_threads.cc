@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: the dynamic thread/process spawning policy (paper
+ * §III-B offers static counts or a dynamic spawning policy).
+ *
+ * A Thrift server with 2 base workers faces a 4x load step.  The
+ * static configuration saturates during the burst; the elastic one
+ * spawns up to 8 workers (paying spawn latency and context-switch
+ * cost when oversubscribed) and rides it out.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/applications.h"
+
+using namespace uqsim;
+
+namespace {
+
+RunReport
+runStep(bool elastic, Simulation** out = nullptr,
+        std::unique_ptr<Simulation>* holder = nullptr)
+{
+    models::ThriftEchoParams params;
+    params.run.warmupSeconds = 0.5;
+    params.run.durationSeconds = 4.0;
+    params.serverThreads = 2;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    // Load step: 20 kQPS baseline, 160 kQPS burst in [1.5, 2.5) —
+    // well past the ~104 kQPS two-worker capacity.
+    bundle.client.asObject()["load"] = json::parse(R"({
+        "type": "steps",
+        "points": [[0, 20000], [1.5, 160000], [2.5, 20000]]})");
+    if (elastic) {
+        json::JsonValue policy = json::JsonValue::makeObject();
+        policy.asObject()["max"] = 8;
+        policy.asObject()["queue_threshold"] = 8;
+        policy.asObject()["spawn_latency_us"] = 100.0;
+        policy.asObject()["idle_timeout_ms"] = 5.0;
+        bundle.services[0].asObject()["dynamic_threads"] =
+            std::move(policy);
+        // Give the instance dedicated cores for the spawned workers
+        // (otherwise they would just oversubscribe the base cores).
+        bundle.graph.asObject()["services"]
+            .asArray()[0]
+            .asObject()["instances"]
+            .asArray()[0]
+            .asObject()["cores"] = 8;
+    }
+    // More cores than base threads so spawned workers can run, and
+    // a light irq so the burst stresses the server, not the NIC.
+    json::JsonValue& machine =
+        bundle.machines.asObject()["machines"].asArray()[0];
+    machine.asObject()["cores"] = 12;
+    machine.asObject()["irq_cores"] = 4;
+    machine.asObject()["irq_per_packet_us"] = 2.0;
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    if (holder != nullptr) {
+        *holder = std::move(simulation);
+        if (out != nullptr)
+            *out = holder->get();
+    }
+    return report;
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner("Ablation (dynamic threads)",
+                  "static 2-worker Thrift server vs elastic (2..8 "
+                  "workers) under a 4x load step");
+    std::unique_ptr<Simulation> static_sim, elastic_sim;
+    Simulation* raw = nullptr;
+    const RunReport fixed = runStep(false, &raw, &static_sim);
+    const RunReport dynamic = runStep(true, &raw, &elastic_sim);
+
+    std::printf("%-10s %12s %12s %12s %12s\n", "config",
+                "achieved", "mean_ms", "p99_ms", "peak_thr");
+    std::printf("%-10s %12.0f %12.3f %12.3f %12d\n", "static",
+                fixed.achievedQps, fixed.endToEnd.meanMs,
+                fixed.endToEnd.p99Ms,
+                static_sim->deployment()
+                    .instance("thrift_echo", 0)
+                    .peakThreads());
+    std::printf("%-10s %12.0f %12.3f %12.3f %12d\n", "elastic",
+                dynamic.achievedQps, dynamic.endToEnd.meanMs,
+                dynamic.endToEnd.p99Ms,
+                elastic_sim->deployment()
+                    .instance("thrift_echo", 0)
+                    .peakThreads());
+    std::printf(
+        "\nthe 160 kQPS burst exceeds the ~104 kQPS 2-worker "
+        "capacity: the static server builds a backlog for the whole "
+        "burst second, while the elastic one spawns workers (100 us "
+        "spawn latency) and keeps the tail bounded.  Off-burst, more "
+        "pollers mean smaller epoll batches, so the elastic config "
+        "pays slightly higher baseline latency — the classic "
+        "elasticity-vs-efficiency trade.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Engine microbenchmarks (google-benchmark): event queue operations,
+ * raw event dispatch rate, RNG and distribution sampling, percentile
+ * recording, and an end-to-end M/M/1 events/second figure — the
+ * "simulation speed" numbers a simulator release reports.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/random/distributions.h"
+#include "uqsim/stats/percentile_recorder.h"
+
+namespace {
+
+using namespace uqsim;
+
+void
+BM_EventQueueScheduleAndPop(benchmark::State& state)
+{
+    const int batch = static_cast<int>(state.range(0));
+    random::Rng rng(1);
+    for (auto _ : state) {
+        EventQueue queue;
+        for (int i = 0; i < batch; ++i) {
+            queue.schedule(std::make_shared<CallbackEvent>([] {}),
+                           static_cast<SimTime>(rng.nextBounded(
+                               1000000)));
+        }
+        while (!queue.empty())
+            benchmark::DoNotOptimize(queue.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(65536);
+
+void
+BM_SimulatorSelfSchedulingEvent(benchmark::State& state)
+{
+    // One event that perpetually reschedules itself: measures the
+    // end-to-end cost per executed event.
+    for (auto _ : state) {
+        state.PauseTiming();
+        Simulator sim;
+        std::function<void()> tick = [&] {
+            sim.scheduleAfter(1000, tick);
+        };
+        sim.scheduleAt(0, tick);
+        state.ResumeTiming();
+        sim.run(kSimTimeMax, 100000);
+        benchmark::DoNotOptimize(sim.now());
+    }
+    state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_SimulatorSelfSchedulingEvent);
+
+void
+BM_RngNextDouble(benchmark::State& state)
+{
+    random::Rng rng(7);
+    double acc = 0.0;
+    for (auto _ : state)
+        acc += rng.nextDouble();
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngNextDouble);
+
+void
+BM_ExponentialSample(benchmark::State& state)
+{
+    random::Rng rng(7);
+    random::ExponentialDistribution dist(1e-3);
+    double acc = 0.0;
+    for (auto _ : state)
+        acc += dist.sample(rng);
+    benchmark::DoNotOptimize(acc);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExponentialSample);
+
+void
+BM_PercentileRecorder(benchmark::State& state)
+{
+    const int samples = static_cast<int>(state.range(0));
+    random::Rng rng(7);
+    for (auto _ : state) {
+        stats::PercentileRecorder recorder;
+        for (int i = 0; i < samples; ++i)
+            recorder.add(rng.nextDouble());
+        benchmark::DoNotOptimize(recorder.p99());
+    }
+    state.SetItemsProcessed(state.iterations() * samples);
+}
+BENCHMARK(BM_PercentileRecorder)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Reproduces Fig. 6: load-latency validation of the 3-tier
+ * NGINX-memcached-MongoDB application.
+ *
+ * Expected shape (paper §IV-A): the application is bottlenecked by
+ * MongoDB's disk I/O bandwidth, so it saturates far below the 2-tier
+ * system, and scaling the downstream microservices does not help.
+ */
+
+#include "bench_util.h"
+#include "uqsim/models/applications.h"
+
+using namespace uqsim;
+
+namespace {
+
+SweepCurve
+sweepMissRate(const std::string& label, double miss_rate,
+              double hi_qps)
+{
+    return runLoadSweep(label, linspace(hi_qps / 8.0, hi_qps, 8),
+                        [&](double qps) {
+                            models::ThreeTierParams params;
+                            params.run.qps = qps;
+                            params.run.warmupSeconds = 0.4;
+                            params.run.durationSeconds = 2.4;
+                            params.missRate = miss_rate;
+                            return Simulation::fromBundle(
+                                models::threeTierBundle(params));
+                        });
+}
+
+}  // namespace
+
+int
+main()
+{
+    bench::banner(
+        "Fig. 6",
+        "3-tier NGINX-memcached-MongoDB load-latency validation");
+    const SweepCurve base = sweepMissRate("miss10", 0.10, 8000.0);
+    bench::printCurves({base});
+
+    bench::paperNote(
+        "simulated means within 1.55 ms and tails within 2.32 ms of "
+        "the real 3-tier system; disk-bound saturation well below the "
+        "2-tier knee (~74 kQPS in our calibration).");
+
+    // Disk-bound check: halving the miss rate roughly doubles the
+    // saturation point, confirming MongoDB's disk as the bottleneck.
+    const SweepCurve lighter = sweepMissRate("miss05", 0.05, 16000.0);
+    std::printf(
+        "shape check: sat(miss=5%%)/sat(miss=10%%) = %.2f "
+        "(expect ~2 if disk-bound)\n",
+        lighter.saturationQps() / base.saturationQps());
+    return 0;
+}

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Reproduces Fig. 13: µqSim vs BigHouse.
+ *
+ * Two applications are simulated both ways: a single-process NGINX
+ * webserver and a 4-thread memcached.  BigHouse models each as a
+ * single queue whose service time is the sum of all stage costs, so
+ * the epoll cost is charged in full to every request; µqSim
+ * amortizes it across the batch as the real system does.
+ *
+ * Expected shape (paper §IV-E): µqSim tracks the real saturation
+ * point; BigHouse saturates at lower load and overestimates tail
+ * latency.  The gap grows with the ratio of event-handling overhead
+ * to request processing time (large for memcached's microsecond
+ * requests, small for NGINX's ~100 us static serving).
+ */
+
+#include "bench_util.h"
+#include "uqsim/bighouse/bighouse.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/models/memcached.h"
+#include "uqsim/models/nginx.h"
+#include "uqsim/models/stage_presets.h"
+#include "uqsim/random/distributions.h"
+
+using namespace uqsim;
+
+namespace {
+
+/** Builds a client -> single-service bundle (no other tiers). */
+ConfigBundle
+singleServiceBundle(json::JsonValue service_json,
+                    const std::string& service,
+                    const std::string& path, double qps)
+{
+    using json::JsonArray;
+    using json::JsonValue;
+    ConfigBundle bundle;
+    bundle.options.seed = 1;
+    bundle.options.warmupSeconds = 0.4;
+    bundle.options.durationSeconds = 1.9;
+
+    const int threads =
+        static_cast<int>(service_json.at("threads").asInt());
+    bundle.services.push_back(std::move(service_json));
+
+    // Light irq so the comparison is server-bound on both sides
+    // (the BigHouse station has no network path at all).
+    bundle.machines = json::parse(R"({
+        "wire_latency_us": 20, "loopback_latency_us": 5,
+        "machines": [{"name": "server0", "cores": 12, "irq_cores": 4,
+                      "irq_per_packet_us": 2.0}]})");
+
+    JsonValue inst = JsonValue::makeObject();
+    inst.asObject()["machine"] = "server0";
+    inst.asObject()["threads"] = threads;
+    JsonArray instances;
+    instances.push_back(std::move(inst));
+    JsonValue svc = JsonValue::makeObject();
+    svc.asObject()["service"] = service;
+    svc.asObject()["instances"] = JsonValue(std::move(instances));
+    JsonArray services;
+    services.push_back(std::move(svc));
+    JsonValue graph = JsonValue::makeObject();
+    graph.asObject()["services"] = JsonValue(std::move(services));
+    bundle.graph = std::move(graph);
+
+    JsonValue node = JsonValue::makeObject();
+    node.asObject()["node_id"] = 0;
+    node.asObject()["service"] = service;
+    node.asObject()["path"] = path;
+    node.asObject()["children"] = JsonValue(JsonArray{});
+    JsonArray nodes;
+    nodes.push_back(std::move(node));
+    JsonValue variant = JsonValue::makeObject();
+    variant.asObject()["probability"] = 1.0;
+    variant.asObject()["nodes"] = JsonValue(std::move(nodes));
+    JsonArray variants;
+    variants.push_back(std::move(variant));
+    JsonValue paths = JsonValue::makeObject();
+    paths.asObject()["paths"] = JsonValue(std::move(variants));
+    bundle.paths = std::move(paths);
+
+    JsonValue client = JsonValue::makeObject();
+    client.asObject()["front_service"] = service;
+    client.asObject()["connections"] = 320;
+    client.asObject()["arrival"] = "poisson";
+    JsonValue load = JsonValue::makeObject();
+    load.asObject()["type"] = "constant";
+    load.asObject()["qps"] = qps;
+    client.asObject()["load"] = std::move(load);
+    JsonValue bytes = JsonValue::makeObject();
+    bytes.asObject()["type"] = "exponential";
+    bytes.asObject()["mean"] = 128.0;
+    client.asObject()["request_bytes"] = std::move(bytes);
+    bundle.client = std::move(client);
+    return bundle;
+}
+
+SweepCurve
+bigHouseSweep(const std::string& label, double per_request_us,
+              int servers, const std::vector<double>& loads)
+{
+    SweepCurve curve;
+    curve.label = label;
+    for (double qps : loads) {
+        bighouse::BigHouseOptions options;
+        options.seed = 1;
+        options.warmupSeconds = 0.4;
+        options.durationSeconds = 1.9;
+        bighouse::BigHouseSimulation sim(options);
+        sim.addStation(
+            {label, servers,
+             std::make_shared<random::ExponentialDistribution>(
+                 per_request_us * 1e-6)});
+        SweepPoint point;
+        point.offeredQps = qps;
+        point.report = sim.run(qps);
+        curve.points.push_back(std::move(point));
+    }
+    return curve;
+}
+
+}  // namespace
+
+int
+main()
+{
+    using namespace models;
+
+    // ---------------- memcached panel ----------------
+    bench::banner("Fig. 13 (memcached)",
+                  "uqsim vs BigHouse: 4-thread memcached");
+    const std::vector<double> mc_loads =
+        linspace(50000.0, 400000.0, 8);
+    const SweepCurve mc_uqsim = runLoadSweep(
+        "uqsim", mc_loads, [&](double qps) {
+            MemcachedOptions options;
+            options.threads = 4;
+            return Simulation::fromBundle(singleServiceBundle(
+                memcachedServiceJson(options), "memcached",
+                "memcached_read", qps));
+        });
+    // BigHouse: full per-request cost = epoll + read + proc + send.
+    const double mc_per_request =
+        kEpollBaseUs + kEpollPerJobUs + kSocketBaseUs +
+        128.0 * kSocketReadPerByteNs * 1e-3 + kMemcachedReadUs +
+        kSocketBaseUs + 128.0 * kSocketSendPerByteNs * 1e-3;
+    const SweepCurve mc_bighouse =
+        bigHouseSweep("bighouse", mc_per_request, 4, mc_loads);
+    bench::printCurves({mc_uqsim, mc_bighouse});
+    std::printf("gap: BigHouse saturates at %.0f vs uqsim %.0f qps "
+                "(ratio %.2f; BigHouse earlier)\n\n",
+                mc_bighouse.saturationQps(), mc_uqsim.saturationQps(),
+                mc_uqsim.saturationQps() /
+                    std::max(1.0, mc_bighouse.saturationQps()));
+
+    // ---------------- NGINX panel ----------------
+    bench::banner("Fig. 13 (nginx)",
+                  "uqsim vs BigHouse: single-process NGINX webserver");
+    const std::vector<double> web_loads = linspace(2000.0, 12000.0, 6);
+    const SweepCurve web_uqsim = runLoadSweep(
+        "uqsim", web_loads, [&](double qps) {
+            NginxOptions options;
+            options.serviceName = "nginx_web";
+            options.workers = 1;
+            return Simulation::fromBundle(singleServiceBundle(
+                nginxWebserverJson(options), "nginx_web", "serve",
+                qps));
+        });
+    const double web_per_request =
+        kEpollBaseUs + kEpollPerJobUs + kSocketBaseUs +
+        128.0 * kSocketReadPerByteNs * 1e-3 + kNginxStaticUs +
+        kSocketBaseUs + 128.0 * kSocketSendPerByteNs * 1e-3;
+    const SweepCurve web_bighouse =
+        bigHouseSweep("bighouse", web_per_request, 1, web_loads);
+    bench::printCurves({web_uqsim, web_bighouse});
+
+    bench::paperNote(
+        "BigHouse saturates at much lower load than the real system "
+        "because the batched epoll cost is charged to every request; "
+        "uqsim amortizes it.  The effect is strongest when epoll cost "
+        "is comparable to request processing (memcached); for NGINX "
+        "(~105 us static serving) the overhead fraction — and thus "
+        "the gap — is smaller in our calibration.");
+    return 0;
+}

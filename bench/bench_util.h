@@ -1,0 +1,49 @@
+#ifndef UQSIM_BENCH_BENCH_UTIL_H_
+#define UQSIM_BENCH_BENCH_UTIL_H_
+
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benches: banner and
+ * reference-anchor printing so every bench reports simulated series
+ * next to what the paper states.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/sim/sweep.h"
+
+namespace uqsim {
+namespace bench {
+
+inline void
+banner(const std::string& figure, const std::string& description)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s — %s\n", figure.c_str(), description.c_str());
+    std::printf("==============================================================\n");
+}
+
+inline void
+paperNote(const std::string& note)
+{
+    std::printf("paper: %s\n", note.c_str());
+}
+
+inline void
+printCurves(const std::vector<SweepCurve>& curves)
+{
+    std::fputs(formatSweepTable(curves).c_str(), stdout);
+    for (const SweepCurve& curve : curves) {
+        std::printf(
+            "%s: saturation ~%.0f qps, p99 before saturation %.3f ms\n",
+            curve.label.c_str(), curve.saturationQps(),
+            curve.tailBeforeSaturationMs());
+    }
+}
+
+}  // namespace bench
+}  // namespace uqsim
+
+#endif  // UQSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Generic load-sweep tool: sweeps offered load for one of the
+ * bundled applications and prints the load-latency curve.
+ *
+ * Usage:
+ *   load_sweep <app> [lo hi points [duration_s]]
+ *
+ * where <app> is one of: two_tier, three_tier, lb4, lb8, lb16,
+ * fanout4, fanout8, fanout16, thrift, social.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "uqsim/core/sim/sweep.h"
+#include "uqsim/models/applications.h"
+
+using namespace uqsim;
+
+namespace {
+
+models::RunParams
+runParams(double qps, double duration)
+{
+    models::RunParams run;
+    run.qps = qps;
+    run.warmupSeconds = 0.5;
+    run.durationSeconds = duration;
+    return run;
+}
+
+std::unique_ptr<Simulation>
+makeApp(const std::string& app, double qps, double duration)
+{
+    if (app == "two_tier") {
+        models::TwoTierParams params;
+        params.run = runParams(qps, duration);
+        return Simulation::fromBundle(models::twoTierBundle(params));
+    }
+    if (app == "three_tier") {
+        models::ThreeTierParams params;
+        params.run = runParams(qps, duration);
+        return Simulation::fromBundle(models::threeTierBundle(params));
+    }
+    if (app.rfind("lb", 0) == 0) {
+        models::LoadBalancerParams params;
+        params.run = runParams(qps, duration);
+        params.webServers = std::atoi(app.c_str() + 2);
+        return Simulation::fromBundle(
+            models::loadBalancerBundle(params));
+    }
+    if (app.rfind("fanout", 0) == 0) {
+        models::FanoutParams params;
+        params.run = runParams(qps, duration);
+        params.fanout = std::atoi(app.c_str() + 6);
+        return Simulation::fromBundle(models::fanoutBundle(params));
+    }
+    if (app == "thrift") {
+        models::ThriftEchoParams params;
+        params.run = runParams(qps, duration);
+        return Simulation::fromBundle(models::thriftEchoBundle(params));
+    }
+    if (app == "social") {
+        models::SocialNetworkParams params;
+        params.run = runParams(qps, duration);
+        return Simulation::fromBundle(
+            models::socialNetworkBundle(params));
+    }
+    throw std::invalid_argument("unknown app: " + app);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <app> [lo hi points [duration_s]]\n",
+                     argv[0]);
+        return 1;
+    }
+    const std::string app = argv[1];
+    double lo = 1000.0, hi = 50000.0;
+    int points = 8;
+    double duration = 2.5;
+    if (argc >= 5) {
+        lo = std::atof(argv[2]);
+        hi = std::atof(argv[3]);
+        points = std::atoi(argv[4]);
+    }
+    if (argc >= 6)
+        duration = std::atof(argv[5]);
+
+    const SweepCurve curve = runLoadSweep(
+        app, linspace(lo, hi, points), [&](double qps) {
+            return makeApp(app, qps, duration);
+        });
+    std::cout << formatSweepTable({curve});
+    std::cout << "saturation ~" << curve.saturationQps()
+              << " qps, p99 before saturation "
+              << curve.tailBeforeSaturationMs() << " ms\n";
+    return 0;
+}

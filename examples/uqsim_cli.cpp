@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Command-line simulator front-end: runs a configuration directory
+ * (the five JSON inputs) end to end — the tool a downstream user
+ * points at their own microservice descriptions.
+ *
+ * Usage:
+ *   uqsim_cli <config-dir> [--qps N] [--duration S] [--seed N]
+ *             [--warmup S] [--csv]
+ *
+ * Overrides replace the corresponding fields of client.json /
+ * options.json without editing the files.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "uqsim/core/sim/simulation.h"
+
+using namespace uqsim;
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <config-dir> [--qps N] [--duration S] "
+                 "[--seed N] [--warmup S] [--csv]\n",
+                 argv0);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    if (argc < 2) {
+        usage(argv[0]);
+        return 1;
+    }
+    const std::string directory = argv[1];
+    double qps = -1.0, duration = -1.0, warmup = -1.0;
+    long seed = -1;
+    bool csv = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--qps") {
+            qps = std::atof(next_value());
+        } else if (arg == "--duration") {
+            duration = std::atof(next_value());
+        } else if (arg == "--warmup") {
+            warmup = std::atof(next_value());
+        } else if (arg == "--seed") {
+            seed = std::atol(next_value());
+        } else if (arg == "--csv") {
+            csv = true;
+        } else {
+            usage(argv[0]);
+            return 1;
+        }
+    }
+
+    try {
+        ConfigBundle bundle = ConfigBundle::fromDirectory(directory);
+        if (qps > 0.0) {
+            json::JsonValue load = json::JsonValue::makeObject();
+            load.asObject()["type"] = "constant";
+            load.asObject()["qps"] = qps;
+            bundle.client.asObject()["load"] = std::move(load);
+        }
+        if (duration > 0.0)
+            bundle.options.durationSeconds = duration;
+        if (warmup >= 0.0)
+            bundle.options.warmupSeconds = warmup;
+        if (seed >= 0)
+            bundle.options.seed = static_cast<std::uint64_t>(seed);
+
+        auto simulation = Simulation::fromBundle(bundle);
+        const RunReport report = simulation->run();
+        if (csv) {
+            std::cout << RunReport::csvHeader() << '\n'
+                      << report.toCsvRow() << '\n';
+        } else {
+            std::cout << report.toString();
+            std::cout << "events: " << report.events << " ("
+                      << static_cast<long>(
+                             report.events /
+                             std::max(report.wallSeconds, 1e-9))
+                      << " events/s wall)\n";
+            if (report.timeouts > 0) {
+                std::cout << "client timeouts: " << report.timeouts
+                          << '\n';
+            }
+        }
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
+    return 0;
+}

@@ -1,0 +1,123 @@
+#include "uqsim/bighouse/bighouse.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace bighouse {
+
+BigHouseSimulation::BigHouseSimulation(const BigHouseOptions& options)
+    : options_(options), sim_(options.seed),
+      arrivalRng_(options.seed, "bighouse/arrivals"),
+      serviceRng_(options.seed, "bighouse/service")
+{
+}
+
+void
+BigHouseSimulation::addStation(StationConfig config)
+{
+    if (ran_)
+        throw std::logic_error("cannot add stations after run()");
+    if (config.servers <= 0)
+        throw std::invalid_argument("station needs >= 1 server");
+    if (!config.serviceTime)
+        throw std::invalid_argument("station needs a service time");
+    stations_.push_back(Station{std::move(config), {}, 0});
+}
+
+void
+BigHouseSimulation::scheduleNextArrival()
+{
+    const double gap =
+        -std::log(arrivalRng_.nextDoubleOpenLeft()) / offeredQps_;
+    sim_.scheduleAfter(
+        secondsToSimTime(gap),
+        [this]() {
+            const std::size_t index = requests_.size();
+            requests_.push_back(Request{sim_.now(), 0});
+            arrive(index, 0);
+            scheduleNextArrival();
+        },
+        "bighouse/arrival");
+}
+
+void
+BigHouseSimulation::arrive(std::size_t request, std::size_t station)
+{
+    Station& st = stations_[station];
+    st.queue.push_back(request);
+    tryStart(station);
+}
+
+void
+BigHouseSimulation::tryStart(std::size_t station)
+{
+    Station& st = stations_[station];
+    while (!st.queue.empty() && st.busy < st.config.servers) {
+        const std::size_t request = st.queue.front();
+        st.queue.pop_front();
+        ++st.busy;
+        const double seconds =
+            st.config.serviceTime->sample(serviceRng_);
+        sim_.scheduleAfter(
+            secondsToSimTime(seconds),
+            [this, request, station]() { finish(request, station); },
+            "bighouse/" + st.config.name);
+    }
+}
+
+void
+BigHouseSimulation::finish(std::size_t request, std::size_t station)
+{
+    Station& st = stations_[station];
+    --st.busy;
+    Request& req = requests_[request];
+    if (station + 1 < stations_.size()) {
+        req.stationIndex = station + 1;
+        arrive(request, station + 1);
+    } else {
+        const double latency =
+            simTimeToSeconds(sim_.now() - req.created);
+        if (simTimeToSeconds(req.created) >= options_.warmupSeconds) {
+            latencies_.add(latency);
+            ++measuredCompletions_;
+        }
+    }
+    tryStart(station);
+}
+
+RunReport
+BigHouseSimulation::run(double offered_qps)
+{
+    if (ran_)
+        throw std::logic_error("run() called twice");
+    if (stations_.empty())
+        throw std::logic_error("no stations configured");
+    if (offered_qps <= 0.0)
+        throw std::invalid_argument("offered load must be > 0");
+    ran_ = true;
+    offeredQps_ = offered_qps;
+    scheduleNextArrival();
+    sim_.run(secondsToSimTime(options_.durationSeconds));
+
+    RunReport report;
+    report.offeredQps = offered_qps;
+    const double window =
+        options_.durationSeconds - options_.warmupSeconds;
+    report.achievedQps =
+        window > 0.0
+            ? static_cast<double>(measuredCompletions_) / window
+            : 0.0;
+    report.completed = measuredCompletions_;
+    report.endToEnd.count = latencies_.count();
+    report.endToEnd.meanMs = latencies_.mean() * 1e3;
+    report.endToEnd.p50Ms = latencies_.p50() * 1e3;
+    report.endToEnd.p95Ms = latencies_.p95() * 1e3;
+    report.endToEnd.p99Ms = latencies_.p99() * 1e3;
+    report.endToEnd.maxMs = latencies_.max() * 1e3;
+    report.events = sim_.executedEvents();
+    return report;
+}
+
+}  // namespace bighouse
+}  // namespace uqsim

@@ -1,0 +1,99 @@
+#ifndef UQSIM_BIGHOUSE_BIGHOUSE_H_
+#define UQSIM_BIGHOUSE_BIGHOUSE_H_
+
+/**
+ * @file
+ * BigHouse-style baseline simulator (Meisner et al., ISPASS 2012),
+ * re-implemented for the paper's Fig. 13 comparison.
+ *
+ * BigHouse represents each application as a *single queue* with an
+ * inter-arrival and a service distribution: all intra-service stages
+ * collapse into one service time, so per-stage batching cannot be
+ * amortized — every request pays the full epoll cost, which is why
+ * BigHouse saturates far below the real system for event-driven
+ * services (paper §IV-E).  Multi-tier systems are modeled as a
+ * chain of such stations.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/core/sim/report.h"
+#include "uqsim/random/distribution.h"
+#include "uqsim/random/rng.h"
+#include "uqsim/stats/percentile_recorder.h"
+
+namespace uqsim {
+namespace bighouse {
+
+/** One single-queue, k-server station. */
+struct StationConfig {
+    std::string name;
+    /** Parallel servers (threads in the modeled application). */
+    int servers = 1;
+    /** Aggregated per-request service time. */
+    random::DistributionPtr serviceTime;
+};
+
+/** Options of one BigHouse run. */
+struct BigHouseOptions {
+    std::uint64_t seed = 1;
+    double warmupSeconds = 1.0;
+    double durationSeconds = 11.0;
+};
+
+/**
+ * A chain of G/G/k stations driven by open-loop Poisson arrivals.
+ * Each request visits every station in order; its latency is the
+ * total sojourn time.
+ */
+class BigHouseSimulation {
+  public:
+    explicit BigHouseSimulation(const BigHouseOptions& options = {});
+
+    /** Appends a station to the chain. */
+    void addStation(StationConfig config);
+
+    /**
+     * Runs at the given offered load and returns a report (only the
+     * end-to-end fields and tier means are populated).
+     */
+    RunReport run(double offered_qps);
+
+  private:
+    struct Station {
+        StationConfig config;
+        std::deque<std::size_t> queue;  // waiting request indices
+        int busy = 0;
+    };
+
+    struct Request {
+        SimTime created = 0;
+        std::size_t stationIndex = 0;
+    };
+
+    void arrive(std::size_t request, std::size_t station);
+    void tryStart(std::size_t station);
+    void finish(std::size_t request, std::size_t station);
+    void scheduleNextArrival();
+
+    BigHouseOptions options_;
+    Simulator sim_;
+    random::RngStream arrivalRng_;
+    random::RngStream serviceRng_;
+    std::vector<Station> stations_;
+    std::vector<Request> requests_;
+    double offeredQps_ = 0.0;
+    stats::PercentileRecorder latencies_;
+    std::uint64_t measuredCompletions_ = 0;
+    bool ran_ = false;
+};
+
+}  // namespace bighouse
+}  // namespace uqsim
+
+#endif  // UQSIM_BIGHOUSE_BIGHOUSE_H_

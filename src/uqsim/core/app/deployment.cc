@@ -1,0 +1,199 @@
+#include "uqsim/core/app/deployment.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+LbPolicy
+lbPolicyFromString(const std::string& name)
+{
+    if (name == "round_robin")
+        return LbPolicy::RoundRobin;
+    if (name == "random")
+        return LbPolicy::Random;
+    throw std::invalid_argument("unknown lb_policy: \"" + name + "\"");
+}
+
+InstanceConfig
+instanceConfigFromJson(const json::JsonValue& doc)
+{
+    InstanceConfig config;
+    config.threads = doc.getOr("threads", 0);
+    config.cores = doc.getOr("cores", 0);
+    config.diskChannels = doc.getOr("disk_channels", 0);
+    config.ownDvfsDomain = doc.getOr("own_dvfs", false);
+    const std::string policy = doc.getOr("scheduling", "drain");
+    if (policy == "drain") {
+        config.policy = SchedulingPolicy::Drain;
+    } else if (policy == "stage_order") {
+        config.policy = SchedulingPolicy::StageOrder;
+    } else {
+        throw json::JsonError("unknown scheduling policy: \"" + policy +
+                              "\"");
+    }
+    return config;
+}
+
+Deployment::Deployment(Simulator& sim, hw::Cluster& cluster)
+    : sim_(sim), cluster_(cluster)
+{
+}
+
+void
+Deployment::registerModel(ServiceModelPtr model)
+{
+    if (!model)
+        throw std::invalid_argument("cannot register a null model");
+    ServiceEntry& service = services_[model->name()];
+    if (service.model && !service.instances.empty()) {
+        throw std::logic_error("model for \"" + model->name() +
+                               "\" re-registered after deployment");
+    }
+    service.model = std::move(model);
+}
+
+const ServiceModelPtr&
+Deployment::model(const std::string& service) const
+{
+    return entry(service).model;
+}
+
+Deployment::ServiceEntry&
+Deployment::entry(const std::string& service)
+{
+    auto it = services_.find(service);
+    if (it == services_.end() || !it->second.model)
+        throw std::out_of_range("unknown service: \"" + service + "\"");
+    return it->second;
+}
+
+const Deployment::ServiceEntry&
+Deployment::entry(const std::string& service) const
+{
+    auto it = services_.find(service);
+    if (it == services_.end() || !it->second.model)
+        throw std::out_of_range("unknown service: \"" + service + "\"");
+    return it->second;
+}
+
+int
+Deployment::deployInstance(const std::string& service,
+                           const std::string& machine,
+                           const InstanceConfig& config)
+{
+    ServiceEntry& svc = entry(service);
+    const int index = static_cast<int>(svc.instances.size());
+    const std::string name = service + "." + std::to_string(index);
+    hw::Machine* host =
+        machine.empty() ? nullptr : &cluster_.machine(machine);
+    svc.instances.push_back(std::make_unique<MicroserviceInstance>(
+        sim_, svc.model, name, host, config));
+    svc.instancePtrs.push_back(svc.instances.back().get());
+    allInstances_.push_back(svc.instances.back().get());
+    return index;
+}
+
+void
+Deployment::loadGraphJson(const json::JsonValue& doc)
+{
+    for (const json::JsonValue& svc : doc.at("services").asArray()) {
+        const std::string service = svc.at("service").asString();
+        if (svc.contains("lb_policy")) {
+            setLbPolicy(service, lbPolicyFromString(
+                                     svc.at("lb_policy").asString()));
+        }
+        if (const json::JsonValue* pools = svc.find("connection_pools")) {
+            for (const auto& [downstream, size] : pools->asObject()) {
+                setPoolSize(service, downstream,
+                            static_cast<int>(size.asInt()));
+            }
+        }
+        for (const json::JsonValue& inst :
+             svc.at("instances").asArray()) {
+            deployInstance(service, inst.getOr("machine", ""),
+                           instanceConfigFromJson(inst));
+        }
+    }
+}
+
+void
+Deployment::setPoolSize(const std::string& from_service,
+                        const std::string& to_service, int size)
+{
+    if (size <= 0)
+        throw std::invalid_argument("pool size must be > 0");
+    poolSizes_[{from_service, to_service}] = size;
+}
+
+void
+Deployment::setLbPolicy(const std::string& service, LbPolicy policy)
+{
+    entry(service).lbPolicy = policy;
+}
+
+int
+Deployment::instanceCount(const std::string& service) const
+{
+    return static_cast<int>(entry(service).instances.size());
+}
+
+MicroserviceInstance&
+Deployment::instance(const std::string& service, int index)
+{
+    ServiceEntry& svc = entry(service);
+    if (index < 0 || index >= static_cast<int>(svc.instances.size())) {
+        throw std::out_of_range("service \"" + service +
+                                "\" has no instance " +
+                                std::to_string(index));
+    }
+    return *svc.instances[static_cast<std::size_t>(index)];
+}
+
+const std::vector<MicroserviceInstance*>&
+Deployment::instances(const std::string& service) const
+{
+    return entry(service).instancePtrs;
+}
+
+MicroserviceInstance&
+Deployment::pickInstance(const std::string& service, random::Rng& rng)
+{
+    ServiceEntry& svc = entry(service);
+    if (svc.instances.empty())
+        throw std::logic_error("service \"" + service +
+                               "\" has no instances");
+    std::size_t index = 0;
+    switch (svc.lbPolicy) {
+      case LbPolicy::RoundRobin:
+        index = svc.rrCursor++ % svc.instances.size();
+        break;
+      case LbPolicy::Random:
+        index = static_cast<std::size_t>(
+            rng.nextBounded(svc.instances.size()));
+        break;
+    }
+    return *svc.instances[index];
+}
+
+ConnectionPool&
+Deployment::pool(const MicroserviceInstance& from,
+                 const MicroserviceInstance& to)
+{
+    const auto key = std::make_pair(&from, &to);
+    auto it = pools_.find(key);
+    if (it == pools_.end()) {
+        int size = kDefaultPoolSize;
+        const auto size_it = poolSizes_.find(
+            {from.model().name(), to.model().name()});
+        if (size_it != poolSizes_.end())
+            size = size_it->second;
+        it = pools_
+                 .emplace(key, std::make_unique<ConnectionPool>(
+                                   from.name() + "->" + to.name(), size,
+                                   connectionIds_))
+                 .first;
+    }
+    return *it->second;
+}
+
+}  // namespace uqsim

@@ -1,0 +1,144 @@
+#ifndef UQSIM_CORE_APP_DEPLOYMENT_H_
+#define UQSIM_CORE_APP_DEPLOYMENT_H_
+
+/**
+ * @file
+ * Microservice deployment (graph.json): which instances of each
+ * service exist, on which machines, with what resources and
+ * execution model, plus inter-tier connection pool sizes and the
+ * load-balancing policy (paper §III-C, Table I).
+ *
+ * Example:
+ *
+ *   {"services": [
+ *      {"service": "nginx",
+ *       "lb_policy": "round_robin",
+ *       "connection_pools": {"memcached": 8},
+ *       "instances": [
+ *          {"machine": "server0", "threads": 8, "cores": 8,
+ *           "own_dvfs": true}
+ *       ]}
+ *   ]}
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/core/service/connection_pool.h"
+#include "uqsim/core/service/instance.h"
+#include "uqsim/core/service/service_model.h"
+#include "uqsim/hw/cluster.h"
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+
+/** How a service's instances are selected for new requests. */
+enum class LbPolicy {
+    RoundRobin,
+    Random,
+};
+
+LbPolicy lbPolicyFromString(const std::string& name);
+
+/** The set of deployed instances plus connection pools. */
+class Deployment {
+  public:
+    /** Default pool size used when graph.json does not specify. */
+    static constexpr int kDefaultPoolSize = 8;
+
+    Deployment(Simulator& sim, hw::Cluster& cluster);
+
+    Deployment(const Deployment&) = delete;
+    Deployment& operator=(const Deployment&) = delete;
+
+    /** Registers a service model before deploying instances. */
+    void registerModel(ServiceModelPtr model);
+
+    /** The model for @p service; throws when unknown. */
+    const ServiceModelPtr& model(const std::string& service) const;
+
+    /**
+     * Deploys one instance of @p service on @p machine (empty name
+     * = detached test instance).  Returns the instance index.
+     */
+    int deployInstance(const std::string& service,
+                       const std::string& machine,
+                       const InstanceConfig& config);
+
+    /** Applies a parsed graph.json document. */
+    void loadGraphJson(const json::JsonValue& doc);
+
+    /** Sets the pool size for hops from @p from_service to
+     *  @p to_service. */
+    void setPoolSize(const std::string& from_service,
+                     const std::string& to_service, int size);
+
+    /** Sets the LB policy for @p service. */
+    void setLbPolicy(const std::string& service, LbPolicy policy);
+
+    /** Number of instances of @p service. */
+    int instanceCount(const std::string& service) const;
+
+    /** Instance @p index of @p service. */
+    MicroserviceInstance& instance(const std::string& service, int index);
+
+    /** All instances of @p service. */
+    const std::vector<MicroserviceInstance*>&
+    instances(const std::string& service) const;
+
+    /** All instances across services (deployment order). */
+    const std::vector<MicroserviceInstance*>& allInstances() const
+    {
+        return allInstances_;
+    }
+
+    /**
+     * Picks an instance of @p service per its LB policy (round-robin
+     * by default).
+     */
+    MicroserviceInstance& pickInstance(const std::string& service,
+                                       random::Rng& rng);
+
+    /**
+     * The connection pool for hops from @p from to @p to, created
+     * lazily with the configured size.
+     */
+    ConnectionPool& pool(const MicroserviceInstance& from,
+                         const MicroserviceInstance& to);
+
+    /** Allocator for ad-hoc (client) connection ids. */
+    ConnectionIdAllocator& connectionIds() { return connectionIds_; }
+
+  private:
+    struct ServiceEntry {
+        ServiceModelPtr model;
+        std::vector<std::unique_ptr<MicroserviceInstance>> instances;
+        std::vector<MicroserviceInstance*> instancePtrs;
+        LbPolicy lbPolicy = LbPolicy::RoundRobin;
+        std::size_t rrCursor = 0;
+    };
+
+    ServiceEntry& entry(const std::string& service);
+    const ServiceEntry& entry(const std::string& service) const;
+
+    Simulator& sim_;
+    hw::Cluster& cluster_;
+    std::map<std::string, ServiceEntry> services_;
+    std::map<std::pair<std::string, std::string>, int> poolSizes_;
+    std::map<std::pair<const MicroserviceInstance*,
+                       const MicroserviceInstance*>,
+             std::unique_ptr<ConnectionPool>>
+        pools_;
+    ConnectionIdAllocator connectionIds_;
+    std::vector<MicroserviceInstance*> allInstances_;
+};
+
+/** Parses one instance object from graph.json. */
+InstanceConfig instanceConfigFromJson(const json::JsonValue& doc);
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_APP_DEPLOYMENT_H_

@@ -1,0 +1,254 @@
+#include "uqsim/core/app/dispatcher.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+
+Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
+                       PathTree& tree, Deployment& deployment)
+    : sim_(sim), network_(network), tree_(tree), deployment_(deployment),
+      rng_(sim.masterSeed(), "dispatcher")
+{
+    tree_.resolveExecPaths(
+        [this](const std::string& service, const std::string& path) {
+            return deployment_.model(service)->pathIdByName(path);
+        });
+    for (MicroserviceInstance* instance : deployment_.allInstances()) {
+        instance->setOnJobDone([this, instance](JobPtr job) {
+            onNodeComplete(std::move(job), *instance);
+        });
+    }
+}
+
+Dispatcher::RootState&
+Dispatcher::rootState(JobId root)
+{
+    const auto it = roots_.find(root);
+    if (it == roots_.end())
+        throw std::logic_error("no root state for request " +
+                               std::to_string(root));
+    return it->second;
+}
+
+void
+Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
+                         ConnectionId client_conn)
+{
+    if (!job)
+        throw std::invalid_argument("cannot start a null request");
+    ++started_;
+    job->pathVariant = tree_.sampleVariant(rng_);
+    const PathVariant& variant = tree_.variant(job->pathVariant);
+    const PathNode& root = variant.nodes[
+        static_cast<std::size_t>(variant.rootId)];
+    if (root.service != front.model().name()) {
+        throw std::logic_error(
+            "front-end instance \"" + front.name() +
+            "\" does not serve root node service \"" + root.service +
+            "\"");
+    }
+    RootState& state = roots_[job->rootId];
+    state.variant = job->pathVariant;
+    state.affinity[root.service] = &front;
+    if (tracer_ != nullptr)
+        tracer_->recordStart(*job, sim_.now());
+
+    if (root.requestBytes != 0)
+        job->bytes = root.requestBytes;
+    job->connectionId = client_conn;
+    const int node_id = variant.rootId;
+    MicroserviceInstance* target = &front;
+    network_.transfer(nullptr, front.machine(), job->bytes,
+                      [this, job, node_id, target]() mutable {
+                          deliver(std::move(job), node_id, *target);
+                      });
+}
+
+MicroserviceInstance&
+Dispatcher::selectInstance(RootState& state, const PathNode& node)
+{
+    if (node.instanceIndex >= 0)
+        return deployment_.instance(node.service, node.instanceIndex);
+    const auto it = state.affinity.find(node.service);
+    if (it != state.affinity.end())
+        return *it->second;
+    MicroserviceInstance& picked =
+        deployment_.pickInstance(node.service, rng_);
+    state.affinity[node.service] = &picked;
+    return picked;
+}
+
+void
+Dispatcher::routeToNode(JobPtr job, int node_id,
+                        MicroserviceInstance* from)
+{
+    RootState& state = rootState(job->rootId);
+    const PathNode& node = tree_.node(state.variant, node_id);
+    MicroserviceInstance& target = selectInstance(state, node);
+    if (node.requestBytes != 0)
+        job->bytes = node.requestBytes;
+
+    if (&target == from) {
+        // Same-instance hop (consecutive nodes on one instance):
+        // no network, connection unchanged.
+        sim_.scheduleAfter(
+            0,
+            [this, job, node_id, t = &target]() mutable {
+                deliver(std::move(job), node_id, *t);
+            },
+            "dispatch/local");
+        return;
+    }
+
+    // Return hop? (target handled an earlier node and holds the
+    // pooled connection this response travels back on.)
+    const auto hop_it = std::find_if(
+        state.hops.begin(), state.hops.end(),
+        [&](const ForwardHop& hop) {
+            return hop.upstream == &target && hop.downstream == from;
+        });
+    if (hop_it != state.hops.end()) {
+        const ForwardHop hop = *hop_it;
+        state.hops.erase(hop_it);
+        job->connectionId = hop.conn;
+        network_.transfer(
+            from != nullptr ? from->machine() : nullptr,
+            target.machine(), job->bytes,
+            [this, job, node_id, t = &target, hop]() mutable {
+                // Response received: the connection is free for the
+                // next request (HTTP/1.1 reuse).
+                hop.pool->release(hop.conn);
+                deliver(std::move(job), node_id, *t);
+            });
+        return;
+    }
+
+    // Forward hop: acquire a pooled connection (backpressure when
+    // the pool is exhausted).
+    if (from != nullptr) {
+        ConnectionPool* pool = &deployment_.pool(*from, target);
+        const JobId root = job->rootId;
+        pool->acquire([this, job, node_id, from, t = &target, pool,
+                       root](ConnectionId conn) mutable {
+            RootState& st = rootState(root);
+            st.hops.push_back(ForwardHop{from, t, conn, pool});
+            job->connectionId = conn;
+            network_.transfer(from->machine(), t->machine(), job->bytes,
+                              [this, job, node_id, t]() mutable {
+                                  deliver(std::move(job), node_id, *t);
+                              });
+        });
+        return;
+    }
+
+    // Hop from outside the cluster (no pool).
+    network_.transfer(nullptr, target.machine(), job->bytes,
+                      [this, job, node_id, t = &target]() mutable {
+                          deliver(std::move(job), node_id, *t);
+                      });
+}
+
+void
+Dispatcher::deliver(JobPtr job, int node_id, MicroserviceInstance& target)
+{
+    RootState& state = rootState(job->rootId);
+    const PathNode& node = tree_.node(state.variant, node_id);
+
+    // Fan-in synchronization: only the final copy proceeds.
+    if (node.fanIn > 1) {
+        int& arrived = state.syncArrived[node_id];
+        if (++arrived < node.fanIn)
+            return;
+        state.syncArrived.erase(node_id);
+    }
+
+    job->pathNodeId = node_id;
+    job->enteredTier = sim_.now();
+    job->execPathId = node.execPathId;
+    if (tracer_ != nullptr)
+        tracer_->recordEnter(*job, node.service, sim_.now());
+    for (const PathNodeOp& op : node.onEnter) {
+        if (op.kind == PathNodeOp::Kind::BlockConnection &&
+            job->connectionId != kNoConnection) {
+            blocks_.block(job->rootId, target.connections(),
+                          job->connectionId, node.service);
+        }
+    }
+    target.accept(std::move(job));
+}
+
+void
+Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
+{
+    if (tierLatencyHook_) {
+        tierLatencyHook_(inst.model().name(),
+                         simTimeToSeconds(sim_.now() - job->enteredTier));
+    }
+    if (tracer_ != nullptr)
+        tracer_->recordLeave(*job, sim_.now());
+    RootState& state = rootState(job->rootId);
+    const PathNode& node = tree_.node(state.variant, job->pathNodeId);
+    for (const PathNodeOp& op : node.onLeave) {
+        if (op.kind == PathNodeOp::Kind::UnblockConnection)
+            blocks_.unblock(job->rootId, op.service);
+    }
+
+    if (node.children.empty()) {
+        finishRequest(std::move(job), inst);
+        return;
+    }
+    for (std::size_t i = 0; i < node.children.size(); ++i) {
+        JobPtr child = (i + 1 == node.children.size())
+                           ? std::move(job)
+                           : jobs_.createCopy(*job);
+        routeToNode(std::move(child), node.children[i], &inst);
+    }
+}
+
+void
+Dispatcher::finishRequest(JobPtr job, MicroserviceInstance& last)
+{
+    RootState& state = rootState(job->rootId);
+    // A leaf that never routes back releases its own connection.
+    const auto hop_it = std::find_if(
+        state.hops.begin(), state.hops.end(),
+        [&](const ForwardHop& hop) {
+            return hop.downstream == &last &&
+                   hop.conn == job->connectionId;
+        });
+    if (hop_it != state.hops.end()) {
+        hop_it->pool->release(hop_it->conn);
+        state.hops.erase(hop_it);
+    }
+    const PathVariant& variant = tree_.variant(state.variant);
+    if (++state.terminalsDone < variant.terminalCount)
+        return;
+    network_.transfer(last.machine(), nullptr, job->bytes,
+                      [this, job]() mutable {
+                          completeAtClient(std::move(job));
+                      });
+}
+
+void
+Dispatcher::completeAtClient(JobPtr job)
+{
+    const auto it = roots_.find(job->rootId);
+    if (it != roots_.end()) {
+        // Defensive cleanup; well-formed paths leave nothing behind.
+        for (const ForwardHop& hop : it->second.hops) {
+            hop.pool->release(hop.conn);
+            ++leakedHops_;
+        }
+        roots_.erase(it);
+    }
+    leakedBlocks_ +=
+        static_cast<std::uint64_t>(blocks_.unblock(job->rootId, ""));
+    ++completed_;
+    if (tracer_ != nullptr)
+        tracer_->recordComplete(*job, sim_.now());
+    if (onRequestComplete_)
+        onRequestComplete_(*job, sim_.now() - job->created);
+}
+
+}  // namespace uqsim

@@ -1,0 +1,152 @@
+#ifndef UQSIM_CORE_APP_DISPATCHER_H_
+#define UQSIM_CORE_APP_DISPATCHER_H_
+
+/**
+ * @file
+ * The centralized scheduler dispatching requests to microservice
+ * instances (paper §I, §III).
+ *
+ * The dispatcher walks each request through its sampled path
+ * variant: it selects target instances (pinned, sticky per root
+ * request, or load-balanced), moves messages through the network and
+ * per-machine IRQ services, enforces fan-in synchronization,
+ * acquires and releases inter-tier pooled connections, and applies
+ * enter/leave blocking operations.
+ *
+ * Connection-pool protocol: a *forward* hop from instance A to
+ * instance B acquires a connection from pool(A→B) and records it
+ * under the root request.  When a later node routes from B back to
+ * A, that recorded connection carries the response and is released
+ * when the response arrives at A (HTTP/1.1-style reuse).  A leaf
+ * node that never routes back releases its connection when the node
+ * completes.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/app/deployment.h"
+#include "uqsim/core/app/path_tree.h"
+#include "uqsim/core/app/trace.h"
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/core/service/connection.h"
+#include "uqsim/core/service/job.h"
+#include "uqsim/hw/network.h"
+
+namespace uqsim {
+
+/** Central request router. */
+class Dispatcher {
+  public:
+    /**
+     * Wires every deployed instance's completion callback to this
+     * dispatcher and resolves the path tree's execution-path names
+     * against the deployment's models.  Deploy all instances before
+     * constructing the dispatcher.
+     */
+    Dispatcher(Simulator& sim, hw::Network& network, PathTree& tree,
+               Deployment& deployment);
+
+    Dispatcher(const Dispatcher&) = delete;
+    Dispatcher& operator=(const Dispatcher&) = delete;
+
+    /**
+     * Begins a client request.  @p front is the front-end instance
+     * the client connection terminates at; @p client_conn is that
+     * connection's id, which must come from the deployment's
+     * ConnectionIdAllocator so it cannot collide with pooled
+     * connection ids.  The root node of the sampled variant must
+     * belong to @p front's service.
+     */
+    void startRequest(JobPtr job, MicroserviceInstance& front,
+                      ConnectionId client_conn);
+
+    /** Fired when the response reaches the client. */
+    void setOnRequestComplete(
+        std::function<void(const Job&, SimTime)> callback)
+    {
+        onRequestComplete_ = std::move(callback);
+    }
+
+    /**
+     * Fired when a job leaves a tier, with the per-tier latency in
+     * seconds (queueing + processing at that tier).  Used by the
+     * power manager.
+     */
+    void setTierLatencyHook(
+        std::function<void(const std::string&, double)> hook)
+    {
+        tierLatencyHook_ = std::move(hook);
+    }
+
+    /**
+     * Attaches a trace recorder; pass nullptr to detach.  The
+     * recorder receives start/enter/leave/complete events for the
+     * root requests its sampler selects.
+     */
+    void attachTracer(TraceRecorder* tracer) { tracer_ = tracer; }
+
+    BlockRegistry& blocks() { return blocks_; }
+    JobFactory& jobs() { return jobs_; }
+
+    std::uint64_t requestsStarted() const { return started_; }
+    std::uint64_t requestsCompleted() const { return completed_; }
+    std::size_t activeRequests() const { return roots_.size(); }
+
+    /** Blocks/hops force-released at request completion (should stay
+     *  zero for well-formed path configurations). */
+    std::uint64_t leakedBlocks() const { return leakedBlocks_; }
+    std::uint64_t leakedHops() const { return leakedHops_; }
+
+  private:
+    struct ForwardHop {
+        const MicroserviceInstance* upstream = nullptr;
+        const MicroserviceInstance* downstream = nullptr;
+        ConnectionId conn = kNoConnection;
+        ConnectionPool* pool = nullptr;
+    };
+
+    struct RootState {
+        int variant = 0;
+        /** Sticky routing: service name -> chosen instance. */
+        std::map<std::string, MicroserviceInstance*> affinity;
+        /** Fan-in counters: node id -> copies arrived. */
+        std::map<int, int> syncArrived;
+        /** Outstanding pooled connections. */
+        std::vector<ForwardHop> hops;
+        int terminalsDone = 0;
+    };
+
+    RootState& rootState(JobId root);
+    MicroserviceInstance& selectInstance(RootState& state,
+                                         const PathNode& node);
+    void routeToNode(JobPtr job, int node_id,
+                     MicroserviceInstance* from);
+    void deliver(JobPtr job, int node_id, MicroserviceInstance& target);
+    void onNodeComplete(JobPtr job, MicroserviceInstance& inst);
+    void finishRequest(JobPtr job, MicroserviceInstance& last);
+    void completeAtClient(JobPtr job);
+
+    Simulator& sim_;
+    hw::Network& network_;
+    PathTree& tree_;
+    Deployment& deployment_;
+    random::RngStream rng_;
+    JobFactory jobs_;
+    BlockRegistry blocks_;
+    std::map<JobId, RootState> roots_;
+    TraceRecorder* tracer_ = nullptr;
+    std::function<void(const Job&, SimTime)> onRequestComplete_;
+    std::function<void(const std::string&, double)> tierLatencyHook_;
+    std::uint64_t started_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t leakedBlocks_ = 0;
+    std::uint64_t leakedHops_ = 0;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_APP_DISPATCHER_H_

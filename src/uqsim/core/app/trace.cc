@@ -1,0 +1,139 @@
+#include "uqsim/core/app/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+
+TraceRecorder::TraceRecorder(double sampling_rate, std::size_t capacity)
+    : samplingRate_(sampling_rate), capacity_(capacity)
+{
+    if (sampling_rate < 0.0 || sampling_rate > 1.0)
+        throw std::invalid_argument("sampling rate must be in [0, 1]");
+    if (capacity == 0)
+        throw std::invalid_argument("trace capacity must be > 0");
+}
+
+bool
+TraceRecorder::sampled(JobId root) const
+{
+    if (samplingRate_ >= 1.0)
+        return true;
+    if (samplingRate_ <= 0.0)
+        return false;
+    // Deterministic hash-based sampling: stable across reruns.
+    std::uint64_t x = root;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDULL;
+    x ^= x >> 33;
+    const double u =
+        static_cast<double>(x >> 11) * 0x1.0p-53;
+    return u < samplingRate_;
+}
+
+void
+TraceRecorder::recordStart(const Job& job, SimTime now)
+{
+    if (!sampled(job.rootId))
+        return;
+    RequestTrace& trace = active_[job.rootId];
+    trace.root = job.rootId;
+    trace.started = now;
+}
+
+void
+TraceRecorder::recordEnter(const Job& job, const std::string& service,
+                           SimTime now)
+{
+    const auto it = active_.find(job.rootId);
+    if (it == active_.end())
+        return;
+    TraceSpan span;
+    span.job = job.id;
+    span.service = service;
+    span.pathNode = job.pathNodeId;
+    span.enter = now;
+    it->second.spans.push_back(std::move(span));
+}
+
+void
+TraceRecorder::recordLeave(const Job& job, SimTime now)
+{
+    const auto it = active_.find(job.rootId);
+    if (it == active_.end())
+        return;
+    // Close the most recent open span of this job copy.
+    auto& spans = it->second.spans;
+    for (auto span = spans.rbegin(); span != spans.rend(); ++span) {
+        if (span->job == job.id && span->leave == 0) {
+            span->leave = now;
+            return;
+        }
+    }
+}
+
+void
+TraceRecorder::recordComplete(const Job& job, SimTime now)
+{
+    const auto it = active_.find(job.rootId);
+    if (it == active_.end())
+        return;
+    it->second.completed = now;
+    done_.push_back(std::move(it->second));
+    active_.erase(it);
+    while (done_.size() > capacity_)
+        done_.pop_front();
+}
+
+std::string
+TraceRecorder::waterfall(const RequestTrace& trace, int width)
+{
+    std::ostringstream out;
+    const SimTime end =
+        trace.completed != 0 ? trace.completed : trace.started;
+    SimTime horizon = end;
+    for (const TraceSpan& span : trace.spans)
+        horizon = std::max(horizon,
+                           span.leave != 0 ? span.leave : span.enter);
+    const double total =
+        std::max<double>(1.0,
+                         static_cast<double>(horizon - trace.started));
+    char line[256];
+    std::snprintf(line, sizeof(line),
+                  "request %llu: %zu spans, %.1f us end-to-end\n",
+                  static_cast<unsigned long long>(trace.root),
+                  trace.spans.size(),
+                  simTimeToMicros(horizon - trace.started));
+    out << line;
+    for (const TraceSpan& span : trace.spans) {
+        const SimTime leave =
+            span.leave != 0 ? span.leave : horizon;
+        const double begin_frac =
+            static_cast<double>(span.enter - trace.started) / total;
+        const double end_frac =
+            static_cast<double>(leave - trace.started) / total;
+        const int begin_col = static_cast<int>(begin_frac * width);
+        const int end_col = std::max(
+            begin_col + 1, static_cast<int>(end_frac * width));
+        std::string bar(static_cast<std::size_t>(width + 1), ' ');
+        for (int col = begin_col; col <= std::min(end_col, width);
+             ++col) {
+            bar[static_cast<std::size_t>(col)] = '-';
+        }
+        bar[static_cast<std::size_t>(begin_col)] = '+';
+        bar[static_cast<std::size_t>(std::min(end_col, width))] = '|';
+        std::snprintf(line, sizeof(line),
+                      "  %-14s [%2d] %9.1fus %s %9.1fus\n",
+                      span.service.c_str(), span.pathNode,
+                      simTimeToMicros(span.enter - trace.started),
+                      bar.c_str(),
+                      simTimeToMicros(leave - span.enter));
+        out << line;
+    }
+    return out.str();
+}
+
+}  // namespace uqsim

@@ -1,0 +1,95 @@
+#ifndef UQSIM_CORE_APP_TRACE_H_
+#define UQSIM_CORE_APP_TRACE_H_
+
+/**
+ * @file
+ * Per-request distributed tracing.
+ *
+ * One of the paper's motivations for microservices is that bugs can
+ * be isolated to specific components; the simulator counterpart is a
+ * request trace: one span per path node a request visits, with enter
+ * and leave timestamps.  The recorder samples a fraction of root
+ * requests (deterministically, by root id) and keeps the most recent
+ * traces; spans can be rendered as an ASCII waterfall for latency
+ * debugging.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/sim_time.h"
+#include "uqsim/core/service/job.h"
+
+namespace uqsim {
+
+/** One tier visit of one request. */
+struct TraceSpan {
+    JobId job = 0;
+    std::string service;
+    int pathNode = -1;
+    SimTime enter = 0;
+    /** 0 while the span is still open. */
+    SimTime leave = 0;
+};
+
+/** A sampled request's spans, in enter order. */
+struct RequestTrace {
+    JobId root = 0;
+    SimTime started = 0;
+    SimTime completed = 0;  ///< 0 while in flight
+    std::vector<TraceSpan> spans;
+};
+
+/** Samples and stores request traces. */
+class TraceRecorder {
+  public:
+    /**
+     * @param sampling_rate  fraction of root requests traced
+     *                       (deterministic in the root id)
+     * @param capacity       completed traces retained (FIFO)
+     */
+    explicit TraceRecorder(double sampling_rate = 0.01,
+                           std::size_t capacity = 128);
+
+    /** True when @p root is selected by the sampler. */
+    bool sampled(JobId root) const;
+
+    // Hooks driven by the Dispatcher ---------------------------------
+
+    void recordStart(const Job& job, SimTime now);
+    void recordEnter(const Job& job, const std::string& service,
+                     SimTime now);
+    void recordLeave(const Job& job, SimTime now);
+    void recordComplete(const Job& job, SimTime now);
+
+    // Inspection -------------------------------------------------
+
+    /** Completed traces, oldest first. */
+    const std::deque<RequestTrace>& traces() const { return done_; }
+
+    /** Traces still in flight (diagnostics). */
+    std::size_t activeTraces() const { return active_.size(); }
+
+    /**
+     * ASCII waterfall of one trace: one row per span with an
+     * offset/duration bar, e.g.
+     *
+     *   nginx      [0]      0.0us +---------------------|  210.3us
+     *   memcached  [1]     80.1us      +----|             41.2us
+     */
+    static std::string waterfall(const RequestTrace& trace,
+                                 int width = 48);
+
+  private:
+    double samplingRate_;
+    std::size_t capacity_;
+    std::map<JobId, RequestTrace> active_;
+    std::deque<RequestTrace> done_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_APP_TRACE_H_

@@ -1,0 +1,112 @@
+#ifndef UQSIM_CORE_ENGINE_EVENT_H_
+#define UQSIM_CORE_ENGINE_EVENT_H_
+
+/**
+ * @file
+ * Simulation events.
+ *
+ * An event represents the arrival or completion of a job in a
+ * microservice, or a cluster administration operation such as a DVFS
+ * change (paper §III-A).  Events carry a firing time and a sequence
+ * number assigned by the queue: two events with equal times fire in
+ * scheduling order, which makes simulations deterministic.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "uqsim/core/engine/sim_time.h"
+
+namespace uqsim {
+
+/** Base class for all schedulable events. */
+class Event {
+  public:
+    virtual ~Event() = default;
+
+    /** Invoked by the simulator when the event fires. */
+    virtual void execute() = 0;
+
+    /** Debug label; shown by the trace logger. */
+    virtual std::string label() const { return "event"; }
+
+    /** The time this event is scheduled to fire. */
+    SimTime when() const { return when_; }
+
+    /** Queue insertion order; breaks ties between equal times. */
+    std::uint64_t sequence() const { return sequence_; }
+
+    /** True once cancel() was called; cancelled events do not fire. */
+    bool cancelled() const { return cancelled_; }
+
+    /**
+     * Marks the event as cancelled.  The queue drops it lazily when
+     * it reaches the front, so cancellation is O(1).
+     */
+    void cancel() { cancelled_ = true; }
+
+  private:
+    friend class EventQueue;
+
+    SimTime when_ = 0;
+    std::uint64_t sequence_ = 0;
+    bool cancelled_ = false;
+};
+
+/** Event wrapping a callable; the common case. */
+class CallbackEvent : public Event {
+  public:
+    explicit CallbackEvent(std::function<void()> callback,
+                           std::string label = "callback")
+        : callback_(std::move(callback)), label_(std::move(label))
+    {
+    }
+
+    void execute() override { callback_(); }
+    std::string label() const override { return label_; }
+
+  private:
+    std::function<void()> callback_;
+    std::string label_;
+};
+
+/**
+ * Handle to a scheduled event, used for cancellation.  Holding a
+ * handle does not keep the event alive past execution.
+ */
+class EventHandle {
+  public:
+    EventHandle() = default;
+    explicit EventHandle(std::weak_ptr<Event> event)
+        : event_(std::move(event))
+    {
+    }
+
+    /** Cancels the event if it has not fired yet; returns success. */
+    bool
+    cancel()
+    {
+        if (std::shared_ptr<Event> event = event_.lock()) {
+            event->cancel();
+            return true;
+        }
+        return false;
+    }
+
+    /** True when the event is still pending (not fired, not freed). */
+    bool pending() const
+    {
+        std::shared_ptr<Event> event = event_.lock();
+        return event != nullptr && !event->cancelled();
+    }
+
+  private:
+    std::weak_ptr<Event> event_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_EVENT_H_

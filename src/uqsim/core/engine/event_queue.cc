@@ -1,0 +1,56 @@
+#include "uqsim/core/engine/event_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+
+EventHandle
+EventQueue::schedule(std::shared_ptr<Event> event, SimTime when)
+{
+    if (!event)
+        throw std::invalid_argument("cannot schedule a null event");
+    event->when_ = when;
+    event->sequence_ = nextSequence_++;
+    EventHandle handle{std::weak_ptr<Event>(event)};
+    heap_.push_back(Entry{std::move(event)});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    return handle;
+}
+
+void
+EventQueue::dropCancelled()
+{
+    while (!heap_.empty() && heap_.front().event->cancelled()) {
+        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+        heap_.pop_back();
+    }
+}
+
+bool
+EventQueue::empty()
+{
+    dropCancelled();
+    return heap_.empty();
+}
+
+SimTime
+EventQueue::nextTime()
+{
+    dropCancelled();
+    return heap_.empty() ? kSimTimeMax : heap_.front().event->when();
+}
+
+std::shared_ptr<Event>
+EventQueue::pop()
+{
+    dropCancelled();
+    if (heap_.empty())
+        return nullptr;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    std::shared_ptr<Event> event = std::move(heap_.back().event);
+    heap_.pop_back();
+    return event;
+}
+
+}  // namespace uqsim

@@ -1,0 +1,86 @@
+#ifndef UQSIM_CORE_ENGINE_EVENT_QUEUE_H_
+#define UQSIM_CORE_ENGINE_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * Priority queue of events ordered by (time, sequence).
+ *
+ * All events are stored in increasing time order; every simulation
+ * cycle the queue manager pops the earliest event (paper §III-A).
+ * Cancellation is lazy: cancelled events are dropped when they reach
+ * the front of the heap.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uqsim/core/engine/event.h"
+#include "uqsim/core/engine/sim_time.h"
+
+namespace uqsim {
+
+/** Stable min-heap of events. */
+class EventQueue {
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue&) = delete;
+    EventQueue& operator=(const EventQueue&) = delete;
+
+    /**
+     * Schedules @p event to fire at absolute time @p when.
+     * Returns a handle usable for cancellation.
+     */
+    EventHandle schedule(std::shared_ptr<Event> event, SimTime when);
+
+    /**
+     * True when no live events remain.  Cancelled events at the
+     * front are dropped first; a cancelled event that is not at the
+     * front is always preceded by a live one, so the answer is
+     * exact.
+     */
+    bool empty();
+
+    /**
+     * Number of pending heap entries.  May overcount by events that
+     * were cancelled but not yet dropped.
+     */
+    std::size_t size() const { return heap_.size(); }
+
+    /** Firing time of the earliest live event; kSimTimeMax if none. */
+    SimTime nextTime();
+
+    /**
+     * Removes and returns the earliest live event, or nullptr when
+     * the queue is empty.
+     */
+    std::shared_ptr<Event> pop();
+
+    /** Total number of events ever scheduled (diagnostics). */
+    std::uint64_t scheduledCount() const { return nextSequence_; }
+
+  private:
+    struct Entry {
+        std::shared_ptr<Event> event;
+
+        bool
+        operator>(const Entry& other) const
+        {
+            const SimTime a = event->when();
+            const SimTime b = other.event->when();
+            if (a != b)
+                return a > b;
+            return event->sequence() > other.event->sequence();
+        }
+    };
+
+    void dropCancelled();
+
+    std::vector<Entry> heap_;
+    std::uint64_t nextSequence_ = 0;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_EVENT_QUEUE_H_

@@ -1,0 +1,38 @@
+#include "uqsim/core/engine/logger.h"
+
+#include <iostream>
+#include <sstream>
+
+namespace uqsim {
+
+const char*
+logLevelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Off: return "OFF";
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?";
+}
+
+Logger::Logger() : sink_(&std::clog) {}
+
+void
+Logger::log(LogLevel level, SimTime now, const std::string& component,
+            const std::string& message)
+{
+    if (!enabled(level))
+        return;
+    std::ostringstream line;
+    line << '[' << formatSimTime(now) << "] " << logLevelName(level) << ' '
+         << component << ": " << message;
+    if (hook_)
+        hook_(line.str());
+    if (sink_ != nullptr)
+        *sink_ << line.str() << '\n';
+}
+
+}  // namespace uqsim

@@ -1,0 +1,66 @@
+#ifndef UQSIM_CORE_ENGINE_LOGGER_H_
+#define UQSIM_CORE_ENGINE_LOGGER_H_
+
+/**
+ * @file
+ * Lightweight component-tagged trace logging.
+ *
+ * Logging is off by default (simulations are hot loops); tests and
+ * debugging sessions enable it per component or globally.
+ */
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "uqsim/core/engine/sim_time.h"
+
+namespace uqsim {
+
+/** Log severity levels. */
+enum class LogLevel {
+    Off = 0,
+    Error,
+    Warn,
+    Info,
+    Trace,
+};
+
+const char* logLevelName(LogLevel level);
+
+/** Per-simulator logger. */
+class Logger {
+  public:
+    Logger();
+
+    /** Sets the global threshold; messages above it are dropped. */
+    void setLevel(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /** Redirects output (default: std::clog). */
+    void setSink(std::ostream* sink) { sink_ = sink; }
+
+    /** Installs a callback receiving every formatted line (tests). */
+    void setHook(std::function<void(const std::string&)> hook)
+    {
+        hook_ = std::move(hook);
+    }
+
+    bool enabled(LogLevel level) const
+    {
+        return level <= level_ && level_ != LogLevel::Off;
+    }
+
+    /** Emits one line: "[time] LEVEL component: message". */
+    void log(LogLevel level, SimTime now, const std::string& component,
+             const std::string& message);
+
+  private:
+    LogLevel level_ = LogLevel::Off;
+    std::ostream* sink_;
+    std::function<void(const std::string&)> hook_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_LOGGER_H_

@@ -1,0 +1,28 @@
+#include "uqsim/core/engine/sim_time.h"
+
+#include <cstdio>
+
+namespace uqsim {
+
+std::string
+formatSimTime(SimTime time)
+{
+    char buffer[48];
+    const double abs_time = std::abs(static_cast<double>(time));
+    if (abs_time < static_cast<double>(kMicrosecond)) {
+        std::snprintf(buffer, sizeof(buffer), "%lldns",
+                      static_cast<long long>(time));
+    } else if (abs_time < static_cast<double>(kMillisecond)) {
+        std::snprintf(buffer, sizeof(buffer), "%.3fus",
+                      simTimeToMicros(time));
+    } else if (abs_time < static_cast<double>(kSecond)) {
+        std::snprintf(buffer, sizeof(buffer), "%.3fms",
+                      simTimeToMillis(time));
+    } else {
+        std::snprintf(buffer, sizeof(buffer), "%.6fs",
+                      simTimeToSeconds(time));
+    }
+    return buffer;
+}
+
+}  // namespace uqsim

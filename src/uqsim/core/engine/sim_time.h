@@ -1,0 +1,70 @@
+#ifndef UQSIM_CORE_ENGINE_SIM_TIME_H_
+#define UQSIM_CORE_ENGINE_SIM_TIME_H_
+
+/**
+ * @file
+ * Simulation time representation.
+ *
+ * Simulation time is a signed 64-bit count of nanoseconds.  Integer
+ * time makes event ordering exact and runs bit-deterministic; at
+ * nanosecond resolution the clock can represent ~292 years, far more
+ * than any µqSim experiment needs.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace uqsim {
+
+/** Simulation time in nanoseconds. */
+using SimTime = std::int64_t;
+
+/** Time constants (ticks per unit). */
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/** Largest representable time; used as "never". */
+inline constexpr SimTime kSimTimeMax =
+    std::numeric_limits<std::int64_t>::max();
+
+/** Converts seconds (double) to SimTime, rounding to nearest tick. */
+constexpr SimTime
+secondsToSimTime(double seconds)
+{
+    return static_cast<SimTime>(seconds * static_cast<double>(kSecond) +
+                                (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/** Converts SimTime ticks to seconds. */
+constexpr double
+simTimeToSeconds(SimTime time)
+{
+    return static_cast<double>(time) / static_cast<double>(kSecond);
+}
+
+/** Converts SimTime ticks to milliseconds. */
+constexpr double
+simTimeToMillis(SimTime time)
+{
+    return static_cast<double>(time) /
+           static_cast<double>(kMillisecond);
+}
+
+/** Converts SimTime ticks to microseconds. */
+constexpr double
+simTimeToMicros(SimTime time)
+{
+    return static_cast<double>(time) /
+           static_cast<double>(kMicrosecond);
+}
+
+/** Renders a time with an adaptive unit, e.g. "12.5us" / "3.2ms". */
+std::string formatSimTime(SimTime time);
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_SIM_TIME_H_

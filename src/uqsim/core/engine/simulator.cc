@@ -1,0 +1,84 @@
+#include "uqsim/core/engine/simulator.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+const char*
+stopReasonName(StopReason reason)
+{
+    switch (reason) {
+      case StopReason::Drained: return "drained";
+      case StopReason::TimeLimit: return "time-limit";
+      case StopReason::EventLimit: return "event-limit";
+      case StopReason::Stopped: return "stopped";
+    }
+    return "?";
+}
+
+Simulator::Simulator(std::uint64_t master_seed) : masterSeed_(master_seed)
+{
+}
+
+random::RngStream
+Simulator::makeStream(const std::string& label) const
+{
+    return random::RngStream(masterSeed_, label);
+}
+
+EventHandle
+Simulator::scheduleAt(std::shared_ptr<Event> event, SimTime when)
+{
+    if (when < now_) {
+        throw std::logic_error(
+            "cannot schedule event in the past: event at " +
+            formatSimTime(when) + ", now " + formatSimTime(now_));
+    }
+    return queue_.schedule(std::move(event), when);
+}
+
+EventHandle
+Simulator::scheduleAt(SimTime when, std::function<void()> callback,
+                      std::string label)
+{
+    return scheduleAt(std::make_shared<CallbackEvent>(std::move(callback),
+                                                      std::move(label)),
+                      when);
+}
+
+EventHandle
+Simulator::scheduleAfter(SimTime delay, std::function<void()> callback,
+                         std::string label)
+{
+    if (delay < 0)
+        throw std::logic_error("cannot schedule with negative delay");
+    return scheduleAt(now_ + delay, std::move(callback), std::move(label));
+}
+
+StopReason
+Simulator::run(SimTime until, std::uint64_t max_events)
+{
+    stopRequested_ = false;
+    while (true) {
+        if (stopRequested_)
+            return StopReason::Stopped;
+        if (max_events != 0 && executedEvents_ >= max_events)
+            return StopReason::EventLimit;
+        const SimTime next = queue_.nextTime();
+        if (next == kSimTimeMax)
+            return StopReason::Drained;
+        if (next > until) {
+            now_ = until;
+            return StopReason::TimeLimit;
+        }
+        std::shared_ptr<Event> event = queue_.pop();
+        now_ = event->when();
+        if (logger_.enabled(LogLevel::Trace))
+            logger_.log(LogLevel::Trace, now_, "engine",
+                        "fire " + event->label());
+        event->execute();
+        ++executedEvents_;
+    }
+}
+
+}  // namespace uqsim

@@ -1,0 +1,100 @@
+#ifndef UQSIM_CORE_ENGINE_SIMULATOR_H_
+#define UQSIM_CORE_ENGINE_SIMULATOR_H_
+
+/**
+ * @file
+ * Discrete-event simulation driver.
+ *
+ * The simulator owns the clock, the event queue, the master random
+ * seed, and the logger.  Every simulation cycle it pops the earliest
+ * event, advances the clock to that event's timestamp, and executes
+ * it; executing an event typically schedules causally dependent
+ * events (paper §III-A, Fig. 2).  Simulation completes when no
+ * events remain or a stop condition triggers.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "uqsim/core/engine/event.h"
+#include "uqsim/core/engine/event_queue.h"
+#include "uqsim/core/engine/logger.h"
+#include "uqsim/core/engine/sim_time.h"
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+
+/** Why Simulator::run() returned. */
+enum class StopReason {
+    Drained,       ///< no outstanding events remained
+    TimeLimit,     ///< the until-time was reached
+    EventLimit,    ///< the event-count limit was reached
+    Stopped,       ///< Simulator::stop() was called from an event
+};
+
+const char* stopReasonName(StopReason reason);
+
+/** Event-driven simulation kernel. */
+class Simulator {
+  public:
+    /** @param master_seed  seed from which all RNG streams derive. */
+    explicit Simulator(std::uint64_t master_seed = 1);
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulation time. */
+    SimTime now() const { return now_; }
+
+    /** Master seed (used to derive component streams). */
+    std::uint64_t masterSeed() const { return masterSeed_; }
+
+    /** Creates an independently seeded stream for @p label. */
+    random::RngStream makeStream(const std::string& label) const;
+
+    /** Schedules a prebuilt event at absolute time @p when. */
+    EventHandle scheduleAt(std::shared_ptr<Event> event, SimTime when);
+
+    /** Schedules a callback at absolute time @p when (>= now). */
+    EventHandle scheduleAt(SimTime when, std::function<void()> callback,
+                           std::string label = "callback");
+
+    /** Schedules a callback @p delay after the current time. */
+    EventHandle scheduleAfter(SimTime delay,
+                              std::function<void()> callback,
+                              std::string label = "callback");
+
+    /**
+     * Runs until the queue drains, time exceeds @p until, more than
+     * @p max_events fire, or stop() is called.
+     *
+     * Events scheduled exactly at @p until still fire; the first
+     * event strictly after @p until ends the run with the clock left
+     * at @p until.
+     */
+    StopReason run(SimTime until = kSimTimeMax,
+                   std::uint64_t max_events = 0);
+
+    /** Requests the active run() to return after the current event. */
+    void stop() { stopRequested_ = true; }
+
+    /** Number of events executed so far. */
+    std::uint64_t executedEvents() const { return executedEvents_; }
+
+    EventQueue& queue() { return queue_; }
+    Logger& logger() { return logger_; }
+
+  private:
+    SimTime now_ = 0;
+    std::uint64_t masterSeed_;
+    EventQueue queue_;
+    Logger logger_;
+    bool stopRequested_ = false;
+    std::uint64_t executedEvents_ = 0;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_SIMULATOR_H_

@@ -1,0 +1,103 @@
+#include "uqsim/core/service/connection.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+
+Connection&
+ConnectionTable::ensure(ConnectionId id)
+{
+    auto [it, inserted] = connections_.try_emplace(id);
+    if (inserted)
+        it->second.id = id;
+    return it->second;
+}
+
+bool
+ConnectionTable::isBlocked(ConnectionId id) const
+{
+    const auto it = connections_.find(id);
+    return it != connections_.end() && it->second.recvBlocked();
+}
+
+JobId
+ConnectionTable::blockOwner(ConnectionId id) const
+{
+    const auto it = connections_.find(id);
+    if (it == connections_.end() || !it->second.recvBlocked())
+        return 0;
+    return it->second.owners.front();
+}
+
+void
+ConnectionTable::block(ConnectionId id, JobId root)
+{
+    ensure(id).owners.push_back(root);
+}
+
+void
+ConnectionTable::unblock(ConnectionId id, JobId root)
+{
+    Connection& connection = ensure(id);
+    const JobId previous_owner =
+        connection.owners.empty() ? 0 : connection.owners.front();
+    const auto it = std::find(connection.owners.begin(),
+                              connection.owners.end(), root);
+    if (it == connection.owners.end())
+        return;
+    connection.owners.erase(it);
+    const JobId new_owner =
+        connection.owners.empty() ? 0 : connection.owners.front();
+    if (new_owner != previous_owner && onUnblock_)
+        onUnblock_(id);
+}
+
+void
+BlockRegistry::block(JobId root, ConnectionTable& table,
+                     ConnectionId connection, const std::string& service)
+{
+    table.block(connection, root);
+    records_[root].push_back(BlockRecord{&table, connection, service});
+}
+
+int
+BlockRegistry::unblock(JobId root, const std::string& service)
+{
+    const auto it = records_.find(root);
+    if (it == records_.end())
+        return 0;
+    int released = 0;
+    std::vector<BlockRecord>& list = it->second;
+    for (std::size_t i = 0; i < list.size();) {
+        if (service.empty() || list[i].service == service) {
+            BlockRecord record = list[i];
+            list.erase(list.begin() + static_cast<std::ptrdiff_t>(i));
+            record.table->unblock(record.connection, root);
+            ++released;
+        } else {
+            ++i;
+        }
+    }
+    if (list.empty())
+        records_.erase(it);
+    return released;
+}
+
+std::size_t
+BlockRegistry::pendingFor(JobId root) const
+{
+    const auto it = records_.find(root);
+    return it == records_.end() ? 0 : it->second.size();
+}
+
+std::size_t
+BlockRegistry::totalPending() const
+{
+    std::size_t total = 0;
+    for (const auto& [root, list] : records_)
+        total += list.size();
+    return total;
+}
+
+}  // namespace uqsim

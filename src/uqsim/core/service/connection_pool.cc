@@ -1,0 +1,55 @@
+#include "uqsim/core/service/connection_pool.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+
+ConnectionPool::ConnectionPool(std::string name, int size,
+                               ConnectionIdAllocator& ids)
+    : name_(std::move(name)), size_(size)
+{
+    if (size <= 0)
+        throw std::invalid_argument("connection pool size must be > 0");
+    all_.reserve(static_cast<std::size_t>(size));
+    for (int i = 0; i < size; ++i) {
+        const ConnectionId id = ids.next();
+        all_.push_back(id);
+        free_.push_back(id);
+    }
+}
+
+void
+ConnectionPool::acquire(std::function<void(ConnectionId)> ready)
+{
+    if (!free_.empty()) {
+        const ConnectionId id = free_.front();
+        free_.pop_front();
+        ready(id);
+        return;
+    }
+    waiters_.push_back(std::move(ready));
+    maxWaiters_ = std::max(maxWaiters_, waiters_.size());
+}
+
+void
+ConnectionPool::release(ConnectionId id)
+{
+    if (std::find(all_.begin(), all_.end(), id) == all_.end()) {
+        throw std::logic_error("connection " + std::to_string(id) +
+                               " does not belong to pool " + name_);
+    }
+    if (!waiters_.empty()) {
+        auto ready = std::move(waiters_.front());
+        waiters_.pop_front();
+        ready(id);
+        return;
+    }
+    if (std::find(free_.begin(), free_.end(), id) != free_.end()) {
+        throw std::logic_error("double release of connection " +
+                               std::to_string(id) + " in pool " + name_);
+    }
+    free_.push_back(id);
+}
+
+}  // namespace uqsim

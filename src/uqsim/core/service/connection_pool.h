@@ -1,0 +1,73 @@
+#ifndef UQSIM_CORE_SERVICE_CONNECTION_POOL_H_
+#define UQSIM_CORE_SERVICE_CONNECTION_POOL_H_
+
+/**
+ * @file
+ * Inter-tier connection pools.
+ *
+ * graph.json assigns each microservice a connection pool size
+ * (paper §III-C).  A pool holds a fixed set of connections from an
+ * upstream instance to a downstream instance; a request must hold a
+ * pooled connection while it is being processed downstream.  Pool
+ * exhaustion queues requests upstream — the backpressure effect the
+ * power-management case study calls out (connection pool exhaustion
+ * and blocking).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/service/job.h"
+
+namespace uqsim {
+
+/** Allocates globally unique connection ids. */
+class ConnectionIdAllocator {
+  public:
+    ConnectionId next() { return next_++; }
+
+  private:
+    ConnectionId next_ = 1;
+};
+
+/** Fixed-size pool of connections to one downstream instance. */
+class ConnectionPool {
+  public:
+    /**
+     * @param name  diagnostic label, e.g. "nginx.0->memcached.1"
+     * @param size  number of connections (> 0)
+     * @param ids   allocator for the pool's connection ids
+     */
+    ConnectionPool(std::string name, int size,
+                   ConnectionIdAllocator& ids);
+
+    const std::string& name() const { return name_; }
+    int size() const { return size_; }
+    int available() const { return static_cast<int>(free_.size()); }
+    std::size_t waiters() const { return waiters_.size(); }
+    std::size_t maxWaiters() const { return maxWaiters_; }
+
+    /**
+     * Hands a free connection to @p ready, immediately when one is
+     * available or once a connection is released otherwise (FIFO).
+     */
+    void acquire(std::function<void(ConnectionId)> ready);
+
+    /** Returns connection @p id to the pool. */
+    void release(ConnectionId id);
+
+  private:
+    std::string name_;
+    int size_;
+    std::vector<ConnectionId> all_;
+    std::deque<ConnectionId> free_;
+    std::deque<std::function<void(ConnectionId)>> waiters_;
+    std::size_t maxWaiters_ = 0;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_CONNECTION_POOL_H_

@@ -1,0 +1,54 @@
+#include "uqsim/core/service/execution_path.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+PathConfig
+PathConfig::fromJson(const json::JsonValue& doc)
+{
+    PathConfig config;
+    config.id = static_cast<int>(doc.at("path_id").asInt());
+    config.name = doc.getOr("path_name", "path" + std::to_string(config.id));
+    for (const json::JsonValue& stage : doc.at("stages").asArray())
+        config.stageIds.push_back(static_cast<int>(stage.asInt()));
+    if (config.stageIds.empty())
+        throw json::JsonError("path \"" + config.name + "\" has no stages");
+    config.probability = doc.getOr("probability", 1.0);
+    if (config.probability < 0.0)
+        throw json::JsonError("path probability must be >= 0");
+    return config;
+}
+
+PathSelector::PathSelector(const std::vector<PathConfig>& paths)
+{
+    if (paths.empty())
+        throw std::invalid_argument("path selector requires >= 1 path");
+    double total = 0.0;
+    for (const PathConfig& path : paths)
+        total += path.probability;
+    if (total <= 0.0)
+        throw std::invalid_argument("path probabilities sum to zero");
+    double cumulative = 0.0;
+    for (const PathConfig& path : paths) {
+        cumulative += path.probability / total;
+        ids_.push_back(path.id);
+        cumulative_.push_back(cumulative);
+    }
+    cumulative_.back() = 1.0;  // guard against FP drift
+}
+
+int
+PathSelector::select(random::Rng& rng) const
+{
+    if (ids_.size() == 1)
+        return ids_.front();
+    const double u = rng.nextDouble();
+    for (std::size_t i = 0; i < cumulative_.size(); ++i) {
+        if (u < cumulative_[i])
+            return ids_[i];
+    }
+    return ids_.back();
+}
+
+}  // namespace uqsim

@@ -1,0 +1,57 @@
+#ifndef UQSIM_CORE_SERVICE_EXECUTION_PATH_H_
+#define UQSIM_CORE_SERVICE_EXECUTION_PATH_H_
+
+/**
+ * @file
+ * Execution paths within a microservice.
+ *
+ * Multiple application-logic stages assemble into execution paths,
+ * corresponding to a microservice's different code paths; a state
+ * machine specifies the probability that a microservice follows each
+ * path (paper §III-B).  memcached has deterministic read/write
+ * paths; MongoDB probabilistically follows a memory (cache hit) or
+ * disk (miss) path.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+
+/** One execution path: an ordered stage sequence. */
+struct PathConfig {
+    int id = 0;
+    std::string name;
+    std::vector<int> stageIds;
+    /**
+     * Selection weight when the path is chosen probabilistically.
+     * Weights are normalized across the service's paths.
+     */
+    double probability = 1.0;
+
+    /** Parses one entry of the "paths" array in service.json. */
+    static PathConfig fromJson(const json::JsonValue& doc);
+};
+
+/** Probabilistic path selection state machine. */
+class PathSelector {
+  public:
+    explicit PathSelector(const std::vector<PathConfig>& paths);
+
+    /** Samples a path id according to the normalized weights. */
+    int select(random::Rng& rng) const;
+
+    /** True when only one outcome is possible. */
+    bool deterministic() const { return cumulative_.size() <= 1; }
+
+  private:
+    std::vector<int> ids_;
+    std::vector<double> cumulative_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_EXECUTION_PATH_H_

@@ -1,0 +1,272 @@
+#include "uqsim/core/service/instance.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace uqsim {
+
+namespace {
+
+int
+resolveThreads(const ServiceModelPtr& model, const InstanceConfig& config)
+{
+    if (!model)
+        throw std::invalid_argument("instance requires a service model");
+    return config.threads > 0 ? config.threads
+                              : model->defaultThreads();
+}
+
+}  // namespace
+
+MicroserviceInstance::MicroserviceInstance(Simulator& sim,
+                                           ServiceModelPtr model,
+                                           std::string name,
+                                           hw::Machine* machine,
+                                           const InstanceConfig& config)
+    : sim_(sim), model_(std::move(model)), name_(std::move(name)),
+      machine_(machine), threads_(resolveThreads(model_, config)),
+      idleThreads_(threads_), baseThreads_(threads_),
+      peakThreads_(threads_), policy_(config.policy),
+      rng_(sim.masterSeed(), name_)
+{
+    int cores = config.cores > 0 ? config.cores : threads_;
+    if (model_->executionModel() == ExecutionModel::Simple) {
+        // The simple model dispatches jobs directly onto cores: the
+        // worker count equals the core count and there is no
+        // context-switch overhead.
+        threads_ = cores;
+        idleThreads_ = cores;
+        baseThreads_ = cores;
+        peakThreads_ = cores;
+    }
+    coreCapacity_ = cores;
+
+    if (machine_ != nullptr) {
+        cpuCores_ = &machine_->allocateCores(cores, name_);
+        if (config.ownDvfsDomain) {
+            dvfs_ = &machine_->makeDvfsDomain(name_);
+        } else {
+            dvfs_ = &machine_->dvfs();
+        }
+    } else {
+        ownedCpu_ = std::make_unique<hw::CoreSet>(cores, name_ + "/cpu");
+        cpuCores_ = ownedCpu_.get();
+        ownedDvfs_ = std::make_unique<hw::DvfsDomain>(
+            hw::DvfsTable::paperDefault(), name_ + "/dvfs");
+        dvfs_ = ownedDvfs_.get();
+    }
+
+    const int disk_channels = config.diskChannels > 0
+                                  ? config.diskChannels
+                                  : model_->defaultDiskChannels();
+    if (disk_channels > 0) {
+        disk_ = std::make_unique<hw::CoreSet>(disk_channels,
+                                              name_ + "/disk");
+    } else if (model_->usesDisk()) {
+        throw std::invalid_argument(
+            "service \"" + model_->name() +
+            "\" has disk stages but instance \"" + name_ +
+            "\" has no disk channels");
+    }
+
+    queues_.reserve(model_->stages().size());
+    stageLabels_.reserve(model_->stages().size());
+    for (const StageConfig& stage : model_->stages()) {
+        queues_.push_back(StageQueue::create(stage, &connections_));
+        stageLabels_.push_back(name_ + "/" + stage.name);
+    }
+
+    connections_.onUnblock(
+        [this](ConnectionId) { scheduleWork(); });
+}
+
+void
+MicroserviceInstance::accept(JobPtr job)
+{
+    if (!job)
+        throw std::invalid_argument("cannot accept a null job");
+    if (job->execPathId < 0)
+        job->execPathId = model_->pathSelector().select(rng_);
+    const PathConfig& path = model_->path(job->execPathId);
+    job->stageIndex = 0;
+    queues_[static_cast<std::size_t>(path.stageIds.front())]->push(
+        std::move(job));
+    scheduleWork();
+}
+
+void
+MicroserviceInstance::scheduleWork()
+{
+    if (scheduling_)
+        return;
+    scheduling_ = true;
+    while (tryStartWork()) {
+    }
+    scheduling_ = false;
+    if (model_->dynamicThreads().enabled()) {
+        maybeSpawnThread();
+        maybeRetireThreads();
+    }
+}
+
+void
+MicroserviceInstance::maybeSpawnThread()
+{
+    const DynamicThreadPolicy& policy = model_->dynamicThreads();
+    if (idleThreads_ > 0 ||
+        threads_ + pendingSpawns_ >= policy.maxThreads ||
+        queuedJobs() <=
+            static_cast<std::size_t>(policy.queueThreshold)) {
+        return;
+    }
+    ++pendingSpawns_;
+    sim_.scheduleAfter(
+        secondsToSimTime(policy.spawnLatency),
+        [this]() {
+            --pendingSpawns_;
+            ++threads_;
+            ++idleThreads_;
+            ++spawned_;
+            peakThreads_ = std::max(peakThreads_, threads_);
+            scheduleWork();
+        },
+        name_ + "/spawn");
+}
+
+void
+MicroserviceInstance::maybeRetireThreads()
+{
+    const DynamicThreadPolicy& policy = model_->dynamicThreads();
+    if (retireScheduled_ || idleThreads_ <= 0 ||
+        threads_ <= baseThreads_) {
+        return;
+    }
+    retireScheduled_ = true;
+    sim_.scheduleAfter(
+        secondsToSimTime(policy.idleTimeout),
+        [this]() {
+            retireScheduled_ = false;
+            if (idleThreads_ > 0 && threads_ > baseThreads_ &&
+                !queues_.empty() && queuedJobs() == 0) {
+                --threads_;
+                --idleThreads_;
+            }
+            maybeRetireThreads();
+        },
+        name_ + "/retire");
+}
+
+bool
+MicroserviceInstance::tryStartWork()
+{
+    if (idleThreads_ <= 0)
+        return false;
+    const int stage_count = static_cast<int>(queues_.size());
+    for (int step = 0; step < stage_count; ++step) {
+        const int stage_id = policy_ == SchedulingPolicy::Drain
+                                 ? stage_count - 1 - step
+                                 : step;
+        StageQueue& queue = *queues_[static_cast<std::size_t>(stage_id)];
+        if (!queue.hasEligible())
+            continue;
+        const StageConfig& stage = model_->stage(stage_id);
+        hw::CoreSet* resource = stage.resource == StageResource::Cpu
+                                    ? cpuCores_
+                                    : disk_.get();
+        if (resource == nullptr || !resource->tryAcquire(sim_.now()))
+            continue;
+        std::vector<JobPtr> batch = queue.popBatch();
+        if (batch.empty()) {
+            resource->release(sim_.now());
+            continue;
+        }
+        --idleThreads_;
+        startBatch(stage_id, std::move(batch));
+        return true;
+    }
+    return false;
+}
+
+void
+MicroserviceInstance::startBatch(int stage_id, std::vector<JobPtr> batch)
+{
+    const StageConfig& stage = model_->stage(stage_id);
+    std::uint64_t bytes = 0;
+    for (const JobPtr& job : batch)
+        bytes += job->bytes;
+    SimTime duration = stage.time.sample(
+        rng_, static_cast<int>(batch.size()), bytes, dvfs_);
+    if (oversubscribed() &&
+        model_->executionModel() == ExecutionModel::MultiThreaded) {
+        duration += secondsToSimTime(model_->contextSwitchSeconds());
+    }
+    ++batches_;
+    batchSizes_.add(static_cast<double>(batch.size()));
+
+    auto shared_batch =
+        std::make_shared<std::vector<JobPtr>>(std::move(batch));
+    sim_.scheduleAfter(
+        duration,
+        [this, stage_id, shared_batch]() {
+            finishBatch(stage_id, *shared_batch);
+        },
+        stageLabels_[static_cast<std::size_t>(stage_id)]);
+}
+
+void
+MicroserviceInstance::finishBatch(int stage_id, std::vector<JobPtr>& batch)
+{
+    const StageConfig& stage = model_->stage(stage_id);
+    hw::CoreSet* resource = stage.resource == StageResource::Cpu
+                                ? cpuCores_
+                                : disk_.get();
+    resource->release(sim_.now());
+    ++idleThreads_;
+    for (JobPtr& job : batch)
+        advanceJob(std::move(job));
+    batch.clear();
+    scheduleWork();
+}
+
+void
+MicroserviceInstance::advanceJob(JobPtr job)
+{
+    const PathConfig& path = model_->path(job->execPathId);
+    ++job->stageIndex;
+    if (job->stageIndex <
+        static_cast<int>(path.stageIds.size())) {
+        const int next_stage =
+            path.stageIds[static_cast<std::size_t>(job->stageIndex)];
+        queues_[static_cast<std::size_t>(next_stage)]->push(
+            std::move(job));
+        return;
+    }
+    ++completed_;
+    if (onJobDone_)
+        onJobDone_(std::move(job));
+}
+
+std::size_t
+MicroserviceInstance::queuedJobs() const
+{
+    std::size_t total = 0;
+    for (const auto& queue : queues_)
+        total += queue->size();
+    return total;
+}
+
+std::size_t
+MicroserviceInstance::queuedAtStage(int stage_id) const
+{
+    if (stage_id < 0 || stage_id >= static_cast<int>(queues_.size()))
+        throw std::out_of_range("stage id out of range");
+    return queues_[static_cast<std::size_t>(stage_id)]->size();
+}
+
+double
+MicroserviceInstance::cpuUtilization() const
+{
+    return cpuCores_->utilization(sim_.now());
+}
+
+}  // namespace uqsim

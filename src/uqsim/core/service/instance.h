@@ -1,0 +1,177 @@
+#ifndef UQSIM_CORE_SERVICE_INSTANCE_H_
+#define UQSIM_CORE_SERVICE_INSTANCE_H_
+
+/**
+ * @file
+ * A running microservice instance.
+ *
+ * An instance couples a ServiceModel with hardware: a set of worker
+ * threads/processes, dedicated CPU cores on a machine, optional disk
+ * channels, and a DVFS domain.  Jobs delivered by the dispatcher
+ * flow through the model's stage queues; idle workers pick batches
+ * according to the scheduling policy, occupy the stage's resource
+ * for the sampled service time, and advance jobs to their next
+ * stage.  Completion of a job's last stage reports back to the
+ * dispatcher.
+ *
+ * Worker scheduling policy: by default workers serve the *latest*
+ * non-empty stage first (Drain), which mirrors a real event loop —
+ * a batch returned by epoll is read, processed, and sent before the
+ * worker polls again.  StageOrder (earliest stage first) is
+ * available as an ablation.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/core/service/connection.h"
+#include "uqsim/core/service/job.h"
+#include "uqsim/core/service/service_model.h"
+#include "uqsim/core/service/stage_queue.h"
+#include "uqsim/hw/machine.h"
+#include "uqsim/random/rng.h"
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+
+/** Order in which idle workers scan stage queues. */
+enum class SchedulingPolicy {
+    /** Latest stage first (event-loop drain; the default). */
+    Drain,
+    /** Earliest stage first (ablation). */
+    StageOrder,
+};
+
+/** Per-instance deployment parameters (from graph.json). */
+struct InstanceConfig {
+    /** Worker threads/processes; 0 uses the model default. */
+    int threads = 0;
+    /** Dedicated CPU cores; 0 means one per thread. */
+    int cores = 0;
+    /** Disk channels; 0 uses the model default. */
+    int diskChannels = 0;
+    /** Give the instance its own DVFS domain (per-tier power
+     *  control) instead of sharing the machine's. */
+    bool ownDvfsDomain = false;
+    SchedulingPolicy policy = SchedulingPolicy::Drain;
+};
+
+/** One deployed microservice instance. */
+class MicroserviceInstance {
+  public:
+    /**
+     * @param sim      owning simulator
+     * @param model    shared immutable service model
+     * @param name     unique instance name, e.g. "nginx.0"
+     * @param machine  host machine; nullptr gives the instance its
+     *                 own detached core set at nominal frequency
+     *                 (unit tests)
+     * @param config   deployment parameters
+     */
+    MicroserviceInstance(Simulator& sim, ServiceModelPtr model,
+                         std::string name, hw::Machine* machine,
+                         const InstanceConfig& config);
+
+    MicroserviceInstance(const MicroserviceInstance&) = delete;
+    MicroserviceInstance& operator=(const MicroserviceInstance&) = delete;
+
+    const std::string& name() const { return name_; }
+    const ServiceModel& model() const { return *model_; }
+    hw::Machine* machine() { return machine_; }
+
+    /** The instance's frequency domain (never null). */
+    hw::DvfsDomain* dvfs() { return dvfs_; }
+    const hw::DvfsDomain* dvfs() const { return dvfs_; }
+
+    /**
+     * Delivers a job.  job->execPathId selects the execution path;
+     * pass -1 to sample from the model's path probabilities.
+     * job->connectionId identifies the epoll/socket subqueue.
+     */
+    void accept(JobPtr job);
+
+    /** Callback fired when a job finishes its last stage. */
+    void setOnJobDone(std::function<void(JobPtr)> callback)
+    {
+        onJobDone_ = std::move(callback);
+    }
+
+    /** Receive-blocking state for this instance's connections. */
+    ConnectionTable& connections() { return connections_; }
+
+    /** Re-examines queues; called when external state changes. */
+    void scheduleWork();
+
+    // Introspection / statistics -------------------------------------
+
+    int threads() const { return threads_; }
+    int idleThreads() const { return idleThreads_; }
+    /** Configured base worker count (dynamic spawning floor). */
+    int baseThreads() const { return baseThreads_; }
+    /** Highest concurrent worker count observed. */
+    int peakThreads() const { return peakThreads_; }
+    /** Workers spawned by the dynamic policy so far. */
+    std::uint64_t spawnedThreads() const { return spawned_; }
+    std::uint64_t completedJobs() const { return completed_; }
+    std::uint64_t executedBatches() const { return batches_; }
+
+    /** Jobs currently queued across all stages. */
+    std::size_t queuedJobs() const;
+
+    /** Jobs queued at one stage. */
+    std::size_t queuedAtStage(int stage_id) const;
+
+    /** CPU core utilization so far. */
+    double cpuUtilization() const;
+
+    /** Observed batch-size statistics (batching effectiveness). */
+    const stats::Summary& batchSizeStats() const { return batchSizes_; }
+
+  private:
+    bool tryStartWork();
+    void startBatch(int stage_id, std::vector<JobPtr> batch);
+    void finishBatch(int stage_id, std::vector<JobPtr>& batch);
+    void advanceJob(JobPtr job);
+    bool oversubscribed() const { return threads_ > coreCapacity_; }
+    void maybeSpawnThread();
+    void maybeRetireThreads();
+
+    Simulator& sim_;
+    ServiceModelPtr model_;
+    std::string name_;
+    hw::Machine* machine_;
+    hw::DvfsDomain* dvfs_ = nullptr;
+    std::unique_ptr<hw::DvfsDomain> ownedDvfs_;
+    hw::CoreSet* cpuCores_ = nullptr;
+    std::unique_ptr<hw::CoreSet> ownedCpu_;
+    std::unique_ptr<hw::CoreSet> disk_;
+    int threads_;
+    int idleThreads_;
+    int baseThreads_;
+    int peakThreads_;
+    int coreCapacity_ = 0;
+    int pendingSpawns_ = 0;
+    bool retireScheduled_ = false;
+    std::uint64_t spawned_ = 0;
+    SchedulingPolicy policy_;
+    ConnectionTable connections_;
+    std::vector<std::unique_ptr<StageQueue>> queues_;
+    random::RngStream rng_;
+    /** Precomputed "<instance>/<stage>" event labels (hot path). */
+    std::vector<std::string> stageLabels_;
+    std::function<void(JobPtr)> onJobDone_;
+    bool scheduling_ = false;
+    std::uint64_t completed_ = 0;
+    std::uint64_t batches_ = 0;
+    stats::Summary batchSizes_;
+};
+
+using InstancePtr = std::unique_ptr<MicroserviceInstance>;
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_INSTANCE_H_

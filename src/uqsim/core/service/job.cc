@@ -1,0 +1,27 @@
+#include "uqsim/core/service/job.h"
+
+namespace uqsim {
+
+JobPtr
+JobFactory::createRoot(SimTime now, std::uint32_t bytes)
+{
+    auto job = std::make_shared<Job>();
+    job->id = nextId_++;
+    job->rootId = job->id;
+    job->bytes = bytes;
+    job->created = now;
+    job->enteredTier = now;
+    return job;
+}
+
+JobPtr
+JobFactory::createCopy(const Job& parent)
+{
+    auto job = std::make_shared<Job>(parent);
+    job->id = nextId_++;
+    job->connectionId = kNoConnection;
+    job->stageIndex = -1;
+    return job;
+}
+
+}  // namespace uqsim

@@ -1,0 +1,83 @@
+#ifndef UQSIM_CORE_SERVICE_JOB_H_
+#define UQSIM_CORE_SERVICE_JOB_H_
+
+/**
+ * @file
+ * Jobs: requests flowing through the microservice network.
+ *
+ * A client request creates one root job.  Fan-out path nodes copy
+ * the job (one copy per child node); all copies share the root id,
+ * which fan-in synchronization and connection unblocking match on
+ * (paper §III-C).
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "uqsim/core/engine/sim_time.h"
+
+namespace uqsim {
+
+/** Unique job / request identifier. */
+using JobId = std::uint64_t;
+
+/** Globally unique connection identifier. */
+using ConnectionId = std::int64_t;
+
+/** Sentinel for "no connection". */
+inline constexpr ConnectionId kNoConnection = -1;
+
+/** A request (or a fan-out copy of one) traversing the system. */
+struct Job {
+    /** Unique id of this copy. */
+    JobId id = 0;
+    /** Id of the originating client request; shared by all copies. */
+    JobId rootId = 0;
+
+    /** Index of the sampled inter-service path variant. */
+    int pathVariant = 0;
+    /** Current path node (index into the variant's node list). */
+    int pathNodeId = -1;
+    /** Execution path id within the current microservice. */
+    int execPathId = 0;
+    /** Position within the execution path's stage list. */
+    int stageIndex = -1;
+
+    /** Request payload size in bytes (affects socket/irq cost). */
+    std::uint32_t bytes = 128;
+
+    /** Connection the job arrived on at the current instance. */
+    ConnectionId connectionId = kNoConnection;
+
+    /** Client issue time (end-to-end latency reference). */
+    SimTime created = 0;
+    /** Time the job entered the current path node's tier. */
+    SimTime enteredTier = 0;
+
+    /** Identifies the issuing client (multi-client simulations). */
+    int clientTag = -1;
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+/** Allocates jobs with unique ids. */
+class JobFactory {
+  public:
+    JobFactory() = default;
+
+    /** Creates a new root job issued at @p now. */
+    JobPtr createRoot(SimTime now, std::uint32_t bytes);
+
+    /** Creates a fan-out copy of @p parent. */
+    JobPtr createCopy(const Job& parent);
+
+    /** Total jobs ever created. */
+    JobId created() const { return nextId_ - 1; }
+
+  private:
+    JobId nextId_ = 1;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_JOB_H_

@@ -1,0 +1,180 @@
+#include "uqsim/core/service/service_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+
+ExecutionModel
+executionModelFromString(const std::string& name)
+{
+    if (name == "simple")
+        return ExecutionModel::Simple;
+    if (name == "multi_threaded" || name == "multithreaded")
+        return ExecutionModel::MultiThreaded;
+    throw std::invalid_argument("unknown execution model: \"" + name +
+                                "\"");
+}
+
+const char*
+executionModelName(ExecutionModel model)
+{
+    switch (model) {
+      case ExecutionModel::Simple: return "simple";
+      case ExecutionModel::MultiThreaded: return "multi_threaded";
+    }
+    return "?";
+}
+
+DynamicThreadPolicy
+DynamicThreadPolicy::fromJson(const json::JsonValue& doc)
+{
+    DynamicThreadPolicy policy;
+    policy.maxThreads = doc.getOr("max", 0);
+    policy.queueThreshold =
+        doc.getOr("queue_threshold", policy.queueThreshold);
+    policy.spawnLatency =
+        doc.getOr("spawn_latency_us", policy.spawnLatency * 1e6) * 1e-6;
+    policy.idleTimeout =
+        doc.getOr("idle_timeout_ms", policy.idleTimeout * 1e3) * 1e-3;
+    if (policy.maxThreads < 0 || policy.queueThreshold < 0 ||
+        policy.spawnLatency < 0.0 || policy.idleTimeout <= 0.0) {
+        throw json::JsonError("invalid dynamic_threads policy");
+    }
+    return policy;
+}
+
+ServiceModel::ServiceModel(std::string name,
+                           std::vector<StageConfig> stages,
+                           std::vector<PathConfig> paths)
+    : name_(std::move(name)), stages_(std::move(stages)),
+      paths_(std::move(paths)), selector_(paths_)
+{
+    if (stages_.empty())
+        throw std::invalid_argument("service needs at least one stage");
+    // Stage ids index the instance's queue array: require 0..n-1.
+    std::sort(stages_.begin(), stages_.end(),
+              [](const StageConfig& a, const StageConfig& b) {
+                  return a.id < b.id;
+              });
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        if (stages_[i].id != static_cast<int>(i)) {
+            throw std::invalid_argument(
+                "service \"" + name_ +
+                "\": stage ids must be contiguous from 0");
+        }
+    }
+    for (const PathConfig& path : paths_) {
+        for (int stage_id : path.stageIds) {
+            if (stage_id < 0 ||
+                stage_id >= static_cast<int>(stages_.size())) {
+                throw std::invalid_argument(
+                    "service \"" + name_ + "\" path \"" + path.name +
+                    "\" references unknown stage " +
+                    std::to_string(stage_id));
+            }
+        }
+    }
+}
+
+std::shared_ptr<ServiceModel>
+ServiceModel::fromJson(const json::JsonValue& doc)
+{
+    std::vector<StageConfig> stages;
+    for (const json::JsonValue& stage : doc.at("stages").asArray())
+        stages.push_back(StageConfig::fromJson(stage));
+    std::vector<PathConfig> paths;
+    for (const json::JsonValue& path : doc.at("paths").asArray())
+        paths.push_back(PathConfig::fromJson(path));
+    auto model = std::make_shared<ServiceModel>(
+        doc.at("service_name").asString(), std::move(stages),
+        std::move(paths));
+    model->setExecutionModel(executionModelFromString(
+        doc.getOr("execution_model", "multi_threaded")));
+    model->setDefaultThreads(doc.getOr("threads", 1));
+    model->setDefaultDiskChannels(doc.getOr("disk_channels", 0));
+    model->setContextSwitchSeconds(
+        doc.getOr("context_switch_us", 2.0) * 1e-6);
+    if (const json::JsonValue* dynamic = doc.find("dynamic_threads")) {
+        model->setDynamicThreads(
+            DynamicThreadPolicy::fromJson(*dynamic));
+    }
+    return model;
+}
+
+const StageConfig&
+ServiceModel::stage(int id) const
+{
+    if (id < 0 || id >= static_cast<int>(stages_.size()))
+        throw std::out_of_range("stage id out of range: " +
+                                std::to_string(id));
+    return stages_[static_cast<std::size_t>(id)];
+}
+
+const PathConfig&
+ServiceModel::path(int id) const
+{
+    for (const PathConfig& path : paths_) {
+        if (path.id == id)
+            return path;
+    }
+    throw std::out_of_range("path id out of range: " + std::to_string(id));
+}
+
+int
+ServiceModel::pathIdByName(const std::string& name) const
+{
+    for (const PathConfig& path : paths_) {
+        if (path.name == name)
+            return path.id;
+    }
+    throw std::out_of_range("service \"" + name_ + "\" has no path \"" +
+                            name + "\"");
+}
+
+void
+ServiceModel::setDefaultThreads(int threads)
+{
+    if (threads <= 0)
+        throw std::invalid_argument("thread count must be > 0");
+    defaultThreads_ = threads;
+}
+
+void
+ServiceModel::setDefaultDiskChannels(int channels)
+{
+    if (channels < 0)
+        throw std::invalid_argument("disk channels must be >= 0");
+    defaultDiskChannels_ = channels;
+}
+
+void
+ServiceModel::setContextSwitchSeconds(double seconds)
+{
+    if (seconds < 0.0)
+        throw std::invalid_argument("context switch must be >= 0");
+    contextSwitch_ = seconds;
+}
+
+void
+ServiceModel::setDynamicThreads(const DynamicThreadPolicy& policy)
+{
+    if (policy.enabled() &&
+        executionModel_ != ExecutionModel::MultiThreaded) {
+        throw std::invalid_argument(
+            "dynamic thread spawning requires the multi-threaded "
+            "execution model");
+    }
+    dynamicThreads_ = policy;
+}
+
+bool
+ServiceModel::usesDisk() const
+{
+    return std::any_of(stages_.begin(), stages_.end(),
+                       [](const StageConfig& stage) {
+                           return stage.resource == StageResource::Disk;
+                       });
+}
+
+}  // namespace uqsim

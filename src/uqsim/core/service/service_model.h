@@ -1,0 +1,131 @@
+#ifndef UQSIM_CORE_SERVICE_SERVICE_MODEL_H_
+#define UQSIM_CORE_SERVICE_SERVICE_MODEL_H_
+
+/**
+ * @file
+ * The immutable model of one microservice type, parsed from
+ * service.json: its stages, execution paths, and execution model.
+ * Instances of the same service share one ServiceModel (the paper's
+ * modular, reusable per-microservice models).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/service/execution_path.h"
+#include "uqsim/core/service/stage.h"
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+
+/**
+ * How jobs are dispatched onto hardware (paper §III-B): the simple
+ * model dispatches directly onto cores (single-stage services); the
+ * multi-threaded model adds a thread/process abstraction capturing
+ * context switching and I/O blocking.
+ */
+enum class ExecutionModel {
+    Simple,
+    MultiThreaded,
+};
+
+ExecutionModel executionModelFromString(const std::string& name);
+const char* executionModelName(ExecutionModel model);
+
+/**
+ * Dynamic thread/process spawning policy (paper §III-B: thread
+ * counts may be static or governed by a dynamic spawning policy).
+ *
+ * When every worker is busy and more than @ref queueThreshold jobs
+ * are queued, a new worker is spawned after @ref spawnLatency; when
+ * workers sit idle for @ref idleTimeout, surplus workers above the
+ * configured base count are retired.
+ */
+struct DynamicThreadPolicy {
+    /** Maximum workers; 0 disables dynamic spawning. */
+    int maxThreads = 0;
+    /** Queue depth that triggers a spawn. */
+    int queueThreshold = 4;
+    /** Thread/process creation latency (seconds). */
+    double spawnLatency = 100e-6;
+    /** Idle time before a surplus worker is retired (seconds). */
+    double idleTimeout = 10e-3;
+
+    bool enabled() const { return maxThreads > 0; }
+
+    /** Parses the "dynamic_threads" object of service.json. */
+    static DynamicThreadPolicy fromJson(const json::JsonValue& doc);
+};
+
+/** Immutable per-service-type model. */
+class ServiceModel {
+  public:
+    /**
+     * @param name    the service name ("service_name")
+     * @param stages  stage configs with contiguous ids 0..n-1
+     * @param paths   at least one execution path
+     */
+    ServiceModel(std::string name, std::vector<StageConfig> stages,
+                 std::vector<PathConfig> paths);
+
+    /** Parses a complete service.json document. */
+    static std::shared_ptr<ServiceModel>
+    fromJson(const json::JsonValue& doc);
+
+    const std::string& name() const { return name_; }
+    const std::vector<StageConfig>& stages() const { return stages_; }
+    const std::vector<PathConfig>& paths() const { return paths_; }
+
+    const StageConfig& stage(int id) const;
+    const PathConfig& path(int id) const;
+    /** Path id by name; throws when unknown. */
+    int pathIdByName(const std::string& name) const;
+
+    const PathSelector& pathSelector() const { return selector_; }
+
+    ExecutionModel executionModel() const { return executionModel_; }
+    void setExecutionModel(ExecutionModel model)
+    {
+        executionModel_ = model;
+    }
+
+    /** Default worker (thread/process) count; graph.json overrides. */
+    int defaultThreads() const { return defaultThreads_; }
+    void setDefaultThreads(int threads);
+
+    /** Default disk channels (parallel I/O capacity); 0 = no disk. */
+    int defaultDiskChannels() const { return defaultDiskChannels_; }
+    void setDefaultDiskChannels(int channels);
+
+    /** Context-switch overhead applied when threads > cores. */
+    double contextSwitchSeconds() const { return contextSwitch_; }
+    void setContextSwitchSeconds(double seconds);
+
+    /** Dynamic spawning policy (disabled by default). */
+    const DynamicThreadPolicy& dynamicThreads() const
+    {
+        return dynamicThreads_;
+    }
+    void setDynamicThreads(const DynamicThreadPolicy& policy);
+
+    /** True when any stage uses the disk resource. */
+    bool usesDisk() const;
+
+  private:
+    std::string name_;
+    std::vector<StageConfig> stages_;
+    std::vector<PathConfig> paths_;
+    PathSelector selector_;
+    ExecutionModel executionModel_ = ExecutionModel::MultiThreaded;
+    int defaultThreads_ = 1;
+    int defaultDiskChannels_ = 0;
+    double contextSwitch_ = 2e-6;
+    DynamicThreadPolicy dynamicThreads_;
+};
+
+using ServiceModelPtr = std::shared_ptr<ServiceModel>;
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_SERVICE_MODEL_H_

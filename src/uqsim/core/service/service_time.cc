@@ -1,0 +1,105 @@
+#include "uqsim/core/service/service_time.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "uqsim/random/distribution_factory.h"
+#include "uqsim/random/distributions.h"
+
+namespace uqsim {
+
+namespace {
+
+long
+mhzKey(double frequency_ghz)
+{
+    return static_cast<long>(frequency_ghz * 1000.0 + 0.5);
+}
+
+}  // namespace
+
+ServiceTimeModel::ServiceTimeModel()
+    : base_(std::make_shared<random::DeterministicDistribution>(0.0))
+{
+}
+
+ServiceTimeModel::ServiceTimeModel(random::DistributionPtr base,
+                                   double per_job, double per_byte,
+                                   double freq_exponent)
+    : base_(std::move(base)), perJob_(per_job), perByte_(per_byte),
+      freqExponent_(freq_exponent)
+{
+    if (!base_)
+        throw std::invalid_argument("service time base must be non-null");
+    if (per_job < 0.0 || per_byte < 0.0)
+        throw std::invalid_argument("per-job/per-byte must be >= 0");
+}
+
+ServiceTimeModel
+ServiceTimeModel::fromJson(const json::JsonValue& doc)
+{
+    random::DistributionPtr base;
+    if (const json::JsonValue* spec = doc.find("base")) {
+        base = random::makeDistribution(*spec);
+    } else {
+        base = std::make_shared<random::DeterministicDistribution>(0.0);
+    }
+    ServiceTimeModel model(std::move(base),
+                           doc.getOr("per_job_us", 0.0) * 1e-6,
+                           doc.getOr("per_byte_ns", 0.0) * 1e-9,
+                           doc.getOr("freq_exponent", 1.0));
+    if (const json::JsonValue* table = doc.find("per_frequency")) {
+        for (const auto& entry : table->asObject()) {
+            model.setFrequencyDistribution(
+                std::stod(entry.first),
+                random::makeDistribution(entry.second));
+        }
+    }
+    return model;
+}
+
+void
+ServiceTimeModel::setFrequencyDistribution(double frequency_ghz,
+                                           random::DistributionPtr dist)
+{
+    if (!dist)
+        throw std::invalid_argument("frequency distribution non-null");
+    perFrequency_[mhzKey(frequency_ghz)] = std::move(dist);
+}
+
+SimTime
+ServiceTimeModel::sample(random::Rng& rng, int batch_jobs,
+                         std::uint64_t batch_bytes,
+                         const hw::DvfsDomain* dvfs) const
+{
+    double base_seconds;
+    double scale = 1.0;
+    bool scaled_base = true;
+    if (dvfs != nullptr) {
+        const auto it = perFrequency_.find(mhzKey(dvfs->frequency()));
+        if (it != perFrequency_.end()) {
+            base_seconds = it->second->sample(rng);
+            scaled_base = false;
+        } else {
+            base_seconds = base_->sample(rng);
+        }
+        scale = std::pow(dvfs->slowdown(), freqExponent_);
+    } else {
+        base_seconds = base_->sample(rng);
+    }
+    double seconds = perJob_ * batch_jobs +
+                     perByte_ * static_cast<double>(batch_bytes);
+    seconds *= scale;
+    seconds += scaled_base ? base_seconds * scale : base_seconds;
+    return secondsToSimTime(seconds);
+}
+
+double
+ServiceTimeModel::meanSeconds(int batch_jobs,
+                              std::uint64_t batch_bytes) const
+{
+    return base_->mean() + perJob_ * batch_jobs +
+           perByte_ * static_cast<double>(batch_bytes);
+}
+
+}  // namespace uqsim

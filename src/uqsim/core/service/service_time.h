@@ -1,0 +1,89 @@
+#ifndef UQSIM_CORE_SERVICE_SERVICE_TIME_H_
+#define UQSIM_CORE_SERVICE_SERVICE_TIME_H_
+
+/**
+ * @file
+ * Stage service-time model.
+ *
+ * The paper assigns every stage one or more execution-time
+ * distributions describing its processing time under different
+ * settings (DVFS configurations, loads, thread counts), and notes
+ * that some stages are runtime dependent: epoll's execution time
+ * grows linearly with the number of returned events, and
+ * socket_read's with the number of bytes read (§III-B).
+ *
+ * ServiceTimeModel captures this as:
+ *
+ *   time = base.sample() + per_job * batch_jobs + per_byte * bytes
+ *
+ * scaled by (f_nominal / f)^freq_exponent under DVFS, unless an
+ * explicit per-frequency distribution is provided for the current
+ * step, in which case that distribution is used unscaled (the
+ * paper's per-frequency histograms).
+ */
+
+#include <map>
+#include <string>
+
+#include "uqsim/core/engine/sim_time.h"
+#include "uqsim/hw/dvfs.h"
+#include "uqsim/json/json_value.h"
+#include "uqsim/random/distribution.h"
+
+namespace uqsim {
+
+/** Parameterized stage execution time. */
+class ServiceTimeModel {
+  public:
+    ServiceTimeModel();
+
+    /** Fixed + runtime-dependent components. */
+    explicit ServiceTimeModel(random::DistributionPtr base,
+                              double per_job = 0.0, double per_byte = 0.0,
+                              double freq_exponent = 1.0);
+
+    /**
+     * Parses the "service_time" JSON object:
+     *
+     *   {"base": <dist spec>, "per_job_us": 1.0, "per_byte_ns": 0.5,
+     *    "freq_exponent": 1.0,
+     *    "per_frequency": {"2.6": <dist spec>, "1.2": <dist spec>}}
+     */
+    static ServiceTimeModel fromJson(const json::JsonValue& doc);
+
+    /** Registers a frequency-specific base distribution. */
+    void setFrequencyDistribution(double frequency_ghz,
+                                  random::DistributionPtr dist);
+
+    /**
+     * Samples the execution time of one batch.
+     *
+     * @param rng         sampling stream
+     * @param batch_jobs  number of jobs in the batch (>= 1)
+     * @param batch_bytes total payload bytes across the batch
+     * @param dvfs        frequency domain, or nullptr for nominal
+     */
+    SimTime sample(random::Rng& rng, int batch_jobs,
+                   std::uint64_t batch_bytes,
+                   const hw::DvfsDomain* dvfs) const;
+
+    /** Mean per-batch time at nominal frequency for @p batch_jobs. */
+    double meanSeconds(int batch_jobs, std::uint64_t batch_bytes) const;
+
+    double perJob() const { return perJob_; }
+    double perByte() const { return perByte_; }
+    double freqExponent() const { return freqExponent_; }
+    const random::DistributionPtr& base() const { return base_; }
+
+  private:
+    random::DistributionPtr base_;
+    double perJob_ = 0.0;
+    double perByte_ = 0.0;
+    double freqExponent_ = 1.0;
+    /** Keyed by frequency in integer MHz to avoid FP key issues. */
+    std::map<long, random::DistributionPtr> perFrequency_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_SERVICE_TIME_H_

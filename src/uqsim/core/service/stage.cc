@@ -1,0 +1,86 @@
+#include "uqsim/core/service/stage.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+QueueType
+queueTypeFromString(const std::string& name)
+{
+    if (name == "single")
+        return QueueType::Single;
+    if (name == "socket")
+        return QueueType::Socket;
+    if (name == "epoll")
+        return QueueType::Epoll;
+    throw std::invalid_argument("unknown queue_type: \"" + name + "\"");
+}
+
+const char*
+queueTypeName(QueueType type)
+{
+    switch (type) {
+      case QueueType::Single: return "single";
+      case QueueType::Socket: return "socket";
+      case QueueType::Epoll: return "epoll";
+    }
+    return "?";
+}
+
+StageResource
+stageResourceFromString(const std::string& name)
+{
+    if (name == "cpu")
+        return StageResource::Cpu;
+    if (name == "disk")
+        return StageResource::Disk;
+    throw std::invalid_argument("unknown stage resource: \"" + name +
+                                "\"");
+}
+
+const char*
+stageResourceName(StageResource resource)
+{
+    switch (resource) {
+      case StageResource::Cpu: return "cpu";
+      case StageResource::Disk: return "disk";
+    }
+    return "?";
+}
+
+StageConfig
+StageConfig::fromJson(const json::JsonValue& doc)
+{
+    StageConfig config;
+    config.name = doc.at("stage_name").asString();
+    config.id = static_cast<int>(doc.at("stage_id").asInt());
+    config.queueType =
+        queueTypeFromString(doc.getOr("queue_type", "single"));
+    config.batching = doc.getOr("batching", false);
+
+    // "queue_parameter": the paper's template uses [null, N] for
+    // epoll and [N] for socket; also accept a bare integer.
+    if (const json::JsonValue* param = doc.find("queue_parameter")) {
+        if (param->isInt()) {
+            config.batchLimit = static_cast<int>(param->asInt());
+        } else if (param->isArray()) {
+            for (const json::JsonValue& element : param->asArray()) {
+                if (element.isInt()) {
+                    config.batchLimit =
+                        static_cast<int>(element.asInt());
+                }
+            }
+        } else if (!param->isNull()) {
+            throw json::JsonError(
+                "queue_parameter must be null, int, or array");
+        }
+    }
+
+    if (const json::JsonValue* time = doc.find("service_time"))
+        config.time = ServiceTimeModel::fromJson(*time);
+    config.resource =
+        stageResourceFromString(doc.getOr("resource", "cpu"));
+    return config;
+}
+
+}  // namespace uqsim

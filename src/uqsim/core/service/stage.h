@@ -1,0 +1,77 @@
+#ifndef UQSIM_CORE_SERVICE_STAGE_H_
+#define UQSIM_CORE_SERVICE_STAGE_H_
+
+/**
+ * @file
+ * Stage definitions.
+ *
+ * A stage is the basic element of a microservice's application
+ * logic: a queue-consumer pair representing one execution phase
+ * (paper §III-B).  Stages are configured with a queue discipline
+ * (single / socket / epoll), optional batching, a service-time
+ * model, and the hardware resource they occupy (CPU or disk).
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/core/service/service_time.h"
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+
+/** Queue discipline of a stage ("queue_type" in service.json). */
+enum class QueueType {
+    /** One FIFO queue holding all jobs. */
+    Single,
+    /** Per-connection subqueues; a pop drains one ready connection. */
+    Socket,
+    /** Per-connection subqueues; a pop takes the first N jobs of
+     *  every active (non-blocked, non-empty) subqueue. */
+    Epoll,
+};
+
+QueueType queueTypeFromString(const std::string& name);
+const char* queueTypeName(QueueType type);
+
+/** Hardware resource a stage occupies while executing. */
+enum class StageResource {
+    Cpu,   ///< needs a core from the instance's core set
+    Disk,  ///< needs a disk channel; the thread blocks off-CPU
+};
+
+StageResource stageResourceFromString(const std::string& name);
+const char* stageResourceName(StageResource resource);
+
+/** Static configuration of one stage. */
+struct StageConfig {
+    int id = 0;
+    std::string name;
+    QueueType queueType = QueueType::Single;
+    bool batching = false;
+    /**
+     * Batch limit N ("queue_parameter"): for epoll, the first N jobs
+     * of each active subqueue; for socket, the first N jobs of one
+     * ready connection; for single with batching, up to N jobs.
+     * <= 0 means unlimited.
+     */
+    int batchLimit = 0;
+    /** Execution-time model. */
+    ServiceTimeModel time;
+    /** Resource occupied during execution. */
+    StageResource resource = StageResource::Cpu;
+
+    /**
+     * Parses one entry of the "stages" array in service.json.  The
+     * paper's template is accepted:
+     *
+     *   {"stage_name": "epoll", "stage_id": 0, "queue_type": "epoll",
+     *    "batching": true, "queue_parameter": [null, 8],
+     *    "service_time": {...}, "resource": "cpu"}
+     */
+    static StageConfig fromJson(const json::JsonValue& doc);
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_STAGE_H_

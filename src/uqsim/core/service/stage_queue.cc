@@ -1,0 +1,214 @@
+#include "uqsim/core/service/stage_queue.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+namespace {
+
+/**
+ * Number of jobs poppable from the front of a per-connection
+ * subqueue.  An unblocked connection serves up to the batch limit;
+ * a receive-blocked connection serves only the leading jobs that
+ * belong to the blocking request itself (HTTP/1.1: the in-flight
+ * request proceeds, subsequent requests wait).
+ */
+std::size_t
+eligibleCount(const std::deque<JobPtr>& queue,
+              const ConnectionTable* connections, ConnectionId id,
+              int batch_limit)
+{
+    if (queue.empty())
+        return 0;
+    std::size_t cap =
+        batch_limit > 0
+            ? std::min(queue.size(),
+                       static_cast<std::size_t>(batch_limit))
+            : queue.size();
+    if (connections == nullptr)
+        return cap;
+    const JobId owner = connections->blockOwner(id);
+    if (owner == 0)
+        return cap;
+    std::size_t count = 0;
+    for (const JobPtr& job : queue) {
+        if (count >= cap || job->rootId != owner)
+            break;
+        ++count;
+    }
+    return count;
+}
+
+}  // namespace
+
+std::unique_ptr<StageQueue>
+StageQueue::create(const StageConfig& config,
+                   const ConnectionTable* connections)
+{
+    // "batching": false caps every pop at one job per (sub)queue.
+    const int limit = config.batching ? config.batchLimit : 1;
+    switch (config.queueType) {
+      case QueueType::Single:
+        return std::make_unique<SingleQueue>(config.batching,
+                                             config.batchLimit);
+      case QueueType::Socket:
+        return std::make_unique<SocketQueue>(limit, connections);
+      case QueueType::Epoll:
+        return std::make_unique<EpollQueue>(limit, connections);
+    }
+    throw std::logic_error("unreachable queue type");
+}
+
+// ---------------------------------------------------------------- Single
+
+SingleQueue::SingleQueue(bool batching, int batch_limit)
+    : batching_(batching), batchLimit_(batch_limit)
+{
+}
+
+void
+SingleQueue::push(JobPtr job)
+{
+    queue_.push_back(std::move(job));
+}
+
+std::vector<JobPtr>
+SingleQueue::popBatch()
+{
+    std::vector<JobPtr> batch;
+    if (queue_.empty())
+        return batch;
+    std::size_t take = 1;
+    if (batching_) {
+        take = batchLimit_ > 0
+                   ? std::min(queue_.size(),
+                              static_cast<std::size_t>(batchLimit_))
+                   : queue_.size();
+    }
+    batch.reserve(take);
+    for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+    }
+    return batch;
+}
+
+// ---------------------------------------------------------------- Socket
+
+SocketQueue::SocketQueue(int batch_limit,
+                         const ConnectionTable* connections)
+    : batchLimit_(batch_limit), connections_(connections)
+{
+}
+
+void
+SocketQueue::push(JobPtr job)
+{
+    subqueues_[job->connectionId].push_back(std::move(job));
+    ++total_;
+}
+
+bool
+SocketQueue::hasEligible() const
+{
+    // Subqueues are erased when drained, so this only scans
+    // connections with pending jobs (usually few).
+    for (const auto& [id, queue] : subqueues_) {
+        if (eligibleCount(queue, connections_, id, batchLimit_) > 0)
+            return true;
+    }
+    return false;
+}
+
+std::vector<JobPtr>
+SocketQueue::popBatch()
+{
+    std::vector<JobPtr> batch;
+    if (subqueues_.empty())
+        return batch;
+    // Round-robin: scan connections after the cursor first.
+    auto serve = [&](auto begin, auto end) -> bool {
+        for (auto it = begin; it != end; ++it) {
+            const std::size_t take = eligibleCount(
+                it->second, connections_, it->first, batchLimit_);
+            if (take == 0)
+                continue;
+            std::deque<JobPtr>& queue = it->second;
+            for (std::size_t i = 0; i < take; ++i) {
+                batch.push_back(std::move(queue.front()));
+                queue.pop_front();
+            }
+            total_ -= take;
+            cursor_ = it->first;
+            if (queue.empty())
+                subqueues_.erase(it);
+            return true;
+        }
+        return false;
+    };
+    auto pivot = subqueues_.upper_bound(cursor_);
+    if (!serve(pivot, subqueues_.end()))
+        serve(subqueues_.begin(), pivot);
+    return batch;
+}
+
+// ----------------------------------------------------------------- Epoll
+
+EpollQueue::EpollQueue(int batch_limit, const ConnectionTable* connections)
+    : batchLimit_(batch_limit), connections_(connections)
+{
+}
+
+void
+EpollQueue::push(JobPtr job)
+{
+    subqueues_[job->connectionId].push_back(std::move(job));
+    ++total_;
+}
+
+bool
+EpollQueue::hasEligible() const
+{
+    for (const auto& [id, queue] : subqueues_) {
+        if (eligibleCount(queue, connections_, id, batchLimit_) > 0)
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+EpollQueue::activeSubqueues() const
+{
+    std::size_t active = 0;
+    for (const auto& [id, queue] : subqueues_) {
+        if (eligibleCount(queue, connections_, id, batchLimit_) > 0)
+            ++active;
+    }
+    return active;
+}
+
+std::vector<JobPtr>
+EpollQueue::popBatch()
+{
+    std::vector<JobPtr> batch;
+    // First N jobs of each active subqueue (paper §III-B).  Drained
+    // subqueues are erased so future scans skip them.
+    for (auto it = subqueues_.begin(); it != subqueues_.end();) {
+        std::deque<JobPtr>& queue = it->second;
+        const std::size_t take =
+            eligibleCount(queue, connections_, it->first, batchLimit_);
+        for (std::size_t i = 0; i < take; ++i) {
+            batch.push_back(std::move(queue.front()));
+            queue.pop_front();
+        }
+        total_ -= take;
+        if (queue.empty()) {
+            it = subqueues_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    return batch;
+}
+
+}  // namespace uqsim

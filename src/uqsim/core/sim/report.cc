@@ -1,0 +1,43 @@
+#include "uqsim/core/sim/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace uqsim {
+
+std::string
+RunReport::toString() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3);
+    out << "offered " << offeredQps << " qps, achieved " << achievedQps
+        << " qps (" << completed << " completions)\n";
+    out << "  end-to-end: mean " << endToEnd.meanMs << " ms, p50 "
+        << endToEnd.p50Ms << " ms, p95 " << endToEnd.p95Ms << " ms, p99 "
+        << endToEnd.p99Ms << " ms, max " << endToEnd.maxMs << " ms\n";
+    for (const auto& [tier, stats] : tiers) {
+        out << "  tier " << tier << ": mean " << stats.meanMs
+            << " ms, p99 " << stats.p99Ms << " ms (" << stats.count
+            << " samples)\n";
+    }
+    return out.str();
+}
+
+std::string
+RunReport::csvHeader()
+{
+    return "offered_qps,achieved_qps,mean_ms,p50_ms,p95_ms,p99_ms,max_ms";
+}
+
+std::string
+RunReport::toCsvRow() const
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(4);
+    out << offeredQps << ',' << achievedQps << ',' << endToEnd.meanMs
+        << ',' << endToEnd.p50Ms << ',' << endToEnd.p95Ms << ','
+        << endToEnd.p99Ms << ',' << endToEnd.maxMs;
+    return out.str();
+}
+
+}  // namespace uqsim

@@ -1,0 +1,56 @@
+#ifndef UQSIM_CORE_SIM_REPORT_H_
+#define UQSIM_CORE_SIM_REPORT_H_
+
+/**
+ * @file
+ * Run results: end-to-end and per-tier latency statistics plus
+ * throughput, in the units the paper reports (milliseconds, kQPS).
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace uqsim {
+
+/** Latency statistics of one tier (or end-to-end). */
+struct LatencyStats {
+    std::uint64_t count = 0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+};
+
+/** Summary of one simulation run (measurement window only). */
+struct RunReport {
+    /** Offered load at the end of warm-up (requests/second). */
+    double offeredQps = 0.0;
+    /** Completions per second over the measurement window. */
+    double achievedQps = 0.0;
+    /** Requests issued / completed in the measurement window. */
+    std::uint64_t generated = 0;
+    std::uint64_t completed = 0;
+    /** Client-side timeouts over the whole run (0 when disabled). */
+    std::uint64_t timeouts = 0;
+    /** End-to-end request latency. */
+    LatencyStats endToEnd;
+    /** Per-tier latency (service name keyed). */
+    std::map<std::string, LatencyStats> tiers;
+    /** Events executed over the whole run (engine effort). */
+    std::uint64_t events = 0;
+    /** Wall-clock seconds the run took (host time). */
+    double wallSeconds = 0.0;
+
+    /** Multi-line human-readable rendering. */
+    std::string toString() const;
+
+    /** One CSV row: offered,achieved,mean,p50,p95,p99,max. */
+    std::string toCsvRow() const;
+    static std::string csvHeader();
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SIM_REPORT_H_

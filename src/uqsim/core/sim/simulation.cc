@@ -1,0 +1,216 @@
+#include "uqsim/core/sim/simulation.h"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace uqsim {
+
+Simulation::Simulation(const SimulationOptions& options)
+    : options_(options), sim_(options.seed),
+      cluster_(std::make_unique<hw::Cluster>(sim_)),
+      deployment_(std::make_unique<Deployment>(sim_, *cluster_))
+{
+}
+
+std::unique_ptr<Simulation>
+Simulation::fromBundle(const ConfigBundle& bundle)
+{
+    auto simulation = std::make_unique<Simulation>(bundle.options);
+    simulation->loadMachinesJson(bundle.machines);
+    for (const json::JsonValue& service : bundle.services)
+        simulation->loadServiceJson(service);
+    simulation->loadGraphJson(bundle.graph);
+    simulation->loadPathJson(bundle.paths);
+    simulation->loadClientJson(bundle.client);
+    simulation->finalize();
+    return simulation;
+}
+
+Dispatcher&
+Simulation::dispatcher()
+{
+    if (!dispatcher_)
+        throw std::logic_error("finalize() has not been called");
+    return *dispatcher_;
+}
+
+void
+Simulation::loadMachinesJson(const json::JsonValue& doc)
+{
+    if (!deployment_->allInstances().empty()) {
+        throw std::logic_error(
+            "machines.json must be loaded before deploying instances");
+    }
+    cluster_ = hw::Cluster::fromJson(sim_, doc);
+    deployment_ = std::make_unique<Deployment>(sim_, *cluster_);
+}
+
+void
+Simulation::loadServiceJson(const json::JsonValue& doc)
+{
+    deployment_->registerModel(ServiceModel::fromJson(doc));
+}
+
+void
+Simulation::loadGraphJson(const json::JsonValue& doc)
+{
+    deployment_->loadGraphJson(doc);
+}
+
+void
+Simulation::loadPathJson(const json::JsonValue& doc)
+{
+    pathTree_ = PathTree::fromJson(doc);
+    pathTreeLoaded_ = true;
+}
+
+void
+Simulation::loadClientJson(const json::JsonValue& doc)
+{
+    // client.json may hold one client object or an array of them
+    // (multi-workload simulations).
+    if (doc.isArray()) {
+        for (const json::JsonValue& client : doc.asArray())
+            addClient(workload::ClientConfig::fromJson(client));
+        return;
+    }
+    addClient(workload::ClientConfig::fromJson(doc));
+}
+
+void
+Simulation::addClient(workload::ClientConfig config)
+{
+    if (finalized())
+        throw std::logic_error("cannot add clients after finalize()");
+    pendingClients_.push_back(std::move(config));
+}
+
+bool
+Simulation::inMeasurementWindow() const
+{
+    return simTimeToSeconds(sim_.now()) >= options_.warmupSeconds;
+}
+
+void
+Simulation::finalize()
+{
+    if (finalized())
+        throw std::logic_error("finalize() called twice");
+    if (pathTree_.variantCount() == 0)
+        throw std::logic_error("no path variants configured");
+    dispatcher_ = std::make_unique<Dispatcher>(
+        sim_, cluster_->network(), pathTree_, *deployment_);
+
+    dispatcher_->setOnRequestComplete(
+        [this](const Job& job, SimTime latency) {
+            // Route to the issuing client first: a response arriving
+            // after the client timeout is not a completion from the
+            // client's perspective.
+            if (job.clientTag >= 0 &&
+                job.clientTag < static_cast<int>(clients_.size()) &&
+                !clients_[static_cast<std::size_t>(job.clientTag)]
+                     ->onCompletion(job.rootId)) {
+                return;
+            }
+            const double seconds = simTimeToSeconds(latency);
+            // Measurement window filters on issue time so that a
+            // burst of warm-up stragglers does not pollute stats.
+            if (simTimeToSeconds(job.created) >=
+                options_.warmupSeconds) {
+                endToEnd_.add(seconds);
+                ++measuredCompletions_;
+            }
+            if (completionListener_)
+                completionListener_(job, seconds);
+        });
+    dispatcher_->setTierLatencyHook(
+        [this](const std::string& service, double seconds) {
+            if (inMeasurementWindow())
+                tiers_[service].add(seconds);
+            if (tierListener_)
+                tierListener_(service, seconds);
+        });
+
+    for (workload::ClientConfig& config : pendingClients_) {
+        clients_.push_back(std::make_unique<workload::Client>(
+            sim_, *dispatcher_, *deployment_, std::move(config)));
+        clients_.back()->setTag(
+            static_cast<int>(clients_.size()) - 1);
+        clients_.back()->start();
+    }
+    pendingClients_.clear();
+
+    // Snapshot issue counts at the warm-up boundary.
+    sim_.scheduleAt(
+        secondsToSimTime(options_.warmupSeconds),
+        [this]() { measuredGenerated_ = dispatcher_->requestsStarted(); },
+        "warmup-boundary");
+}
+
+RunReport
+Simulation::run()
+{
+    if (!finalized())
+        throw std::logic_error("finalize() before run()");
+    if (ran_)
+        throw std::logic_error("run() called twice");
+    ran_ = true;
+    const auto wall_start = std::chrono::steady_clock::now();
+    sim_.run(secondsToSimTime(options_.durationSeconds),
+             options_.maxEvents);
+    const auto wall_end = std::chrono::steady_clock::now();
+    const double wall =
+        std::chrono::duration<double>(wall_end - wall_start).count();
+    return buildReport(wall);
+}
+
+namespace {
+
+LatencyStats
+toLatencyStats(const stats::PercentileRecorder& recorder)
+{
+    LatencyStats stats;
+    stats.count = recorder.count();
+    stats.meanMs = recorder.mean() * 1e3;
+    stats.p50Ms = recorder.p50() * 1e3;
+    stats.p95Ms = recorder.p95() * 1e3;
+    stats.p99Ms = recorder.p99() * 1e3;
+    stats.maxMs = recorder.max() * 1e3;
+    return stats;
+}
+
+}  // namespace
+
+RunReport
+Simulation::buildReport(double wall_seconds) const
+{
+    RunReport report;
+    double offered = 0.0;
+    for (const auto& client : clients_) {
+        if (client->config().load) {
+            offered += client->config().load->rateAt(
+                options_.warmupSeconds);
+        }
+    }
+    report.offeredQps = offered;
+    const double window =
+        options_.durationSeconds - options_.warmupSeconds;
+    report.achievedQps =
+        window > 0.0
+            ? static_cast<double>(measuredCompletions_) / window
+            : 0.0;
+    report.completed = measuredCompletions_;
+    report.generated =
+        dispatcher_ ? dispatcher_->requestsStarted() - measuredGenerated_
+                    : 0;
+    report.endToEnd = toLatencyStats(endToEnd_);
+    for (const auto& client : clients_)
+        report.timeouts += client->timeouts();
+    for (const auto& [tier, recorder] : tiers_)
+        report.tiers[tier] = toLatencyStats(recorder);
+    report.events = sim_.executedEvents();
+    report.wallSeconds = wall_seconds;
+    return report;
+}
+
+}  // namespace uqsim

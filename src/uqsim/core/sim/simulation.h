@@ -1,0 +1,146 @@
+#ifndef UQSIM_CORE_SIM_SIMULATION_H_
+#define UQSIM_CORE_SIM_SIMULATION_H_
+
+/**
+ * @file
+ * Top-level simulation facade.
+ *
+ * A Simulation assembles the whole system — cluster, service models,
+ * deployment, path tree, dispatcher, clients — either
+ * programmatically or from the five JSON inputs, then runs it and
+ * produces a RunReport.  Statistics respect the warm-up window.
+ *
+ * Build protocol:
+ *   1. construct with options;
+ *   2. populate cluster() / deployment() / pathTree() / addClient()
+ *      (or call the load*Json methods / fromBundle);
+ *   3. finalize() — constructs the dispatcher and wires stats;
+ *   4. run().
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/app/deployment.h"
+#include "uqsim/core/app/dispatcher.h"
+#include "uqsim/core/app/path_tree.h"
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/core/sim/config.h"
+#include "uqsim/core/sim/report.h"
+#include "uqsim/hw/cluster.h"
+#include "uqsim/stats/percentile_recorder.h"
+#include "uqsim/stats/throughput_meter.h"
+#include "uqsim/workload/client.h"
+
+namespace uqsim {
+
+/** Fully assembled simulated system. */
+class Simulation {
+  public:
+    explicit Simulation(const SimulationOptions& options = {});
+
+    /** Builds everything from a configuration bundle. */
+    static std::unique_ptr<Simulation>
+    fromBundle(const ConfigBundle& bundle);
+
+    // -- construction phase -------------------------------------------
+
+    hw::Cluster& cluster() { return *cluster_; }
+    Deployment& deployment() { return *deployment_; }
+    PathTree& pathTree() { return pathTree_; }
+
+    void loadMachinesJson(const json::JsonValue& doc);
+    void loadServiceJson(const json::JsonValue& doc);
+    void loadGraphJson(const json::JsonValue& doc);
+    void loadPathJson(const json::JsonValue& doc);
+    void loadClientJson(const json::JsonValue& doc);
+
+    /** Adds a client programmatically. */
+    void addClient(workload::ClientConfig config);
+
+    /**
+     * Constructs the dispatcher and clients and wires statistics.
+     * Must be called exactly once, after all deployment/config
+     * calls and before run().
+     */
+    void finalize();
+
+    // -- run phase -----------------------------------------------------
+
+    /** True once finalize() has been called. */
+    bool finalized() const { return dispatcher_ != nullptr; }
+
+    /**
+     * Runs to the configured duration and returns the report.
+     * May be called once.
+     */
+    RunReport run();
+
+    /** Additional listener for end-to-end completions (seconds),
+     *  invoked for every completion including warm-up. */
+    void setCompletionListener(
+        std::function<void(const Job&, double)> listener)
+    {
+        completionListener_ = std::move(listener);
+    }
+
+    /** Additional listener for per-tier latencies (seconds). */
+    void setTierListener(
+        std::function<void(const std::string&, double)> listener)
+    {
+        tierListener_ = std::move(listener);
+    }
+
+    // -- accessors -------------------------------------------------
+
+    Simulator& sim() { return sim_; }
+    Dispatcher& dispatcher();
+    const SimulationOptions& options() const { return options_; }
+    std::vector<std::unique_ptr<workload::Client>>& clients()
+    {
+        return clients_;
+    }
+
+    /** End-to-end latencies (seconds) within the measured window. */
+    const stats::PercentileRecorder& latencies() const
+    {
+        return endToEnd_;
+    }
+
+    /** Per-tier latencies (seconds) within the measured window. */
+    const std::map<std::string, stats::PercentileRecorder>&
+    tierLatencies() const
+    {
+        return tiers_;
+    }
+
+    /** Builds the report from current statistics (post-run). */
+    RunReport buildReport(double wall_seconds = 0.0) const;
+
+  private:
+    SimulationOptions options_;
+    Simulator sim_;
+    std::unique_ptr<hw::Cluster> cluster_;
+    std::unique_ptr<Deployment> deployment_;
+    PathTree pathTree_;
+    bool pathTreeLoaded_ = false;
+    std::unique_ptr<Dispatcher> dispatcher_;
+    std::vector<workload::ClientConfig> pendingClients_;
+    std::vector<std::unique_ptr<workload::Client>> clients_;
+    stats::PercentileRecorder endToEnd_;
+    std::map<std::string, stats::PercentileRecorder> tiers_;
+    std::uint64_t measuredCompletions_ = 0;
+    std::uint64_t measuredGenerated_ = 0;
+    std::function<void(const Job&, double)> completionListener_;
+    std::function<void(const std::string&, double)> tierListener_;
+    bool ran_ = false;
+
+    bool inMeasurementWindow() const;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SIM_SIMULATION_H_

@@ -1,0 +1,86 @@
+#include "uqsim/hw/cluster.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+namespace hw {
+
+Cluster::Cluster(Simulator& sim, const NetworkConfig& network)
+    : sim_(sim), network_(sim, network)
+{
+}
+
+MachineConfig
+machineConfigFromJson(const json::JsonValue& doc)
+{
+    MachineConfig config;
+    config.name = doc.at("name").asString();
+    config.cores = doc.getOr("cores", config.cores);
+    config.irqCores = doc.getOr("irq_cores", 0);
+    if (const json::JsonValue* steps = doc.find("dvfs_ghz")) {
+        config.dvfsGhz.clear();
+        for (const json::JsonValue& step : steps->asArray())
+            config.dvfsGhz.push_back(step.asDouble());
+    }
+    config.irqPerPacket =
+        doc.getOr("irq_per_packet_us", config.irqPerPacket * 1e6) * 1e-6;
+    config.irqPerByte =
+        doc.getOr("irq_per_byte_ns", config.irqPerByte * 1e9) * 1e-9;
+    return config;
+}
+
+std::unique_ptr<Cluster>
+Cluster::fromJson(Simulator& sim, const json::JsonValue& doc)
+{
+    NetworkConfig network;
+    network.wireLatency =
+        doc.getOr("wire_latency_us", network.wireLatency * 1e6) * 1e-6;
+    network.loopbackLatency =
+        doc.getOr("loopback_latency_us", network.loopbackLatency * 1e6) *
+        1e-6;
+    auto cluster = std::make_unique<Cluster>(sim, network);
+    for (const json::JsonValue& machine : doc.at("machines").asArray())
+        cluster->addMachine(machineConfigFromJson(machine));
+    return cluster;
+}
+
+Machine&
+Cluster::addMachine(const MachineConfig& config)
+{
+    if (machines_.count(config.name) != 0) {
+        throw std::invalid_argument("duplicate machine name: " +
+                                    config.name);
+    }
+    auto machine = std::make_unique<Machine>(sim_, config);
+    Machine& ref = *machine;
+    machines_.emplace(config.name, std::move(machine));
+    order_.push_back(&ref);
+    return ref;
+}
+
+Machine&
+Cluster::machine(const std::string& name)
+{
+    auto it = machines_.find(name);
+    if (it == machines_.end())
+        throw std::out_of_range("unknown machine: " + name);
+    return *it->second;
+}
+
+const Machine&
+Cluster::machine(const std::string& name) const
+{
+    auto it = machines_.find(name);
+    if (it == machines_.end())
+        throw std::out_of_range("unknown machine: " + name);
+    return *it->second;
+}
+
+bool
+Cluster::hasMachine(const std::string& name) const
+{
+    return machines_.count(name) != 0;
+}
+
+}  // namespace hw
+}  // namespace uqsim

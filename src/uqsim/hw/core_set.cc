@@ -1,0 +1,71 @@
+#include "uqsim/hw/core_set.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+namespace hw {
+
+CoreSet::CoreSet(int capacity, std::string name)
+    : name_(std::move(name)), capacity_(capacity)
+{
+    if (capacity <= 0)
+        throw std::invalid_argument("core set capacity must be > 0");
+}
+
+void
+CoreSet::accumulate(SimTime now)
+{
+    if (now > lastUpdate_) {
+        busyTicks_ += static_cast<double>(inUse_) *
+                      static_cast<double>(now - lastUpdate_);
+        lastUpdate_ = now;
+    }
+}
+
+bool
+CoreSet::tryAcquire(SimTime now)
+{
+    if (inUse_ >= capacity_)
+        return false;
+    accumulate(now);
+    ++inUse_;
+    return true;
+}
+
+void
+CoreSet::release(SimTime now)
+{
+    if (inUse_ <= 0)
+        throw std::logic_error("core set release without acquire: " +
+                               name_);
+    accumulate(now);
+    --inUse_;
+}
+
+double
+CoreSet::utilization(SimTime now) const
+{
+    if (now <= 0)
+        return 0.0;
+    double busy = busyTicks_;
+    if (now > lastUpdate_) {
+        busy += static_cast<double>(inUse_) *
+                static_cast<double>(now - lastUpdate_);
+    }
+    return busy / (static_cast<double>(capacity_) *
+                   static_cast<double>(now));
+}
+
+double
+CoreSet::busyCoreSeconds(SimTime now) const
+{
+    double busy = busyTicks_;
+    if (now > lastUpdate_) {
+        busy += static_cast<double>(inUse_) *
+                static_cast<double>(now - lastUpdate_);
+    }
+    return busy / static_cast<double>(kSecond);
+}
+
+}  // namespace hw
+}  // namespace uqsim

@@ -1,0 +1,66 @@
+#ifndef UQSIM_HW_CORE_SET_H_
+#define UQSIM_HW_CORE_SET_H_
+
+/**
+ * @file
+ * A set of physical cores dedicated to one consumer (a microservice
+ * instance or the per-machine IRQ service).  The paper pins every
+ * thread/process to a dedicated core; a CoreSet captures that
+ * allocation and tracks occupancy plus a busy-time integral for
+ * utilization reporting.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "uqsim/core/engine/sim_time.h"
+
+namespace uqsim {
+namespace hw {
+
+/** Counting-semaphore view of a group of identical cores. */
+class CoreSet {
+  public:
+    /**
+     * @param capacity number of cores (> 0)
+     * @param name     diagnostic label
+     */
+    CoreSet(int capacity, std::string name = "cores");
+
+    const std::string& name() const { return name_; }
+    int capacity() const { return capacity_; }
+    int inUse() const { return inUse_; }
+    int available() const { return capacity_ - inUse_; }
+
+    /**
+     * Acquires one core at time @p now; returns false when all cores
+     * are busy.
+     */
+    bool tryAcquire(SimTime now);
+
+    /** Releases one core at time @p now. */
+    void release(SimTime now);
+
+    /**
+     * Mean utilization over [0, now]: busy core-time divided by
+     * capacity * elapsed time.
+     */
+    double utilization(SimTime now) const;
+
+    /** Total busy core-seconds accumulated so far. */
+    double busyCoreSeconds(SimTime now) const;
+
+  private:
+    void accumulate(SimTime now);
+
+    std::string name_;
+    int capacity_;
+    int inUse_ = 0;
+    SimTime lastUpdate_ = 0;
+    double busyTicks_ = 0.0;  // integral of inUse_ over time, in ticks
+};
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_CORE_SET_H_

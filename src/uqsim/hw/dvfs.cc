@@ -1,0 +1,119 @@
+#include "uqsim/hw/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace hw {
+
+DvfsTable::DvfsTable(std::vector<double> frequencies_ghz)
+    : frequencies_(std::move(frequencies_ghz))
+{
+    if (frequencies_.empty())
+        throw std::invalid_argument("DVFS table must not be empty");
+    if (!std::is_sorted(frequencies_.begin(), frequencies_.end()))
+        throw std::invalid_argument("DVFS table must be ascending");
+    if (frequencies_.front() <= 0.0)
+        throw std::invalid_argument("DVFS frequencies must be > 0");
+}
+
+DvfsTable
+DvfsTable::paperDefault()
+{
+    return DvfsTable({1.2, 1.4, 1.6, 1.8, 2.0, 2.2, 2.4, 2.6});
+}
+
+DvfsTable
+DvfsTable::linear(double lo, double hi, int steps)
+{
+    if (steps < 2 || lo <= 0.0 || hi <= lo)
+        throw std::invalid_argument(
+            "linear DVFS table needs steps >= 2 and 0 < lo < hi");
+    std::vector<double> frequencies;
+    frequencies.reserve(static_cast<std::size_t>(steps));
+    const double delta = (hi - lo) / (steps - 1);
+    for (int i = 0; i < steps; ++i)
+        frequencies.push_back(lo + delta * i);
+    return DvfsTable(std::move(frequencies));
+}
+
+double
+DvfsTable::frequencyAt(std::size_t index) const
+{
+    if (index >= frequencies_.size())
+        throw std::out_of_range("DVFS step index out of range");
+    return frequencies_[index];
+}
+
+std::size_t
+DvfsTable::closestIndex(double frequency_ghz) const
+{
+    std::size_t best = 0;
+    double best_delta = std::abs(frequencies_[0] - frequency_ghz);
+    for (std::size_t i = 1; i < frequencies_.size(); ++i) {
+        const double delta = std::abs(frequencies_[i] - frequency_ghz);
+        if (delta < best_delta) {
+            best_delta = delta;
+            best = i;
+        }
+    }
+    return best;
+}
+
+DvfsDomain::DvfsDomain(DvfsTable table, std::string name)
+    : table_(std::move(table)), name_(std::move(name)),
+      index_(table_.stepCount() - 1)
+{
+}
+
+void
+DvfsDomain::setIndex(std::size_t index)
+{
+    if (index >= table_.stepCount())
+        throw std::out_of_range("DVFS step index out of range");
+    if (index == index_)
+        return;
+    index_ = index;
+    notify();
+}
+
+void
+DvfsDomain::setFrequency(double frequency_ghz)
+{
+    setIndex(table_.closestIndex(frequency_ghz));
+}
+
+bool
+DvfsDomain::stepUp()
+{
+    if (atNominal())
+        return false;
+    setIndex(index_ + 1);
+    return true;
+}
+
+bool
+DvfsDomain::stepDown()
+{
+    if (atLowest())
+        return false;
+    setIndex(index_ - 1);
+    return true;
+}
+
+void
+DvfsDomain::onChange(std::function<void(const DvfsDomain&)> observer)
+{
+    observers_.push_back(std::move(observer));
+}
+
+void
+DvfsDomain::notify()
+{
+    for (const auto& observer : observers_)
+        observer(*this);
+}
+
+}  // namespace hw
+}  // namespace uqsim

@@ -1,0 +1,99 @@
+#ifndef UQSIM_HW_DVFS_H_
+#define UQSIM_HW_DVFS_H_
+
+/**
+ * @file
+ * DVFS (dynamic voltage and frequency scaling) model.
+ *
+ * A DvfsTable is the discrete set of frequency steps a platform
+ * supports (the validation server spans 1.2-2.6 GHz).  A DvfsDomain
+ * is a group of cores sharing one frequency setting; the power
+ * manager actuates domains.  CPU-bound stage service times scale by
+ * (f_nominal / f)^alpha.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+namespace hw {
+
+/** Immutable, ascending list of supported frequencies in GHz. */
+class DvfsTable {
+  public:
+    /** @param frequencies_ghz ascending, all > 0; at least one. */
+    explicit DvfsTable(std::vector<double> frequencies_ghz);
+
+    /** Default table matching the paper's server: 1.2-2.6 GHz in
+     *  0.2 GHz steps. */
+    static DvfsTable paperDefault();
+
+    /**
+     * Evenly spaced table from @p lo to @p hi GHz with @p steps
+     * entries.  With many steps this approximates fine-grained
+     * mechanisms like RAPL, which the paper names as the way to
+     * bring the converged tail closer to the QoS target (§V-B).
+     */
+    static DvfsTable linear(double lo, double hi, int steps);
+
+    std::size_t stepCount() const { return frequencies_.size(); }
+    double frequencyAt(std::size_t index) const;
+
+    /** Highest (nominal) frequency. */
+    double nominal() const { return frequencies_.back(); }
+    double lowest() const { return frequencies_.front(); }
+
+    /** Index of the step closest to @p frequency_ghz. */
+    std::size_t closestIndex(double frequency_ghz) const;
+
+  private:
+    std::vector<double> frequencies_;
+};
+
+/** A frequency domain; instances reference one and scale times by it. */
+class DvfsDomain {
+  public:
+    /** Starts at the nominal (highest) frequency. */
+    explicit DvfsDomain(DvfsTable table, std::string name = "dvfs");
+
+    const std::string& name() const { return name_; }
+    const DvfsTable& table() const { return table_; }
+
+    double frequency() const { return table_.frequencyAt(index_); }
+    std::size_t index() const { return index_; }
+    bool atNominal() const { return index_ + 1 == table_.stepCount(); }
+    bool atLowest() const { return index_ == 0; }
+
+    /**
+     * Service-time multiplier relative to nominal frequency:
+     * nominal / current (>= 1).  Stages apply this raised to their
+     * frequency-sensitivity exponent.
+     */
+    double slowdown() const { return table_.nominal() / frequency(); }
+
+    /** Sets the step index directly. */
+    void setIndex(std::size_t index);
+    /** Sets the closest step to @p frequency_ghz. */
+    void setFrequency(double frequency_ghz);
+    /** Moves one step up (faster); returns false at the top. */
+    bool stepUp();
+    /** Moves one step down (slower); returns false at the bottom. */
+    bool stepDown();
+
+    /** Observer invoked after every frequency change. */
+    void onChange(std::function<void(const DvfsDomain&)> observer);
+
+  private:
+    void notify();
+
+    DvfsTable table_;
+    std::string name_;
+    std::size_t index_;
+    std::vector<std::function<void(const DvfsDomain&)>> observers_;
+};
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_DVFS_H_

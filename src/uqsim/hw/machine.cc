@@ -1,0 +1,58 @@
+#include "uqsim/hw/machine.h"
+
+#include <stdexcept>
+
+#include "uqsim/random/distributions.h"
+
+namespace uqsim {
+namespace hw {
+
+Machine::Machine(Simulator& sim, const MachineConfig& config)
+    : sim_(sim), name_(config.name), totalCores_(config.cores),
+      dvfs_(DvfsTable(config.dvfsGhz), config.name + "/dvfs")
+{
+    if (config.cores <= 0)
+        throw std::invalid_argument("machine must have > 0 cores");
+    if (config.irqCores < 0)
+        throw std::invalid_argument("irq core count must be >= 0");
+    if (config.irqCores > 0) {
+        if (config.irqCores > totalCores_) {
+            throw std::invalid_argument(
+                "irq cores exceed machine cores on " + name_);
+        }
+        allocatedCores_ += config.irqCores;
+        irq_ = std::make_unique<IrqService>(
+            sim_, name_ + "/irq", config.irqCores,
+            std::make_shared<random::ExponentialDistribution>(
+                config.irqPerPacket),
+            config.irqPerByte, &dvfs_);
+    }
+}
+
+DvfsDomain&
+Machine::makeDvfsDomain(const std::string& label)
+{
+    extraDomains_.push_back(std::make_unique<DvfsDomain>(
+        dvfs_.table(), name_ + "/" + label));
+    return *extraDomains_.back();
+}
+
+CoreSet&
+Machine::allocateCores(int count, const std::string& label)
+{
+    if (count <= 0)
+        throw std::invalid_argument("core allocation must be > 0");
+    if (allocatedCores_ + count > totalCores_) {
+        throw std::runtime_error(
+            "machine " + name_ + " out of cores: requested " +
+            std::to_string(count) + ", free " +
+            std::to_string(freeCores()));
+    }
+    allocatedCores_ += count;
+    allocations_.push_back(
+        std::make_unique<CoreSet>(count, name_ + "/" + label));
+    return *allocations_.back();
+}
+
+}  // namespace hw
+}  // namespace uqsim

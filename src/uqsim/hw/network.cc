@@ -1,0 +1,57 @@
+#include "uqsim/hw/network.h"
+
+#include <utility>
+
+namespace uqsim {
+namespace hw {
+
+Network::Network(Simulator& sim, const NetworkConfig& config)
+    : sim_(sim), config_(config)
+{
+}
+
+void
+Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
+                  std::function<void()> done)
+{
+    ++transfers_;
+    if (from != nullptr && from == to) {
+        // Loopback: single pass through the local IRQ service.
+        const SimTime wire = secondsToSimTime(config_.loopbackLatency);
+        sim_.scheduleAfter(
+            wire,
+            [this, to, bytes, cb = std::move(done)]() mutable {
+                deliver(to, bytes, std::move(cb));
+            },
+            "net/loopback");
+        return;
+    }
+    auto after_tx = [this, to, bytes, cb = std::move(done)]() mutable {
+        const SimTime wire = secondsToSimTime(config_.wireLatency);
+        sim_.scheduleAfter(
+            wire,
+            [this, to, bytes, cb2 = std::move(cb)]() mutable {
+                deliver(to, bytes, std::move(cb2));
+            },
+            "net/wire");
+    };
+    if (from != nullptr && from->irq() != nullptr) {
+        from->irq()->process(bytes, std::move(after_tx));
+    } else {
+        after_tx();
+    }
+}
+
+void
+Network::deliver(Machine* to, std::uint32_t bytes,
+                 std::function<void()> done)
+{
+    if (to != nullptr && to->irq() != nullptr) {
+        to->irq()->process(bytes, std::move(done));
+    } else if (done) {
+        done();
+    }
+}
+
+}  // namespace hw
+}  // namespace uqsim

@@ -1,0 +1,60 @@
+#ifndef UQSIM_HW_NETWORK_H_
+#define UQSIM_HW_NETWORK_H_
+
+/**
+ * @file
+ * Cross-machine message transport.
+ *
+ * A transfer from machine A to machine B passes through A's IRQ
+ * service (TX interrupt handling), a constant wire latency, and B's
+ * IRQ service (RX).  Transfers within the same machine take the
+ * loopback path: a smaller constant latency and a single pass
+ * through the local IRQ service (kernel loopback work).
+ */
+
+#include <cstdint>
+#include <functional>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/hw/machine.h"
+
+namespace uqsim {
+namespace hw {
+
+/** Network parameters. */
+struct NetworkConfig {
+    /** One-way wire latency between distinct machines (seconds). */
+    double wireLatency = 20e-6;
+    /** Latency for same-machine (loopback) messages (seconds). */
+    double loopbackLatency = 5e-6;
+};
+
+/** Message transport between machines. */
+class Network {
+  public:
+    Network(Simulator& sim, const NetworkConfig& config);
+
+    /**
+     * Moves a message of @p bytes from @p from to @p to, then calls
+     * @p done.  Either endpoint may be nullptr, meaning "outside the
+     * cluster" (e.g. the client); that leg then only pays wire
+     * latency.
+     */
+    void transfer(Machine* from, Machine* to, std::uint32_t bytes,
+                  std::function<void()> done);
+
+    std::uint64_t transferCount() const { return transfers_; }
+
+  private:
+    void deliver(Machine* to, std::uint32_t bytes,
+                 std::function<void()> done);
+
+    Simulator& sim_;
+    NetworkConfig config_;
+    std::uint64_t transfers_ = 0;
+};
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_NETWORK_H_

@@ -1,0 +1,384 @@
+#include "uqsim/json/json_parser.h"
+
+#include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace uqsim {
+namespace json {
+
+JsonParseError::JsonParseError(const std::string& message, int line,
+                               int column)
+    : JsonError(message + " at line " + std::to_string(line) + ", column " +
+                std::to_string(column)),
+      line_(line), column_(column)
+{
+}
+
+namespace {
+
+/** Internal cursor over the input text tracking line/column. */
+class Parser {
+  public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        skipWhitespace();
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (!atEnd())
+            fail("trailing characters after JSON document");
+        return value;
+    }
+
+  private:
+    bool atEnd() const { return pos_ >= text_.size(); }
+
+    char
+    peek() const
+    {
+        return atEnd() ? '\0' : text_[pos_];
+    }
+
+    char
+    advance()
+    {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            column_ = 1;
+        } else {
+            ++column_;
+        }
+        return c;
+    }
+
+    [[noreturn]] void
+    fail(const std::string& message) const
+    {
+        throw JsonParseError(message, line_, column_);
+    }
+
+    void
+    expect(char wanted)
+    {
+        if (atEnd() || peek() != wanted) {
+            fail(std::string("expected '") + wanted + "'" +
+                 (atEnd() ? " but reached end of input"
+                          : std::string(" but found '") + peek() + "'"));
+        }
+        advance();
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (!atEnd()) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                advance();
+            } else if (c == '/' && pos_ + 1 < text_.size()) {
+                if (text_[pos_ + 1] == '/') {
+                    while (!atEnd() && peek() != '\n')
+                        advance();
+                } else if (text_[pos_ + 1] == '*') {
+                    advance();
+                    advance();
+                    while (!atEnd()) {
+                        if (peek() == '*' && pos_ + 1 < text_.size() &&
+                            text_[pos_ + 1] == '/') {
+                            advance();
+                            advance();
+                            break;
+                        }
+                        advance();
+                    }
+                } else {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    JsonValue
+    parseValue()
+    {
+        if (atEnd())
+            fail("unexpected end of input; expected a value");
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return JsonValue(parseString());
+          case 't': return parseKeyword("true", JsonValue(true));
+          case 'f': return parseKeyword("false", JsonValue(false));
+          case 'n': return parseKeyword("null", JsonValue(nullptr));
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseKeyword(std::string_view keyword, JsonValue value)
+    {
+        for (char wanted : keyword) {
+            if (atEnd() || peek() != wanted)
+                fail("invalid keyword; expected \"" + std::string(keyword) +
+                     "\"");
+            advance();
+        }
+        return value;
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonObject object;
+        skipWhitespace();
+        if (peek() == '}') {
+            advance();
+            return JsonValue(std::move(object));
+        }
+        while (true) {
+            skipWhitespace();
+            if (peek() == '}') {  // trailing comma
+                advance();
+                return JsonValue(std::move(object));
+            }
+            if (peek() != '"')
+                fail("expected string key in object");
+            std::string key = parseString();
+            skipWhitespace();
+            expect(':');
+            skipWhitespace();
+            object[key] = parseValue();
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect('}');
+            return JsonValue(std::move(object));
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonArray array;
+        skipWhitespace();
+        if (peek() == ']') {
+            advance();
+            return JsonValue(std::move(array));
+        }
+        while (true) {
+            skipWhitespace();
+            if (peek() == ']') {  // trailing comma
+                advance();
+                return JsonValue(std::move(array));
+            }
+            array.push_back(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                advance();
+                continue;
+            }
+            expect(']');
+            return JsonValue(std::move(array));
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string result;
+        while (true) {
+            if (atEnd())
+                fail("unterminated string");
+            char c = advance();
+            if (c == '"')
+                return result;
+            if (c == '\\') {
+                if (atEnd())
+                    fail("unterminated escape sequence");
+                char esc = advance();
+                switch (esc) {
+                  case '"': result += '"'; break;
+                  case '\\': result += '\\'; break;
+                  case '/': result += '/'; break;
+                  case 'b': result += '\b'; break;
+                  case 'f': result += '\f'; break;
+                  case 'n': result += '\n'; break;
+                  case 'r': result += '\r'; break;
+                  case 't': result += '\t'; break;
+                  case 'u': result += parseUnicodeEscape(); break;
+                  default: fail("invalid escape character");
+                }
+            } else if (static_cast<unsigned char>(c) < 0x20) {
+                fail("unescaped control character in string");
+            } else {
+                result += c;
+            }
+        }
+    }
+
+    unsigned
+    parseHex4()
+    {
+        unsigned code = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (atEnd())
+                fail("unterminated \\u escape");
+            char c = advance();
+            code <<= 4;
+            if (c >= '0' && c <= '9')
+                code |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                code |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                code |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                fail("invalid hex digit in \\u escape");
+        }
+        return code;
+    }
+
+    std::string
+    parseUnicodeEscape()
+    {
+        unsigned code = parseHex4();
+        // Combine surrogate pairs.
+        if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && peek() == '\\' &&
+                text_[pos_ + 1] == 'u') {
+                advance();
+                advance();
+                unsigned low = parseHex4();
+                if (low >= 0xDC00 && low <= 0xDFFF) {
+                    code = 0x10000 + ((code - 0xD800) << 10) +
+                           (low - 0xDC00);
+                } else {
+                    fail("invalid low surrogate in \\u escape");
+                }
+            } else {
+                fail("unpaired high surrogate in \\u escape");
+            }
+        }
+        return encodeUtf8(code);
+    }
+
+    static std::string
+    encodeUtf8(unsigned code)
+    {
+        std::string out;
+        if (code < 0x80) {
+            out += static_cast<char>(code);
+        } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        return out;
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        bool is_double = false;
+        if (peek() == '-')
+            advance();
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            fail("invalid number");
+        while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+            advance();
+        if (!atEnd() && peek() == '.') {
+            is_double = true;
+            advance();
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected after decimal point");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                advance();
+            }
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            is_double = true;
+            advance();
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                advance();
+            if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+                fail("digit expected in exponent");
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                advance();
+            }
+        }
+        std::string_view token = text_.substr(start, pos_ - start);
+        if (!is_double) {
+            std::int64_t int_value = 0;
+            auto [ptr, ec] = std::from_chars(
+                token.data(), token.data() + token.size(), int_value);
+            if (ec == std::errc() && ptr == token.data() + token.size())
+                return JsonValue(int_value);
+            // Fall through to double on overflow.
+        }
+        std::string buffer(token);
+        errno = 0;
+        char* end = nullptr;
+        double double_value = std::strtod(buffer.c_str(), &end);
+        if (end != buffer.c_str() + buffer.size() || errno == ERANGE)
+            fail("number out of range");
+        return JsonValue(double_value);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int column_ = 1;
+};
+
+}  // namespace
+
+JsonValue
+parse(std::string_view text)
+{
+    Parser parser(text);
+    return parser.parseDocument();
+}
+
+JsonValue
+parseFile(const std::string& path)
+{
+    std::ifstream stream(path, std::ios::binary);
+    if (!stream)
+        throw JsonError("cannot open JSON file: " + path);
+    std::ostringstream buffer;
+    buffer << stream.rdbuf();
+    try {
+        return parse(buffer.str());
+    } catch (const JsonParseError& error) {
+        throw JsonParseError(path + ": " + error.what(), error.line(),
+                             error.column());
+    }
+}
+
+}  // namespace json
+}  // namespace uqsim

@@ -1,0 +1,53 @@
+#ifndef UQSIM_JSON_JSON_PARSER_H_
+#define UQSIM_JSON_JSON_PARSER_H_
+
+/**
+ * @file
+ * Recursive-descent JSON parser with line/column error reporting.
+ *
+ * The parser implements RFC 8259 JSON plus two conveniences that show
+ * up in hand-written simulator configuration files:
+ *   - `//` line comments and C-style block comments, and
+ *   - trailing commas in arrays and objects.
+ */
+
+#include <string>
+#include <string_view>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace json {
+
+/** Parse error carrying the 1-based line and column of the failure. */
+class JsonParseError : public JsonError {
+  public:
+    JsonParseError(const std::string& message, int line, int column);
+
+    int line() const { return line_; }
+    int column() const { return column_; }
+
+  private:
+    int line_;
+    int column_;
+};
+
+/**
+ * Parses a complete JSON document from @p text.
+ *
+ * @throws JsonParseError on malformed input or trailing garbage.
+ */
+JsonValue parse(std::string_view text);
+
+/**
+ * Parses the JSON document stored in the file at @p path.
+ *
+ * @throws JsonError when the file cannot be read; JsonParseError on
+ *         malformed content (message is prefixed with the path).
+ */
+JsonValue parseFile(const std::string& path);
+
+}  // namespace json
+}  // namespace uqsim
+
+#endif  // UQSIM_JSON_JSON_PARSER_H_

@@ -1,0 +1,300 @@
+#include "uqsim/json/json_value.h"
+
+#include <algorithm>
+
+namespace uqsim {
+namespace json {
+
+const char*
+jsonTypeName(JsonType type)
+{
+    switch (type) {
+      case JsonType::Null: return "null";
+      case JsonType::Bool: return "bool";
+      case JsonType::Int: return "int";
+      case JsonType::Double: return "double";
+      case JsonType::String: return "string";
+      case JsonType::Array: return "array";
+      case JsonType::Object: return "object";
+    }
+    return "unknown";
+}
+
+bool
+JsonValue::Object::contains(const std::string& key) const
+{
+    return find(key) != nullptr;
+}
+
+JsonValue&
+JsonValue::Object::operator[](const std::string& key)
+{
+    for (auto& entry : entries_) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    entries_.emplace_back(key, JsonValue());
+    return entries_.back().second;
+}
+
+const JsonValue&
+JsonValue::Object::at(const std::string& key) const
+{
+    const JsonValue* value = find(key);
+    if (value == nullptr)
+        throw JsonError("missing object key: \"" + key + "\"");
+    return *value;
+}
+
+JsonValue&
+JsonValue::Object::at(const std::string& key)
+{
+    for (auto& entry : entries_) {
+        if (entry.first == key)
+            return entry.second;
+    }
+    throw JsonError("missing object key: \"" + key + "\"");
+}
+
+const JsonValue*
+JsonValue::Object::find(const std::string& key) const
+{
+    for (const auto& entry : entries_) {
+        if (entry.first == key)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+bool
+JsonValue::Object::erase(const std::string& key)
+{
+    auto it = std::find_if(entries_.begin(), entries_.end(),
+                           [&](const Entry& e) { return e.first == key; });
+    if (it == entries_.end())
+        return false;
+    entries_.erase(it);
+    return true;
+}
+
+JsonType
+JsonValue::type() const
+{
+    switch (data_.index()) {
+      case 0: return JsonType::Null;
+      case 1: return JsonType::Bool;
+      case 2: return JsonType::Int;
+      case 3: return JsonType::Double;
+      case 4: return JsonType::String;
+      case 5: return JsonType::Array;
+      case 6: return JsonType::Object;
+    }
+    return JsonType::Null;
+}
+
+void
+JsonValue::typeMismatch(JsonType wanted) const
+{
+    throw JsonError(std::string("expected ") + jsonTypeName(wanted) +
+                    " but value is " + jsonTypeName(type()));
+}
+
+bool
+JsonValue::asBool() const
+{
+    if (const bool* value = std::get_if<bool>(&data_))
+        return *value;
+    typeMismatch(JsonType::Bool);
+}
+
+std::int64_t
+JsonValue::asInt() const
+{
+    if (const std::int64_t* value = std::get_if<std::int64_t>(&data_))
+        return *value;
+    typeMismatch(JsonType::Int);
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (const double* value = std::get_if<double>(&data_))
+        return *value;
+    if (const std::int64_t* value = std::get_if<std::int64_t>(&data_))
+        return static_cast<double>(*value);
+    typeMismatch(JsonType::Double);
+}
+
+const std::string&
+JsonValue::asString() const
+{
+    if (const std::string* value = std::get_if<std::string>(&data_))
+        return *value;
+    typeMismatch(JsonType::String);
+}
+
+const JsonArray&
+JsonValue::asArray() const
+{
+    if (const JsonArray* value = std::get_if<JsonArray>(&data_))
+        return *value;
+    typeMismatch(JsonType::Array);
+}
+
+JsonArray&
+JsonValue::asArray()
+{
+    if (JsonArray* value = std::get_if<JsonArray>(&data_))
+        return *value;
+    typeMismatch(JsonType::Array);
+}
+
+const JsonValue::Object&
+JsonValue::asObject() const
+{
+    if (const Object* value = std::get_if<Object>(&data_))
+        return *value;
+    typeMismatch(JsonType::Object);
+}
+
+JsonValue::Object&
+JsonValue::asObject()
+{
+    if (Object* value = std::get_if<Object>(&data_))
+        return *value;
+    typeMismatch(JsonType::Object);
+}
+
+const JsonValue&
+JsonValue::at(const std::string& key) const
+{
+    return asObject().at(key);
+}
+
+const JsonValue&
+JsonValue::at(std::size_t index) const
+{
+    const JsonArray& array = asArray();
+    if (index >= array.size()) {
+        throw JsonError("array index " + std::to_string(index) +
+                        " out of range (size " +
+                        std::to_string(array.size()) + ")");
+    }
+    return array[index];
+}
+
+bool
+JsonValue::contains(const std::string& key) const
+{
+    const JsonValue* value = find(key);
+    return value != nullptr && !value->isNull();
+}
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (const Object* object = std::get_if<Object>(&data_))
+        return object->find(key);
+    return nullptr;
+}
+
+bool
+JsonValue::getOr(const std::string& key, bool fallback) const
+{
+    const JsonValue* value = find(key);
+    return (value != nullptr && !value->isNull()) ? value->asBool()
+                                                  : fallback;
+}
+
+std::int64_t
+JsonValue::getOr(const std::string& key, std::int64_t fallback) const
+{
+    const JsonValue* value = find(key);
+    return (value != nullptr && !value->isNull()) ? value->asInt()
+                                                  : fallback;
+}
+
+int
+JsonValue::getOr(const std::string& key, int fallback) const
+{
+    return static_cast<int>(
+        getOr(key, static_cast<std::int64_t>(fallback)));
+}
+
+double
+JsonValue::getOr(const std::string& key, double fallback) const
+{
+    const JsonValue* value = find(key);
+    return (value != nullptr && !value->isNull()) ? value->asDouble()
+                                                  : fallback;
+}
+
+std::string
+JsonValue::getOr(const std::string& key, const char* fallback) const
+{
+    return getOr(key, std::string(fallback));
+}
+
+std::string
+JsonValue::getOr(const std::string& key, const std::string& fallback) const
+{
+    const JsonValue* value = find(key);
+    return (value != nullptr && !value->isNull()) ? value->asString()
+                                                  : fallback;
+}
+
+std::size_t
+JsonValue::size() const
+{
+    if (const JsonArray* array = std::get_if<JsonArray>(&data_))
+        return array->size();
+    if (const Object* object = std::get_if<Object>(&data_))
+        return object->size();
+    return 0;
+}
+
+bool
+JsonValue::operator==(const JsonValue& other) const
+{
+    if (type() != other.type())
+        return false;
+    switch (type()) {
+      case JsonType::Null:
+        return true;
+      case JsonType::Bool:
+        return asBool() == other.asBool();
+      case JsonType::Int:
+        return asInt() == other.asInt();
+      case JsonType::Double:
+        return asDouble() == other.asDouble();
+      case JsonType::String:
+        return asString() == other.asString();
+      case JsonType::Array: {
+        const JsonArray& a = asArray();
+        const JsonArray& b = other.asArray();
+        if (a.size() != b.size())
+            return false;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            if (!(a[i] == b[i]))
+                return false;
+        }
+        return true;
+      }
+      case JsonType::Object: {
+        const Object& a = asObject();
+        const Object& b = other.asObject();
+        if (a.size() != b.size())
+            return false;
+        for (const auto& entry : a) {
+            const JsonValue* match = b.find(entry.first);
+            if (match == nullptr || !(*match == entry.second))
+                return false;
+        }
+        return true;
+      }
+    }
+    return false;
+}
+
+}  // namespace json
+}  // namespace uqsim

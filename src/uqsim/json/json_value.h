@@ -1,0 +1,187 @@
+#ifndef UQSIM_JSON_JSON_VALUE_H_
+#define UQSIM_JSON_JSON_VALUE_H_
+
+/**
+ * @file
+ * JSON value model used for every µqSim configuration input
+ * (service.json, graph.json, path.json, machines.json, client.json).
+ *
+ * The model is a small, self-contained variant type.  Numbers keep
+ * track of whether they were written as integers so that ids and
+ * counts round-trip exactly.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace uqsim {
+namespace json {
+
+class JsonValue;
+
+/** Ordered key/value object.  Insertion order is preserved. */
+using JsonArray = std::vector<JsonValue>;
+
+/** Error thrown on any malformed access or parse failure. */
+class JsonError : public std::runtime_error {
+  public:
+    explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** The JSON value kinds. */
+enum class JsonType {
+    Null,
+    Bool,
+    Int,
+    Double,
+    String,
+    Array,
+    Object,
+};
+
+/** Human-readable name of a JSON type (for error messages). */
+const char* jsonTypeName(JsonType type);
+
+/**
+ * A JSON document node.
+ *
+ * Accessors come in two flavors: checked converters (asInt(),
+ * asString(), ...) that throw JsonError on type mismatch, and lookup
+ * helpers (at(), get(), contains()) for object members.  The
+ * getOr() family returns a default when a key is absent, which is the
+ * common pattern for optional configuration fields.
+ */
+class JsonValue {
+  public:
+    /** Object representation preserving insertion order. */
+    class Object {
+      public:
+        using Entry = std::pair<std::string, JsonValue>;
+
+        Object() = default;
+
+        /** Number of members. */
+        std::size_t size() const { return entries_.size(); }
+        bool empty() const { return entries_.empty(); }
+
+        /** True when a member with @p key exists. */
+        bool contains(const std::string& key) const;
+
+        /** Returns the member, inserting a Null member if absent. */
+        JsonValue& operator[](const std::string& key);
+
+        /** Returns the member or throws JsonError when absent. */
+        const JsonValue& at(const std::string& key) const;
+        JsonValue& at(const std::string& key);
+
+        /** Returns a pointer to the member or nullptr when absent. */
+        const JsonValue* find(const std::string& key) const;
+
+        /** Removes a member; returns true if it existed. */
+        bool erase(const std::string& key);
+
+        std::vector<Entry>::const_iterator begin() const
+        {
+            return entries_.begin();
+        }
+        std::vector<Entry>::const_iterator end() const
+        {
+            return entries_.end();
+        }
+
+      private:
+        std::vector<Entry> entries_;
+    };
+
+    JsonValue() : data_(std::monostate{}) {}
+    JsonValue(std::nullptr_t) : data_(std::monostate{}) {}
+    JsonValue(bool value) : data_(value) {}
+    JsonValue(int value) : data_(static_cast<std::int64_t>(value)) {}
+    JsonValue(unsigned value) : data_(static_cast<std::int64_t>(value)) {}
+    JsonValue(std::int64_t value) : data_(value) {}
+    JsonValue(std::uint64_t value)
+        : data_(static_cast<std::int64_t>(value)) {}
+    JsonValue(double value) : data_(value) {}
+    JsonValue(const char* value) : data_(std::string(value)) {}
+    JsonValue(std::string value) : data_(std::move(value)) {}
+    JsonValue(JsonArray value) : data_(std::move(value)) {}
+    JsonValue(Object value) : data_(std::move(value)) {}
+
+    /** Creates an empty array value. */
+    static JsonValue makeArray() { return JsonValue(JsonArray{}); }
+    /** Creates an empty object value. */
+    static JsonValue makeObject() { return JsonValue(Object{}); }
+
+    JsonType type() const;
+
+    bool isNull() const { return type() == JsonType::Null; }
+    bool isBool() const { return type() == JsonType::Bool; }
+    bool isInt() const { return type() == JsonType::Int; }
+    bool isDouble() const { return type() == JsonType::Double; }
+    /** True for both Int and Double. */
+    bool isNumber() const { return isInt() || isDouble(); }
+    bool isString() const { return type() == JsonType::String; }
+    bool isArray() const { return type() == JsonType::Array; }
+    bool isObject() const { return type() == JsonType::Object; }
+
+    /** Checked converters; throw JsonError on type mismatch. */
+    bool asBool() const;
+    std::int64_t asInt() const;
+    /** Accepts Int or Double. */
+    double asDouble() const;
+    const std::string& asString() const;
+    const JsonArray& asArray() const;
+    JsonArray& asArray();
+    const Object& asObject() const;
+    Object& asObject();
+
+    /** Object member lookup; throws when not an object or key absent. */
+    const JsonValue& at(const std::string& key) const;
+    /** Array element lookup; throws when not an array or out of range. */
+    const JsonValue& at(std::size_t index) const;
+
+    /** True when this is an object containing @p key (non-null). */
+    bool contains(const std::string& key) const;
+
+    /** Pointer to member, or nullptr when absent / not an object. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Optional-field accessors returning @p fallback when absent. */
+    bool getOr(const std::string& key, bool fallback) const;
+    std::int64_t getOr(const std::string& key, std::int64_t fallback) const;
+    int getOr(const std::string& key, int fallback) const;
+    double getOr(const std::string& key, double fallback) const;
+    std::string getOr(const std::string& key, const char* fallback) const;
+    std::string getOr(const std::string& key,
+                      const std::string& fallback) const;
+
+    /** Number of elements (array) or members (object); 0 otherwise. */
+    std::size_t size() const;
+
+    /** Structural equality (Int 3 != Double 3.0). */
+    bool operator==(const JsonValue& other) const;
+    bool operator!=(const JsonValue& other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    using Storage = std::variant<std::monostate, bool, std::int64_t, double,
+                                 std::string, JsonArray, Object>;
+
+    [[noreturn]] void typeMismatch(JsonType wanted) const;
+
+    Storage data_;
+};
+
+using JsonObject = JsonValue::Object;
+
+}  // namespace json
+}  // namespace uqsim
+
+#endif  // UQSIM_JSON_JSON_VALUE_H_

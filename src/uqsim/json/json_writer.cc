@@ -1,0 +1,169 @@
+#include "uqsim/json/json_writer.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace uqsim {
+namespace json {
+
+namespace {
+
+void
+writeEscapedString(std::string& out, const std::string& text)
+{
+    out += '"';
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                std::array<char, 8> buffer{};
+                std::snprintf(buffer.data(), buffer.size(), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xFF);
+                out += buffer.data();
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+}
+
+void
+writeDouble(std::string& out, double value)
+{
+    if (std::isnan(value) || std::isinf(value)) {
+        // JSON has no NaN/Inf; emit null like most tolerant writers.
+        out += "null";
+        return;
+    }
+    std::array<char, 32> buffer{};
+    auto [ptr, ec] =
+        std::to_chars(buffer.data(), buffer.data() + buffer.size(), value);
+    out.append(buffer.data(), ptr);
+    // Guarantee the token re-parses as a double, not an int.
+    std::string_view token(buffer.data(),
+                           static_cast<std::size_t>(ptr - buffer.data()));
+    if (token.find('.') == std::string_view::npos &&
+        token.find('e') == std::string_view::npos &&
+        token.find('E') == std::string_view::npos &&
+        token.find("inf") == std::string_view::npos &&
+        token.find("nan") == std::string_view::npos) {
+        out += ".0";
+    }
+}
+
+class Writer {
+  public:
+    explicit Writer(const WriteOptions& options) : options_(options) {}
+
+    std::string
+    serialize(const JsonValue& value)
+    {
+        writeValue(value, 0);
+        return std::move(out_);
+    }
+
+  private:
+    void
+    newline(int depth)
+    {
+        if (!options_.pretty)
+            return;
+        out_ += '\n';
+        out_.append(static_cast<std::size_t>(depth * options_.indent), ' ');
+    }
+
+    void
+    writeValue(const JsonValue& value, int depth)
+    {
+        switch (value.type()) {
+          case JsonType::Null:
+            out_ += "null";
+            break;
+          case JsonType::Bool:
+            out_ += value.asBool() ? "true" : "false";
+            break;
+          case JsonType::Int:
+            out_ += std::to_string(value.asInt());
+            break;
+          case JsonType::Double:
+            writeDouble(out_, value.asDouble());
+            break;
+          case JsonType::String:
+            writeEscapedString(out_, value.asString());
+            break;
+          case JsonType::Array: {
+            const JsonArray& array = value.asArray();
+            if (array.empty()) {
+                out_ += "[]";
+                break;
+            }
+            out_ += '[';
+            bool first = true;
+            for (const JsonValue& element : array) {
+                if (!first)
+                    out_ += options_.pretty ? "," : ",";
+                first = false;
+                newline(depth + 1);
+                writeValue(element, depth + 1);
+            }
+            newline(depth);
+            out_ += ']';
+            break;
+          }
+          case JsonType::Object: {
+            const JsonObject& object = value.asObject();
+            if (object.empty()) {
+                out_ += "{}";
+                break;
+            }
+            out_ += '{';
+            bool first = true;
+            for (const auto& entry : object) {
+                if (!first)
+                    out_ += ",";
+                first = false;
+                newline(depth + 1);
+                writeEscapedString(out_, entry.first);
+                out_ += options_.pretty ? ": " : ":";
+                writeValue(entry.second, depth + 1);
+            }
+            newline(depth);
+            out_ += '}';
+            break;
+          }
+        }
+    }
+
+    WriteOptions options_;
+    std::string out_;
+};
+
+}  // namespace
+
+std::string
+write(const JsonValue& value, const WriteOptions& options)
+{
+    Writer writer(options);
+    return writer.serialize(value);
+}
+
+std::string
+writePretty(const JsonValue& value)
+{
+    WriteOptions options;
+    options.pretty = true;
+    return write(value, options);
+}
+
+}  // namespace json
+}  // namespace uqsim

@@ -1,0 +1,34 @@
+#ifndef UQSIM_JSON_JSON_WRITER_H_
+#define UQSIM_JSON_JSON_WRITER_H_
+
+/**
+ * @file
+ * JSON serialization.  Output parses back to a structurally equal
+ * value (integers stay integers; doubles use shortest round-trip
+ * formatting).
+ */
+
+#include <string>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace json {
+
+/** Serialization options. */
+struct WriteOptions {
+    /** Pretty-print with newlines and this many spaces per level. */
+    bool pretty = false;
+    int indent = 2;
+};
+
+/** Serializes @p value to a JSON string. */
+std::string write(const JsonValue& value, const WriteOptions& options = {});
+
+/** Serializes @p value with pretty-printing enabled. */
+std::string writePretty(const JsonValue& value);
+
+}  // namespace json
+}  // namespace uqsim
+
+#endif  // UQSIM_JSON_JSON_WRITER_H_

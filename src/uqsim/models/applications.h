@@ -1,0 +1,143 @@
+#ifndef UQSIM_MODELS_APPLICATIONS_H_
+#define UQSIM_MODELS_APPLICATIONS_H_
+
+/**
+ * @file
+ * End-to-end application builders: every validation and case-study
+ * system from the paper, assembled as a ConfigBundle (the five JSON
+ * inputs of Table I) ready for Simulation::fromBundle().
+ *
+ *  - 2-tier NGINX-memcached (Fig. 4a / Fig. 5)
+ *  - 3-tier NGINX-memcached-MongoDB (Fig. 4b / Fig. 6)
+ *  - NGINX load balancing (Fig. 7 / Fig. 8)
+ *  - NGINX request fan-out (Fig. 9 / Fig. 10)
+ *  - Thrift echo RPC (Fig. 12a)
+ *  - Social network (Fig. 11 / Fig. 12b)
+ *  - Tail-at-scale fan-out cluster (Fig. 14)
+ *  - Power-management 2-tier deployment (Figs. 15/16, Table III)
+ */
+
+#include <string>
+
+#include "uqsim/core/sim/config.h"
+
+namespace uqsim {
+namespace models {
+
+/** Run-control parameters shared by all bundles. */
+struct RunParams {
+    double qps = 1000.0;
+    std::uint64_t seed = 1;
+    double warmupSeconds = 0.5;
+    double durationSeconds = 3.5;
+    int clientConnections = 320;
+    /** Enable the real-proxy noise model (see DESIGN.md §3). */
+    bool realProxyNoise = false;
+};
+
+/** 2-tier NGINX-memcached parameters. */
+struct TwoTierParams {
+    RunParams run;
+    int nginxWorkers = 8;
+    int memcachedThreads = 4;
+};
+
+/** 3-tier NGINX-memcached-MongoDB parameters. */
+struct ThreeTierParams {
+    RunParams run;
+    int nginxWorkers = 8;
+    int memcachedThreads = 2;
+    /** Cache miss probability (requests that reach MongoDB). */
+    double missRate = 0.1;
+};
+
+/** Load-balancing validation parameters (Fig. 7). */
+struct LoadBalancerParams {
+    RunParams run;
+    /** Scale-out factor: number of webserver instances. */
+    int webServers = 4;
+    int proxyWorkers = 8;
+};
+
+/** Request fan-out validation parameters (Fig. 9). */
+struct FanoutParams {
+    RunParams run;
+    /** Fan-out factor: leaves contacted per request. */
+    int fanout = 4;
+    int proxyWorkers = 8;
+    /** Paper: each requested webpage is 612 bytes. */
+    int responseBytes = 612;
+};
+
+/** Thrift hello-world parameters (Fig. 12a). */
+struct ThriftEchoParams {
+    RunParams run;
+    int serverThreads = 1;
+};
+
+/** Social network parameters (Fig. 11). */
+struct SocialNetworkParams {
+    RunParams run;
+    int frontendThreads = 4;
+    int logicThreads = 2;
+    /** Probability a request needs the media branch. */
+    double mediaProbability = 0.25;
+    /** Probability the post lookup misses the cache. */
+    double postMissProbability = 0.2;
+};
+
+/** Tail-at-scale parameters (Fig. 14, paper §V-A). */
+struct TailAtScaleParams {
+    RunParams run;
+    /** Cluster size; a request fans out to every server. */
+    int clusterSize = 100;
+    /** Fraction of servers that are slow (10x mean service). */
+    double slowFraction = 0.01;
+    /** Mean leaf service time (seconds, exponential). */
+    double leafMeanSeconds = 1e-3;
+    /** Slow-server service time multiplier. */
+    double slowFactor = 10.0;
+};
+
+/** Power-management deployment parameters (paper §V-B). */
+struct PowerTwoTierParams {
+    RunParams run;
+    int nginxWorkers = 2;
+    int memcachedThreads = 2;
+    /** Diurnal load (Fig. 15).  The defaults push the peak close to
+     *  the 2-worker NGINX capacity (~18.5 kQPS at nominal
+     *  frequency) so the QoS target is actually contested and the
+     *  power manager must track the ramps. */
+    double baseQps = 9000.0;
+    double amplitudeQps = 7000.0;
+    double periodSeconds = 60.0;
+    /**
+     * Number of evenly spaced frequency steps between 1.2 and
+     * 2.6 GHz; 0 keeps the paper's 8-step DVFS table.  Large values
+     * approximate fine-grained mechanisms (RAPL), the paper's
+     * suggested fix for the 2 ms-vs-5 ms convergence gap.
+     */
+    int dvfsSteps = 0;
+};
+
+ConfigBundle twoTierBundle(const TwoTierParams& params);
+ConfigBundle threeTierBundle(const ThreeTierParams& params);
+ConfigBundle loadBalancerBundle(const LoadBalancerParams& params);
+ConfigBundle fanoutBundle(const FanoutParams& params);
+ConfigBundle thriftEchoBundle(const ThriftEchoParams& params);
+ConfigBundle socialNetworkBundle(const SocialNetworkParams& params);
+ConfigBundle tailAtScaleBundle(const TailAtScaleParams& params);
+ConfigBundle powerTwoTierBundle(const PowerTwoTierParams& params);
+
+/**
+ * Writes a bundle to @p directory in the on-disk layout
+ * ConfigBundle::fromDirectory() reads (machines.json, graph.json,
+ * path.json, client.json, options.json, services/<name>.json).
+ */
+void writeBundle(const ConfigBundle& bundle,
+                 const std::string& directory);
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_APPLICATIONS_H_

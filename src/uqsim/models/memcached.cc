@@ -1,0 +1,48 @@
+#include "uqsim/models/memcached.h"
+
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+JsonValue
+memcachedServiceJson(const MemcachedOptions& options)
+{
+    const double read_us =
+        options.readUs > 0.0 ? options.readUs : kMemcachedReadUs;
+    const double write_us =
+        options.writeUs > 0.0 ? options.writeUs : kMemcachedWriteUs;
+    JsonValue read_dist = expUs(read_us);
+    JsonValue write_dist = expUs(write_us);
+    if (options.realProxyNoise) {
+        read_dist = withNoise(std::move(read_dist));
+        write_dist = withNoise(std::move(write_dist));
+    }
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.asObject()["service_name"] = options.serviceName;
+    doc.asObject()["execution_model"] = "multi_threaded";
+    doc.asObject()["threads"] = options.threads;
+
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(processingStage(2, "memcached_processing",
+                                     std::move(read_dist)));
+    stages.push_back(processingStage(3, "memcached_processing_write",
+                                     std::move(write_dist)));
+    stages.push_back(socketSendStage(4));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+
+    JsonArray paths;
+    paths.push_back(pathJson(0, "memcached_read", {0, 1, 2, 4}));
+    paths.push_back(pathJson(1, "memcached_write", {0, 1, 3, 4}));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+}  // namespace models
+}  // namespace uqsim

@@ -1,0 +1,38 @@
+#ifndef UQSIM_MODELS_MEMCACHED_H_
+#define UQSIM_MODELS_MEMCACHED_H_
+
+/**
+ * @file
+ * The memcached model from the paper's Listing 1: stages epoll ->
+ * socket_read -> memcached_processing -> socket_send, with
+ * deterministic read and write execution paths.  Read and write use
+ * separate processing stages so each carries its own processing-time
+ * distribution, which is what the paper's per-path distributions
+ * express.
+ */
+
+#include <string>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+/** Options for the memcached service model. */
+struct MemcachedOptions {
+    std::string serviceName = "memcached";
+    int threads = 4;
+    /** Mean read / write processing time (µs, exponential). */
+    double readUs = 0.0;   // 0 = preset default
+    double writeUs = 0.0;  // 0 = preset default
+    /** Add real-proxy noise spikes to processing stages. */
+    bool realProxyNoise = false;
+};
+
+/** Builds the memcached service.json document. */
+json::JsonValue memcachedServiceJson(const MemcachedOptions& options = {});
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_MEMCACHED_H_

@@ -1,0 +1,46 @@
+#include "uqsim/models/mongodb.h"
+
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+JsonValue
+mongoServiceJson(const MongoOptions& options)
+{
+    const double disk_mean_ms =
+        options.diskMeanMs > 0.0 ? options.diskMeanMs : kMongoDiskMeanMs;
+    JsonValue cpu_dist = expUs(kMongoQueryCpuUs);
+    if (options.realProxyNoise)
+        cpu_dist = withNoise(std::move(cpu_dist));
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.asObject()["service_name"] = options.serviceName;
+    doc.asObject()["execution_model"] = "multi_threaded";
+    doc.asObject()["threads"] = options.threads;
+    doc.asObject()["disk_channels"] = options.diskChannels;
+
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(
+        processingStage(2, "query_processing", std::move(cpu_dist)));
+    stages.push_back(diskStage(
+        3, "disk_access", lognormalUs(disk_mean_ms * 1e3, kMongoDiskCv)));
+    stages.push_back(socketSendStage(4));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+
+    const double hit = options.memoryHitProbability;
+    JsonArray paths;
+    paths.push_back(pathJson(0, "query_memory", {0, 1, 2, 4}, hit));
+    paths.push_back(
+        pathJson(1, "query_disk", {0, 1, 2, 3, 4}, 1.0 - hit));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+}  // namespace models
+}  // namespace uqsim

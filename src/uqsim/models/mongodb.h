@@ -1,0 +1,43 @@
+#ifndef UQSIM_MODELS_MONGODB_H_
+#define UQSIM_MODELS_MONGODB_H_
+
+/**
+ * @file
+ * MongoDB model.  A query either hits the in-memory working set or
+ * misses and pays a disk access — the paper's canonical example of
+ * probabilistic execution-path selection (§III-B), with the hit
+ * probability a function of working-set size vs. allocated memory.
+ * The disk stage occupies a disk channel instead of a core,
+ * capturing I/O blocking in the multi-threaded execution model.
+ */
+
+#include <string>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+/** MongoDB model options. */
+struct MongoOptions {
+    std::string serviceName = "mongodb";
+    int threads = 2;
+    /** Parallel disk channels (drives). */
+    int diskChannels = 2;
+    /**
+     * Probability that an (unpinned) query hits memory.  Path nodes
+     * can pin "query_memory" / "query_disk" explicitly instead.
+     */
+    double memoryHitProbability = 0.5;
+    /** Mean disk access (ms, log-normal); 0 = preset default. */
+    double diskMeanMs = 0.0;
+    bool realProxyNoise = false;
+};
+
+/** Builds the MongoDB service.json document. */
+json::JsonValue mongoServiceJson(const MongoOptions& options = {});
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_MONGODB_H_

@@ -1,0 +1,102 @@
+#include "uqsim/models/nginx.h"
+
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+namespace {
+
+JsonValue
+nginxBase(const NginxOptions& options)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.asObject()["service_name"] = options.serviceName;
+    // NGINX worker processes are single-threaded event loops; each
+    // worker is one "thread" pinned to one core.
+    doc.asObject()["execution_model"] = "multi_threaded";
+    doc.asObject()["threads"] = options.workers;
+    return doc;
+}
+
+JsonValue
+maybeNoise(JsonValue spec, const NginxOptions& options)
+{
+    return options.realProxyNoise ? withNoise(std::move(spec))
+                                  : std::move(spec);
+}
+
+}  // namespace
+
+JsonValue
+nginxWebserverJson(const NginxOptions& options)
+{
+    JsonValue doc = nginxBase(options);
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(processingStage(
+        2, "nginx_processing",
+        maybeNoise(expUs(kNginxStaticUs), options)));
+    stages.push_back(socketSendStage(3));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+    JsonArray paths;
+    paths.push_back(pathJson(0, "serve", {0, 1, 2, 3}));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+JsonValue
+nginxProxyJson(const NginxOptions& options)
+{
+    JsonValue doc = nginxBase(options);
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(processingStage(
+        2, "proxy_forward_processing",
+        maybeNoise(expUs(kNginxProxyForwardUs), options)));
+    stages.push_back(processingStage(
+        3, "proxy_response_processing",
+        maybeNoise(expUs(kNginxProxyResponseUs), options)));
+    stages.push_back(socketSendStage(4));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+    JsonArray paths;
+    paths.push_back(pathJson(0, "proxy_forward", {0, 1, 2, 4}));
+    paths.push_back(pathJson(1, "proxy_response", {0, 1, 3, 4}));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+JsonValue
+nginxCacheFrontendJson(const NginxOptions& options)
+{
+    JsonValue doc = nginxBase(options);
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(processingStage(
+        2, "request_processing",
+        maybeNoise(expUs(kNginxForwardUs), options)));
+    stages.push_back(processingStage(
+        3, "response_processing",
+        maybeNoise(expUs(kNginxResponseUs), options)));
+    stages.push_back(processingStage(
+        4, "miss_processing",
+        maybeNoise(expUs(kNginxMissHandlingUs), options)));
+    stages.push_back(socketSendStage(5));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+    JsonArray paths;
+    paths.push_back(pathJson(0, "request", {0, 1, 2, 5}));
+    paths.push_back(pathJson(1, "response", {0, 1, 3, 5}));
+    paths.push_back(pathJson(2, "miss_forward", {0, 1, 4, 5}));
+    paths.push_back(pathJson(3, "miss_store", {0, 1, 4, 5}));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+}  // namespace models
+}  // namespace uqsim

@@ -1,0 +1,58 @@
+#ifndef UQSIM_MODELS_NGINX_H_
+#define UQSIM_MODELS_NGINX_H_
+
+/**
+ * @file
+ * NGINX models (paper Fig. 3 bottom: TCP RX -> epoll -> nginx proc
+ * -> TCP TX; TCP RX/TX are modeled by the per-machine IRQ service,
+ * so the service itself is epoll -> socket_read -> processing ->
+ * socket_send).
+ *
+ * Three roles are provided:
+ *  - webserver: serves a static page (Fig. 8/10 leaf tier);
+ *  - proxy: forwards requests and relays responses (load balancer /
+ *    fan-out root);
+ *  - cache frontend: the 2-/3-tier NGINX that queries memcached
+ *    (and on a miss, MongoDB), with http/1.1 request/response
+ *    paths plus miss-handling paths.
+ */
+
+#include <string>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+/** Common NGINX model options. */
+struct NginxOptions {
+    std::string serviceName = "nginx";
+    /** Worker processes (single-threaded each). */
+    int workers = 1;
+    /** Add real-proxy noise spikes to processing stages. */
+    bool realProxyNoise = false;
+};
+
+/**
+ * Static-file webserver.  Paths: "serve" (epoll, read, process,
+ * send).
+ */
+json::JsonValue nginxWebserverJson(const NginxOptions& options = {});
+
+/**
+ * Reverse proxy.  Paths: "proxy_forward" and "proxy_response".
+ */
+json::JsonValue nginxProxyJson(const NginxOptions& options = {});
+
+/**
+ * Cache-backed frontend used by the 2-/3-tier applications.  Paths:
+ * "request" (receive client request, issue cache lookup),
+ * "response" (relay result to the client), "miss_forward" and
+ * "miss_store" (3-tier miss handling around the database).
+ */
+json::JsonValue nginxCacheFrontendJson(const NginxOptions& options = {});
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_NGINX_H_

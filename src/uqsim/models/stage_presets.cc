@@ -1,0 +1,141 @@
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+JsonValue
+expUs(double mean_us)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "exponential";
+    spec.asObject()["mean"] = mean_us * 1e-6;
+    return spec;
+}
+
+JsonValue
+detUs(double value_us)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "deterministic";
+    spec.asObject()["value"] = value_us * 1e-6;
+    return spec;
+}
+
+JsonValue
+lognormalUs(double mean_us, double cv)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "lognormal";
+    spec.asObject()["mean"] = mean_us * 1e-6;
+    spec.asObject()["cv"] = cv;
+    return spec;
+}
+
+JsonValue
+withNoise(JsonValue base, double spike_prob, double spike_factor)
+{
+    JsonValue spike = JsonValue::makeObject();
+    spike.asObject()["type"] = "scaled";
+    spike.asObject()["base"] = base;
+    spike.asObject()["factor"] = spike_factor;
+
+    JsonValue mixture = JsonValue::makeObject();
+    mixture.asObject()["type"] = "mixture";
+    mixture.asObject()["a"] = std::move(base);
+    mixture.asObject()["b"] = std::move(spike);
+    mixture.asObject()["p_b"] = spike_prob;
+    return mixture;
+}
+
+JsonValue
+serviceTimeJson(JsonValue base_spec, double per_job_us, double per_byte_ns,
+                double freq_exponent)
+{
+    JsonValue time = JsonValue::makeObject();
+    time.asObject()["base"] = std::move(base_spec);
+    if (per_job_us != 0.0)
+        time.asObject()["per_job_us"] = per_job_us;
+    if (per_byte_ns != 0.0)
+        time.asObject()["per_byte_ns"] = per_byte_ns;
+    if (freq_exponent != 1.0)
+        time.asObject()["freq_exponent"] = freq_exponent;
+    return time;
+}
+
+JsonValue
+stageJson(int id, const char* name, const char* queue_type, bool batching,
+          int batch_limit, JsonValue service_time, const char* resource)
+{
+    JsonValue stage = JsonValue::makeObject();
+    stage.asObject()["stage_name"] = name;
+    stage.asObject()["stage_id"] = id;
+    stage.asObject()["queue_type"] = queue_type;
+    stage.asObject()["batching"] = batching;
+    if (batch_limit > 0)
+        stage.asObject()["queue_parameter"] = batch_limit;
+    stage.asObject()["service_time"] = std::move(service_time);
+    stage.asObject()["resource"] = resource;
+    return stage;
+}
+
+JsonValue
+epollStage(int id)
+{
+    return stageJson(id, "epoll", "epoll", true, kEpollBatch,
+                     serviceTimeJson(detUs(kEpollBaseUs),
+                                     kEpollPerJobUs));
+}
+
+JsonValue
+socketReadStage(int id)
+{
+    return stageJson(id, "socket_read", "socket", true, kSocketReadBatch,
+                     serviceTimeJson(detUs(kSocketBaseUs), 0.0,
+                                     kSocketReadPerByteNs));
+}
+
+JsonValue
+socketSendStage(int id)
+{
+    return stageJson(id, "socket_send", "single", false, 0,
+                     serviceTimeJson(detUs(kSocketBaseUs), 0.0,
+                                     kSocketSendPerByteNs));
+}
+
+JsonValue
+processingStage(int id, const char* name, JsonValue dist_spec)
+{
+    return stageJson(id, name, "single", false, 0,
+                     serviceTimeJson(std::move(dist_spec)));
+}
+
+JsonValue
+diskStage(int id, const char* name, JsonValue dist_spec)
+{
+    // Disk time is frequency-insensitive (freq_exponent 0).
+    return stageJson(id, name, "single", false, 0,
+                     serviceTimeJson(std::move(dist_spec), 0.0, 0.0, 0.0),
+                     "disk");
+}
+
+JsonValue
+pathJson(int id, const char* name, std::initializer_list<int> stage_ids,
+         double probability)
+{
+    JsonValue path = JsonValue::makeObject();
+    path.asObject()["path_id"] = id;
+    path.asObject()["path_name"] = name;
+    JsonArray stages;
+    for (int stage : stage_ids)
+        stages.emplace_back(stage);
+    path.asObject()["stages"] = JsonValue(std::move(stages));
+    if (probability != 1.0)
+        path.asObject()["probability"] = probability;
+    return path;
+}
+
+}  // namespace models
+}  // namespace uqsim

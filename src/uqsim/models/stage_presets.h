@@ -1,0 +1,118 @@
+#ifndef UQSIM_MODELS_STAGE_PRESETS_H_
+#define UQSIM_MODELS_STAGE_PRESETS_H_
+
+/**
+ * @file
+ * Reusable stage templates and calibration constants.
+ *
+ * The paper profiles real applications to obtain per-stage
+ * processing-time histograms; we have no testbed, so stage costs are
+ * synthetic but calibrated so the paper's stated anchors hold (see
+ * DESIGN.md §3): a single-worker NGINX webserver saturates
+ * ~8-9 kQPS so that 4-way load balancing saturates ~35 kQPS
+ * (Fig. 8), a Thrift echo server saturates just beyond 50 kQPS with
+ * <100 µs low-load latency (Fig. 12a), and memcached is never the
+ * 2-tier bottleneck (Fig. 5).
+ *
+ * Because many sources of queueing repeat across microservices,
+ * these stage models are shared by every service in the library
+ * (the paper's modular reuse).
+ */
+
+#include <cstdint>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+// -- calibration constants (see DESIGN.md §3) -------------------------
+
+/** epoll_wait: base cost plus linear cost per returned event. */
+inline constexpr double kEpollBaseUs = 2.0;
+inline constexpr double kEpollPerJobUs = 0.8;
+inline constexpr int kEpollBatch = 8;
+
+/** socket read/write: base plus per-byte copy cost. */
+inline constexpr double kSocketBaseUs = 1.0;
+inline constexpr double kSocketReadPerByteNs = 2.0;
+inline constexpr double kSocketSendPerByteNs = 1.0;
+inline constexpr int kSocketReadBatch = 4;
+
+/** Request processing means (exponential unless noted). */
+inline constexpr double kMemcachedReadUs = 8.0;
+inline constexpr double kMemcachedWriteUs = 10.0;
+inline constexpr double kNginxStaticUs = 105.0;
+inline constexpr double kNginxForwardUs = 60.0;
+inline constexpr double kNginxResponseUs = 40.0;
+inline constexpr double kNginxProxyForwardUs = 25.0;
+inline constexpr double kNginxProxyResponseUs = 15.0;
+inline constexpr double kNginxMissHandlingUs = 20.0;
+inline constexpr double kThriftEchoUs = 15.0;
+inline constexpr double kMongoQueryCpuUs = 50.0;
+/** MongoDB disk access: log-normal (mean 4 ms, cv 0.45). */
+inline constexpr double kMongoDiskMeanMs = 4.0;
+inline constexpr double kMongoDiskCv = 0.45;
+
+/** Per-machine soft-irq packet handling (exponential mean). */
+inline constexpr double kIrqPerPacketUs = 8.0;
+
+// -- JSON builders -----------------------------------------------------
+
+/** {"type": "exponential", "mean": <us * 1e-6>} */
+json::JsonValue expUs(double mean_us);
+
+/** {"type": "deterministic", "value": <us * 1e-6>} */
+json::JsonValue detUs(double value_us);
+
+/** Log-normal spec from mean (us) and coefficient of variation. */
+json::JsonValue lognormalUs(double mean_us, double cv);
+
+/**
+ * Wraps a distribution spec in a noise mixture used by the
+ * "real-proxy" mode: with probability @p spike_prob the sample is
+ * drawn from the base distribution scaled by @p spike_factor
+ * (timeouts, OS jitter — the effects the paper says the simulator
+ * omits).
+ */
+json::JsonValue withNoise(json::JsonValue base, double spike_prob = 0.01,
+                          double spike_factor = 6.0);
+
+/** "service_time" object. */
+json::JsonValue serviceTimeJson(json::JsonValue base_spec,
+                                double per_job_us = 0.0,
+                                double per_byte_ns = 0.0,
+                                double freq_exponent = 1.0);
+
+/** Full stage object for the "stages" array. */
+json::JsonValue stageJson(int id, const char* name,
+                          const char* queue_type, bool batching,
+                          int batch_limit, json::JsonValue service_time,
+                          const char* resource = "cpu");
+
+/** The canonical epoll stage (per-connection batched subqueues). */
+json::JsonValue epollStage(int id);
+
+/** The canonical socket_read stage (per-byte cost, batched). */
+json::JsonValue socketReadStage(int id);
+
+/** The canonical socket_send stage. */
+json::JsonValue socketSendStage(int id);
+
+/** A CPU processing stage with the given base distribution. */
+json::JsonValue processingStage(int id, const char* name,
+                                json::JsonValue dist_spec);
+
+/** A disk I/O stage (occupies a disk channel, not a core). */
+json::JsonValue diskStage(int id, const char* name,
+                          json::JsonValue dist_spec);
+
+/** A path object {"path_id", "path_name", "stages", "probability"}. */
+json::JsonValue pathJson(int id, const char* name,
+                         std::initializer_list<int> stage_ids,
+                         double probability = 1.0);
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_STAGE_PRESETS_H_

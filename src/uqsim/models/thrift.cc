@@ -1,0 +1,59 @@
+#include "uqsim/models/thrift.h"
+
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+JsonValue
+thriftServiceJson(const ThriftOptions& options)
+{
+    std::vector<ThriftHandler> handlers = options.handlers;
+    if (handlers.empty())
+        handlers.push_back(ThriftHandler{"echo", kThriftEchoUs, 1.0});
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.asObject()["service_name"] = options.serviceName;
+    doc.asObject()["execution_model"] = "multi_threaded";
+    doc.asObject()["threads"] = options.threads;
+
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    // One processing stage per handler, then a shared send stage.
+    const int send_id = 2 + static_cast<int>(handlers.size());
+    for (std::size_t i = 0; i < handlers.size(); ++i) {
+        JsonValue dist = expUs(handlers[i].meanUs);
+        if (options.realProxyNoise)
+            dist = withNoise(std::move(dist));
+        stages.push_back(processingStage(
+            2 + static_cast<int>(i),
+            (handlers[i].name + "_processing").c_str(),
+            std::move(dist)));
+    }
+    stages.push_back(socketSendStage(send_id));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+
+    JsonArray paths;
+    for (std::size_t i = 0; i < handlers.size(); ++i) {
+        JsonValue path = JsonValue::makeObject();
+        path.asObject()["path_id"] = static_cast<int>(i);
+        path.asObject()["path_name"] = handlers[i].name;
+        JsonArray ids;
+        ids.emplace_back(0);
+        ids.emplace_back(1);
+        ids.emplace_back(2 + static_cast<int>(i));
+        ids.emplace_back(send_id);
+        path.asObject()["stages"] = JsonValue(std::move(ids));
+        path.asObject()["probability"] = handlers[i].probability;
+        paths.push_back(std::move(path));
+    }
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+}  // namespace models
+}  // namespace uqsim

@@ -1,0 +1,49 @@
+#ifndef UQSIM_MODELS_THRIFT_H_
+#define UQSIM_MODELS_THRIFT_H_
+
+/**
+ * @file
+ * Apache Thrift RPC server models (paper §IV-C/D).  A Thrift server
+ * shares the event-driven stage structure (epoll, read, process,
+ * send); the echo server's processing is the bare RPC handling cost,
+ * while application servers (social-network tiers) add their own
+ * handler cost and may expose several named handler paths.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+/** One RPC handler (an execution path of the server). */
+struct ThriftHandler {
+    std::string name;
+    /** Mean handler processing time (µs, exponential). */
+    double meanUs = 20.0;
+    /** Selection weight when the handler is not pinned by a path
+     *  node. */
+    double probability = 1.0;
+};
+
+/** Thrift server options. */
+struct ThriftOptions {
+    std::string serviceName = "thrift";
+    int threads = 1;
+    std::vector<ThriftHandler> handlers;
+    bool realProxyNoise = false;
+};
+
+/**
+ * Builds a Thrift server service.json.  With no handlers configured
+ * a single "echo" handler with the calibrated hello-world cost is
+ * used (Fig. 12a).
+ */
+json::JsonValue thriftServiceJson(const ThriftOptions& options = {});
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_THRIFT_H_

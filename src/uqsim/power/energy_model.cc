@@ -1,0 +1,78 @@
+#include "uqsim/power/energy_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace power {
+
+EnergyTracker::EnergyTracker(Simulator& sim, hw::DvfsDomain& domain,
+                             int cores, const EnergyModelConfig& config)
+    : sim_(sim), domain_(domain), cores_(cores), config_(config),
+      startTime_(sim.now()), lastUpdate_(sim.now()),
+      currentFrequency_(domain.frequency())
+{
+    if (cores <= 0)
+        throw std::invalid_argument("energy tracker needs > 0 cores");
+    domain_.onChange([this](const hw::DvfsDomain& changed) {
+        accumulate();
+        currentFrequency_ = changed.frequency();
+    });
+}
+
+double
+EnergyTracker::wattsAt(double frequency_ghz) const
+{
+    const double ratio = frequency_ghz / domain_.table().nominal();
+    return static_cast<double>(cores_) *
+           (config_.staticWatts +
+            config_.dynamicWattsNominal * ratio * ratio * ratio);
+}
+
+void
+EnergyTracker::accumulate() const
+{
+    const SimTime now = sim_.now();
+    if (now > lastUpdate_) {
+        joules_ += wattsAt(currentFrequency_) *
+                   simTimeToSeconds(now - lastUpdate_);
+        lastUpdate_ = now;
+    }
+}
+
+double
+EnergyTracker::currentWatts() const
+{
+    return wattsAt(currentFrequency_);
+}
+
+double
+EnergyTracker::nominalWatts() const
+{
+    return wattsAt(domain_.table().nominal());
+}
+
+double
+EnergyTracker::consumedJoules() const
+{
+    accumulate();
+    return joules_;
+}
+
+double
+EnergyTracker::nominalJoules() const
+{
+    return nominalWatts() * simTimeToSeconds(sim_.now() - startTime_);
+}
+
+double
+EnergyTracker::savingsFraction() const
+{
+    const double nominal = nominalJoules();
+    if (nominal <= 0.0)
+        return 0.0;
+    return 1.0 - consumedJoules() / nominal;
+}
+
+}  // namespace power
+}  // namespace uqsim

@@ -1,0 +1,78 @@
+#ifndef UQSIM_POWER_ENERGY_MODEL_H_
+#define UQSIM_POWER_ENERGY_MODEL_H_
+
+/**
+ * @file
+ * Core power/energy accounting for DVFS domains.
+ *
+ * A simple cubic dynamic-power model per core:
+ *
+ *   P(f) = P_static + P_dyn_nominal * (f / f_nominal)^3
+ *
+ * (voltage scales roughly linearly with frequency over the DVFS
+ * range, so dynamic power C*V^2*f scales ~f^3).  The tracker
+ * integrates power over time as the domain's frequency changes, so
+ * benches can report the energy saved by Algorithm 1 relative to
+ * running at nominal frequency.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/hw/dvfs.h"
+
+namespace uqsim {
+namespace power {
+
+/** Power model parameters (per core). */
+struct EnergyModelConfig {
+    /** Static/leakage power per core (watts). */
+    double staticWatts = 2.0;
+    /** Dynamic power per core at nominal frequency (watts). */
+    double dynamicWattsNominal = 8.0;
+};
+
+/** Tracks energy use of one DVFS domain covering @p cores cores. */
+class EnergyTracker {
+  public:
+    /**
+     * Subscribes to @p domain frequency changes; integration starts
+     * at the current simulation time.
+     */
+    EnergyTracker(Simulator& sim, hw::DvfsDomain& domain, int cores,
+                  const EnergyModelConfig& config = {});
+
+    /** Instantaneous power draw at the current frequency (watts). */
+    double currentWatts() const;
+
+    /** Power draw the domain would have at nominal frequency. */
+    double nominalWatts() const;
+
+    /** Energy consumed so far (joules). */
+    double consumedJoules() const;
+
+    /** Energy a nominal-frequency run would have used (joules). */
+    double nominalJoules() const;
+
+    /** Fraction of nominal energy saved so far, in [0, 1). */
+    double savingsFraction() const;
+
+  private:
+    double wattsAt(double frequency_ghz) const;
+    void accumulate() const;
+
+    Simulator& sim_;
+    hw::DvfsDomain& domain_;
+    int cores_;
+    EnergyModelConfig config_;
+    SimTime startTime_;
+    mutable SimTime lastUpdate_;
+    mutable double joules_ = 0.0;
+    mutable double currentFrequency_;
+};
+
+}  // namespace power
+}  // namespace uqsim
+
+#endif  // UQSIM_POWER_ENERGY_MODEL_H_

@@ -1,0 +1,135 @@
+#include "uqsim/power/qos_bucket.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace uqsim {
+namespace power {
+
+namespace {
+
+constexpr double kRewardFactor = 1.1;
+constexpr double kPenaltyFactor = 0.5;
+constexpr double kMaxPreference = 100.0;
+constexpr double kMinPreference = 1e-3;
+constexpr std::size_t kMaxTuplesPerBucket = 64;
+
+}  // namespace
+
+bool
+noMoreRelaxedThan(const TierTuple& a, const TierTuple& b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("tier tuple size mismatch");
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] > b[i])
+            return false;
+    }
+    return true;
+}
+
+QosBucket::QosBucket(double lower, double upper)
+    : lower_(lower), upper_(upper)
+{
+    if (lower < 0.0 || upper <= lower)
+        throw std::invalid_argument("invalid bucket bounds");
+}
+
+bool
+QosBucket::insert(const TierTuple& tuple)
+{
+    // Reject tuples at least as relaxed as a known-failing target.
+    for (const TierTuple& failed : failing_) {
+        if (noMoreRelaxedThan(failed, tuple))
+            return false;
+    }
+    if (tuples_.size() >= kMaxTuplesPerBucket)
+        tuples_.erase(tuples_.begin());
+    tuples_.push_back(tuple);
+    return true;
+}
+
+void
+QosBucket::recordFailure(const TierTuple& tuple)
+{
+    failing_.push_back(tuple);
+    // Drop stored tuples invalidated by the new failure.
+    tuples_.erase(std::remove_if(tuples_.begin(), tuples_.end(),
+                                 [&](const TierTuple& t) {
+                                     return noMoreRelaxedThan(tuple, t);
+                                 }),
+                  tuples_.end());
+    if (failing_.size() > kMaxTuplesPerBucket)
+        failing_.erase(failing_.begin());
+}
+
+void
+QosBucket::reward()
+{
+    preference_ = std::min(preference_ * kRewardFactor, kMaxPreference);
+}
+
+void
+QosBucket::penalize()
+{
+    preference_ = std::max(preference_ * kPenaltyFactor, kMinPreference);
+}
+
+const TierTuple&
+QosBucket::sampleTuple(random::Rng& rng) const
+{
+    if (tuples_.empty())
+        throw std::logic_error("sampleTuple on empty bucket");
+    return tuples_[static_cast<std::size_t>(
+        rng.nextBounded(tuples_.size()))];
+}
+
+QosBucketTable::QosBucketTable(double qos_target, int bucket_count)
+{
+    if (qos_target <= 0.0)
+        throw std::invalid_argument("QoS target must be > 0");
+    if (bucket_count <= 0)
+        throw std::invalid_argument("bucket count must be > 0");
+    const double width = qos_target / bucket_count;
+    buckets_.reserve(static_cast<std::size_t>(bucket_count));
+    for (int i = 0; i < bucket_count; ++i)
+        buckets_.emplace_back(i * width, (i + 1) * width);
+}
+
+std::size_t
+QosBucketTable::classify(double latency) const
+{
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i].contains(latency))
+            return i;
+    }
+    return buckets_.size() - 1;
+}
+
+std::size_t
+QosBucketTable::choose(random::Rng& rng) const
+{
+    double total = 0.0;
+    for (const QosBucket& bucket : buckets_) {
+        if (!bucket.empty())
+            total += bucket.preference();
+    }
+    if (total <= 0.0)
+        return buckets_.size();
+    double draw = rng.nextDouble() * total;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i].empty())
+            continue;
+        draw -= buckets_[i].preference();
+        if (draw <= 0.0)
+            return i;
+    }
+    for (std::size_t i = buckets_.size(); i-- > 0;) {
+        if (!buckets_[i].empty())
+            return i;
+    }
+    return buckets_.size();
+}
+
+}  // namespace power
+}  // namespace uqsim

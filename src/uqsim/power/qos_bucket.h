@@ -1,0 +1,106 @@
+#ifndef UQSIM_POWER_QOS_BUCKET_H_
+#define UQSIM_POWER_QOS_BUCKET_H_
+
+/**
+ * @file
+ * Bucketed per-tier QoS learning state for Algorithm 1.
+ *
+ * The tail-latency space below the end-to-end QoS target is divided
+ * into buckets.  Each bucket collects per-tier latency tuples
+ * observed while the end-to-end target was met, keeps a list of
+ * tuples that *failed* when used as targets, and carries a
+ * preference weight the scheduler adjusts as it learns which buckets
+ * reliably meet QoS (paper §V-B).
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+namespace power {
+
+/** Per-tier latency tuple (seconds, one entry per tier, fixed order). */
+using TierTuple = std::vector<double>;
+
+/** True when every component of @p a is <= the matching one in @p b. */
+bool noMoreRelaxedThan(const TierTuple& a, const TierTuple& b);
+
+/** One end-to-end latency range. */
+class QosBucket {
+  public:
+    QosBucket(double lower, double upper);
+
+    double lower() const { return lower_; }
+    double upper() const { return upper_; }
+    bool contains(double value) const
+    {
+        return value >= lower_ && value < upper_;
+    }
+
+    /**
+     * Inserts @p tuple unless it is more relaxed than some failing
+     * tuple (i.e. it is rejected when any failing tuple is
+     * componentwise <= it).  Returns whether it was inserted.
+     */
+    bool insert(const TierTuple& tuple);
+
+    /** Records @p tuple as a failed target. */
+    void recordFailure(const TierTuple& tuple);
+
+    /** Scales the preference up (success). */
+    void reward();
+    /** Scales the preference down (violation). */
+    void penalize();
+
+    double preference() const { return preference_; }
+    bool empty() const { return tuples_.empty(); }
+    std::size_t tupleCount() const { return tuples_.size(); }
+    std::size_t failureCount() const { return failing_.size(); }
+
+    /** Uniformly samples one stored tuple; bucket must be non-empty. */
+    const TierTuple& sampleTuple(random::Rng& rng) const;
+
+  private:
+    double lower_;
+    double upper_;
+    std::vector<TierTuple> tuples_;
+    std::vector<TierTuple> failing_;
+    double preference_ = 1.0;
+};
+
+/** The full bucket table over [0, qos_target). */
+class QosBucketTable {
+  public:
+    /**
+     * @param qos_target  end-to-end tail-latency target (seconds)
+     * @param bucket_count number of equal-width buckets
+     */
+    QosBucketTable(double qos_target, int bucket_count);
+
+    std::size_t size() const { return buckets_.size(); }
+    QosBucket& bucket(std::size_t index) { return buckets_[index]; }
+    const QosBucket& bucket(std::size_t index) const
+    {
+        return buckets_[index];
+    }
+
+    /** Index of the bucket containing @p latency; the last bucket
+     *  absorbs values in [target, infinity) for bookkeeping. */
+    std::size_t classify(double latency) const;
+
+    /**
+     * Samples a bucket index weighted by preference among non-empty
+     * buckets; returns size() when every bucket is empty.
+     */
+    std::size_t choose(random::Rng& rng) const;
+
+  private:
+    std::vector<QosBucket> buckets_;
+};
+
+}  // namespace power
+}  // namespace uqsim
+
+#endif  // UQSIM_POWER_QOS_BUCKET_H_

@@ -1,0 +1,47 @@
+#ifndef UQSIM_RANDOM_DISTRIBUTION_H_
+#define UQSIM_RANDOM_DISTRIBUTION_H_
+
+/**
+ * @file
+ * Abstract sampling interface for processing-time and inter-arrival
+ * distributions.
+ *
+ * Samples are plain doubles; by µqSim convention a sample is a
+ * duration in seconds unless a caller documents otherwise.
+ */
+
+#include <memory>
+#include <string>
+
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+namespace random {
+
+/**
+ * A positive real-valued distribution.
+ *
+ * Implementations must be stateless with respect to sampling (all
+ * state lives in the Rng), so one distribution object can be shared
+ * by many stages and streams.
+ */
+class Distribution {
+  public:
+    virtual ~Distribution() = default;
+
+    /** Draws one sample using @p rng. */
+    virtual double sample(Rng& rng) const = 0;
+
+    /** Analytic (or empirical) mean of the distribution. */
+    virtual double mean() const = 0;
+
+    /** Short human-readable description, e.g. "exp(mean=0.001)". */
+    virtual std::string describe() const = 0;
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace random
+}  // namespace uqsim
+
+#endif  // UQSIM_RANDOM_DISTRIBUTION_H_

@@ -1,0 +1,127 @@
+#include "uqsim/random/distribution_factory.h"
+
+#include <array>
+
+#include "uqsim/random/distributions.h"
+#include "uqsim/random/histogram_distribution.h"
+
+namespace uqsim {
+namespace random {
+
+using json::JsonArray;
+using json::JsonError;
+using json::JsonValue;
+
+DistributionPtr
+makeDistribution(const JsonValue& spec)
+{
+    if (spec.isNumber()) {
+        // A bare number is shorthand for a deterministic duration.
+        return std::make_shared<DeterministicDistribution>(spec.asDouble());
+    }
+    const std::string type = spec.at("type").asString();
+    if (type == "deterministic") {
+        return std::make_shared<DeterministicDistribution>(
+            spec.at("value").asDouble());
+    }
+    if (type == "uniform") {
+        return std::make_shared<UniformDistribution>(
+            spec.at("low").asDouble(), spec.at("high").asDouble());
+    }
+    if (type == "exponential") {
+        return std::make_shared<ExponentialDistribution>(
+            spec.at("mean").asDouble());
+    }
+    if (type == "lognormal") {
+        if (spec.contains("mean")) {
+            return LogNormalDistribution::fromMeanCv(
+                spec.at("mean").asDouble(), spec.at("cv").asDouble());
+        }
+        return std::make_shared<LogNormalDistribution>(
+            spec.at("mu").asDouble(), spec.at("sigma").asDouble());
+    }
+    if (type == "bounded_pareto") {
+        return std::make_shared<BoundedParetoDistribution>(
+            spec.at("scale").asDouble(), spec.at("shape").asDouble(),
+            spec.at("cap").asDouble());
+    }
+    if (type == "mixture") {
+        return std::make_shared<MixtureDistribution>(
+            makeDistribution(spec.at("a")), makeDistribution(spec.at("b")),
+            spec.at("p_b").asDouble());
+    }
+    if (type == "scaled") {
+        return std::make_shared<ScaledDistribution>(
+            makeDistribution(spec.at("base")),
+            spec.at("factor").asDouble());
+    }
+    if (type == "histogram_file") {
+        return HistogramDistribution::fromFile(
+            spec.at("path").asString());
+    }
+    if (type == "histogram") {
+        const JsonArray& rows = spec.at("bins").asArray();
+        std::vector<HistogramBin> bins;
+        bins.reserve(rows.size());
+        for (const JsonValue& row : rows) {
+            if (row.size() != 3) {
+                throw JsonError(
+                    "histogram bin must be [lower, upper, weight]");
+            }
+            bins.push_back({row.at(std::size_t{0}).asDouble(),
+                            row.at(std::size_t{1}).asDouble(),
+                            row.at(std::size_t{2}).asDouble()});
+        }
+        return std::make_shared<HistogramDistribution>(std::move(bins));
+    }
+    throw JsonError("unknown distribution type: \"" + type + "\"");
+}
+
+JsonValue
+exponentialSpec(double mean)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "exponential";
+    spec.asObject()["mean"] = mean;
+    return spec;
+}
+
+JsonValue
+deterministicSpec(double value)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "deterministic";
+    spec.asObject()["value"] = value;
+    return spec;
+}
+
+JsonValue
+lognormalMeanCvSpec(double mean, double cv)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "lognormal";
+    spec.asObject()["mean"] = mean;
+    spec.asObject()["cv"] = cv;
+    return spec;
+}
+
+JsonValue
+histogramSpec(const std::vector<std::array<double, 3>>& bins)
+{
+    JsonValue spec = JsonValue::makeObject();
+    spec.asObject()["type"] = "histogram";
+    JsonArray rows;
+    rows.reserve(bins.size());
+    for (const auto& bin : bins) {
+        JsonArray row;
+        row.emplace_back(bin[0]);
+        row.emplace_back(bin[1]);
+        row.emplace_back(bin[2]);
+        rows.emplace_back(std::move(row));
+    }
+    spec.asObject()["bins"] = JsonValue(std::move(rows));
+    return spec;
+}
+
+}  // namespace random
+}  // namespace uqsim

@@ -1,0 +1,51 @@
+#ifndef UQSIM_RANDOM_DISTRIBUTION_FACTORY_H_
+#define UQSIM_RANDOM_DISTRIBUTION_FACTORY_H_
+
+/**
+ * @file
+ * Builds Distribution objects from their JSON specification.
+ *
+ * The accepted shapes (all durations in seconds):
+ *
+ *   {"type": "deterministic", "value": 1e-5}
+ *   {"type": "uniform", "low": 1e-6, "high": 5e-6}
+ *   {"type": "exponential", "mean": 1e-3}
+ *   {"type": "lognormal", "mu": -9.2, "sigma": 0.5}
+ *   {"type": "lognormal", "mean": 2e-3, "cv": 1.5}
+ *   {"type": "bounded_pareto", "scale": 1e-5, "shape": 1.3, "cap": 1e-2}
+ *   {"type": "mixture", "a": {...}, "b": {...}, "p_b": 0.1}
+ *   {"type": "scaled", "base": {...}, "factor": 2.0}
+ *   {"type": "histogram",
+ *    "bins": [[lower, upper, weight], ...]}
+ *   {"type": "histogram_file", "path": "profiles/memcached_proc.hist"}
+ */
+
+#include <array>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+#include "uqsim/random/distribution.h"
+
+namespace uqsim {
+namespace random {
+
+/**
+ * Constructs the distribution described by @p spec.
+ *
+ * @throws json::JsonError on unknown type or missing fields;
+ *         std::invalid_argument on invalid parameter values.
+ */
+DistributionPtr makeDistribution(const json::JsonValue& spec);
+
+/** Serializes analytic distributions cannot be recovered generically,
+ *  but the factory helpers below build common specs. */
+json::JsonValue exponentialSpec(double mean);
+json::JsonValue deterministicSpec(double value);
+json::JsonValue lognormalMeanCvSpec(double mean, double cv);
+json::JsonValue histogramSpec(
+    const std::vector<std::array<double, 3>>& bins);
+
+}  // namespace random
+}  // namespace uqsim
+
+#endif  // UQSIM_RANDOM_DISTRIBUTION_FACTORY_H_

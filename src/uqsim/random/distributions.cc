@@ -1,0 +1,220 @@
+#include "uqsim/random/distributions.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+namespace random {
+
+namespace {
+
+std::string
+formatParams(const char* name, std::initializer_list<double> params)
+{
+    std::ostringstream out;
+    out << name << '(';
+    bool first = true;
+    for (double p : params) {
+        if (!first)
+            out << ", ";
+        first = false;
+        out << p;
+    }
+    out << ')';
+    return out.str();
+}
+
+}  // namespace
+
+DeterministicDistribution::DeterministicDistribution(double value)
+    : value_(value)
+{
+    if (value < 0.0)
+        throw std::invalid_argument("deterministic value must be >= 0");
+}
+
+double
+DeterministicDistribution::sample(Rng&) const
+{
+    return value_;
+}
+
+std::string
+DeterministicDistribution::describe() const
+{
+    return formatParams("det", {value_});
+}
+
+UniformDistribution::UniformDistribution(double low, double high)
+    : low_(low), high_(high)
+{
+    if (low < 0.0 || high < low)
+        throw std::invalid_argument("uniform requires 0 <= low <= high");
+}
+
+double
+UniformDistribution::sample(Rng& rng) const
+{
+    return low_ + (high_ - low_) * rng.nextDouble();
+}
+
+std::string
+UniformDistribution::describe() const
+{
+    return formatParams("uniform", {low_, high_});
+}
+
+ExponentialDistribution::ExponentialDistribution(double mean) : mean_(mean)
+{
+    if (mean <= 0.0)
+        throw std::invalid_argument("exponential mean must be > 0");
+}
+
+double
+ExponentialDistribution::sample(Rng& rng) const
+{
+    return -mean_ * std::log(rng.nextDoubleOpenLeft());
+}
+
+std::string
+ExponentialDistribution::describe() const
+{
+    return formatParams("exp", {mean_});
+}
+
+LogNormalDistribution::LogNormalDistribution(double mu, double sigma)
+    : mu_(mu), sigma_(sigma)
+{
+    if (sigma < 0.0)
+        throw std::invalid_argument("lognormal sigma must be >= 0");
+}
+
+std::shared_ptr<LogNormalDistribution>
+LogNormalDistribution::fromMeanCv(double mean, double cv)
+{
+    if (mean <= 0.0 || cv < 0.0) {
+        throw std::invalid_argument(
+            "lognormal fromMeanCv requires mean > 0 and cv >= 0");
+    }
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - 0.5 * sigma2;
+    return std::make_shared<LogNormalDistribution>(mu, std::sqrt(sigma2));
+}
+
+double
+LogNormalDistribution::sample(Rng& rng) const
+{
+    return std::exp(mu_ + sigma_ * rng.nextGaussian());
+}
+
+double
+LogNormalDistribution::mean() const
+{
+    return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+std::string
+LogNormalDistribution::describe() const
+{
+    return formatParams("lognormal", {mu_, sigma_});
+}
+
+BoundedParetoDistribution::BoundedParetoDistribution(double scale,
+                                                     double shape,
+                                                     double cap)
+    : scale_(scale), shape_(shape), cap_(cap)
+{
+    if (scale <= 0.0 || shape <= 0.0 || cap < scale) {
+        throw std::invalid_argument(
+            "bounded pareto requires scale > 0, shape > 0, cap >= scale");
+    }
+}
+
+double
+BoundedParetoDistribution::sample(Rng& rng) const
+{
+    // Inverse CDF of the bounded Pareto.
+    const double u = rng.nextDouble();
+    const double la = std::pow(scale_, shape_);
+    const double ha = std::pow(cap_, shape_);
+    const double x =
+        std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / shape_);
+    return x;
+}
+
+double
+BoundedParetoDistribution::mean() const
+{
+    if (shape_ == 1.0) {
+        return scale_ * cap_ / (cap_ - scale_) * std::log(cap_ / scale_);
+    }
+    const double la = std::pow(scale_, shape_);
+    const double ha = std::pow(cap_, shape_);
+    return la / (1.0 - la / ha) * (shape_ / (shape_ - 1.0)) *
+           (1.0 / std::pow(scale_, shape_ - 1.0) -
+            1.0 / std::pow(cap_, shape_ - 1.0));
+}
+
+std::string
+BoundedParetoDistribution::describe() const
+{
+    return formatParams("bounded_pareto", {scale_, shape_, cap_});
+}
+
+MixtureDistribution::MixtureDistribution(DistributionPtr a,
+                                         DistributionPtr b, double p_b)
+    : a_(std::move(a)), b_(std::move(b)), pB_(p_b)
+{
+    if (!a_ || !b_)
+        throw std::invalid_argument("mixture components must be non-null");
+    if (p_b < 0.0 || p_b > 1.0)
+        throw std::invalid_argument("mixture probability must be in [0,1]");
+}
+
+double
+MixtureDistribution::sample(Rng& rng) const
+{
+    return rng.nextBool(pB_) ? b_->sample(rng) : a_->sample(rng);
+}
+
+double
+MixtureDistribution::mean() const
+{
+    return (1.0 - pB_) * a_->mean() + pB_ * b_->mean();
+}
+
+std::string
+MixtureDistribution::describe() const
+{
+    std::ostringstream out;
+    out << "mixture(" << a_->describe() << ", " << b_->describe()
+        << ", p_b=" << pB_ << ')';
+    return out.str();
+}
+
+ScaledDistribution::ScaledDistribution(DistributionPtr base, double factor)
+    : base_(std::move(base)), factor_(factor)
+{
+    if (!base_)
+        throw std::invalid_argument("scaled base must be non-null");
+    if (factor < 0.0)
+        throw std::invalid_argument("scale factor must be >= 0");
+}
+
+double
+ScaledDistribution::sample(Rng& rng) const
+{
+    return base_->sample(rng) * factor_;
+}
+
+std::string
+ScaledDistribution::describe() const
+{
+    std::ostringstream out;
+    out << "scaled(" << base_->describe() << ", x" << factor_ << ')';
+    return out.str();
+}
+
+}  // namespace random
+}  // namespace uqsim

@@ -1,0 +1,145 @@
+#ifndef UQSIM_RANDOM_DISTRIBUTIONS_H_
+#define UQSIM_RANDOM_DISTRIBUTIONS_H_
+
+/**
+ * @file
+ * Closed-form distributions used for service times and inter-arrival
+ * times: deterministic, uniform, exponential, log-normal, shifted and
+ * bounded Pareto, and a two-point "bimodal" mixture used to model
+ * slow-server / hiccup behavior.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/random/distribution.h"
+
+namespace uqsim {
+namespace random {
+
+/** Always returns the same value. */
+class DeterministicDistribution : public Distribution {
+  public:
+    explicit DeterministicDistribution(double value);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return value_; }
+    std::string describe() const override;
+
+  private:
+    double value_;
+};
+
+/** Uniform on [low, high). */
+class UniformDistribution : public Distribution {
+  public:
+    UniformDistribution(double low, double high);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return 0.5 * (low_ + high_); }
+    std::string describe() const override;
+
+  private:
+    double low_;
+    double high_;
+};
+
+/** Exponential with the given mean (rate = 1/mean). */
+class ExponentialDistribution : public Distribution {
+  public:
+    explicit ExponentialDistribution(double mean);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+
+  private:
+    double mean_;
+};
+
+/** Log-normal parameterized by the mean and sigma of log-space. */
+class LogNormalDistribution : public Distribution {
+  public:
+    /**
+     * @param mu     mean of ln(X)
+     * @param sigma  standard deviation of ln(X); must be >= 0
+     */
+    LogNormalDistribution(double mu, double sigma);
+
+    /** Convenience: choose (mu, sigma) to hit a target mean with the
+     *  given coefficient of variation. */
+    static std::shared_ptr<LogNormalDistribution>
+    fromMeanCv(double mean, double cv);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+    double mu() const { return mu_; }
+    double sigma() const { return sigma_; }
+
+  private:
+    double mu_;
+    double sigma_;
+};
+
+/** Pareto with scale x_m and shape alpha, truncated at @p cap. */
+class BoundedParetoDistribution : public Distribution {
+  public:
+    BoundedParetoDistribution(double scale, double shape, double cap);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    double scale_;
+    double shape_;
+    double cap_;
+};
+
+/**
+ * Mixture of two component distributions; component B is chosen with
+ * probability @p p_b.  Used e.g. for "90 % fast path / 10 % slow
+ * path" service behavior when a full path split is overkill.
+ */
+class MixtureDistribution : public Distribution {
+  public:
+    MixtureDistribution(DistributionPtr a, DistributionPtr b, double p_b);
+
+    double sample(Rng& rng) const override;
+    double mean() const override;
+    std::string describe() const override;
+
+  private:
+    DistributionPtr a_;
+    DistributionPtr b_;
+    double pB_;
+};
+
+/**
+ * A base distribution multiplied by a constant factor.  The DVFS
+ * model wraps stage distributions this way when per-frequency
+ * histograms are not provided.
+ */
+class ScaledDistribution : public Distribution {
+  public:
+    ScaledDistribution(DistributionPtr base, double factor);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return base_->mean() * factor_; }
+    std::string describe() const override;
+
+    double factor() const { return factor_; }
+    const DistributionPtr& base() const { return base_; }
+
+  private:
+    DistributionPtr base_;
+    double factor_;
+};
+
+}  // namespace random
+}  // namespace uqsim
+
+#endif  // UQSIM_RANDOM_DISTRIBUTIONS_H_

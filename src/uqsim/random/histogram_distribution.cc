@@ -1,0 +1,163 @@
+#include "uqsim/random/histogram_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+namespace random {
+
+HistogramDistribution::HistogramDistribution(std::vector<HistogramBin> bins)
+    : bins_(std::move(bins))
+{
+    if (bins_.empty())
+        throw std::invalid_argument("histogram requires at least one bin");
+    double cumulative = 0.0;
+    double weighted_sum = 0.0;
+    double previous_upper = -1.0;
+    cumulative_.reserve(bins_.size());
+    for (const HistogramBin& bin : bins_) {
+        if (bin.lower < 0.0 || bin.upper < bin.lower) {
+            throw std::invalid_argument(
+                "histogram bin edges must satisfy 0 <= lower <= upper");
+        }
+        if (bin.lower < previous_upper) {
+            throw std::invalid_argument(
+                "histogram bins must be sorted and non-overlapping");
+        }
+        if (bin.weight < 0.0)
+            throw std::invalid_argument("histogram weight must be >= 0");
+        previous_upper = bin.upper;
+        cumulative += bin.weight;
+        cumulative_.push_back(cumulative);
+        weighted_sum += bin.weight * 0.5 * (bin.lower + bin.upper);
+    }
+    totalWeight_ = cumulative;
+    if (totalWeight_ <= 0.0)
+        throw std::invalid_argument("histogram total weight must be > 0");
+    for (double& c : cumulative_)
+        c /= totalWeight_;
+    mean_ = weighted_sum / totalWeight_;
+}
+
+std::shared_ptr<HistogramDistribution>
+HistogramDistribution::fromSamples(const std::vector<double>& samples,
+                                   int bin_count)
+{
+    if (samples.empty())
+        throw std::invalid_argument("fromSamples requires samples");
+    if (bin_count <= 0)
+        throw std::invalid_argument("fromSamples requires bin_count > 0");
+    const auto [min_it, max_it] =
+        std::minmax_element(samples.begin(), samples.end());
+    double lo = *min_it;
+    double hi = *max_it;
+    if (hi <= lo)
+        hi = lo + 1e-12;  // all samples equal: single degenerate bin
+    const double width = (hi - lo) / bin_count;
+    std::vector<HistogramBin> bins(static_cast<std::size_t>(bin_count));
+    for (int i = 0; i < bin_count; ++i) {
+        bins[static_cast<std::size_t>(i)] = {lo + i * width,
+                                             lo + (i + 1) * width, 0.0};
+    }
+    for (double sample : samples) {
+        int index = static_cast<int>((sample - lo) / width);
+        index = std::clamp(index, 0, bin_count - 1);
+        bins[static_cast<std::size_t>(index)].weight += 1.0;
+    }
+    // Remove empty leading/trailing mass is unnecessary: zero-weight
+    // bins are legal and never selected.
+    return std::make_shared<HistogramDistribution>(std::move(bins));
+}
+
+std::shared_ptr<HistogramDistribution>
+HistogramDistribution::fromFile(const std::string& path)
+{
+    std::ifstream stream(path);
+    if (!stream)
+        throw std::runtime_error("cannot open histogram file: " + path);
+    std::vector<HistogramBin> bins;
+    std::string line;
+    int line_number = 0;
+    while (std::getline(stream, line)) {
+        ++line_number;
+        const auto first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#')
+            continue;
+        std::istringstream fields(line);
+        HistogramBin bin;
+        if (!(fields >> bin.lower >> bin.upper >> bin.weight)) {
+            throw std::runtime_error(
+                path + ":" + std::to_string(line_number) +
+                ": expected \"<lower> <upper> <weight>\"");
+        }
+        bins.push_back(bin);
+    }
+    std::sort(bins.begin(), bins.end(),
+              [](const HistogramBin& a, const HistogramBin& b) {
+                  return a.lower < b.lower;
+              });
+    return std::make_shared<HistogramDistribution>(std::move(bins));
+}
+
+double
+HistogramDistribution::sample(Rng& rng) const
+{
+    const double u = rng.nextDouble();
+    const auto it =
+        std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    std::size_t index =
+        std::min(static_cast<std::size_t>(it - cumulative_.begin()),
+                 bins_.size() - 1);
+    const HistogramBin& bin = bins_[index];
+    // Uniform interpolation within the selected bin.
+    const double prev = index == 0 ? 0.0 : cumulative_[index - 1];
+    const double span = cumulative_[index] - prev;
+    const double frac = span > 0.0 ? (u - prev) / span : rng.nextDouble();
+    return bin.lower + frac * (bin.upper - bin.lower);
+}
+
+double
+HistogramDistribution::cdf(double x) const
+{
+    double acc = 0.0;
+    for (const HistogramBin& bin : bins_) {
+        if (x >= bin.upper) {
+            acc += bin.weight;
+        } else if (x > bin.lower) {
+            const double width = bin.upper - bin.lower;
+            const double frac = width > 0.0 ? (x - bin.lower) / width : 1.0;
+            acc += bin.weight * frac;
+            break;
+        } else {
+            break;
+        }
+    }
+    return acc / totalWeight_;
+}
+
+std::shared_ptr<HistogramDistribution>
+HistogramDistribution::scaled(double factor) const
+{
+    if (factor < 0.0)
+        throw std::invalid_argument("histogram scale must be >= 0");
+    std::vector<HistogramBin> scaled_bins = bins_;
+    for (HistogramBin& bin : scaled_bins) {
+        bin.lower *= factor;
+        bin.upper *= factor;
+    }
+    return std::make_shared<HistogramDistribution>(std::move(scaled_bins));
+}
+
+std::string
+HistogramDistribution::describe() const
+{
+    std::ostringstream out;
+    out << "histogram(bins=" << bins_.size() << ", mean=" << mean_ << ')';
+    return out.str();
+}
+
+}  // namespace random
+}  // namespace uqsim

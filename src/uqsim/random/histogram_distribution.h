@@ -1,0 +1,82 @@
+#ifndef UQSIM_RANDOM_HISTOGRAM_DISTRIBUTION_H_
+#define UQSIM_RANDOM_HISTOGRAM_DISTRIBUTION_H_
+
+/**
+ * @file
+ * Empirical (histogram) distributions.
+ *
+ * The paper drives each execution stage with a processing-time PDF
+ * collected by profiling the real application (Table I, "histograms"
+ * input).  A HistogramDistribution holds such a PDF as a set of bins
+ * with weights and samples by inverse-CDF with uniform interpolation
+ * inside the selected bin.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/random/distribution.h"
+
+namespace uqsim {
+namespace random {
+
+/** One histogram bin: values in [lower, upper) carrying @p weight. */
+struct HistogramBin {
+    double lower = 0.0;
+    double upper = 0.0;
+    double weight = 0.0;
+};
+
+/** Empirical distribution over histogram bins. */
+class HistogramDistribution : public Distribution {
+  public:
+    /**
+     * @param bins  non-empty, non-overlapping, sorted by lower edge,
+     *              each with non-negative weight; total weight > 0.
+     * @throws std::invalid_argument when the bins are malformed.
+     */
+    explicit HistogramDistribution(std::vector<HistogramBin> bins);
+
+    /**
+     * Builds a histogram from raw profiled samples using
+     * equal-width bins.
+     */
+    static std::shared_ptr<HistogramDistribution>
+    fromSamples(const std::vector<double>& samples, int bin_count);
+
+    /**
+     * Loads a profiled histogram from a text file: one
+     * "<lower> <upper> <weight>" triple per line; blank lines and
+     * lines starting with '#' are ignored.  This is the paper's
+     * Table I "histograms" input (processing-time PDF per
+     * microservice collected by instrumenting the application).
+     *
+     * @throws std::runtime_error when the file cannot be read or a
+     *         line is malformed.
+     */
+    static std::shared_ptr<HistogramDistribution>
+    fromFile(const std::string& path);
+
+    double sample(Rng& rng) const override;
+    double mean() const override { return mean_; }
+    std::string describe() const override;
+
+    const std::vector<HistogramBin>& bins() const { return bins_; }
+
+    /** Empirical CDF evaluated at @p x. */
+    double cdf(double x) const;
+
+    /** Returns a copy with every bin edge multiplied by @p factor. */
+    std::shared_ptr<HistogramDistribution> scaled(double factor) const;
+
+  private:
+    std::vector<HistogramBin> bins_;
+    std::vector<double> cumulative_;  // normalized cumulative weights
+    double mean_ = 0.0;
+    double totalWeight_ = 0.0;
+};
+
+}  // namespace random
+}  // namespace uqsim
+
+#endif  // UQSIM_RANDOM_HISTOGRAM_DISTRIBUTION_H_

@@ -1,0 +1,130 @@
+#include "uqsim/random/rng.h"
+
+#include <cmath>
+
+namespace uqsim {
+namespace random {
+
+std::uint64_t
+splitmix64(std::uint64_t& state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t sm = seed;
+    for (auto& word : state_)
+        word = splitmix64(sm);
+    // xoshiro must not start from the all-zero state; SplitMix64 of
+    // any seed cannot produce four zero words, but guard anyway.
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0)
+        state_[0] = 0x9E3779B97F4A7C15ULL;
+}
+
+std::uint64_t
+Rng::nextU64()
+{
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(nextU64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextDoubleOpenLeft()
+{
+    return 1.0 - nextDouble();
+}
+
+std::uint64_t
+Rng::nextBounded(std::uint64_t bound)
+{
+    if (bound <= 1)
+        return 0;
+    // Rejection sampling on the top of the range to avoid modulo bias.
+    const std::uint64_t threshold = (0ULL - bound) % bound;
+    while (true) {
+        std::uint64_t value = nextU64();
+        if (value >= threshold)
+            return value % bound;
+    }
+}
+
+bool
+Rng::nextBool(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return nextDouble() < p;
+}
+
+double
+Rng::nextGaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = 2.0 * nextDouble() - 1.0;
+        v = 2.0 * nextDouble() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * factor;
+    hasSpareGaussian_ = true;
+    return u * factor;
+}
+
+std::uint64_t
+RngStream::deriveSeed(std::uint64_t master_seed, std::string_view label)
+{
+    // FNV-1a over the label folded with the master seed through
+    // SplitMix64.  Stable across platforms.
+    std::uint64_t hash = 0xCBF29CE484222325ULL;
+    for (char c : label) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001B3ULL;
+    }
+    std::uint64_t state = master_seed ^ hash;
+    std::uint64_t derived = splitmix64(state);
+    return splitmix64(state) ^ derived;
+}
+
+RngStream::RngStream(std::uint64_t master_seed, std::string_view label)
+    : Rng(deriveSeed(master_seed, label)),
+      label_(label),
+      derivedSeed_(deriveSeed(master_seed, label))
+{
+}
+
+}  // namespace random
+}  // namespace uqsim

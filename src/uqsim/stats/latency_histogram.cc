@@ -1,0 +1,157 @@
+#include "uqsim/stats/latency_histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+namespace stats {
+
+LatencyHistogram::LatencyHistogram(double unit, int sub_bucket_bits)
+    : unit_(unit), subBucketBits_(sub_bucket_bits),
+      subBucketCount_(1ULL << sub_bucket_bits)
+{
+    if (unit <= 0.0)
+        throw std::invalid_argument("histogram unit must be > 0");
+    if (sub_bucket_bits < 1 || sub_bucket_bits > 20)
+        throw std::invalid_argument("sub_bucket_bits must be in [1, 20]");
+}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t quantized) const
+{
+    if (quantized < subBucketCount_)
+        return static_cast<std::size_t>(quantized);
+    // The leading range containing `quantized` starts at
+    // 2^(bits) where bits >= subBucketBits_.
+    const int bits = 63 - std::countl_zero(quantized);
+    const int shift = bits - subBucketBits_;
+    const std::uint64_t sub =
+        (quantized >> shift) - subBucketCount_;  // in [0, subBucketCount_)
+    const std::uint64_t range =
+        static_cast<std::uint64_t>(bits - subBucketBits_);
+    return static_cast<std::size_t>(subBucketCount_ +
+                                    range * subBucketCount_ + sub);
+}
+
+double
+LatencyHistogram::bucketMidpoint(std::size_t index) const
+{
+    if (index < subBucketCount_)
+        return (static_cast<double>(index) + 0.5) * unit_;
+    const std::uint64_t i = index - subBucketCount_;
+    const std::uint64_t range = i / subBucketCount_;
+    const std::uint64_t sub = i % subBucketCount_;
+    const int shift = static_cast<int>(range);
+    const double lower =
+        std::ldexp(static_cast<double>(subBucketCount_ + sub), shift);
+    const double width = std::ldexp(1.0, shift);
+    return (lower + 0.5 * width) * unit_;
+}
+
+void
+LatencyHistogram::add(double value)
+{
+    addN(value, 1);
+}
+
+void
+LatencyHistogram::addN(double value, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    value = std::max(value, 0.0);
+    const std::uint64_t quantized =
+        static_cast<std::uint64_t>(value / unit_);
+    const std::size_t index = bucketIndex(quantized);
+    if (index >= counts_.size())
+        counts_.resize(index + 1, 0);
+    counts_[index] += count;
+    totalCount_ += count;
+    sum_ += value * static_cast<double>(count);
+    if (!hasValues_) {
+        minValue_ = value;
+        maxValue_ = value;
+        hasValues_ = true;
+    } else {
+        minValue_ = std::min(minValue_, value);
+        maxValue_ = std::max(maxValue_, value);
+    }
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram& other)
+{
+    if (other.unit_ != unit_ || other.subBucketBits_ != subBucketBits_)
+        throw std::invalid_argument("cannot merge mismatched histograms");
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (std::size_t i = 0; i < other.counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    totalCount_ += other.totalCount_;
+    sum_ += other.sum_;
+    if (other.hasValues_) {
+        if (!hasValues_) {
+            minValue_ = other.minValue_;
+            maxValue_ = other.maxValue_;
+            hasValues_ = true;
+        } else {
+            minValue_ = std::min(minValue_, other.minValue_);
+            maxValue_ = std::max(maxValue_, other.maxValue_);
+        }
+    }
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return totalCount_ > 0 ? sum_ / static_cast<double>(totalCount_) : 0.0;
+}
+
+double
+LatencyHistogram::min() const
+{
+    return hasValues_ ? minValue_ : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double p) const
+{
+    if (totalCount_ == 0)
+        return 0.0;
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double target =
+        clamped / 100.0 * static_cast<double>(totalCount_);
+    std::uint64_t running = 0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        running += counts_[i];
+        if (static_cast<double>(running) >= target && counts_[i] > 0)
+            return bucketMidpoint(i);
+    }
+    return maxValue_;
+}
+
+void
+LatencyHistogram::reset()
+{
+    counts_.clear();
+    totalCount_ = 0;
+    sum_ = 0.0;
+    minValue_ = 0.0;
+    maxValue_ = 0.0;
+    hasValues_ = false;
+}
+
+std::string
+LatencyHistogram::describe() const
+{
+    std::ostringstream out;
+    out << "hist(n=" << totalCount_ << ", mean=" << mean()
+        << ", p99=" << percentile(99.0) << ", max=" << maxValue_ << ')';
+    return out.str();
+}
+
+}  // namespace stats
+}  // namespace uqsim

@@ -1,0 +1,74 @@
+#ifndef UQSIM_STATS_LATENCY_HISTOGRAM_H_
+#define UQSIM_STATS_LATENCY_HISTOGRAM_H_
+
+/**
+ * @file
+ * Log-bucketed latency histogram (HdrHistogram-style), used where the
+ * full-sample PercentileRecorder would be too memory hungry, e.g.
+ * per-stage latency tracking in very long power-management runs.
+ *
+ * Buckets have bounded relative error: each power-of-two range is
+ * divided into a fixed number of linear sub-buckets.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+namespace stats {
+
+/** Fixed-precision log-bucketed histogram of non-negative values. */
+class LatencyHistogram {
+  public:
+    /**
+     * @param unit              value granularity; values are quantized
+     *                          to multiples of this before bucketing
+     *                          (e.g. 1e-6 for microsecond precision
+     *                          when recording seconds)
+     * @param sub_bucket_bits   log2 of the linear sub-buckets per
+     *                          power-of-two range; relative error is
+     *                          bounded by 2^-sub_bucket_bits
+     */
+    explicit LatencyHistogram(double unit = 1e-6, int sub_bucket_bits = 7);
+
+    /** Records one value (clamped below at 0). */
+    void add(double value);
+
+    /** Records @p count occurrences of @p value. */
+    void addN(double value, std::uint64_t count);
+
+    /** Merges a histogram with identical parameters. */
+    void merge(const LatencyHistogram& other);
+
+    std::uint64_t count() const { return totalCount_; }
+    double mean() const;
+    double max() const { return maxValue_; }
+    double min() const;
+
+    /** Percentile in [0, 100] with bucket-midpoint resolution. */
+    double percentile(double p) const;
+
+    void reset();
+
+    std::string describe() const;
+
+  private:
+    std::size_t bucketIndex(std::uint64_t quantized) const;
+    double bucketMidpoint(std::size_t index) const;
+
+    double unit_;
+    int subBucketBits_;
+    std::uint64_t subBucketCount_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t totalCount_ = 0;
+    double sum_ = 0.0;
+    double maxValue_ = 0.0;
+    double minValue_ = 0.0;
+    bool hasValues_ = false;
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_LATENCY_HISTOGRAM_H_

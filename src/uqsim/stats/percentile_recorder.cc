@@ -1,0 +1,56 @@
+#include "uqsim/stats/percentile_recorder.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uqsim {
+namespace stats {
+
+void
+PercentileRecorder::add(double value)
+{
+    values_.push_back(value);
+    summary_.add(value);
+    sortedValid_ = false;
+}
+
+void
+PercentileRecorder::ensureSorted() const
+{
+    if (sortedValid_)
+        return;
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sortedValid_ = true;
+}
+
+double
+PercentileRecorder::percentile(double p) const
+{
+    if (values_.empty())
+        return 0.0;
+    ensureSorted();
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    // Linear interpolation between closest ranks (type-7 quantile,
+    // the numpy default).
+    const double rank =
+        clamped / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return sorted_[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+void
+PercentileRecorder::reset()
+{
+    values_.clear();
+    sorted_.clear();
+    sortedValid_ = false;
+    summary_.reset();
+}
+
+}  // namespace stats
+}  // namespace uqsim

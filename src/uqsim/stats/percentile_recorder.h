@@ -1,0 +1,68 @@
+#ifndef UQSIM_STATS_PERCENTILE_RECORDER_H_
+#define UQSIM_STATS_PERCENTILE_RECORDER_H_
+
+/**
+ * @file
+ * Exact-percentile latency recorder.
+ *
+ * Stores every observation and computes percentiles by sorting on
+ * demand (amortized: the sorted order is cached until the next add).
+ * Simulation runs record at most a few million latencies, so exact
+ * storage is cheap and avoids quantile-sketch error in validation
+ * figures.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+namespace stats {
+
+/** Records observations and answers exact percentile queries. */
+class PercentileRecorder {
+  public:
+    PercentileRecorder() = default;
+
+    /** Adds one observation. */
+    void add(double value);
+
+    /** Number of recorded observations. */
+    std::size_t count() const { return values_.size(); }
+    bool empty() const { return values_.empty(); }
+
+    /**
+     * Exact percentile with linear interpolation between order
+     * statistics; @p p is in [0, 100].  Returns 0 when empty.
+     */
+    double percentile(double p) const;
+
+    /** Convenience accessors. */
+    double p50() const { return percentile(50.0); }
+    double p95() const { return percentile(95.0); }
+    double p99() const { return percentile(99.0); }
+    double mean() const { return summary_.mean(); }
+    double max() const { return summary_.max(); }
+    double min() const { return summary_.min(); }
+    const Summary& summary() const { return summary_; }
+
+    /** Drops all observations. */
+    void reset();
+
+    /** Raw observations in insertion order. */
+    const std::vector<double>& values() const { return values_; }
+
+  private:
+    void ensureSorted() const;
+
+    std::vector<double> values_;
+    mutable std::vector<double> sorted_;
+    mutable bool sortedValid_ = false;
+    Summary summary_;
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_PERCENTILE_RECORDER_H_

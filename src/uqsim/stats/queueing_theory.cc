@@ -1,0 +1,121 @@
+#include "uqsim/stats/queueing_theory.h"
+
+#include <cmath>
+
+namespace uqsim {
+namespace stats {
+
+namespace {
+
+void
+checkRates(double lambda, double mu, int k)
+{
+    if (lambda < 0.0 || mu <= 0.0 || k <= 0)
+        throw std::invalid_argument(
+            "queueing formulas need lambda >= 0, mu > 0, k > 0");
+}
+
+void
+checkStable(double lambda, double mu, int k)
+{
+    checkRates(lambda, mu, k);
+    if (lambda >= k * mu)
+        throw std::invalid_argument(
+            "system is unstable: lambda >= k * mu");
+}
+
+}  // namespace
+
+double
+offeredLoadErlangs(double lambda, double mu)
+{
+    checkRates(lambda, mu, 1);
+    return lambda / mu;
+}
+
+double
+utilization(double lambda, double mu, int k)
+{
+    checkRates(lambda, mu, k);
+    return lambda / (k * mu);
+}
+
+double
+erlangC(double lambda, double mu, int k)
+{
+    checkStable(lambda, mu, k);
+    const double a = lambda / mu;
+    double factorial = 1.0;
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+        if (i > 0)
+            factorial *= i;
+        sum += std::pow(a, i) / factorial;
+    }
+    factorial *= (k > 1) ? k : 1;  // now k!
+    const double term = std::pow(a, k) / factorial * (k / (k - a));
+    return term / (sum + term);
+}
+
+double
+mmkMeanWait(double lambda, double mu, int k)
+{
+    checkStable(lambda, mu, k);
+    if (k == 1)
+        return lambda / (mu * (mu - lambda));
+    return erlangC(lambda, mu, k) / (k * mu - lambda);
+}
+
+double
+mmkMeanSojourn(double lambda, double mu, int k)
+{
+    return mmkMeanWait(lambda, mu, k) + 1.0 / mu;
+}
+
+double
+mm1MeanJobs(double lambda, double mu)
+{
+    checkStable(lambda, mu, 1);
+    const double rho = lambda / mu;
+    return rho / (1.0 - rho);
+}
+
+double
+mm1SojournQuantile(double lambda, double mu, double p)
+{
+    checkStable(lambda, mu, 1);
+    if (p <= 0.0 || p >= 1.0)
+        throw std::invalid_argument("quantile must be in (0, 1)");
+    return -std::log(1.0 - p) / (mu - lambda);
+}
+
+double
+mg1MeanWait(double lambda, double service_mean, double service_scv)
+{
+    if (service_mean <= 0.0 || service_scv < 0.0)
+        throw std::invalid_argument(
+            "M/G/1 needs service_mean > 0 and scv >= 0");
+    checkStable(lambda, 1.0 / service_mean, 1);
+    const double rho = lambda * service_mean;
+    return rho * service_mean * (1.0 + service_scv) /
+           (2.0 * (1.0 - rho));
+}
+
+double
+mg1MeanSojourn(double lambda, double service_mean, double service_scv)
+{
+    return mg1MeanWait(lambda, service_mean, service_scv) +
+           service_mean;
+}
+
+double
+fanoutHitProbability(double slow_fraction, int fanout)
+{
+    if (slow_fraction < 0.0 || slow_fraction > 1.0 || fanout < 0)
+        throw std::invalid_argument(
+            "hit probability needs fraction in [0,1], fanout >= 0");
+    return 1.0 - std::pow(1.0 - slow_fraction, fanout);
+}
+
+}  // namespace stats
+}  // namespace uqsim

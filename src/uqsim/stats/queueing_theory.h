@@ -1,0 +1,74 @@
+#ifndef UQSIM_STATS_QUEUEING_THEORY_H_
+#define UQSIM_STATS_QUEUEING_THEORY_H_
+
+/**
+ * @file
+ * Closed-form queueing-theory results.
+ *
+ * The paper's core insight is that single-concerned microservices
+ * conform to the principles of queueing theory; these analytic
+ * results are the ground truth the simulator is validated against
+ * (M/M/1, M/M/k via Erlang-C, M/G/1 via Pollaczek-Khinchine) and the
+ * quick estimators a capacity-planning user reaches for before
+ * running a full simulation.
+ *
+ * Conventions: lambda = arrival rate (per second), mu = per-server
+ * service rate, k = servers, rho = lambda / (k * mu) must be < 1.
+ */
+
+#include <stdexcept>
+
+namespace uqsim {
+namespace stats {
+
+/** Offered load in Erlangs: lambda / mu. */
+double offeredLoadErlangs(double lambda, double mu);
+
+/** Utilization rho = lambda / (k * mu); throws unless 0 <= rho. */
+double utilization(double lambda, double mu, int k);
+
+/**
+ * Erlang-C: probability an arriving M/M/k job must queue.
+ * Requires rho < 1.
+ */
+double erlangC(double lambda, double mu, int k);
+
+/** Mean wait in queue (excluding service) of an M/M/k system. */
+double mmkMeanWait(double lambda, double mu, int k);
+
+/** Mean sojourn time (wait + service) of an M/M/k system. */
+double mmkMeanSojourn(double lambda, double mu, int k);
+
+/** Mean number of jobs in an M/M/1 system: rho / (1 - rho). */
+double mm1MeanJobs(double lambda, double mu);
+
+/**
+ * The @p p quantile (0 < p < 1) of the M/M/1 sojourn time, which is
+ * exponential with rate (mu - lambda):  -ln(1-p) / (mu - lambda).
+ */
+double mm1SojournQuantile(double lambda, double mu, double p);
+
+/**
+ * Pollaczek-Khinchine: mean wait in queue of an M/G/1 system with
+ * service mean @p service_mean and squared coefficient of variation
+ * @p service_scv (= variance / mean^2; 1 for exponential, 0 for
+ * deterministic).
+ */
+double mg1MeanWait(double lambda, double service_mean,
+                   double service_scv);
+
+/** Mean sojourn time of an M/G/1 system (PK wait + service). */
+double mg1MeanSojourn(double lambda, double service_mean,
+                      double service_scv);
+
+/**
+ * Tail-at-scale hit probability: chance that a request fanning out
+ * to @p fanout servers touches at least one of the slow fraction
+ * @p slow_fraction — 1 - (1 - p)^N (Dean & Barroso).
+ */
+double fanoutHitProbability(double slow_fraction, int fanout);
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_QUEUEING_THEORY_H_

@@ -1,0 +1,83 @@
+#include "uqsim/stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace uqsim {
+namespace stats {
+
+void
+Summary::add(double value)
+{
+    ++count_;
+    const double delta = value - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (value - mean_);
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Summary::merge(const Summary& other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double n_a = static_cast<double>(count_);
+    const double n_b = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n_a + n_b;
+    mean_ += delta * n_b / total;
+    m2_ += other.m2_ + delta * delta * n_a * n_b / total;
+    count_ += other.count_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Summary::reset()
+{
+    *this = Summary();
+}
+
+double
+Summary::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Summary::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Summary::min() const
+{
+    return count_ > 0 ? min_ : 0.0;
+}
+
+double
+Summary::max() const
+{
+    return count_ > 0 ? max_ : 0.0;
+}
+
+std::string
+Summary::describe() const
+{
+    std::ostringstream out;
+    out << "n=" << count_ << " mean=" << mean() << " sd=" << stddev()
+        << " [" << min() << ", " << max() << "]";
+    return out.str();
+}
+
+}  // namespace stats
+}  // namespace uqsim

@@ -1,0 +1,54 @@
+#ifndef UQSIM_STATS_SUMMARY_H_
+#define UQSIM_STATS_SUMMARY_H_
+
+/**
+ * @file
+ * Streaming summary statistics (count / mean / variance / min / max)
+ * using Welford's numerically stable online algorithm.
+ */
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace uqsim {
+namespace stats {
+
+/** Online count/mean/variance/min/max accumulator. */
+class Summary {
+  public:
+    Summary() = default;
+
+    /** Adds one observation. */
+    void add(double value);
+
+    /** Merges another summary into this one. */
+    void merge(const Summary& other);
+
+    /** Clears all accumulated state. */
+    void reset();
+
+    std::uint64_t count() const { return count_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    /** Sample variance (n-1 denominator); 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return count_ > 0 ? mean_ * count_ : 0.0; }
+
+    /** One-line rendering, e.g. "n=100 mean=1.2 sd=0.3 [0.5, 3.1]". */
+    std::string describe() const;
+
+  private:
+    std::uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_SUMMARY_H_

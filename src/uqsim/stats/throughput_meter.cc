@@ -1,0 +1,73 @@
+#include "uqsim/stats/throughput_meter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace stats {
+
+ThroughputMeter::ThroughputMeter(double bucket_width)
+    : bucketWidth_(bucket_width)
+{
+    if (bucket_width < 0.0)
+        throw std::invalid_argument("bucket width must be >= 0");
+}
+
+void
+ThroughputMeter::record(double time)
+{
+    if (!hasEvents_) {
+        firstTime_ = time;
+        hasEvents_ = true;
+    }
+    lastTime_ = time;
+    ++count_;
+    if (bucketWidth_ > 0.0 && time >= 0.0) {
+        const std::size_t bucket =
+            static_cast<std::size_t>(time / bucketWidth_);
+        if (bucket >= bucketCounts_.size())
+            bucketCounts_.resize(bucket + 1, 0);
+        ++bucketCounts_[bucket];
+    }
+}
+
+double
+ThroughputMeter::overallRate() const
+{
+    if (count_ < 2 || lastTime_ <= firstTime_)
+        return 0.0;
+    return static_cast<double>(count_ - 1) / (lastTime_ - firstTime_);
+}
+
+double
+ThroughputMeter::rateOver(double t0, double t1) const
+{
+    if (t1 <= t0 || bucketWidth_ <= 0.0)
+        return 0.0;
+    double events = 0.0;
+    for (std::size_t i = 0; i < bucketCounts_.size(); ++i) {
+        const double lo = static_cast<double>(i) * bucketWidth_;
+        const double hi = lo + bucketWidth_;
+        const double overlap =
+            std::max(0.0, std::min(hi, t1) - std::max(lo, t0));
+        events += static_cast<double>(bucketCounts_[i]) *
+                  (overlap / bucketWidth_);
+    }
+    return events / (t1 - t0);
+}
+
+const std::vector<double>&
+ThroughputMeter::bucketRates() const
+{
+    rates_.assign(bucketCounts_.size(), 0.0);
+    if (bucketWidth_ > 0.0) {
+        for (std::size_t i = 0; i < bucketCounts_.size(); ++i) {
+            rates_[i] =
+                static_cast<double>(bucketCounts_[i]) / bucketWidth_;
+        }
+    }
+    return rates_;
+}
+
+}  // namespace stats
+}  // namespace uqsim

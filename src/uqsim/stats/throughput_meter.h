@@ -1,0 +1,53 @@
+#ifndef UQSIM_STATS_THROUGHPUT_METER_H_
+#define UQSIM_STATS_THROUGHPUT_METER_H_
+
+/**
+ * @file
+ * Completion-rate meter.  Counts completion events and reports
+ * throughput over the measurement interval, with optional fixed-size
+ * bucketing for throughput-over-time series.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace uqsim {
+namespace stats {
+
+/** Counts events and reports rates. */
+class ThroughputMeter {
+  public:
+    /**
+     * @param bucket_width  width (in seconds) of the per-bucket rate
+     *                      series; 0 disables bucketing
+     */
+    explicit ThroughputMeter(double bucket_width = 0.0);
+
+    /** Registers one completion at time @p time (seconds). */
+    void record(double time);
+
+    std::uint64_t count() const { return count_; }
+
+    /** Overall rate between the first and last recorded events. */
+    double overallRate() const;
+
+    /** Rate over an explicit interval [t0, t1]. */
+    double rateOver(double t0, double t1) const;
+
+    /** Per-bucket rates (events per second in each bucket). */
+    const std::vector<double>& bucketRates() const;
+
+  private:
+    double bucketWidth_;
+    std::uint64_t count_ = 0;
+    double firstTime_ = 0.0;
+    double lastTime_ = 0.0;
+    bool hasEvents_ = false;
+    mutable std::vector<double> rates_;
+    std::vector<std::uint64_t> bucketCounts_;
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_THROUGHPUT_METER_H_

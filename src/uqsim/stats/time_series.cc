@@ -1,0 +1,58 @@
+#include "uqsim/stats/time_series.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace uqsim {
+namespace stats {
+
+TimeSeries::TimeSeries(std::string name) : name_(std::move(name)) {}
+
+void
+TimeSeries::add(double time, double value)
+{
+    points_.push_back({time, value});
+}
+
+double
+TimeSeries::lastValue(double fallback) const
+{
+    return points_.empty() ? fallback : points_.back().value;
+}
+
+double
+TimeSeries::valueAt(double time, double fallback) const
+{
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), time,
+        [](double t, const TimePoint& p) { return t < p.time; });
+    if (it == points_.begin())
+        return fallback;
+    return std::prev(it)->value;
+}
+
+double
+TimeSeries::meanOver(double t0, double t1) const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const TimePoint& point : points_) {
+        if (point.time >= t0 && point.time < t1) {
+            sum += point.value;
+            ++n;
+        }
+    }
+    return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+std::string
+TimeSeries::toText() const
+{
+    std::ostringstream out;
+    for (const TimePoint& point : points_)
+        out << point.time << ' ' << point.value << '\n';
+    return out.str();
+}
+
+}  // namespace stats
+}  // namespace uqsim

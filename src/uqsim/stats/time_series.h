@@ -1,0 +1,60 @@
+#ifndef UQSIM_STATS_TIME_SERIES_H_
+#define UQSIM_STATS_TIME_SERIES_H_
+
+/**
+ * @file
+ * Timestamped sample recorder for producing figure series (tail
+ * latency over time, frequency settings over time, offered load over
+ * time, ...).
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+namespace stats {
+
+/** One (time, value) sample. */
+struct TimePoint {
+    double time = 0.0;
+    double value = 0.0;
+};
+
+/** Append-only series of timestamped values. */
+class TimeSeries {
+  public:
+    explicit TimeSeries(std::string name = "");
+
+    void add(double time, double value);
+
+    const std::string& name() const { return name_; }
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    const std::vector<TimePoint>& points() const { return points_; }
+
+    /** Last recorded value, or @p fallback when empty. */
+    double lastValue(double fallback = 0.0) const;
+
+    /**
+     * Value in effect at @p time under zero-order hold (the most
+     * recent sample at or before @p time); @p fallback before the
+     * first sample.  Requires samples appended in time order.
+     */
+    double valueAt(double time, double fallback = 0.0) const;
+
+    /** Mean of values whose time lies in [t0, t1). */
+    double meanOver(double t0, double t1) const;
+
+    /** Renders "time value" rows, one per line. */
+    std::string toText() const;
+
+  private:
+    std::string name_;
+    std::vector<TimePoint> points_;
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_TIME_SERIES_H_

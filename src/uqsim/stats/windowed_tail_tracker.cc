@@ -1,0 +1,66 @@
+#include "uqsim/stats/windowed_tail_tracker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace uqsim {
+namespace stats {
+
+namespace {
+
+double
+interpolatedPercentile(const std::vector<double>& sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return sorted[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+void
+WindowedTailTracker::add(double value)
+{
+    window_.push_back(value);
+}
+
+WindowStats
+WindowedTailTracker::computeStats(std::vector<double> samples)
+{
+    WindowStats stats;
+    if (samples.empty())
+        return stats;
+    stats.count = samples.size();
+    stats.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+                 static_cast<double>(samples.size());
+    std::sort(samples.begin(), samples.end());
+    stats.p50 = interpolatedPercentile(samples, 50.0);
+    stats.p95 = interpolatedPercentile(samples, 95.0);
+    stats.p99 = interpolatedPercentile(samples, 99.0);
+    stats.max = samples.back();
+    return stats;
+}
+
+WindowStats
+WindowedTailTracker::close()
+{
+    WindowStats stats = computeStats(std::move(window_));
+    window_.clear();
+    return stats;
+}
+
+WindowStats
+WindowedTailTracker::peek() const
+{
+    return computeStats(window_);
+}
+
+}  // namespace stats
+}  // namespace uqsim

@@ -1,0 +1,59 @@
+#ifndef UQSIM_STATS_WINDOWED_TAIL_TRACKER_H_
+#define UQSIM_STATS_WINDOWED_TAIL_TRACKER_H_
+
+/**
+ * @file
+ * Tumbling-window tail-latency tracker.
+ *
+ * The power manager (Algorithm 1) makes decisions every interval
+ * based on the tail latency observed *within* that interval.  The
+ * tracker accumulates observations for the current window; closing a
+ * window returns its statistics and starts a fresh one.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace uqsim {
+namespace stats {
+
+/** Statistics of one closed window. */
+struct WindowStats {
+    std::size_t count = 0;
+    double mean = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    double max = 0.0;
+};
+
+/** Accumulates samples in a tumbling window. */
+class WindowedTailTracker {
+  public:
+    WindowedTailTracker() = default;
+
+    /** Adds an observation to the current window. */
+    void add(double value);
+
+    /** Number of samples in the open window. */
+    std::size_t pending() const { return window_.size(); }
+
+    /**
+     * Closes the current window, returning its stats, and starts a
+     * new one.  An empty window yields all-zero stats.
+     */
+    WindowStats close();
+
+    /** Peeks at the open window's stats without closing it. */
+    WindowStats peek() const;
+
+  private:
+    static WindowStats computeStats(std::vector<double> samples);
+
+    std::vector<double> window_;
+};
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_WINDOWED_TAIL_TRACKER_H_

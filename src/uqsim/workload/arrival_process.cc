@@ -1,0 +1,47 @@
+#include "uqsim/workload/arrival_process.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace workload {
+
+std::shared_ptr<ArrivalProcess>
+ArrivalProcess::fromName(const std::string& name)
+{
+    if (name == "poisson")
+        return std::make_shared<PoissonArrivals>();
+    if (name == "deterministic")
+        return std::make_shared<DeterministicArrivals>();
+    if (name == "uniform")
+        return std::make_shared<UniformArrivals>();
+    throw std::invalid_argument("unknown arrival process: \"" + name +
+                                "\"");
+}
+
+double
+PoissonArrivals::nextGap(double rate_qps, random::Rng& rng) const
+{
+    if (rate_qps <= 0.0)
+        throw std::invalid_argument("arrival rate must be > 0");
+    return -std::log(rng.nextDoubleOpenLeft()) / rate_qps;
+}
+
+double
+DeterministicArrivals::nextGap(double rate_qps, random::Rng&) const
+{
+    if (rate_qps <= 0.0)
+        throw std::invalid_argument("arrival rate must be > 0");
+    return 1.0 / rate_qps;
+}
+
+double
+UniformArrivals::nextGap(double rate_qps, random::Rng& rng) const
+{
+    if (rate_qps <= 0.0)
+        throw std::invalid_argument("arrival rate must be > 0");
+    return 2.0 * rng.nextDouble() / rate_qps;
+}
+
+}  // namespace workload
+}  // namespace uqsim

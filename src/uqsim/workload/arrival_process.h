@@ -1,0 +1,67 @@
+#ifndef UQSIM_WORKLOAD_ARRIVAL_PROCESS_H_
+#define UQSIM_WORKLOAD_ARRIVAL_PROCESS_H_
+
+/**
+ * @file
+ * Inter-arrival sampling for the open-loop workload generator.
+ *
+ * The validation experiments use exponentially distributed
+ * inter-arrival times (Poisson arrivals) whose rate follows a load
+ * pattern.  Deterministic and uniform processes are available for
+ * sensitivity studies.
+ */
+
+#include <memory>
+#include <string>
+
+#include "uqsim/random/rng.h"
+#include "uqsim/workload/load_pattern.h"
+
+namespace uqsim {
+namespace workload {
+
+/** Inter-arrival time process parameterized by a load pattern. */
+class ArrivalProcess {
+  public:
+    virtual ~ArrivalProcess() = default;
+
+    /**
+     * Samples the gap (seconds) until the next arrival given the
+     * instantaneous rate @p rate_qps (> 0).
+     */
+    virtual double nextGap(double rate_qps, random::Rng& rng) const = 0;
+
+    virtual std::string describe() const = 0;
+
+    /** Parses "poisson" / "deterministic" / "uniform". */
+    static std::shared_ptr<ArrivalProcess>
+    fromName(const std::string& name);
+};
+
+using ArrivalProcessPtr = std::shared_ptr<ArrivalProcess>;
+
+/** Exponential gaps (memoryless Poisson arrivals). */
+class PoissonArrivals : public ArrivalProcess {
+  public:
+    double nextGap(double rate_qps, random::Rng& rng) const override;
+    std::string describe() const override { return "poisson"; }
+};
+
+/** Fixed gaps of 1/rate. */
+class DeterministicArrivals : public ArrivalProcess {
+  public:
+    double nextGap(double rate_qps, random::Rng& rng) const override;
+    std::string describe() const override { return "deterministic"; }
+};
+
+/** Uniform gaps on [0, 2/rate) (same mean, lower variance). */
+class UniformArrivals : public ArrivalProcess {
+  public:
+    double nextGap(double rate_qps, random::Rng& rng) const override;
+    std::string describe() const override { return "uniform"; }
+};
+
+}  // namespace workload
+}  // namespace uqsim
+
+#endif  // UQSIM_WORKLOAD_ARRIVAL_PROCESS_H_

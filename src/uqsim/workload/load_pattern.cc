@@ -1,0 +1,120 @@
+#include "uqsim/workload/load_pattern.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+namespace workload {
+
+std::shared_ptr<LoadPattern>
+LoadPattern::fromJson(const json::JsonValue& doc)
+{
+    if (doc.isNumber())
+        return std::make_shared<ConstantLoad>(doc.asDouble());
+    const std::string type = doc.at("type").asString();
+    if (type == "constant")
+        return std::make_shared<ConstantLoad>(doc.at("qps").asDouble());
+    if (type == "steps") {
+        std::vector<std::pair<double, double>> points;
+        for (const json::JsonValue& point : doc.at("points").asArray()) {
+            points.emplace_back(point.at(std::size_t{0}).asDouble(),
+                                point.at(std::size_t{1}).asDouble());
+        }
+        return std::make_shared<StepLoad>(std::move(points));
+    }
+    if (type == "diurnal") {
+        return std::make_shared<DiurnalLoad>(
+            doc.at("base_qps").asDouble(),
+            doc.at("amplitude_qps").asDouble(),
+            doc.at("period_s").asDouble(), doc.getOr("phase", 0.0));
+    }
+    throw json::JsonError("unknown load pattern type: \"" + type + "\"");
+}
+
+ConstantLoad::ConstantLoad(double qps) : qps_(qps)
+{
+    if (qps < 0.0)
+        throw std::invalid_argument("load must be >= 0");
+}
+
+std::string
+ConstantLoad::describe() const
+{
+    std::ostringstream out;
+    out << "constant(" << qps_ << " qps)";
+    return out.str();
+}
+
+StepLoad::StepLoad(std::vector<std::pair<double, double>> points)
+    : points_(std::move(points))
+{
+    if (points_.empty())
+        throw std::invalid_argument("step load requires >= 1 point");
+    if (!std::is_sorted(points_.begin(), points_.end(),
+                        [](const auto& a, const auto& b) {
+                            return a.first < b.first;
+                        })) {
+        throw std::invalid_argument("step load points must be sorted");
+    }
+    for (const auto& [time, qps] : points_) {
+        if (qps < 0.0)
+            throw std::invalid_argument("step load rates must be >= 0");
+    }
+}
+
+double
+StepLoad::rateAt(double t) const
+{
+    if (t < points_.front().first)
+        return 0.0;
+    const auto it = std::upper_bound(
+        points_.begin(), points_.end(), t,
+        [](double value, const auto& point) {
+            return value < point.first;
+        });
+    return std::prev(it)->second;
+}
+
+std::string
+StepLoad::describe() const
+{
+    std::ostringstream out;
+    out << "steps(" << points_.size() << " segments)";
+    return out.str();
+}
+
+DiurnalLoad::DiurnalLoad(double base_qps, double amplitude_qps,
+                         double period_s, double phase)
+    : base_(base_qps), amplitude_(amplitude_qps), period_(period_s),
+      phase_(phase)
+{
+    if (base_qps < 0.0 || amplitude_qps < 0.0)
+        throw std::invalid_argument("diurnal rates must be >= 0");
+    if (period_s <= 0.0)
+        throw std::invalid_argument("diurnal period must be > 0");
+}
+
+double
+DiurnalLoad::rateAt(double t) const
+{
+    const double rate =
+        base_ + amplitude_ * std::sin(2.0 * std::numbers::pi * t /
+                                          period_ +
+                                      phase_);
+    return std::max(rate, 0.0);
+}
+
+std::string
+DiurnalLoad::describe() const
+{
+    std::ostringstream out;
+    out << "diurnal(base=" << base_ << ", amp=" << amplitude_
+        << ", period=" << period_ << "s)";
+    return out.str();
+}
+
+}  // namespace workload
+}  // namespace uqsim

@@ -1,0 +1,98 @@
+#ifndef UQSIM_WORKLOAD_LOAD_PATTERN_H_
+#define UQSIM_WORKLOAD_LOAD_PATTERN_H_
+
+/**
+ * @file
+ * Offered-load patterns: the target request rate as a function of
+ * time (client.json).  Patterns include constant load for
+ * load-latency sweeps, piecewise steps, and the diurnal pattern
+ * driving the power-management case study (paper Fig. 15).
+ */
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace workload {
+
+/** Target arrival rate over time. */
+class LoadPattern {
+  public:
+    virtual ~LoadPattern() = default;
+
+    /** Offered load (requests/second) at time @p t seconds. */
+    virtual double rateAt(double t) const = 0;
+
+    /** Short description for reports. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Builds a pattern from JSON:
+     *   {"type": "constant", "qps": 10000}
+     *   {"type": "steps", "points": [[0, 1000], [5, 8000]]}
+     *   {"type": "diurnal", "base_qps": 6000, "amplitude_qps": 4000,
+     *    "period_s": 60, "phase": 0}
+     */
+    static std::shared_ptr<LoadPattern>
+    fromJson(const json::JsonValue& doc);
+};
+
+using LoadPatternPtr = std::shared_ptr<LoadPattern>;
+
+/** Fixed rate. */
+class ConstantLoad : public LoadPattern {
+  public:
+    explicit ConstantLoad(double qps);
+
+    double rateAt(double) const override { return qps_; }
+    std::string describe() const override;
+
+  private:
+    double qps_;
+};
+
+/** Piecewise-constant steps: rate of the last point at or before t. */
+class StepLoad : public LoadPattern {
+  public:
+    /** @param points (time, qps) pairs sorted by time. */
+    explicit StepLoad(std::vector<std::pair<double, double>> points);
+
+    double rateAt(double t) const override;
+    std::string describe() const override;
+
+  private:
+    std::vector<std::pair<double, double>> points_;
+};
+
+/**
+ * Sinusoidal diurnal pattern:
+ *   rate(t) = base + amplitude * sin(2*pi*t/period + phase)
+ * clamped below at zero.
+ */
+class DiurnalLoad : public LoadPattern {
+  public:
+    DiurnalLoad(double base_qps, double amplitude_qps, double period_s,
+                double phase = 0.0);
+
+    double rateAt(double t) const override;
+    std::string describe() const override;
+
+    double baseQps() const { return base_; }
+    double amplitudeQps() const { return amplitude_; }
+    double periodSeconds() const { return period_; }
+
+  private:
+    double base_;
+    double amplitude_;
+    double period_;
+    double phase_;
+};
+
+}  // namespace workload
+}  // namespace uqsim
+
+#endif  // UQSIM_WORKLOAD_LOAD_PATTERN_H_

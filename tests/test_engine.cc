@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Unit tests for the DES engine: time, events, queue ordering,
+ * cancellation, and the simulator run loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "uqsim/core/engine/event_queue.h"
+#include "uqsim/core/engine/simulator.h"
+
+namespace uqsim {
+namespace {
+
+// -------------------------------------------------------------- SimTime
+
+TEST(SimTime, Conversions)
+{
+    EXPECT_EQ(secondsToSimTime(1.0), kSecond);
+    EXPECT_EQ(secondsToSimTime(0.001), kMillisecond);
+    EXPECT_EQ(secondsToSimTime(2.5e-6), 2500 * kNanosecond);
+    EXPECT_DOUBLE_EQ(simTimeToSeconds(kSecond), 1.0);
+    EXPECT_DOUBLE_EQ(simTimeToMillis(kSecond), 1000.0);
+    EXPECT_DOUBLE_EQ(simTimeToMicros(kMillisecond), 1000.0);
+}
+
+TEST(SimTime, RoundsToNearestTick)
+{
+    EXPECT_EQ(secondsToSimTime(1.4e-9), 1);
+    EXPECT_EQ(secondsToSimTime(1.6e-9), 2);
+    EXPECT_EQ(secondsToSimTime(0.0), 0);
+}
+
+TEST(SimTime, Formatting)
+{
+    EXPECT_EQ(formatSimTime(500), "500ns");
+    EXPECT_NE(formatSimTime(12 * kMicrosecond).find("us"),
+              std::string::npos);
+    EXPECT_NE(formatSimTime(3 * kMillisecond).find("ms"),
+              std::string::npos);
+    EXPECT_NE(formatSimTime(2 * kSecond).find("s"), std::string::npos);
+}
+
+// ------------------------------------------------------------ EventQueue
+
+TEST(EventQueue, PopsInTimeOrder)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    auto make = [&](int id) {
+        return std::make_shared<CallbackEvent>(
+            [&order, id]() { order.push_back(id); });
+    };
+    queue.schedule(make(3), 30);
+    queue.schedule(make(1), 10);
+    queue.schedule(make(2), 20);
+    while (!queue.empty())
+        queue.pop()->execute();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo)
+{
+    EventQueue queue;
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+        queue.schedule(std::make_shared<CallbackEvent>(
+                           [&order, i]() { order.push_back(i); }),
+                       100);
+    }
+    while (!queue.empty())
+        queue.pop()->execute();
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliest)
+{
+    EventQueue queue;
+    EXPECT_EQ(queue.nextTime(), kSimTimeMax);
+    queue.schedule(std::make_shared<CallbackEvent>([] {}), 42);
+    EXPECT_EQ(queue.nextTime(), 42);
+}
+
+TEST(EventQueue, CancellationDropsEvent)
+{
+    EventQueue queue;
+    bool fired = false;
+    EventHandle handle = queue.schedule(
+        std::make_shared<CallbackEvent>([&] { fired = true; }), 10);
+    EXPECT_TRUE(handle.pending());
+    EXPECT_TRUE(handle.cancel());
+    EXPECT_FALSE(handle.pending());
+    EXPECT_TRUE(queue.empty());
+    EXPECT_EQ(queue.pop(), nullptr);
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelledBehindLiveEvent)
+{
+    EventQueue queue;
+    bool live_fired = false;
+    queue.schedule(
+        std::make_shared<CallbackEvent>([&] { live_fired = true; }), 5);
+    EventHandle handle =
+        queue.schedule(std::make_shared<CallbackEvent>([] {}), 10);
+    handle.cancel();
+    EXPECT_FALSE(queue.empty());
+    queue.pop()->execute();
+    EXPECT_TRUE(live_fired);
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(EventQueue, HandleAfterExecutionIsNotPending)
+{
+    EventQueue queue;
+    EventHandle handle =
+        queue.schedule(std::make_shared<CallbackEvent>([] {}), 1);
+    queue.pop()->execute();
+    EXPECT_FALSE(handle.pending());
+    EXPECT_FALSE(handle.cancel());
+}
+
+TEST(EventQueue, NullEventThrows)
+{
+    EventQueue queue;
+    EXPECT_THROW(queue.schedule(nullptr, 0), std::invalid_argument);
+}
+
+// -------------------------------------------------------------- Simulator
+
+TEST(Simulator, ClockAdvancesWithEvents)
+{
+    Simulator sim;
+    std::vector<SimTime> times;
+    sim.scheduleAt(10, [&] { times.push_back(sim.now()); });
+    sim.scheduleAt(30, [&] { times.push_back(sim.now()); });
+    EXPECT_EQ(sim.run(), StopReason::Drained);
+    EXPECT_EQ(times, (std::vector<SimTime>{10, 30}));
+    EXPECT_EQ(sim.now(), 30);
+    EXPECT_EQ(sim.executedEvents(), 2u);
+}
+
+TEST(Simulator, EventsScheduleCausallyDependentEvents)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.scheduleAt(5, [&] {
+        ++fired;
+        sim.scheduleAfter(10, [&] { ++fired; });
+    });
+    sim.run();
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.now(), 15);
+}
+
+TEST(Simulator, RunUntilStopsAtLimit)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.scheduleAt(10, [&] { ++fired; });
+    sim.scheduleAt(100, [&] { ++fired; });
+    EXPECT_EQ(sim.run(50), StopReason::TimeLimit);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 50);
+    // Resume to drain the remaining event.
+    EXPECT_EQ(sim.run(), StopReason::Drained);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventExactlyAtLimitFires)
+{
+    Simulator sim;
+    bool fired = false;
+    sim.scheduleAt(50, [&] { fired = true; });
+    sim.run(50);
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, EventLimitStops)
+{
+    Simulator sim;
+    int fired = 0;
+    for (int i = 0; i < 10; ++i)
+        sim.scheduleAt(i, [&] { ++fired; });
+    EXPECT_EQ(sim.run(kSimTimeMax, 3), StopReason::EventLimit);
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulator, StopFromEvent)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.scheduleAt(1, [&] {
+        ++fired;
+        sim.stop();
+    });
+    sim.scheduleAt(2, [&] { ++fired; });
+    EXPECT_EQ(sim.run(), StopReason::Stopped);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(Simulator, SchedulingInPastThrows)
+{
+    Simulator sim;
+    sim.scheduleAt(10, [] {});
+    sim.run();
+    EXPECT_THROW(sim.scheduleAt(5, [] {}), std::logic_error);
+    EXPECT_THROW(sim.scheduleAfter(-1, [] {}), std::logic_error);
+}
+
+TEST(Simulator, MakeStreamIsDeterministic)
+{
+    Simulator a(99), b(99);
+    auto sa = a.makeStream("svc");
+    auto sb = b.makeStream("svc");
+    EXPECT_EQ(sa.nextU64(), sb.nextU64());
+    auto other = a.makeStream("other");
+    EXPECT_NE(sa.nextU64(), other.nextU64());
+}
+
+TEST(Simulator, CancelViaHandle)
+{
+    Simulator sim;
+    bool fired = false;
+    EventHandle handle = sim.scheduleAt(10, [&] { fired = true; });
+    handle.cancel();
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, TraceLoggingHooks)
+{
+    Simulator sim;
+    std::vector<std::string> lines;
+    sim.logger().setLevel(LogLevel::Trace);
+    sim.logger().setSink(nullptr);
+    sim.logger().setHook(
+        [&](const std::string& line) { lines.push_back(line); });
+    sim.scheduleAt(10, [] {}, "my-event");
+    sim.run();
+    ASSERT_EQ(lines.size(), 1u);
+    EXPECT_NE(lines[0].find("my-event"), std::string::npos);
+}
+
+TEST(Logger, LevelFiltering)
+{
+    Logger logger;
+    EXPECT_FALSE(logger.enabled(LogLevel::Error));  // Off by default
+    logger.setLevel(LogLevel::Warn);
+    EXPECT_TRUE(logger.enabled(LogLevel::Error));
+    EXPECT_TRUE(logger.enabled(LogLevel::Warn));
+    EXPECT_FALSE(logger.enabled(LogLevel::Info));
+    EXPECT_FALSE(logger.enabled(LogLevel::Trace));
+}
+
+}  // namespace
+}  // namespace uqsim

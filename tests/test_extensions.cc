@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the extension features: client request timeouts and
+ * retries, fine-grained (RAPL-like) DVFS tables, and the timeout
+ * accounting in reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/hw/dvfs.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/random/distributions.h"
+#include "uqsim/workload/client.h"
+
+namespace uqsim {
+namespace {
+
+TEST(ClientTimeouts, NoTimeoutsBelowSaturation)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 10000.0;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.0;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject()["timeout_s"] = 0.05;
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    EXPECT_EQ(report.timeouts, 0u);
+    EXPECT_NEAR(report.achievedQps, 10000.0, 800.0);
+}
+
+TEST(ClientTimeouts, SaturationProducesTimeouts)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 120000.0;  // far past ~52k capacity
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.0;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject()["timeout_s"] = 0.02;
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    EXPECT_GT(report.timeouts, 1000u);
+    // Timed-out requests never enter the latency statistics, so the
+    // recorded p99 stays bounded by the timeout plus in-flight time.
+    EXPECT_LT(report.endToEnd.p99Ms, 25.0);
+}
+
+TEST(ClientTimeouts, CompletionsBeforeTimeoutAreRecorded)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 5000.0;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.0;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject()["timeout_s"] = 1.0;  // generous
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    EXPECT_EQ(report.timeouts, 0u);
+    EXPECT_GT(report.completed, 3000u);
+}
+
+TEST(ClientTimeouts, RetriesReissueRequests)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 120000.0;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.0;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject()["timeout_s"] = 0.02;
+    bundle.client.asObject()["retries"] = 1;
+    auto simulation = Simulation::fromBundle(bundle);
+    simulation->run();
+    const auto& client = *simulation->clients()[0];
+    EXPECT_GT(client.retriesIssued(), 0u);
+    EXPECT_LE(client.retriesIssued(), client.timeouts());
+    // Generated counts original issues plus retries.
+    EXPECT_GT(client.generated(),
+              client.retriesIssued());
+}
+
+TEST(ClientTimeouts, ConfigParsesTimeoutFields)
+{
+    const auto config =
+        workload::ClientConfig::fromJson(json::parse(R"({
+        "front_service": "svc",
+        "load": 100,
+        "timeout_s": 0.25,
+        "retries": 2})"));
+    EXPECT_DOUBLE_EQ(config.timeout, 0.25);
+    EXPECT_EQ(config.retries, 2);
+}
+
+// -------------------------------------------------- closed-loop mode
+
+TEST(ClosedLoop, OutstandingBoundedByConnections)
+{
+    // A closed-loop client never has more requests in flight than
+    // connections, so even a saturated server shows bounded latency
+    // — the classic open-vs-closed contrast.
+    models::ThriftEchoParams params;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.2;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject().erase("load");
+    bundle.client.asObject()["mode"] = "closed";
+    bundle.client.asObject()["connections"] = 64;
+    bundle.client.asObject()["think_time_s"] = 0.0;
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    // 64 closed-loop connections drive the ~52 kQPS server at its
+    // capacity...
+    EXPECT_GT(report.achievedQps, 30000.0);
+    // ...but latency stays bounded near connections/capacity instead
+    // of exploding like the open-loop run at 120 kQPS does.
+    EXPECT_LT(report.endToEnd.p99Ms, 10.0);
+    EXPECT_LE(simulation->dispatcher().activeRequests(), 64u);
+}
+
+TEST(ClosedLoop, ThinkTimeThrottles)
+{
+    models::ThriftEchoParams params;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.2;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject().erase("load");
+    bundle.client.asObject()["mode"] = "closed";
+    bundle.client.asObject()["connections"] = 32;
+    bundle.client.asObject()["think_time_s"] = 0.01;
+    auto simulation = Simulation::fromBundle(bundle);
+    const RunReport report = simulation->run();
+    // Interactive law: throughput ~ N / (think + response)
+    // = 32 / ~10.1 ms ~ 3.2 kQPS.
+    EXPECT_NEAR(report.achievedQps, 3200.0, 400.0);
+}
+
+TEST(ClosedLoop, UnknownModeThrows)
+{
+    EXPECT_THROW(workload::ClientConfig::fromJson(json::parse(R"({
+        "front_service": "svc", "load": 10, "mode": "warp"})")),
+                 json::JsonError);
+}
+
+TEST(FineGrainedDvfs, LinearTableShape)
+{
+    const hw::DvfsTable table = hw::DvfsTable::linear(1.2, 2.6, 57);
+    EXPECT_EQ(table.stepCount(), 57u);
+    EXPECT_DOUBLE_EQ(table.lowest(), 1.2);
+    EXPECT_DOUBLE_EQ(table.nominal(), 2.6);
+    // Step size 0.025 GHz.
+    EXPECT_NEAR(table.frequencyAt(1) - table.frequencyAt(0), 0.025,
+                1e-9);
+    EXPECT_THROW(hw::DvfsTable::linear(1.2, 2.6, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(hw::DvfsTable::linear(2.6, 1.2, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(hw::DvfsTable::linear(0.0, 1.0, 8),
+                 std::invalid_argument);
+}
+
+// ------------------------------------------- dynamic thread spawning
+
+namespace {
+
+/** Single proc stage (20 us), base 1 thread, spawning to @p max. */
+ServiceModelPtr
+dynamicModel(int max_threads)
+{
+    StageConfig stage;
+    stage.id = 0;
+    stage.name = "proc";
+    stage.time = ServiceTimeModel(
+        std::make_shared<random::DeterministicDistribution>(20e-6));
+    PathConfig path;
+    path.id = 0;
+    path.name = "serve";
+    path.stageIds = {0};
+    auto model = std::make_shared<ServiceModel>(
+        "elastic", std::vector<StageConfig>{stage},
+        std::vector<PathConfig>{path});
+    model->setDefaultThreads(1);
+    model->setContextSwitchSeconds(0.0);
+    DynamicThreadPolicy policy;
+    policy.maxThreads = max_threads;
+    policy.queueThreshold = 2;
+    policy.spawnLatency = 50e-6;
+    policy.idleTimeout = 1e-3;
+    model->setDynamicThreads(policy);
+    return model;
+}
+
+}  // namespace
+
+TEST(DynamicThreads, PolicyParsesFromJson)
+{
+    const auto policy = DynamicThreadPolicy::fromJson(json::parse(R"({
+        "max": 8, "queue_threshold": 3,
+        "spawn_latency_us": 75, "idle_timeout_ms": 5})"));
+    EXPECT_TRUE(policy.enabled());
+    EXPECT_EQ(policy.maxThreads, 8);
+    EXPECT_EQ(policy.queueThreshold, 3);
+    EXPECT_DOUBLE_EQ(policy.spawnLatency, 75e-6);
+    EXPECT_DOUBLE_EQ(policy.idleTimeout, 5e-3);
+    EXPECT_THROW(
+        DynamicThreadPolicy::fromJson(json::parse(R"({"max": -1})")),
+        json::JsonError);
+}
+
+TEST(DynamicThreads, RequiresMultiThreadedModel)
+{
+    auto model = dynamicModel(4);
+    model->setDynamicThreads({});  // disable first
+    model->setExecutionModel(ExecutionModel::Simple);
+    DynamicThreadPolicy policy;
+    policy.maxThreads = 4;
+    EXPECT_THROW(model->setDynamicThreads(policy),
+                 std::invalid_argument);
+}
+
+TEST(DynamicThreads, BurstSpawnsWorkersUpToMax)
+{
+    Simulator sim(1);
+    MicroserviceInstance instance(sim, dynamicModel(4), "elastic.0",
+                                  nullptr,
+                                  InstanceConfig{.cores = 4});
+    JobFactory jobs;
+    int done = 0;
+    SimTime last_completion = 0;
+    instance.setOnJobDone([&](JobPtr) {
+        ++done;
+        last_completion = sim.now();
+    });
+    for (int i = 0; i < 40; ++i) {
+        JobPtr job = jobs.createRoot(0, 64);
+        job->connectionId = i;
+        job->execPathId = 0;
+        instance.accept(std::move(job));
+    }
+    sim.run();
+    EXPECT_EQ(done, 40);
+    EXPECT_GT(instance.spawnedThreads(), 0u);
+    EXPECT_EQ(instance.peakThreads(), 4);
+    // 40 jobs x 20us on up to 4 workers with 50us spawn latency:
+    // far faster than the 800us a single worker would need.  (The
+    // drained clock runs further: idle-retire timers fire after.)
+    EXPECT_LT(last_completion, secondsToSimTime(450e-6));
+}
+
+TEST(DynamicThreads, SurplusWorkersRetireWhenIdle)
+{
+    Simulator sim(1);
+    MicroserviceInstance instance(sim, dynamicModel(4), "elastic.0",
+                                  nullptr,
+                                  InstanceConfig{.cores = 4});
+    JobFactory jobs;
+    for (int i = 0; i < 40; ++i) {
+        JobPtr job = jobs.createRoot(0, 64);
+        job->connectionId = i;
+        job->execPathId = 0;
+        instance.accept(std::move(job));
+    }
+    sim.run();
+    // After the burst drains and idle timeouts fire, the worker
+    // count is back at the base.
+    EXPECT_EQ(instance.threads(), instance.baseThreads());
+    EXPECT_EQ(instance.idleThreads(), instance.baseThreads());
+}
+
+TEST(DynamicThreads, SpawnNeverExceedsMax)
+{
+    Simulator sim(1);
+    MicroserviceInstance instance(sim, dynamicModel(3), "elastic.0",
+                                  nullptr,
+                                  InstanceConfig{.cores = 4});
+    JobFactory jobs;
+    for (int burst = 0; burst < 5; ++burst) {
+        sim.scheduleAt(secondsToSimTime(burst * 2e-3), [&, burst]() {
+            for (int i = 0; i < 30; ++i) {
+                JobPtr job = jobs.createRoot(sim.now(), 64);
+                job->connectionId = i;
+                job->execPathId = 0;
+                instance.accept(std::move(job));
+            }
+        });
+    }
+    sim.run();
+    EXPECT_LE(instance.peakThreads(), 3);
+}
+
+TEST(FineGrainedDvfs, PowerBundleUsesRequestedSteps)
+{
+    models::PowerTwoTierParams params;
+    params.run.qps = 100.0;
+    params.run.warmupSeconds = 0.1;
+    params.run.durationSeconds = 0.3;
+    params.dvfsSteps = 15;
+    auto simulation =
+        Simulation::fromBundle(models::powerTwoTierBundle(params));
+    EXPECT_EQ(simulation->deployment()
+                  .instance("nginx", 0)
+                  .dvfs()
+                  ->table()
+                  .stepCount(),
+              15u);
+}
+
+}  // namespace
+}  // namespace uqsim

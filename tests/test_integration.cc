@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Integration tests exercising the paper's headline behaviors
+ * end-to-end: tail-at-scale fan-out effects, batching amortization
+ * vs. the BigHouse single-queue model, HTTP/1.1 serialization, and
+ * load-balancing scale-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uqsim/bighouse/bighouse.h"
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/models/stage_presets.h"
+#include "uqsim/random/distributions.h"
+
+namespace uqsim {
+namespace {
+
+RunReport
+runTailAtScale(int cluster, double slow_fraction, std::uint64_t seed = 3)
+{
+    models::TailAtScaleParams params;
+    params.run.qps = 40.0;
+    params.run.warmupSeconds = 0.5;
+    params.run.durationSeconds = 4.5;
+    params.run.seed = seed;
+    params.run.clientConnections = 64;
+    params.clusterSize = cluster;
+    params.slowFraction = slow_fraction;
+    auto simulation =
+        Simulation::fromBundle(models::tailAtScaleBundle(params));
+    return simulation->run();
+}
+
+TEST(TailAtScale, FanoutAmplifiesTail)
+{
+    // With no slow servers, the end-to-end latency is the max over N
+    // exponential leaves: grows ~ln(N).
+    const RunReport n5 = runTailAtScale(5, 0.0);
+    const RunReport n50 = runTailAtScale(50, 0.0);
+    EXPECT_GT(n50.endToEnd.p50Ms, n5.endToEnd.p50Ms);
+    // max of N exp(1ms) ~ H_N ms: ln(5)=1.6, ln(50)=3.9.
+    EXPECT_NEAR(n5.endToEnd.p50Ms, 2.2, 0.8);
+    EXPECT_NEAR(n50.endToEnd.p50Ms, 4.4, 1.2);
+}
+
+TEST(TailAtScale, OnePercentSlowServersDominateLargeClusters)
+{
+    // Paper §V-A: for clusters >= 100 servers, 1% slow servers is
+    // sufficient to drive tail latency high.  P(request touches a
+    // slow server) = 1 - (1-p)^N -> at N=100, p99 is slow-bound.
+    const RunReport clean = runTailAtScale(100, 0.0);
+    const RunReport one_percent = runTailAtScale(100, 0.01);
+    // Slow leaf mean service is 10 ms; the p99 must reflect it.
+    EXPECT_GT(one_percent.endToEnd.p99Ms, clean.endToEnd.p99Ms * 1.8);
+    EXPECT_GT(one_percent.endToEnd.p99Ms, 15.0);
+    // A 5-server cluster with the same fraction rarely hits a slow
+    // machine (the bundle rounds 1% of 5 to zero slow servers).
+    const RunReport small = runTailAtScale(5, 0.01);
+    EXPECT_LT(small.endToEnd.p99Ms, one_percent.endToEnd.p99Ms);
+}
+
+TEST(TailAtScale, MoreSlowServersRaiseMedian)
+{
+    const RunReport one = runTailAtScale(50, 0.02);
+    const RunReport ten = runTailAtScale(50, 0.10);
+    // With 10% slow servers nearly every request hits one: even the
+    // median reflects the 10 ms slow service.
+    EXPECT_GT(ten.endToEnd.p50Ms, one.endToEnd.p50Ms);
+    EXPECT_GT(ten.endToEnd.p50Ms, 10.0);
+}
+
+/** Raises the epoll base cost of a bundle's first service so the
+ *  batching-amortization effect has a wide margin. */
+void
+setEpollBaseUs(ConfigBundle& bundle, double base_us)
+{
+    json::JsonValue& stage =
+        bundle.services[0].asObject()["stages"].asArray()[0];
+    json::JsonValue& time = stage.asObject()["service_time"];
+    json::JsonValue base = json::JsonValue::makeObject();
+    base.asObject()["type"] = "deterministic";
+    base.asObject()["value"] = base_us * 1e-6;
+    time.asObject()["base"] = std::move(base);
+}
+
+TEST(BatchingAblation, DisablingEpollBatchingLowersCapacity)
+{
+    // Thrift echo with a 10 us epoll: unbatched capacity ~36 kQPS,
+    // batched (8-deep) ~52 kQPS.  At 45 kQPS offered, batching keeps
+    // up and the unbatched variant saturates.
+    models::ThriftEchoParams params;
+    params.run.qps = 45000.0;
+    params.run.warmupSeconds = 0.4;
+    params.run.durationSeconds = 1.6;
+    ConfigBundle batched = models::thriftEchoBundle(params);
+    setEpollBaseUs(batched, 10.0);
+    ConfigBundle unbatched = models::thriftEchoBundle(params);
+    setEpollBaseUs(unbatched, 10.0);
+    // Strip batching from every stage: each becomes a plain FIFO
+    // served one request at a time (the full epoll cost is paid per
+    // request, exactly the BigHouse assumption).
+    for (json::JsonValue& stage :
+         unbatched.services[0].asObject()["stages"].asArray()) {
+        stage.asObject()["queue_type"] = "single";
+        stage.asObject()["batching"] = false;
+        stage.asObject().erase("queue_parameter");
+    }
+    const RunReport with = Simulation::fromBundle(batched)->run();
+    const RunReport without = Simulation::fromBundle(unbatched)->run();
+    EXPECT_NEAR(with.achievedQps, 45000.0, 2500.0);
+    EXPECT_LT(without.achievedQps, 40000.0);
+    EXPECT_GT(with.achievedQps, without.achievedQps * 1.1);
+}
+
+TEST(BigHouseComparison, SingleQueueSaturatesEarlier)
+{
+    // Fig. 13's structural claim with matched per-stage costs: at a
+    // load between the two capacities, µqSim (batching) keeps up
+    // while the BigHouse model has already saturated.
+    models::ThriftEchoParams params;
+    params.run.qps = 45000.0;
+    params.run.warmupSeconds = 0.4;
+    params.run.durationSeconds = 1.6;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    const double epoll_base_us = 10.0;
+    setEpollBaseUs(bundle, epoll_base_us);
+    auto uqsim_sim = Simulation::fromBundle(bundle);
+    const RunReport uqsim_report = uqsim_sim->run();
+
+    // BigHouse model of the same server: one queue, service time =
+    // full epoll + read + proc + send per request.
+    bighouse::BigHouseOptions options;
+    options.seed = params.run.seed;
+    options.warmupSeconds = params.run.warmupSeconds;
+    options.durationSeconds = params.run.durationSeconds;
+    bighouse::BigHouseSimulation bh(options);
+    const double per_request =
+        (epoll_base_us + models::kEpollPerJobUs +
+         models::kSocketBaseUs + 64.0 * 2e-3 /*read 64B in us*/ +
+         models::kThriftEchoUs + models::kSocketBaseUs +
+         64.0 * 1e-3) *
+        1e-6;
+    bh.addStation(
+        {"thrift", 1,
+         std::make_shared<random::ExponentialDistribution>(
+             per_request)});
+    const RunReport bh_report = bh.run(params.run.qps);
+
+    // µqSim (batched epoll, ~60 kQPS capacity) keeps up at 45 kQPS;
+    // the single-queue model (capacity ~1/25us = 40 kQPS) saturates.
+    EXPECT_NEAR(uqsim_report.achievedQps, 45000.0, 2500.0);
+    EXPECT_LT(bh_report.achievedQps, 42000.0);
+    EXPECT_GT(uqsim_report.achievedQps,
+              bh_report.achievedQps * 1.05);
+}
+
+TEST(Http11Blocking, SingleConnectionSerializesRequests)
+{
+    // A single client connection with HTTP/1.1 blocking behaves as a
+    // closed loop: completions are capped near 1/RTT no matter the
+    // offered load.
+    models::TwoTierParams params;
+    params.run.qps = 20000.0;
+    params.run.warmupSeconds = 0.3;
+    params.run.durationSeconds = 1.3;
+    params.run.clientConnections = 1;
+    auto simulation =
+        Simulation::fromBundle(models::twoTierBundle(params));
+    const RunReport report = simulation->run();
+    // RTT ~ 0.2 ms -> ceiling in the low thousands of QPS.
+    EXPECT_LT(report.achievedQps, 8000.0);
+    EXPECT_EQ(simulation->dispatcher().leakedBlocks(), 0u);
+
+    // With 320 connections the same offered load flows freely.
+    params.run.clientConnections = 320;
+    auto open = Simulation::fromBundle(models::twoTierBundle(params));
+    const RunReport open_report = open->run();
+    EXPECT_NEAR(open_report.achievedQps, 20000.0, 1500.0);
+}
+
+TEST(LoadBalancing, ScaleOutRaisesCapacity)
+{
+    // At 50 kQPS: 8 webservers keep up; 4 saturate (Fig. 8 shape).
+    models::LoadBalancerParams params;
+    params.run.qps = 50000.0;
+    params.run.warmupSeconds = 0.4;
+    params.run.durationSeconds = 1.4;
+    params.webServers = 8;
+    const RunReport eight =
+        Simulation::fromBundle(models::loadBalancerBundle(params))
+            ->run();
+    params.webServers = 4;
+    const RunReport four =
+        Simulation::fromBundle(models::loadBalancerBundle(params))
+            ->run();
+    EXPECT_NEAR(eight.achievedQps, 50000.0, 2500.0);
+    EXPECT_LT(four.achievedQps, 45000.0);
+}
+
+TEST(Fanout, SaturationDecreasesSlightlyWithFanout)
+{
+    // Fig. 10: as fan-out grows, the probability that one slow leaf
+    // delays a request rises, so tail latency at equal load grows.
+    auto run_fanout = [](int fanout) {
+        models::FanoutParams params;
+        params.run.qps = 6000.0;
+        params.run.warmupSeconds = 0.4;
+        params.run.durationSeconds = 1.6;
+        params.fanout = fanout;
+        return Simulation::fromBundle(models::fanoutBundle(params))
+            ->run();
+    };
+    const RunReport f4 = run_fanout(4);
+    const RunReport f16 = run_fanout(16);
+    EXPECT_GT(f16.endToEnd.p99Ms, f4.endToEnd.p99Ms);
+}
+
+TEST(ComplexApp, SocialNetworkLeaksNothing)
+{
+    models::SocialNetworkParams params;
+    params.run.qps = 4000.0;
+    params.run.warmupSeconds = 0.3;
+    params.run.durationSeconds = 1.3;
+    auto simulation =
+        Simulation::fromBundle(models::socialNetworkBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(report.achievedQps, 4000.0, 400.0);
+    EXPECT_EQ(simulation->dispatcher().leakedHops(), 0u);
+    EXPECT_EQ(simulation->dispatcher().leakedBlocks(), 0u);
+    // Per-tier latencies recorded for every service on the path.
+    EXPECT_GE(simulation->tierLatencies().size(), 6u);
+}
+
+TEST(ThreadScaling, MemcachedThreadsDoNotMoveTwoTierSaturation)
+{
+    // Paper Fig. 5: NGINX is the 2-tier bottleneck; adding memcached
+    // threads does not raise throughput.
+    models::TwoTierParams params;
+    params.run.qps = 50000.0;
+    params.run.warmupSeconds = 0.4;
+    params.run.durationSeconds = 1.4;
+    params.nginxWorkers = 4;
+    params.memcachedThreads = 1;
+    const RunReport one_thread =
+        Simulation::fromBundle(models::twoTierBundle(params))->run();
+    params.memcachedThreads = 4;
+    const RunReport four_threads =
+        Simulation::fromBundle(models::twoTierBundle(params))->run();
+    // Both saturate at the same NGINX-bound level (within noise).
+    EXPECT_NEAR(one_thread.achievedQps, four_threads.achievedQps,
+                four_threads.achievedQps * 0.08);
+    // ...while doubling NGINX workers raises capacity.
+    params.nginxWorkers = 8;
+    const RunReport eight_workers =
+        Simulation::fromBundle(models::twoTierBundle(params))->run();
+    EXPECT_GT(eight_workers.achievedQps,
+              four_threads.achievedQps * 1.2);
+}
+
+}  // namespace
+}  // namespace uqsim

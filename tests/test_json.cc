@@ -1,0 +1,307 @@
+/**
+ * @file
+ * Unit tests for the JSON substrate: value model, parser, writer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uqsim/json/json_parser.h"
+#include "uqsim/json/json_writer.h"
+
+namespace uqsim {
+namespace json {
+namespace {
+
+// ----------------------------------------------------------- JsonValue
+
+TEST(JsonValue, DefaultIsNull)
+{
+    JsonValue value;
+    EXPECT_TRUE(value.isNull());
+    EXPECT_EQ(value.type(), JsonType::Null);
+}
+
+TEST(JsonValue, BoolRoundTrip)
+{
+    JsonValue value(true);
+    EXPECT_TRUE(value.isBool());
+    EXPECT_TRUE(value.asBool());
+    EXPECT_FALSE(JsonValue(false).asBool());
+}
+
+TEST(JsonValue, IntRoundTrip)
+{
+    JsonValue value(std::int64_t{-42});
+    EXPECT_TRUE(value.isInt());
+    EXPECT_TRUE(value.isNumber());
+    EXPECT_EQ(value.asInt(), -42);
+    EXPECT_DOUBLE_EQ(value.asDouble(), -42.0);
+}
+
+TEST(JsonValue, DoubleRoundTrip)
+{
+    JsonValue value(2.5);
+    EXPECT_TRUE(value.isDouble());
+    EXPECT_FALSE(value.isInt());
+    EXPECT_DOUBLE_EQ(value.asDouble(), 2.5);
+}
+
+TEST(JsonValue, IntIsNotDoubleForEquality)
+{
+    EXPECT_FALSE(JsonValue(3) == JsonValue(3.0));
+    EXPECT_TRUE(JsonValue(3) == JsonValue(3));
+}
+
+TEST(JsonValue, StringRoundTrip)
+{
+    JsonValue value("hello");
+    EXPECT_TRUE(value.isString());
+    EXPECT_EQ(value.asString(), "hello");
+}
+
+TEST(JsonValue, TypeMismatchThrows)
+{
+    JsonValue value(1);
+    EXPECT_THROW(value.asString(), JsonError);
+    EXPECT_THROW(value.asArray(), JsonError);
+    EXPECT_THROW(value.asObject(), JsonError);
+    EXPECT_THROW(JsonValue("x").asInt(), JsonError);
+    EXPECT_THROW(JsonValue(2.5).asInt(), JsonError);
+}
+
+TEST(JsonValue, ObjectInsertionOrderPreserved)
+{
+    JsonValue value = JsonValue::makeObject();
+    value.asObject()["zebra"] = 1;
+    value.asObject()["alpha"] = 2;
+    value.asObject()["mid"] = 3;
+    std::vector<std::string> keys;
+    for (const auto& [key, member] : value.asObject())
+        keys.push_back(key);
+    EXPECT_EQ(keys, (std::vector<std::string>{"zebra", "alpha", "mid"}));
+}
+
+TEST(JsonValue, ObjectAtThrowsOnMissing)
+{
+    JsonValue value = JsonValue::makeObject();
+    EXPECT_THROW(value.at("missing"), JsonError);
+}
+
+TEST(JsonValue, ObjectContains)
+{
+    JsonValue value = JsonValue::makeObject();
+    value.asObject()["present"] = 1;
+    value.asObject()["null_member"] = JsonValue();
+    EXPECT_TRUE(value.contains("present"));
+    // A null member does not count as present for config purposes.
+    EXPECT_FALSE(value.contains("null_member"));
+    EXPECT_FALSE(value.contains("absent"));
+}
+
+TEST(JsonValue, ObjectErase)
+{
+    JsonValue value = JsonValue::makeObject();
+    value.asObject()["a"] = 1;
+    EXPECT_TRUE(value.asObject().erase("a"));
+    EXPECT_FALSE(value.asObject().erase("a"));
+    EXPECT_EQ(value.size(), 0u);
+}
+
+TEST(JsonValue, GetOrFallbacks)
+{
+    JsonValue value = JsonValue::makeObject();
+    value.asObject()["i"] = 7;
+    value.asObject()["d"] = 1.5;
+    value.asObject()["s"] = "text";
+    value.asObject()["b"] = true;
+    EXPECT_EQ(value.getOr("i", std::int64_t{0}), 7);
+    EXPECT_EQ(value.getOr("missing", std::int64_t{9}), 9);
+    EXPECT_DOUBLE_EQ(value.getOr("d", 0.0), 1.5);
+    EXPECT_DOUBLE_EQ(value.getOr("i", 0.0), 7.0);  // int promotes
+    EXPECT_EQ(value.getOr("s", "dflt"), "text");
+    EXPECT_EQ(value.getOr("missing", "dflt"), "dflt");
+    EXPECT_TRUE(value.getOr("b", false));
+    EXPECT_TRUE(value.getOr("missing", true));
+}
+
+TEST(JsonValue, ArrayIndexing)
+{
+    JsonArray array;
+    array.emplace_back(1);
+    array.emplace_back("two");
+    JsonValue value(std::move(array));
+    EXPECT_EQ(value.size(), 2u);
+    EXPECT_EQ(value.at(std::size_t{0}).asInt(), 1);
+    EXPECT_EQ(value.at(std::size_t{1}).asString(), "two");
+    EXPECT_THROW(value.at(std::size_t{2}), JsonError);
+}
+
+TEST(JsonValue, DeepEquality)
+{
+    JsonValue a = parse(R"({"x": [1, 2, {"y": true}], "z": null})");
+    JsonValue b = parse(R"({"z": null, "x": [1, 2, {"y": true}]})");
+    JsonValue c = parse(R"({"x": [1, 2, {"y": false}], "z": null})");
+    EXPECT_TRUE(a == b);  // key order does not matter
+    EXPECT_TRUE(a != c);
+}
+
+// -------------------------------------------------------------- parser
+
+TEST(JsonParser, ParsesScalars)
+{
+    EXPECT_TRUE(parse("null").isNull());
+    EXPECT_TRUE(parse("true").asBool());
+    EXPECT_FALSE(parse("false").asBool());
+    EXPECT_EQ(parse("123").asInt(), 123);
+    EXPECT_EQ(parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(parse("1.25").asDouble(), 1.25);
+    EXPECT_DOUBLE_EQ(parse("-2e3").asDouble(), -2000.0);
+    EXPECT_DOUBLE_EQ(parse("5E-3").asDouble(), 0.005);
+    EXPECT_EQ(parse("\"abc\"").asString(), "abc");
+}
+
+TEST(JsonParser, IntegerVsDoubleDetection)
+{
+    EXPECT_TRUE(parse("10").isInt());
+    EXPECT_TRUE(parse("10.0").isDouble());
+    EXPECT_TRUE(parse("1e2").isDouble());
+}
+
+TEST(JsonParser, HugeIntegerFallsBackToDouble)
+{
+    const JsonValue value = parse("123456789012345678901234567890");
+    EXPECT_TRUE(value.isDouble());
+    EXPECT_GT(value.asDouble(), 1e29);
+}
+
+TEST(JsonParser, NestedStructures)
+{
+    const JsonValue value =
+        parse(R"({"a": {"b": [1, [2, 3], {"c": "d"}]}})");
+    EXPECT_EQ(value.at("a").at("b").at(std::size_t{1})
+                  .at(std::size_t{0}).asInt(),
+              2);
+    EXPECT_EQ(value.at("a").at("b").at(std::size_t{2})
+                  .at("c").asString(),
+              "d");
+}
+
+TEST(JsonParser, StringEscapes)
+{
+    EXPECT_EQ(parse(R"("a\nb\tc\"d\\e\/f")").asString(),
+              "a\nb\tc\"d\\e/f");
+    EXPECT_EQ(parse(R"("A")").asString(), "A");
+    EXPECT_EQ(parse(R"("é")").asString(), "\xc3\xa9");   // é
+    EXPECT_EQ(parse(R"("中")").asString(), "\xe4\xb8\xad");  // 中
+}
+
+TEST(JsonParser, SurrogatePairs)
+{
+    // U+1F600 (emoji) as a surrogate pair.
+    EXPECT_EQ(parse(R"("😀")").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParser, UnpairedSurrogateFails)
+{
+    EXPECT_THROW(parse(R"("\ud83d")"), JsonParseError);
+}
+
+TEST(JsonParser, CommentsAndTrailingCommas)
+{
+    const JsonValue value = parse(R"({
+        // line comment
+        "a": 1,   /* block comment */
+        "b": [1, 2, 3,],
+    })");
+    EXPECT_EQ(value.at("a").asInt(), 1);
+    EXPECT_EQ(value.at("b").size(), 3u);
+}
+
+TEST(JsonParser, EmptyContainers)
+{
+    EXPECT_EQ(parse("[]").size(), 0u);
+    EXPECT_EQ(parse("{}").size(), 0u);
+    EXPECT_EQ(parse("[ ]").size(), 0u);
+    EXPECT_EQ(parse("{ }").size(), 0u);
+}
+
+TEST(JsonParser, ErrorsCarryPosition)
+{
+    try {
+        parse("{\n  \"a\": tru\n}");
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError& error) {
+        EXPECT_EQ(error.line(), 2);
+        EXPECT_GT(error.column(), 1);
+    }
+}
+
+TEST(JsonParser, RejectsMalformedDocuments)
+{
+    EXPECT_THROW(parse(""), JsonParseError);
+    EXPECT_THROW(parse("{"), JsonParseError);
+    EXPECT_THROW(parse("[1, 2"), JsonParseError);
+    EXPECT_THROW(parse("{\"a\" 1}"), JsonParseError);
+    EXPECT_THROW(parse("{a: 1}"), JsonParseError);
+    EXPECT_THROW(parse("\"unterminated"), JsonParseError);
+    EXPECT_THROW(parse("12."), JsonParseError);
+    EXPECT_THROW(parse("1e"), JsonParseError);
+    EXPECT_THROW(parse("nul"), JsonParseError);
+    EXPECT_THROW(parse("1 2"), JsonParseError);  // trailing garbage
+}
+
+TEST(JsonParser, RejectsControlCharactersInStrings)
+{
+    EXPECT_THROW(parse("\"a\nb\""), JsonParseError);
+}
+
+TEST(JsonParser, ParseFileMissingThrows)
+{
+    EXPECT_THROW(parseFile("/nonexistent/file.json"), JsonError);
+}
+
+// -------------------------------------------------------------- writer
+
+TEST(JsonWriter, CompactRoundTrip)
+{
+    const JsonValue original = parse(
+        R"({"a": 1, "b": [true, null, 2.5], "c": {"d": "e\nf"}})");
+    const JsonValue reparsed = parse(write(original));
+    EXPECT_TRUE(original == reparsed);
+}
+
+TEST(JsonWriter, PrettyRoundTrip)
+{
+    const JsonValue original =
+        parse(R"({"a": [1, 2], "b": {"c": []}})");
+    const std::string pretty = writePretty(original);
+    EXPECT_NE(pretty.find('\n'), std::string::npos);
+    EXPECT_TRUE(parse(pretty) == original);
+}
+
+TEST(JsonWriter, DoubleKeepsTypeOnRoundTrip)
+{
+    const JsonValue original = parse("[1, 1.0]");
+    const JsonValue reparsed = parse(write(original));
+    EXPECT_TRUE(reparsed.at(std::size_t{0}).isInt());
+    EXPECT_TRUE(reparsed.at(std::size_t{1}).isDouble());
+}
+
+TEST(JsonWriter, EscapesControlCharacters)
+{
+    const std::string out = write(JsonValue(std::string("a\x01z")));
+    EXPECT_EQ(out, "\"a\\u0001z\"");
+    EXPECT_EQ(parse(out).asString(), "a\x01z");
+}
+
+TEST(JsonWriter, TinyDoublesSurvive)
+{
+    JsonValue value(2.5e-6);
+    const JsonValue reparsed = parse(write(value));
+    EXPECT_DOUBLE_EQ(reparsed.asDouble(), 2.5e-6);
+}
+
+}  // namespace
+}  // namespace json
+}  // namespace uqsim

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Tests for the prebuilt model library: every service builder emits
+ * a parseable service.json, every application bundle assembles and
+ * runs, and bundles round-trip through the on-disk layout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "uqsim/core/service/service_model.h"
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/json/json_writer.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/models/memcached.h"
+#include "uqsim/models/mongodb.h"
+#include "uqsim/models/nginx.h"
+#include "uqsim/models/stage_presets.h"
+#include "uqsim/models/thrift.h"
+#include "uqsim/random/distribution_factory.h"
+
+namespace uqsim {
+namespace models {
+namespace {
+
+// -------------------------------------------------------- service JSON
+
+TEST(StagePresets, EpollStageMatchesPaperShape)
+{
+    const json::JsonValue stage = epollStage(0);
+    EXPECT_EQ(stage.at("stage_name").asString(), "epoll");
+    EXPECT_EQ(stage.at("queue_type").asString(), "epoll");
+    EXPECT_TRUE(stage.at("batching").asBool());
+    const StageConfig config = StageConfig::fromJson(stage);
+    EXPECT_EQ(config.batchLimit, kEpollBatch);
+    EXPECT_GT(config.time.perJob(), 0.0);  // linear in batch size
+}
+
+TEST(StagePresets, SocketReadHasPerByteCost)
+{
+    const StageConfig config =
+        StageConfig::fromJson(socketReadStage(1));
+    EXPECT_EQ(config.queueType, QueueType::Socket);
+    EXPECT_GT(config.time.perByte(), 0.0);
+}
+
+TEST(StagePresets, NoiseWrapperRaisesMean)
+{
+    const json::JsonValue base = expUs(10.0);
+    const json::JsonValue noisy = withNoise(base, 0.01, 6.0);
+    auto base_dist = random::makeDistribution(base);
+    auto noisy_dist = random::makeDistribution(noisy);
+    EXPECT_GT(noisy_dist->mean(), base_dist->mean());
+    EXPECT_NEAR(noisy_dist->mean(),
+                base_dist->mean() * (0.99 + 0.01 * 6.0), 1e-9);
+}
+
+TEST(MemcachedModel, ParsesAndHasPaperPaths)
+{
+    auto model = ServiceModel::fromJson(memcachedServiceJson({}));
+    EXPECT_EQ(model->name(), "memcached");
+    EXPECT_EQ(model->defaultThreads(), 4);
+    const int read = model->pathIdByName("memcached_read");
+    const int write = model->pathIdByName("memcached_write");
+    EXPECT_NE(read, write);
+    // Read and write traverse the same number of stages (Listing 1)
+    // but use distinct processing stages so each path carries its
+    // own distribution.
+    EXPECT_EQ(model->path(read).stageIds.size(),
+              model->path(write).stageIds.size());
+    EXPECT_NE(model->path(read).stageIds[2],
+              model->path(write).stageIds[2]);
+}
+
+TEST(NginxModels, AllRolesParse)
+{
+    for (const json::JsonValue& doc :
+         {nginxWebserverJson({}), nginxProxyJson({}),
+          nginxCacheFrontendJson({})}) {
+        auto model = ServiceModel::fromJson(doc);
+        EXPECT_GE(model->stages().size(), 4u);
+        // Every NGINX role starts with epoll.
+        EXPECT_EQ(model->stage(0).queueType, QueueType::Epoll);
+    }
+    auto frontend = ServiceModel::fromJson(nginxCacheFrontendJson({}));
+    EXPECT_NO_THROW(frontend->pathIdByName("request"));
+    EXPECT_NO_THROW(frontend->pathIdByName("response"));
+    EXPECT_NO_THROW(frontend->pathIdByName("miss_forward"));
+}
+
+TEST(MongoModel, DiskPathUsesDiskResource)
+{
+    auto model = ServiceModel::fromJson(mongoServiceJson({}));
+    EXPECT_TRUE(model->usesDisk());
+    const PathConfig& disk = model->path(
+        model->pathIdByName("query_disk"));
+    bool has_disk_stage = false;
+    for (int stage_id : disk.stageIds) {
+        if (model->stage(stage_id).resource == StageResource::Disk)
+            has_disk_stage = true;
+    }
+    EXPECT_TRUE(has_disk_stage);
+    const PathConfig& memory = model->path(
+        model->pathIdByName("query_memory"));
+    for (int stage_id : memory.stageIds)
+        EXPECT_NE(model->stage(stage_id).resource,
+                  StageResource::Disk);
+}
+
+TEST(MongoModel, HitProbabilityFlowsIntoPaths)
+{
+    MongoOptions options;
+    options.memoryHitProbability = 0.8;
+    auto model = ServiceModel::fromJson(mongoServiceJson(options));
+    random::Rng rng(2);
+    int memory = 0;
+    for (int i = 0; i < 20000; ++i) {
+        if (model->pathSelector().select(rng) ==
+            model->pathIdByName("query_memory"))
+            ++memory;
+    }
+    EXPECT_NEAR(memory / 20000.0, 0.8, 0.02);
+}
+
+TEST(ThriftModel, DefaultEchoHandler)
+{
+    auto model = ServiceModel::fromJson(thriftServiceJson({}));
+    EXPECT_NO_THROW(model->pathIdByName("echo"));
+    EXPECT_EQ(model->stages().size(), 4u);
+}
+
+TEST(ThriftModel, MultipleHandlers)
+{
+    ThriftOptions options;
+    options.handlers = {ThriftHandler{"lookup", 20.0, 0.6},
+                        ThriftHandler{"store", 40.0, 0.4}};
+    auto model = ServiceModel::fromJson(thriftServiceJson(options));
+    EXPECT_EQ(model->paths().size(), 2u);
+    EXPECT_EQ(model->stages().size(), 5u);  // epoll, read, 2x proc, send
+    EXPECT_NO_THROW(model->pathIdByName("lookup"));
+    EXPECT_NO_THROW(model->pathIdByName("store"));
+}
+
+// ------------------------------------------------------------- bundles
+
+TEST(Bundles, EveryBundleFinalizes)
+{
+    RunParams run;
+    run.qps = 100.0;
+    run.durationSeconds = 0.2;
+    run.warmupSeconds = 0.05;
+
+    EXPECT_NO_THROW(Simulation::fromBundle(
+        twoTierBundle(TwoTierParams{run, 8, 4})));
+    EXPECT_NO_THROW(Simulation::fromBundle(
+        threeTierBundle(ThreeTierParams{run, 8, 2, 0.1})));
+    EXPECT_NO_THROW(Simulation::fromBundle(
+        loadBalancerBundle(LoadBalancerParams{run, 4, 8})));
+    EXPECT_NO_THROW(Simulation::fromBundle(
+        fanoutBundle(FanoutParams{run, 4, 8, 612})));
+    EXPECT_NO_THROW(Simulation::fromBundle(
+        thriftEchoBundle(ThriftEchoParams{run, 1})));
+    EXPECT_NO_THROW(Simulation::fromBundle(socialNetworkBundle(
+        SocialNetworkParams{run, 4, 2, 0.25, 0.2})));
+    EXPECT_NO_THROW(Simulation::fromBundle(tailAtScaleBundle(
+        TailAtScaleParams{run, 10, 0.1, 1e-3, 10.0})));
+    PowerTwoTierParams power;
+    power.run = run;
+    EXPECT_NO_THROW(
+        Simulation::fromBundle(powerTwoTierBundle(power)));
+}
+
+TEST(Bundles, RealProxyNoiseRaisesTail)
+{
+    TwoTierParams params;
+    params.run.qps = 20000.0;
+    params.run.warmupSeconds = 0.3;
+    params.run.durationSeconds = 1.5;
+    auto clean = Simulation::fromBundle(twoTierBundle(params));
+    const RunReport clean_report = clean->run();
+    params.run.realProxyNoise = true;
+    auto noisy = Simulation::fromBundle(twoTierBundle(params));
+    const RunReport noisy_report = noisy->run();
+    EXPECT_GT(noisy_report.endToEnd.p99Ms, clean_report.endToEnd.p99Ms);
+}
+
+TEST(Bundles, TailAtScaleSlowLeafCounts)
+{
+    TailAtScaleParams params;
+    params.clusterSize = 20;
+    params.slowFraction = 0.25;
+    const ConfigBundle bundle = tailAtScaleBundle(params);
+    // 5 slow leaves + 15 fast leaves deployed.
+    int fast = 0, slow = 0;
+    for (const json::JsonValue& svc :
+         bundle.graph.at("services").asArray()) {
+        const std::string name = svc.at("service").asString();
+        if (name == "leaf")
+            fast = static_cast<int>(svc.at("instances").size());
+        if (name == "slow_leaf")
+            slow = static_cast<int>(svc.at("instances").size());
+    }
+    EXPECT_EQ(fast, 15);
+    EXPECT_EQ(slow, 5);
+}
+
+TEST(Bundles, WriteAndReloadRoundTrip)
+{
+    namespace fs = std::filesystem;
+    const fs::path dir =
+        fs::temp_directory_path() / "uqsim_bundle_test";
+    fs::remove_all(dir);
+
+    TwoTierParams params;
+    params.run.qps = 2000.0;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 0.8;
+    params.run.seed = 5;
+    const ConfigBundle original = twoTierBundle(params);
+    writeBundle(original, dir.string());
+
+    ASSERT_TRUE(fs::exists(dir / "machines.json"));
+    ASSERT_TRUE(fs::exists(dir / "graph.json"));
+    ASSERT_TRUE(fs::exists(dir / "path.json"));
+    ASSERT_TRUE(fs::exists(dir / "client.json"));
+    ASSERT_TRUE(fs::exists(dir / "options.json"));
+    ASSERT_TRUE(fs::exists(dir / "services" / "nginx.json"));
+    ASSERT_TRUE(fs::exists(dir / "services" / "memcached.json"));
+
+    const ConfigBundle reloaded =
+        ConfigBundle::fromDirectory(dir.string());
+    EXPECT_TRUE(reloaded.machines == original.machines);
+    EXPECT_TRUE(reloaded.graph == original.graph);
+    EXPECT_TRUE(reloaded.paths == original.paths);
+    EXPECT_TRUE(reloaded.client == original.client);
+    EXPECT_EQ(reloaded.options.seed, original.options.seed);
+
+    // The reloaded bundle runs identically (determinism through the
+    // file round-trip).
+    auto a = Simulation::fromBundle(original);
+    auto b = Simulation::fromBundle(reloaded);
+    const RunReport ra = a->run();
+    const RunReport rb = b->run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.endToEnd.p99Ms, rb.endToEnd.p99Ms);
+    fs::remove_all(dir);
+}
+
+TEST(Bundles, FromDirectoryMissingThrows)
+{
+    EXPECT_THROW(ConfigBundle::fromDirectory("/nonexistent/dir"),
+                 json::JsonError);
+}
+
+TEST(Bundles, ParameterValidation)
+{
+    LoadBalancerParams lb;
+    lb.webServers = 0;
+    EXPECT_THROW(loadBalancerBundle(lb), std::invalid_argument);
+    FanoutParams fan;
+    fan.fanout = 0;
+    EXPECT_THROW(fanoutBundle(fan), std::invalid_argument);
+    TailAtScaleParams tail;
+    tail.clusterSize = 0;
+    EXPECT_THROW(tailAtScaleBundle(tail), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace models
+}  // namespace uqsim

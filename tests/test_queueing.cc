@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Queueing-theory validation: the simulator is checked against
+ * closed-form results (M/M/1 sojourn time, M/M/k Erlang-C,
+ * utilization), plus determinism across equal seeds.  These are the
+ * strongest correctness tests we can run without the paper's
+ * physical testbed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "uqsim/core/app/dispatcher.h"
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/random/distributions.h"
+#include "uqsim/stats/percentile_recorder.h"
+#include "uqsim/workload/client.h"
+
+namespace uqsim {
+namespace {
+
+/**
+ * Builds a single-instance, single-stage M/M/k system with service
+ * rate mu per server and measures sojourn times at offered load
+ * lambda.  No network, no IRQ: pure queueing.
+ */
+struct MmkResult {
+    double meanSojourn = 0.0;
+    double utilization = 0.0;
+    std::uint64_t completions = 0;
+};
+
+MmkResult
+runMmk(double lambda, double mu, int servers, std::uint64_t seed,
+       double duration = 60.0)
+{
+    Simulator sim(seed);
+    hw::Cluster cluster(sim, hw::NetworkConfig{0.0, 0.0});
+    Deployment deployment(sim, cluster);
+
+    StageConfig stage;
+    stage.id = 0;
+    stage.name = "serve";
+    stage.time = ServiceTimeModel(
+        std::make_shared<random::ExponentialDistribution>(1.0 / mu));
+    PathConfig path;
+    path.id = 0;
+    path.name = "serve";
+    path.stageIds = {0};
+    auto model = std::make_shared<ServiceModel>(
+        "station", std::vector<StageConfig>{stage},
+        std::vector<PathConfig>{path});
+    model->setExecutionModel(ExecutionModel::Simple);
+    deployment.registerModel(model);
+    InstanceConfig config;
+    config.cores = servers;
+    deployment.deployInstance("station", "", config);
+
+    PathTree tree;
+    PathVariant variant;
+    PathNode node;
+    node.id = 0;
+    node.service = "station";
+    variant.nodes = {node};
+    tree.addVariant(variant);
+
+    Dispatcher dispatcher(sim, cluster.network(), tree, deployment);
+    stats::PercentileRecorder sojourns;
+    const double warmup = duration * 0.1;
+    dispatcher.setOnRequestComplete(
+        [&](const Job& job, SimTime latency) {
+            if (simTimeToSeconds(job.created) >= warmup)
+                sojourns.add(simTimeToSeconds(latency));
+        });
+
+    // Open-loop Poisson arrivals, one connection per request batch
+    // (connection identity is irrelevant for a single queue).
+    random::RngStream arrivals(seed, "mmk/arrivals");
+    std::function<void()> arrive = [&]() {
+        JobPtr job = dispatcher.jobs().createRoot(sim.now(), 1);
+        dispatcher.startRequest(
+            std::move(job), deployment.instance("station", 0), 1);
+        const double gap =
+            -std::log(arrivals.nextDoubleOpenLeft()) / lambda;
+        sim.scheduleAfter(secondsToSimTime(gap), arrive);
+    };
+    sim.scheduleAt(0, arrive);
+    sim.run(secondsToSimTime(duration));
+
+    MmkResult result;
+    result.meanSojourn = sojourns.mean();
+    result.utilization =
+        deployment.instance("station", 0).cpuUtilization();
+    result.completions = sojourns.count();
+    return result;
+}
+
+/** Erlang-C probability of queueing for an M/M/k system. */
+double
+erlangC(double lambda, double mu, int k)
+{
+    const double a = lambda / mu;  // offered load in Erlangs
+    double factorial = 1.0;
+    double sum = 0.0;
+    for (int i = 0; i < k; ++i) {
+        if (i > 0)
+            factorial *= i;
+        sum += std::pow(a, i) / factorial;
+    }
+    factorial *= (k > 1) ? k : 1;
+    const double term =
+        std::pow(a, k) / factorial * (k / (k - a));
+    return term / (sum + term);
+}
+
+struct MmkCase {
+    double lambda;
+    double mu;
+    int servers;
+};
+
+class MmkSojournTest : public ::testing::TestWithParam<MmkCase> {};
+
+TEST_P(MmkSojournTest, MeanSojournMatchesClosedForm)
+{
+    const MmkCase& tc = GetParam();
+    const MmkResult result =
+        runMmk(tc.lambda, tc.mu, tc.servers, /*seed=*/77);
+    double expected;
+    if (tc.servers == 1) {
+        expected = 1.0 / (tc.mu - tc.lambda);
+    } else {
+        const double pq = erlangC(tc.lambda, tc.mu, tc.servers);
+        expected = pq / (tc.servers * tc.mu - tc.lambda) + 1.0 / tc.mu;
+    }
+    EXPECT_NEAR(result.meanSojourn, expected, expected * 0.06)
+        << "lambda=" << tc.lambda << " mu=" << tc.mu
+        << " k=" << tc.servers;
+    // Utilization = lambda / (k mu).
+    EXPECT_NEAR(result.utilization,
+                tc.lambda / (tc.servers * tc.mu), 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadSweep, MmkSojournTest,
+    ::testing::Values(MmkCase{200.0, 1000.0, 1},   // rho = 0.2
+                      MmkCase{500.0, 1000.0, 1},   // rho = 0.5
+                      MmkCase{800.0, 1000.0, 1},   // rho = 0.8
+                      MmkCase{900.0, 1000.0, 1},   // rho = 0.9
+                      MmkCase{1600.0, 1000.0, 2},  // M/M/2 rho = 0.8
+                      MmkCase{3200.0, 1000.0, 4}), // M/M/4 rho = 0.8
+    [](const ::testing::TestParamInfo<MmkCase>& info) {
+        const MmkCase& tc = info.param;
+        return "k" + std::to_string(tc.servers) + "_rho" +
+               std::to_string(static_cast<int>(
+                   100.0 * tc.lambda / (tc.servers * tc.mu)));
+    });
+
+TEST(QueueingTheory, Mm1TailIsExponential)
+{
+    // M/M/1 sojourn is exponential with rate (mu - lambda):
+    // p99 = ln(100) * mean.
+    const MmkResult result = runMmk(500.0, 1000.0, 1, 99, 120.0);
+    EXPECT_GT(result.completions, 10000u);
+    // p99/mean ratio check via a second run recorder would need the
+    // recorder; validate the mean only here (the ratio is covered by
+    // the stats tests).
+    EXPECT_NEAR(result.meanSojourn, 1.0 / 500.0, 0.0003);
+}
+
+TEST(QueueingTheory, ThroughputEqualsOfferedBelowSaturation)
+{
+    const MmkResult result = runMmk(600.0, 1000.0, 1, 5, 60.0);
+    // 54 seconds of measurement at 600 QPS.
+    EXPECT_NEAR(static_cast<double>(result.completions) / 54.0, 600.0,
+                25.0);
+}
+
+TEST(Determinism, EqualSeedsGiveIdenticalResults)
+{
+    const MmkResult a = runMmk(700.0, 1000.0, 2, 1234, 20.0);
+    const MmkResult b = runMmk(700.0, 1000.0, 2, 1234, 20.0);
+    EXPECT_EQ(a.completions, b.completions);
+    EXPECT_DOUBLE_EQ(a.meanSojourn, b.meanSojourn);
+    EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+}
+
+TEST(Determinism, DifferentSeedsDiffer)
+{
+    const MmkResult a = runMmk(700.0, 1000.0, 2, 1, 20.0);
+    const MmkResult b = runMmk(700.0, 1000.0, 2, 2, 20.0);
+    EXPECT_NE(a.meanSojourn, b.meanSojourn);
+}
+
+TEST(Determinism, FullApplicationBundleIsReproducible)
+{
+    models::TwoTierParams params;
+    params.run.qps = 5000.0;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.0;
+    params.run.seed = 42;
+    auto a = Simulation::fromBundle(models::twoTierBundle(params));
+    auto b = Simulation::fromBundle(models::twoTierBundle(params));
+    const RunReport ra = a->run();
+    const RunReport rb = b->run();
+    EXPECT_EQ(ra.completed, rb.completed);
+    EXPECT_DOUBLE_EQ(ra.endToEnd.p99Ms, rb.endToEnd.p99Ms);
+    EXPECT_DOUBLE_EQ(ra.endToEnd.meanMs, rb.endToEnd.meanMs);
+    EXPECT_EQ(ra.events, rb.events);
+}
+
+TEST(QueueingTheory, LatencyMonotonicInLoad)
+{
+    double previous = 0.0;
+    for (double lambda : {100.0, 400.0, 700.0, 900.0}) {
+        const MmkResult result = runMmk(lambda, 1000.0, 1, 3, 40.0);
+        EXPECT_GT(result.meanSojourn, previous)
+            << "at lambda " << lambda;
+        previous = result.meanSojourn;
+    }
+}
+
+}  // namespace
+}  // namespace uqsim

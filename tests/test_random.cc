@@ -1,0 +1,417 @@
+/**
+ * @file
+ * Unit tests for the randomness substrate: generator determinism,
+ * distribution statistics (parameterized sweeps), histogram
+ * distributions, and the JSON factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "uqsim/json/json_parser.h"
+#include "uqsim/random/distribution_factory.h"
+#include "uqsim/random/distributions.h"
+#include "uqsim/random/histogram_distribution.h"
+#include "uqsim/random/rng.h"
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+namespace random {
+namespace {
+
+// ------------------------------------------------------------------ Rng
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.nextU64() == b.nextU64())
+            ++equal;
+    }
+    EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.nextDouble();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, OpenLeftNeverZero)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GT(rng.nextDoubleOpenLeft(), 0.0);
+}
+
+TEST(Rng, DoubleMeanNearHalf)
+{
+    Rng rng(11);
+    stats::Summary summary;
+    for (int i = 0; i < 100000; ++i)
+        summary.add(rng.nextDouble());
+    EXPECT_NEAR(summary.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(7), 7u);
+    EXPECT_EQ(rng.nextBounded(0), 0u);
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(Rng, BoundedRoughlyUniform)
+{
+    Rng rng(5);
+    int counts[5] = {0};
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(5)];
+    for (int count : counts)
+        EXPECT_NEAR(count, n / 5, n / 50);
+}
+
+TEST(Rng, BernoulliEdgesAndMean)
+{
+    Rng rng(9);
+    EXPECT_FALSE(rng.nextBool(0.0));
+    EXPECT_TRUE(rng.nextBool(1.0));
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng rng(13);
+    stats::Summary summary;
+    for (int i = 0; i < 200000; ++i)
+        summary.add(rng.nextGaussian());
+    EXPECT_NEAR(summary.mean(), 0.0, 0.02);
+    EXPECT_NEAR(summary.stddev(), 1.0, 0.02);
+}
+
+TEST(RngStream, LabelsAreIndependent)
+{
+    RngStream a(1, "alpha"), b(1, "beta"), a2(1, "alpha");
+    EXPECT_NE(a.derivedSeed(), b.derivedSeed());
+    EXPECT_EQ(a.derivedSeed(), a2.derivedSeed());
+    EXPECT_EQ(a.nextU64(), a2.nextU64());
+}
+
+TEST(RngStream, MasterSeedChangesStreams)
+{
+    RngStream a(1, "alpha"), b(2, "alpha");
+    EXPECT_NE(a.derivedSeed(), b.derivedSeed());
+}
+
+// ---------------------------------------------------- distribution math
+
+struct DistCase {
+    const char* name;
+    std::function<DistributionPtr()> make;
+    double expectedMean;
+    double tolerance;
+};
+
+class DistributionMeanTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributionMeanTest, EmpiricalMeanMatchesAnalytic)
+{
+    const DistCase& tc = GetParam();
+    DistributionPtr dist = tc.make();
+    EXPECT_NEAR(dist->mean(), tc.expectedMean,
+                tc.expectedMean * 1e-9 + 1e-12);
+    Rng rng(1234);
+    stats::Summary summary;
+    for (int i = 0; i < 200000; ++i) {
+        const double sample = dist->sample(rng);
+        EXPECT_GE(sample, 0.0);
+        summary.add(sample);
+    }
+    EXPECT_NEAR(summary.mean(), tc.expectedMean, tc.tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDistributions, DistributionMeanTest,
+    ::testing::Values(
+        DistCase{"deterministic",
+                 [] {
+                     return std::make_shared<
+                         DeterministicDistribution>(0.005);
+                 },
+                 0.005, 1e-12},
+        DistCase{"uniform",
+                 [] {
+                     return std::make_shared<UniformDistribution>(
+                         0.001, 0.003);
+                 },
+                 0.002, 5e-5},
+        DistCase{"exponential",
+                 [] {
+                     return std::make_shared<ExponentialDistribution>(
+                         0.004);
+                 },
+                 0.004, 1e-4},
+        DistCase{"lognormal",
+                 [] {
+                     return LogNormalDistribution::fromMeanCv(0.002,
+                                                              1.0);
+                 },
+                 0.002, 1e-4},
+        DistCase{"mixture",
+                 [] {
+                     return std::make_shared<MixtureDistribution>(
+                         std::make_shared<DeterministicDistribution>(
+                             0.001),
+                         std::make_shared<DeterministicDistribution>(
+                             0.009),
+                         0.25);
+                 },
+                 0.003, 5e-5},
+        DistCase{"scaled",
+                 [] {
+                     return std::make_shared<ScaledDistribution>(
+                         std::make_shared<ExponentialDistribution>(
+                             0.001),
+                         3.0);
+                 },
+                 0.003, 1e-4}),
+    [](const ::testing::TestParamInfo<DistCase>& info) {
+        return info.param.name;
+    });
+
+TEST(ExponentialDistribution, VarianceMatchesSquaredMean)
+{
+    ExponentialDistribution dist(2.0);
+    Rng rng(77);
+    stats::Summary summary;
+    for (int i = 0; i < 200000; ++i)
+        summary.add(dist.sample(rng));
+    EXPECT_NEAR(summary.variance(), 4.0, 0.1);
+}
+
+TEST(LogNormalDistribution, CvIsRespected)
+{
+    auto dist = LogNormalDistribution::fromMeanCv(1.0, 0.5);
+    Rng rng(31);
+    stats::Summary summary;
+    for (int i = 0; i < 300000; ++i)
+        summary.add(dist->sample(rng));
+    EXPECT_NEAR(summary.stddev() / summary.mean(), 0.5, 0.02);
+}
+
+TEST(BoundedParetoDistribution, SamplesWithinBounds)
+{
+    BoundedParetoDistribution dist(1e-4, 1.3, 1e-1);
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const double sample = dist.sample(rng);
+        EXPECT_GE(sample, 1e-4);
+        EXPECT_LE(sample, 1e-1);
+    }
+}
+
+TEST(BoundedParetoDistribution, MeanMatchesEmpirical)
+{
+    BoundedParetoDistribution dist(1.0, 2.0, 10.0);
+    Rng rng(19);
+    stats::Summary summary;
+    for (int i = 0; i < 300000; ++i)
+        summary.add(dist.sample(rng));
+    EXPECT_NEAR(summary.mean(), dist.mean(), 0.02);
+}
+
+TEST(Distributions, InvalidParametersThrow)
+{
+    EXPECT_THROW(DeterministicDistribution(-1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(UniformDistribution(2.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ExponentialDistribution(0.0), std::invalid_argument);
+    EXPECT_THROW(LogNormalDistribution(0.0, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(BoundedParetoDistribution(1.0, 1.0, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW(MixtureDistribution(nullptr, nullptr, 0.5),
+                 std::invalid_argument);
+    EXPECT_THROW(ScaledDistribution(nullptr, 1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        MixtureDistribution(
+            std::make_shared<DeterministicDistribution>(1.0),
+            std::make_shared<DeterministicDistribution>(1.0), 1.5),
+        std::invalid_argument);
+}
+
+// ------------------------------------------------ histogram distribution
+
+TEST(HistogramDistribution, RequiresValidBins)
+{
+    EXPECT_THROW(HistogramDistribution({}), std::invalid_argument);
+    EXPECT_THROW(HistogramDistribution({{2.0, 1.0, 1.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        HistogramDistribution({{0.0, 2.0, 1.0}, {1.0, 3.0, 1.0}}),
+        std::invalid_argument);
+    EXPECT_THROW(HistogramDistribution({{0.0, 1.0, 0.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(HistogramDistribution({{0.0, 1.0, -1.0}}),
+                 std::invalid_argument);
+}
+
+TEST(HistogramDistribution, SamplesWithinSupport)
+{
+    HistogramDistribution dist(
+        {{1.0, 2.0, 1.0}, {2.0, 3.0, 2.0}, {5.0, 6.0, 1.0}});
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const double sample = dist.sample(rng);
+        EXPECT_GE(sample, 1.0);
+        EXPECT_LT(sample, 6.0);
+        EXPECT_FALSE(sample >= 3.0 && sample < 5.0)
+            << "sampled inside a zero-weight gap: " << sample;
+    }
+}
+
+TEST(HistogramDistribution, MeanAndCdf)
+{
+    HistogramDistribution dist({{0.0, 1.0, 1.0}, {1.0, 2.0, 3.0}});
+    EXPECT_DOUBLE_EQ(dist.mean(), 0.25 * 0.5 + 0.75 * 1.5);
+    EXPECT_DOUBLE_EQ(dist.cdf(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(dist.cdf(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(dist.cdf(2.0), 1.0);
+    EXPECT_NEAR(dist.cdf(1.5), 0.25 + 0.375, 1e-12);
+}
+
+TEST(HistogramDistribution, EmpiricalMeanMatches)
+{
+    HistogramDistribution dist({{0.0, 2.0, 1.0}, {2.0, 4.0, 1.0}});
+    Rng rng(29);
+    stats::Summary summary;
+    for (int i = 0; i < 200000; ++i)
+        summary.add(dist.sample(rng));
+    EXPECT_NEAR(summary.mean(), 2.0, 0.02);
+}
+
+TEST(HistogramDistribution, FromSamplesApproximatesSource)
+{
+    ExponentialDistribution source(1.0);
+    Rng rng(37);
+    std::vector<double> samples;
+    for (int i = 0; i < 50000; ++i)
+        samples.push_back(source.sample(rng));
+    auto dist = HistogramDistribution::fromSamples(samples, 200);
+    EXPECT_NEAR(dist->mean(), 1.0, 0.1);
+    Rng rng2(41);
+    stats::Summary resampled;
+    for (int i = 0; i < 50000; ++i)
+        resampled.add(dist->sample(rng2));
+    EXPECT_NEAR(resampled.mean(), 1.0, 0.1);
+}
+
+TEST(HistogramDistribution, FromSamplesDegenerate)
+{
+    auto dist =
+        HistogramDistribution::fromSamples({3.0, 3.0, 3.0}, 10);
+    Rng rng(1);
+    EXPECT_NEAR(dist->sample(rng), 3.0, 1e-9);
+}
+
+TEST(HistogramDistribution, ScaledShiftsSupport)
+{
+    HistogramDistribution dist({{1.0, 2.0, 1.0}});
+    auto doubled = dist.scaled(2.0);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        const double sample = doubled->sample(rng);
+        EXPECT_GE(sample, 2.0);
+        EXPECT_LT(sample, 4.0);
+    }
+    EXPECT_DOUBLE_EQ(doubled->mean(), dist.mean() * 2.0);
+}
+
+// ----------------------------------------------------------- factory
+
+TEST(DistributionFactory, BuildsEveryType)
+{
+    Rng rng(3);
+    auto check = [&](const char* spec, double expected_mean,
+                     double tol) {
+        DistributionPtr dist =
+            makeDistribution(json::parse(spec));
+        ASSERT_NE(dist, nullptr) << spec;
+        EXPECT_NEAR(dist->mean(), expected_mean, tol) << spec;
+    };
+    check(R"({"type": "deterministic", "value": 0.002})", 0.002, 1e-12);
+    check(R"({"type": "uniform", "low": 0.0, "high": 0.004})", 0.002,
+          1e-12);
+    check(R"({"type": "exponential", "mean": 0.003})", 0.003, 1e-12);
+    check(R"({"type": "lognormal", "mean": 0.002, "cv": 0.5})", 0.002,
+          1e-9);
+    check(R"({"type": "mixture",
+              "a": {"type": "deterministic", "value": 0.001},
+              "b": {"type": "deterministic", "value": 0.003},
+              "p_b": 0.5})",
+          0.002, 1e-12);
+    check(R"({"type": "scaled",
+              "base": {"type": "deterministic", "value": 0.001},
+              "factor": 4})",
+          0.004, 1e-12);
+    check(R"({"type": "histogram", "bins": [[0, 2, 1], [2, 4, 1]]})",
+          2.0, 1e-12);
+}
+
+TEST(DistributionFactory, BareNumberIsDeterministic)
+{
+    DistributionPtr dist = makeDistribution(json::parse("0.0005"));
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(dist->sample(rng), 0.0005);
+}
+
+TEST(DistributionFactory, UnknownTypeThrows)
+{
+    EXPECT_THROW(makeDistribution(json::parse(R"({"type": "zipf"})")),
+                 json::JsonError);
+    EXPECT_THROW(
+        makeDistribution(json::parse(R"({"type": "exponential"})")),
+        json::JsonError);
+    EXPECT_THROW(makeDistribution(json::parse(
+                     R"({"type": "histogram", "bins": [[0, 1]]})")),
+                 json::JsonError);
+}
+
+TEST(DistributionFactory, SpecHelpersRoundTrip)
+{
+    Rng rng(5);
+    EXPECT_NEAR(makeDistribution(exponentialSpec(0.01))->mean(), 0.01,
+                1e-12);
+    EXPECT_NEAR(makeDistribution(deterministicSpec(0.02))->mean(), 0.02,
+                1e-12);
+    EXPECT_NEAR(makeDistribution(lognormalMeanCvSpec(0.03, 1.0))->mean(),
+                0.03, 1e-9);
+    EXPECT_NEAR(
+        makeDistribution(histogramSpec({{0.0, 2.0, 1.0}}))->mean(),
+        1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace random
+}  // namespace uqsim

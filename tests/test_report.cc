@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests for result rendering: RunReport text/CSV, sweep tables,
+ * saturation detection, and the umbrella header.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uqsim/uqsim.h"  // umbrella header must be self-contained
+
+namespace uqsim {
+namespace {
+
+RunReport
+sampleReport()
+{
+    RunReport report;
+    report.offeredQps = 1000.0;
+    report.achievedQps = 990.0;
+    report.completed = 990;
+    report.endToEnd = LatencyStats{990, 1.5, 1.2, 3.0, 4.5, 9.0};
+    report.tiers["nginx"] = LatencyStats{990, 0.5, 0.4, 1.0, 1.5, 2.0};
+    return report;
+}
+
+TEST(RunReport, ToStringMentionsEverything)
+{
+    const std::string text = sampleReport().toString();
+    EXPECT_NE(text.find("offered 1000"), std::string::npos);
+    EXPECT_NE(text.find("achieved 990"), std::string::npos);
+    EXPECT_NE(text.find("p99 4.500 ms"), std::string::npos);
+    EXPECT_NE(text.find("tier nginx"), std::string::npos);
+}
+
+TEST(RunReport, CsvRowMatchesHeader)
+{
+    const std::string header = RunReport::csvHeader();
+    const std::string row = sampleReport().toCsvRow();
+    const auto count = [](const std::string& s) {
+        return std::count(s.begin(), s.end(), ',');
+    };
+    EXPECT_EQ(count(header), count(row));
+    EXPECT_NE(row.find("990.0000"), std::string::npos);
+}
+
+TEST(SweepCurve, SaturationDetection)
+{
+    SweepCurve curve;
+    curve.label = "svc";
+    auto add_point = [&](double offered, double achieved, double p99) {
+        SweepPoint point;
+        point.offeredQps = offered;
+        point.report.achievedQps = achieved;
+        point.report.endToEnd.p99Ms = p99;
+        curve.points.push_back(point);
+    };
+    add_point(1000.0, 1000.0, 0.5);
+    add_point(2000.0, 1990.0, 0.7);
+    add_point(3000.0, 2500.0, 80.0);  // saturated (achieved < 95%)
+    add_point(4000.0, 2500.0, 200.0);
+    EXPECT_DOUBLE_EQ(curve.saturationQps(), 3000.0);
+    EXPECT_DOUBLE_EQ(curve.tailBeforeSaturationMs(), 0.7);
+
+    SweepCurve healthy;
+    healthy.points = {curve.points[0], curve.points[1]};
+    EXPECT_DOUBLE_EQ(healthy.saturationQps(), 0.0);
+}
+
+TEST(SweepCurve, FormatTableAlignsCurves)
+{
+    SweepCurve a, b;
+    a.label = "a";
+    b.label = "b";
+    SweepPoint point;
+    point.offeredQps = 100.0;
+    point.report.achievedQps = 99.0;
+    point.report.endToEnd.meanMs = 0.5;
+    point.report.endToEnd.p99Ms = 1.0;
+    a.points.push_back(point);
+    a.points.push_back(point);
+    b.points.push_back(point);  // shorter curve: '-' padding
+    const std::string table = formatSweepTable({a, b});
+    EXPECT_NE(table.find("a.p99"), std::string::npos);
+    EXPECT_NE(table.find("b.mean"), std::string::npos);
+    EXPECT_NE(table.find('-'), std::string::npos);
+}
+
+TEST(Linspace, EndpointsAndSpacing)
+{
+    const auto values = linspace(0.0, 10.0, 5);
+    ASSERT_EQ(values.size(), 5u);
+    EXPECT_DOUBLE_EQ(values.front(), 0.0);
+    EXPECT_DOUBLE_EQ(values.back(), 10.0);
+    EXPECT_DOUBLE_EQ(values[2], 5.0);
+    EXPECT_EQ(linspace(3.0, 9.0, 1),
+              (std::vector<double>{3.0}));
+    EXPECT_THROW(linspace(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace uqsim

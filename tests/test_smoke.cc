@@ -1,0 +1,118 @@
+/**
+ * @file
+ * End-to-end smoke tests: every application bundle builds, runs at
+ * low load, and produces sane statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/models/applications.h"
+
+namespace uqsim {
+namespace {
+
+models::RunParams
+quickRun(double qps)
+{
+    models::RunParams run;
+    run.qps = qps;
+    run.warmupSeconds = 0.3;
+    run.durationSeconds = 1.3;
+    return run;
+}
+
+TEST(Smoke, TwoTierLowLoad)
+{
+    models::TwoTierParams params;
+    params.run = quickRun(2000.0);
+    auto simulation =
+        Simulation::fromBundle(models::twoTierBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_GT(report.completed, 1000u);
+    // Open-loop, far from saturation: achieved tracks offered.
+    EXPECT_NEAR(report.achievedQps, 2000.0, 200.0);
+    EXPECT_GT(report.endToEnd.meanMs, 0.0);
+    EXPECT_LT(report.endToEnd.p99Ms, 10.0);
+    EXPECT_EQ(simulation->dispatcher().leakedBlocks(), 0u);
+    EXPECT_EQ(simulation->dispatcher().leakedHops(), 0u);
+}
+
+TEST(Smoke, ThreeTierLowLoad)
+{
+    models::ThreeTierParams params;
+    params.run = quickRun(1000.0);
+    auto simulation =
+        Simulation::fromBundle(models::threeTierBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_GT(report.completed, 500u);
+    EXPECT_NEAR(report.achievedQps, 1000.0, 150.0);
+    // Misses pay the ~4 ms disk access, so p99 >> p50.
+    EXPECT_GT(report.endToEnd.p99Ms, report.endToEnd.p50Ms);
+}
+
+TEST(Smoke, LoadBalancerLowLoad)
+{
+    models::LoadBalancerParams params;
+    params.run = quickRun(5000.0);
+    params.webServers = 4;
+    auto simulation =
+        Simulation::fromBundle(models::loadBalancerBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(report.achievedQps, 5000.0, 500.0);
+    EXPECT_EQ(simulation->dispatcher().leakedHops(), 0u);
+}
+
+TEST(Smoke, FanoutLowLoad)
+{
+    models::FanoutParams params;
+    params.run = quickRun(2000.0);
+    params.fanout = 4;
+    auto simulation =
+        Simulation::fromBundle(models::fanoutBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(report.achievedQps, 2000.0, 250.0);
+    EXPECT_EQ(simulation->dispatcher().leakedHops(), 0u);
+}
+
+TEST(Smoke, ThriftEchoLowLoad)
+{
+    models::ThriftEchoParams params;
+    params.run = quickRun(10000.0);
+    auto simulation =
+        Simulation::fromBundle(models::thriftEchoBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(report.achievedQps, 10000.0, 800.0);
+    // Low-load latency below 100 us (paper Fig. 12a).
+    EXPECT_LT(report.endToEnd.p50Ms, 0.2);
+}
+
+TEST(Smoke, SocialNetworkLowLoad)
+{
+    models::SocialNetworkParams params;
+    params.run = quickRun(1000.0);
+    auto simulation =
+        Simulation::fromBundle(models::socialNetworkBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(report.achievedQps, 1000.0, 150.0);
+    EXPECT_EQ(simulation->dispatcher().leakedHops(), 0u);
+}
+
+TEST(Smoke, TailAtScaleSmallCluster)
+{
+    models::TailAtScaleParams params;
+    params.run = quickRun(50.0);
+    params.run.durationSeconds = 2.3;
+    params.clusterSize = 10;
+    params.slowFraction = 0.0;
+    auto simulation =
+        Simulation::fromBundle(models::tailAtScaleBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_GT(report.completed, 50u);
+    // End-to-end is the max over 10 exponential leaves: well above
+    // the 1 ms mean.
+    EXPECT_GT(report.endToEnd.p50Ms, 1.0);
+}
+
+}  // namespace
+}  // namespace uqsim

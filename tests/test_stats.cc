@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Unit tests for the statistics substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uqsim/random/rng.h"
+#include "uqsim/stats/latency_histogram.h"
+#include "uqsim/stats/percentile_recorder.h"
+#include "uqsim/stats/summary.h"
+#include "uqsim/stats/throughput_meter.h"
+#include "uqsim/stats/time_series.h"
+#include "uqsim/stats/windowed_tail_tracker.h"
+
+namespace uqsim {
+namespace stats {
+namespace {
+
+// -------------------------------------------------------------- Summary
+
+TEST(Summary, EmptyIsZero)
+{
+    Summary summary;
+    EXPECT_EQ(summary.count(), 0u);
+    EXPECT_DOUBLE_EQ(summary.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(summary.min(), 0.0);
+    EXPECT_DOUBLE_EQ(summary.max(), 0.0);
+}
+
+TEST(Summary, BasicMoments)
+{
+    Summary summary;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        summary.add(v);
+    EXPECT_EQ(summary.count(), 8u);
+    EXPECT_DOUBLE_EQ(summary.mean(), 5.0);
+    EXPECT_NEAR(summary.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(summary.min(), 2.0);
+    EXPECT_DOUBLE_EQ(summary.max(), 9.0);
+    EXPECT_DOUBLE_EQ(summary.sum(), 40.0);
+}
+
+TEST(Summary, SingleValueHasZeroVariance)
+{
+    Summary summary;
+    summary.add(3.0);
+    EXPECT_DOUBLE_EQ(summary.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(summary.stddev(), 0.0);
+}
+
+TEST(Summary, MergeMatchesCombinedStream)
+{
+    random::Rng rng(5);
+    Summary all, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.nextDouble() * 10.0;
+        all.add(v);
+        (i % 2 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), all.min());
+    EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Summary, MergeWithEmpty)
+{
+    Summary a, b;
+    a.add(1.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 1u);
+    EXPECT_DOUBLE_EQ(b.mean(), 1.0);
+}
+
+TEST(Summary, ResetClears)
+{
+    Summary summary;
+    summary.add(5.0);
+    summary.reset();
+    EXPECT_EQ(summary.count(), 0u);
+}
+
+// -------------------------------------------------- PercentileRecorder
+
+TEST(PercentileRecorder, EmptyReturnsZero)
+{
+    PercentileRecorder recorder;
+    EXPECT_DOUBLE_EQ(recorder.percentile(99.0), 0.0);
+    EXPECT_TRUE(recorder.empty());
+}
+
+TEST(PercentileRecorder, ExactOrderStatistics)
+{
+    PercentileRecorder recorder;
+    for (int i = 100; i >= 1; --i)  // insertion order irrelevant
+        recorder.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(recorder.percentile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(100.0), 100.0);
+    // Type-7 interpolation: p50 of 1..100 is 50.5.
+    EXPECT_DOUBLE_EQ(recorder.p50(), 50.5);
+    EXPECT_NEAR(recorder.p99(), 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(recorder.mean(), 50.5);
+}
+
+TEST(PercentileRecorder, InterpolatesBetweenRanks)
+{
+    PercentileRecorder recorder;
+    recorder.add(0.0);
+    recorder.add(10.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(50.0), 5.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(25.0), 2.5);
+}
+
+TEST(PercentileRecorder, PercentileClamped)
+{
+    PercentileRecorder recorder;
+    recorder.add(1.0);
+    recorder.add(2.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(-5.0), 1.0);
+    EXPECT_DOUBLE_EQ(recorder.percentile(150.0), 2.0);
+}
+
+TEST(PercentileRecorder, CacheInvalidatedByAdd)
+{
+    PercentileRecorder recorder;
+    recorder.add(1.0);
+    EXPECT_DOUBLE_EQ(recorder.p99(), 1.0);
+    recorder.add(100.0);
+    EXPECT_GT(recorder.p99(), 90.0);
+}
+
+TEST(PercentileRecorder, ResetClears)
+{
+    PercentileRecorder recorder;
+    recorder.add(5.0);
+    recorder.reset();
+    EXPECT_TRUE(recorder.empty());
+    EXPECT_DOUBLE_EQ(recorder.p99(), 0.0);
+}
+
+TEST(PercentileRecorder, ExponentialTailMatchesTheory)
+{
+    // p99 of exp(mean) = mean * ln(100).
+    random::Rng rng(123);
+    random::Rng rng2(123);
+    PercentileRecorder recorder;
+    for (int i = 0; i < 200000; ++i)
+        recorder.add(-std::log(1.0 - rng.nextDouble()));
+    (void)rng2;
+    EXPECT_NEAR(recorder.p99(), std::log(100.0), 0.1);
+    EXPECT_NEAR(recorder.p50(), std::log(2.0), 0.02);
+}
+
+// ---------------------------------------------------- LatencyHistogram
+
+TEST(LatencyHistogram, CountsAndMean)
+{
+    LatencyHistogram hist(1e-6, 7);
+    hist.add(1e-3);
+    hist.addN(2e-3, 3);
+    EXPECT_EQ(hist.count(), 4u);
+    EXPECT_NEAR(hist.mean(), (1e-3 + 3 * 2e-3) / 4.0, 1e-12);
+    EXPECT_NEAR(hist.max(), 2e-3, 1e-12);
+    EXPECT_NEAR(hist.min(), 1e-3, 1e-12);
+}
+
+TEST(LatencyHistogram, BoundedRelativeError)
+{
+    LatencyHistogram hist(1e-9, 7);
+    random::Rng rng(55);
+    PercentileRecorder exact;
+    for (int i = 0; i < 100000; ++i) {
+        const double v = rng.nextDouble() * 1e-2;
+        hist.add(v);
+        exact.add(v);
+    }
+    for (double p : {50.0, 90.0, 99.0, 99.9}) {
+        const double approx = hist.percentile(p);
+        const double truth = exact.percentile(p);
+        EXPECT_NEAR(approx, truth, truth * 0.02 + 1e-9)
+            << "at percentile " << p;
+    }
+}
+
+TEST(LatencyHistogram, MergeAddsCounts)
+{
+    LatencyHistogram a(1e-6, 7), b(1e-6, 7);
+    a.add(1e-3);
+    b.add(5e-3);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_NEAR(a.max(), 5e-3, 1e-12);
+}
+
+TEST(LatencyHistogram, MergeMismatchThrows)
+{
+    LatencyHistogram a(1e-6, 7), b(1e-6, 8);
+    EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, NegativeClampedToZero)
+{
+    LatencyHistogram hist;
+    hist.add(-1.0);
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+}
+
+TEST(LatencyHistogram, EmptyPercentileIsZero)
+{
+    LatencyHistogram hist;
+    EXPECT_DOUBLE_EQ(hist.percentile(99.0), 0.0);
+}
+
+TEST(LatencyHistogram, InvalidParamsThrow)
+{
+    EXPECT_THROW(LatencyHistogram(0.0, 7), std::invalid_argument);
+    EXPECT_THROW(LatencyHistogram(1e-6, 0), std::invalid_argument);
+    EXPECT_THROW(LatencyHistogram(1e-6, 30), std::invalid_argument);
+}
+
+// ------------------------------------------------- WindowedTailTracker
+
+TEST(WindowedTailTracker, CloseComputesAndResets)
+{
+    WindowedTailTracker tracker;
+    for (int i = 1; i <= 100; ++i)
+        tracker.add(static_cast<double>(i));
+    EXPECT_EQ(tracker.pending(), 100u);
+    const WindowStats stats = tracker.close();
+    EXPECT_EQ(stats.count, 100u);
+    EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+    EXPECT_DOUBLE_EQ(stats.p50, 50.5);
+    EXPECT_NEAR(stats.p99, 99.01, 1e-9);
+    EXPECT_DOUBLE_EQ(stats.max, 100.0);
+    EXPECT_EQ(tracker.pending(), 0u);
+    const WindowStats empty = tracker.close();
+    EXPECT_EQ(empty.count, 0u);
+    EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+TEST(WindowedTailTracker, PeekDoesNotReset)
+{
+    WindowedTailTracker tracker;
+    tracker.add(1.0);
+    tracker.add(3.0);
+    const WindowStats peeked = tracker.peek();
+    EXPECT_EQ(peeked.count, 2u);
+    EXPECT_DOUBLE_EQ(peeked.mean, 2.0);
+    EXPECT_EQ(tracker.pending(), 2u);
+}
+
+// ------------------------------------------------------------ TimeSeries
+
+TEST(TimeSeries, ValueAtZeroOrderHold)
+{
+    TimeSeries series("freq");
+    series.add(1.0, 2.6);
+    series.add(5.0, 1.2);
+    EXPECT_DOUBLE_EQ(series.valueAt(0.5, -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(series.valueAt(1.0), 2.6);
+    EXPECT_DOUBLE_EQ(series.valueAt(4.999), 2.6);
+    EXPECT_DOUBLE_EQ(series.valueAt(5.0), 1.2);
+    EXPECT_DOUBLE_EQ(series.valueAt(100.0), 1.2);
+    EXPECT_DOUBLE_EQ(series.lastValue(), 1.2);
+}
+
+TEST(TimeSeries, MeanOverWindow)
+{
+    TimeSeries series;
+    series.add(0.0, 1.0);
+    series.add(1.0, 2.0);
+    series.add(2.0, 3.0);
+    EXPECT_DOUBLE_EQ(series.meanOver(0.0, 2.0), 1.5);
+    EXPECT_DOUBLE_EQ(series.meanOver(0.0, 3.0), 2.0);
+    EXPECT_DOUBLE_EQ(series.meanOver(5.0, 6.0), 0.0);
+}
+
+TEST(TimeSeries, TextRendering)
+{
+    TimeSeries series;
+    series.add(1.5, 2.5);
+    EXPECT_EQ(series.toText(), "1.5 2.5\n");
+}
+
+// -------------------------------------------------------- ThroughputMeter
+
+TEST(ThroughputMeter, OverallRate)
+{
+    ThroughputMeter meter;
+    for (int i = 0; i <= 100; ++i)
+        meter.record(static_cast<double>(i) * 0.01);
+    EXPECT_EQ(meter.count(), 101u);
+    EXPECT_NEAR(meter.overallRate(), 100.0, 1e-9);
+}
+
+TEST(ThroughputMeter, SingleEventHasNoRate)
+{
+    ThroughputMeter meter;
+    meter.record(1.0);
+    EXPECT_DOUBLE_EQ(meter.overallRate(), 0.0);
+}
+
+TEST(ThroughputMeter, BucketedRates)
+{
+    ThroughputMeter meter(1.0);
+    for (int i = 0; i < 10; ++i)
+        meter.record(0.05 * i);  // 10 events in bucket 0
+    meter.record(1.5);           // 1 event in bucket 1
+    const auto& rates = meter.bucketRates();
+    ASSERT_EQ(rates.size(), 2u);
+    EXPECT_DOUBLE_EQ(rates[0], 10.0);
+    EXPECT_DOUBLE_EQ(rates[1], 1.0);
+    EXPECT_NEAR(meter.rateOver(0.0, 2.0), 5.5, 1e-9);
+}
+
+TEST(ThroughputMeter, NegativeBucketWidthThrows)
+{
+    EXPECT_THROW(ThroughputMeter(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stats
+}  // namespace uqsim

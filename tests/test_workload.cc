@@ -1,0 +1,259 @@
+/**
+ * @file
+ * Tests for the workload layer: load patterns, arrival processes,
+ * and the open-loop client.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/applications.h"
+#include "uqsim/stats/summary.h"
+#include "uqsim/workload/arrival_process.h"
+#include "uqsim/workload/client.h"
+#include "uqsim/workload/load_pattern.h"
+
+namespace uqsim {
+namespace workload {
+namespace {
+
+// ----------------------------------------------------------- patterns
+
+TEST(LoadPattern, Constant)
+{
+    ConstantLoad load(1234.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(0.0), 1234.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(99.0), 1234.0);
+    EXPECT_THROW(ConstantLoad(-1.0), std::invalid_argument);
+}
+
+TEST(LoadPattern, Steps)
+{
+    StepLoad load({{0.0, 100.0}, {5.0, 200.0}, {10.0, 0.0}});
+    EXPECT_DOUBLE_EQ(load.rateAt(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(0.0), 100.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(4.999), 100.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(5.0), 200.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(12.0), 0.0);
+    EXPECT_THROW(StepLoad({}), std::invalid_argument);
+    EXPECT_THROW(StepLoad({{5.0, 1.0}, {0.0, 2.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(StepLoad({{0.0, -1.0}}), std::invalid_argument);
+}
+
+TEST(LoadPattern, DiurnalShape)
+{
+    DiurnalLoad load(1000.0, 500.0, 60.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(0.0), 1000.0);
+    EXPECT_NEAR(load.rateAt(15.0), 1500.0, 1e-9);  // peak at T/4
+    EXPECT_NEAR(load.rateAt(45.0), 500.0, 1e-9);   // trough at 3T/4
+    EXPECT_NEAR(load.rateAt(60.0), 1000.0, 1e-6);  // periodic
+}
+
+TEST(LoadPattern, DiurnalClampedAtZero)
+{
+    DiurnalLoad load(100.0, 500.0, 60.0);
+    EXPECT_DOUBLE_EQ(load.rateAt(45.0), 0.0);
+}
+
+TEST(LoadPattern, FromJson)
+{
+    EXPECT_DOUBLE_EQ(
+        LoadPattern::fromJson(json::parse("2500"))->rateAt(0.0),
+        2500.0);
+    EXPECT_DOUBLE_EQ(LoadPattern::fromJson(json::parse(
+                                               R"({"type": "constant",
+                             "qps": 100})"))
+                         ->rateAt(3.0),
+                     100.0);
+    auto steps = LoadPattern::fromJson(json::parse(
+        R"({"type": "steps", "points": [[0, 10], [1, 20]]})"));
+    EXPECT_DOUBLE_EQ(steps->rateAt(1.5), 20.0);
+    auto diurnal = LoadPattern::fromJson(json::parse(
+        R"({"type": "diurnal", "base_qps": 100, "amplitude_qps": 50,
+            "period_s": 10})"));
+    EXPECT_NEAR(diurnal->rateAt(2.5), 150.0, 1e-9);
+    EXPECT_THROW(
+        LoadPattern::fromJson(json::parse(R"({"type": "sawtooth"})")),
+        json::JsonError);
+}
+
+// ------------------------------------------------------------ arrivals
+
+TEST(ArrivalProcess, FactoryNames)
+{
+    EXPECT_EQ(ArrivalProcess::fromName("poisson")->describe(),
+              "poisson");
+    EXPECT_EQ(ArrivalProcess::fromName("deterministic")->describe(),
+              "deterministic");
+    EXPECT_EQ(ArrivalProcess::fromName("uniform")->describe(),
+              "uniform");
+    EXPECT_THROW(ArrivalProcess::fromName("bursty"),
+                 std::invalid_argument);
+}
+
+TEST(ArrivalProcess, PoissonGapsHaveCorrectMeanAndCv)
+{
+    PoissonArrivals arrivals;
+    random::Rng rng(5);
+    stats::Summary summary;
+    for (int i = 0; i < 200000; ++i)
+        summary.add(arrivals.nextGap(1000.0, rng));
+    EXPECT_NEAR(summary.mean(), 1e-3, 2e-5);
+    EXPECT_NEAR(summary.stddev() / summary.mean(), 1.0, 0.02);
+}
+
+TEST(ArrivalProcess, DeterministicGapIsExact)
+{
+    DeterministicArrivals arrivals;
+    random::Rng rng(1);
+    EXPECT_DOUBLE_EQ(arrivals.nextGap(500.0, rng), 0.002);
+}
+
+TEST(ArrivalProcess, UniformMeanMatchesRate)
+{
+    UniformArrivals arrivals;
+    random::Rng rng(9);
+    stats::Summary summary;
+    for (int i = 0; i < 100000; ++i)
+        summary.add(arrivals.nextGap(1000.0, rng));
+    EXPECT_NEAR(summary.mean(), 1e-3, 2e-5);
+}
+
+TEST(ArrivalProcess, ZeroRateThrows)
+{
+    random::Rng rng(1);
+    EXPECT_THROW(PoissonArrivals().nextGap(0.0, rng),
+                 std::invalid_argument);
+    EXPECT_THROW(DeterministicArrivals().nextGap(-1.0, rng),
+                 std::invalid_argument);
+}
+
+// -------------------------------------------------------------- client
+
+TEST(ClientConfig, FromJson)
+{
+    const ClientConfig config = ClientConfig::fromJson(json::parse(R"({
+        "front_service": "nginx",
+        "connections": 64,
+        "arrival": "poisson",
+        "load": {"type": "constant", "qps": 5000},
+        "request_bytes": {"type": "exponential", "mean": 128},
+        "start_s": 0.5, "stop_s": 9.5})"));
+    EXPECT_EQ(config.frontService, "nginx");
+    EXPECT_EQ(config.connections, 64);
+    EXPECT_DOUBLE_EQ(config.load->rateAt(1.0), 5000.0);
+    EXPECT_NEAR(config.requestBytes->mean(), 128.0, 1e-9);
+    EXPECT_DOUBLE_EQ(config.startTime, 0.5);
+    EXPECT_DOUBLE_EQ(config.stopTime, 9.5);
+}
+
+TEST(Client, GeneratesAtTargetRate)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 5000.0;
+    params.run.warmupSeconds = 0.0;
+    params.run.durationSeconds = 2.0;
+    auto simulation =
+        Simulation::fromBundle(models::thriftEchoBundle(params));
+    simulation->run();
+    ASSERT_EQ(simulation->clients().size(), 1u);
+    // 2 seconds at 5 kQPS: ~10k requests (Poisson noise ~1%).
+    EXPECT_NEAR(
+        static_cast<double>(simulation->clients()[0]->generated()),
+        10000.0, 400.0);
+}
+
+TEST(Client, OpenLoopIgnoresCompletionDelays)
+{
+    // Open-loop property: the generator keeps issuing at the target
+    // rate even when the server is saturated.
+    models::ThriftEchoParams params;
+    params.run.qps = 200000.0;  // far beyond ~60k saturation
+    params.run.warmupSeconds = 0.0;
+    params.run.durationSeconds = 0.5;
+    auto simulation =
+        Simulation::fromBundle(models::thriftEchoBundle(params));
+    const RunReport report = simulation->run();
+    EXPECT_NEAR(
+        static_cast<double>(simulation->clients()[0]->generated()),
+        100000.0, 3000.0);
+    // ...but completes only at the service capacity.
+    EXPECT_LT(report.achievedQps, 80000.0);
+}
+
+TEST(Client, StartAndStopTimesRespected)
+{
+    models::ThriftEchoParams params;
+    params.run.qps = 1000.0;
+    params.run.warmupSeconds = 0.0;
+    params.run.durationSeconds = 3.0;
+    ConfigBundle bundle = models::thriftEchoBundle(params);
+    bundle.client.asObject()["start_s"] = 1.0;
+    bundle.client.asObject()["stop_s"] = 2.0;
+    auto simulation = Simulation::fromBundle(bundle);
+    simulation->run();
+    // Roughly 1 second of generation at 1 kQPS.
+    EXPECT_NEAR(
+        static_cast<double>(simulation->clients()[0]->generated()),
+        1000.0, 150.0);
+}
+
+TEST(Client, DiurnalLoadModulatesThroughput)
+{
+    models::PowerTwoTierParams params;
+    params.run.qps = 0.0;  // unused; diurnal pattern drives load
+    params.run.warmupSeconds = 0.0;
+    params.run.durationSeconds = 60.0;
+    params.baseQps = 2000.0;
+    params.amplitudeQps = 1500.0;
+    params.periodSeconds = 60.0;
+    params.nginxWorkers = 4;
+    auto simulation =
+        Simulation::fromBundle(models::powerTwoTierBundle(params));
+    std::uint64_t first_quarter = 0, third_quarter = 0;
+    simulation->setCompletionListener(
+        [&](const Job& job, double) {
+            const double t = simTimeToSeconds(job.created);
+            if (t >= 7.5 && t < 22.5)
+                ++first_quarter;  // around the peak (t = 15)
+            else if (t >= 37.5 && t < 52.5)
+                ++third_quarter;  // around the trough (t = 45)
+        });
+    simulation->run();
+    // Peak (3.5 kQPS) vs trough (0.5 kQPS): ~7x more completions.
+    EXPECT_GT(first_quarter, third_quarter * 4);
+}
+
+TEST(Client, RequiresFrontInstances)
+{
+    Simulator sim;
+    hw::Cluster cluster(sim);
+    Deployment deployment(sim, cluster);
+    PathTree tree;
+    PathVariant variant;
+    PathNode node;
+    node.id = 0;
+    node.service = "ghost";
+    variant.nodes = {node};
+    tree.addVariant(variant);
+    // No models registered: client construction must fail cleanly.
+    ClientConfig config;
+    config.frontService = "ghost";
+    config.load = std::make_shared<ConstantLoad>(10.0);
+    Dispatcher* dispatcher = nullptr;
+    (void)dispatcher;
+    EXPECT_THROW(
+        {
+            Dispatcher d(sim, cluster.network(), tree, deployment);
+            Client client(sim, d, deployment, config);
+        },
+        std::exception);
+}
+
+}  // namespace
+}  // namespace workload
+}  // namespace uqsim
