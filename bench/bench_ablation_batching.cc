@@ -20,10 +20,12 @@ namespace {
 enum class Variant { Batched, Unbatched, StageOrder };
 
 ConfigBundle
-makeBundle(double qps, double epoll_base_us, Variant variant)
+makeBundle(double qps, std::uint64_t seed, double epoll_base_us,
+           Variant variant)
 {
     models::ThriftEchoParams params;
     params.run.qps = qps;
+    params.run.seed = seed;
     params.run.warmupSeconds = 0.4;
     params.run.durationSeconds = 1.6;
     ConfigBundle bundle = models::thriftEchoBundle(params);
@@ -59,11 +61,12 @@ SweepCurve
 sweepVariant(const std::string& label, double epoll_base_us,
              Variant variant)
 {
-    return runLoadSweep(label, linspace(10000.0, 70000.0, 7),
-                        [&](double qps) {
-                            return Simulation::fromBundle(makeBundle(
-                                qps, epoll_base_us, variant));
-                        });
+    return bench::parallelSweep(
+        label, linspace(10000.0, 70000.0, 7),
+        [&](double qps, std::uint64_t seed) {
+            return Simulation::fromBundle(
+                makeBundle(qps, seed, epoll_base_us, variant));
+        });
 }
 
 }  // namespace

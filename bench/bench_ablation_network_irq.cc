@@ -19,10 +19,12 @@ namespace {
 SweepCurve
 sweepLb16(const std::string& label, bool disable_irq)
 {
-    return runLoadSweep(
-        label, linspace(40000.0, 180000.0, 8), [&](double qps) {
+    return bench::parallelSweep(
+        label, linspace(40000.0, 180000.0, 8),
+        [&](double qps, std::uint64_t seed) {
             models::LoadBalancerParams params;
             params.run.qps = qps;
+            params.run.seed = seed;
             params.run.warmupSeconds = 0.4;
             params.run.durationSeconds = 1.4;
             params.webServers = 16;

@@ -22,18 +22,19 @@ sweepConfig(int nginx_workers, int memcached_threads)
     const std::string label = "n" + std::to_string(nginx_workers) +
                               "mc" + std::to_string(memcached_threads);
     // One shared load grid so the printed rows align across configs.
-    return runLoadSweep(label, linspace(8000.0, 88000.0, 11),
-                        [&](double qps) {
-                            models::TwoTierParams params;
-                            params.run.qps = qps;
-                            params.run.warmupSeconds = 0.4;
-                            params.run.durationSeconds = 1.9;
-                            params.nginxWorkers = nginx_workers;
-                            params.memcachedThreads =
-                                memcached_threads;
-                            return Simulation::fromBundle(
-                                models::twoTierBundle(params));
-                        });
+    return bench::parallelSweep(
+        label, linspace(8000.0, 88000.0, 11),
+        [&](double qps, std::uint64_t seed) {
+            models::TwoTierParams params;
+            params.run.qps = qps;
+            params.run.seed = seed;
+            params.run.warmupSeconds = 0.4;
+            params.run.durationSeconds = 1.9;
+            params.nginxWorkers = nginx_workers;
+            params.memcachedThreads = memcached_threads;
+            return Simulation::fromBundle(
+                models::twoTierBundle(params));
+        });
 }
 
 }  // namespace

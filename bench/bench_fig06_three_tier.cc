@@ -19,16 +19,18 @@ SweepCurve
 sweepMissRate(const std::string& label, double miss_rate,
               double hi_qps)
 {
-    return runLoadSweep(label, linspace(hi_qps / 8.0, hi_qps, 8),
-                        [&](double qps) {
-                            models::ThreeTierParams params;
-                            params.run.qps = qps;
-                            params.run.warmupSeconds = 0.4;
-                            params.run.durationSeconds = 2.4;
-                            params.missRate = miss_rate;
-                            return Simulation::fromBundle(
-                                models::threeTierBundle(params));
-                        });
+    return bench::parallelSweep(
+        label, linspace(hi_qps / 8.0, hi_qps, 8),
+        [&](double qps, std::uint64_t seed) {
+            models::ThreeTierParams params;
+            params.run.qps = qps;
+            params.run.seed = seed;
+            params.run.warmupSeconds = 0.4;
+            params.run.durationSeconds = 2.4;
+            params.missRate = miss_rate;
+            return Simulation::fromBundle(
+                models::threeTierBundle(params));
+        });
 }
 
 }  // namespace

@@ -19,11 +19,13 @@ namespace {
 SweepCurve
 sweepScaleOut(int web_servers, double hi_qps, int points)
 {
-    return runLoadSweep(
+    return bench::parallelSweep(
         "lb" + std::to_string(web_servers),
-        linspace(hi_qps / points, hi_qps, points), [&](double qps) {
+        linspace(hi_qps / points, hi_qps, points),
+        [&](double qps, std::uint64_t seed) {
             models::LoadBalancerParams params;
             params.run.qps = qps;
+            params.run.seed = seed;
             params.run.warmupSeconds = 0.4;
             params.run.durationSeconds = 1.6;
             params.webServers = web_servers;

@@ -20,11 +20,13 @@ namespace {
 SweepCurve
 sweepFanout(int fanout)
 {
-    return runLoadSweep(
+    return bench::parallelSweep(
         "fanout" + std::to_string(fanout),
-        linspace(1500.0, 10500.0, 7), [&](double qps) {
+        linspace(1500.0, 10500.0, 7),
+        [&](double qps, std::uint64_t seed) {
             models::FanoutParams params;
             params.run.qps = qps;
+            params.run.seed = seed;
             params.run.warmupSeconds = 0.4;
             params.run.durationSeconds = 1.6;
             params.fanout = fanout;

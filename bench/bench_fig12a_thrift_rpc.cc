@@ -21,16 +21,18 @@ namespace {
 SweepCurve
 sweepThrift(const std::string& label, bool real_proxy)
 {
-    return runLoadSweep(label, linspace(10000.0, 75000.0, 8),
-                        [&](double qps) {
-                            models::ThriftEchoParams params;
-                            params.run.qps = qps;
-                            params.run.warmupSeconds = 0.4;
-                            params.run.durationSeconds = 1.9;
-                            params.run.realProxyNoise = real_proxy;
-                            return Simulation::fromBundle(
-                                models::thriftEchoBundle(params));
-                        });
+    return bench::parallelSweep(
+        label, linspace(10000.0, 75000.0, 8),
+        [&](double qps, std::uint64_t seed) {
+            models::ThriftEchoParams params;
+            params.run.qps = qps;
+            params.run.seed = seed;
+            params.run.warmupSeconds = 0.4;
+            params.run.durationSeconds = 1.9;
+            params.run.realProxyNoise = real_proxy;
+            return Simulation::fromBundle(
+                models::thriftEchoBundle(params));
+        });
 }
 
 }  // namespace

@@ -19,10 +19,12 @@ int
 main()
 {
     bench::banner("Fig. 12b", "Social network end-to-end validation");
-    const SweepCurve curve = runLoadSweep(
-        "social", linspace(1000.0, 10000.0, 7), [&](double qps) {
+    const SweepCurve curve = bench::parallelSweep(
+        "social", linspace(1000.0, 10000.0, 7),
+        [&](double qps, std::uint64_t seed) {
             models::SocialNetworkParams params;
             params.run.qps = qps;
+            params.run.seed = seed;
             params.run.warmupSeconds = 0.4;
             params.run.durationSeconds = 1.9;
             return Simulation::fromBundle(

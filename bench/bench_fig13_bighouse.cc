@@ -32,12 +32,13 @@ namespace {
 ConfigBundle
 singleServiceBundle(json::JsonValue service_json,
                     const std::string& service,
-                    const std::string& path, double qps)
+                    const std::string& path, double qps,
+                    std::uint64_t seed = 1)
 {
     using json::JsonArray;
     using json::JsonValue;
     ConfigBundle bundle;
-    bundle.options.seed = 1;
+    bundle.options.seed = seed;
     bundle.options.warmupSeconds = 0.4;
     bundle.options.durationSeconds = 1.9;
 
@@ -134,13 +135,13 @@ main()
                   "uqsim vs BigHouse: 4-thread memcached");
     const std::vector<double> mc_loads =
         linspace(50000.0, 400000.0, 8);
-    const SweepCurve mc_uqsim = runLoadSweep(
-        "uqsim", mc_loads, [&](double qps) {
+    const SweepCurve mc_uqsim = bench::parallelSweep(
+        "uqsim", mc_loads, [&](double qps, std::uint64_t seed) {
             MemcachedOptions options;
             options.threads = 4;
             return Simulation::fromBundle(singleServiceBundle(
                 memcachedServiceJson(options), "memcached",
-                "memcached_read", qps));
+                "memcached_read", qps, seed));
         });
     // BigHouse: full per-request cost = epoll + read + proc + send.
     const double mc_per_request =
@@ -160,14 +161,14 @@ main()
     bench::banner("Fig. 13 (nginx)",
                   "uqsim vs BigHouse: single-process NGINX webserver");
     const std::vector<double> web_loads = linspace(2000.0, 12000.0, 6);
-    const SweepCurve web_uqsim = runLoadSweep(
-        "uqsim", web_loads, [&](double qps) {
+    const SweepCurve web_uqsim = bench::parallelSweep(
+        "uqsim", web_loads, [&](double qps, std::uint64_t seed) {
             NginxOptions options;
             options.serviceName = "nginx_web";
             options.workers = 1;
             return Simulation::fromBundle(singleServiceBundle(
                 nginxWebserverJson(options), "nginx_web", "serve",
-                qps));
+                qps, seed));
         });
     const double web_per_request =
         kEpollBaseUs + kEpollPerJobUs + kSocketBaseUs +

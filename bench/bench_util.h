@@ -9,13 +9,48 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "uqsim/core/sim/sweep.h"
+#include "uqsim/runner/sweep_runner.h"
 
 namespace uqsim {
 namespace bench {
+
+/**
+ * Worker threads for figure sweeps: $UQSIM_BENCH_JOBS when set,
+ * otherwise all hardware threads (runner convention: 0).
+ */
+inline int
+benchJobs()
+{
+    if (const char* env = std::getenv("UQSIM_BENCH_JOBS"))
+        return std::atoi(env);
+    return 0;
+}
+
+/**
+ * Runs one load sweep on the parallel SweepRunner (benchJobs()
+ * workers) and collapses it to the SweepCurve the print helpers
+ * consume.  The factory receives the per-replication seed; with the
+ * default single replication the results are bitwise identical to
+ * the serial runLoadSweep of a factory baking in @p base_seed.
+ */
+inline SweepCurve
+parallelSweep(const std::string& label, const std::vector<double>& loads,
+              const runner::ReplicatedFactory& factory,
+              int replications = 1, std::uint64_t base_seed = 1)
+{
+    runner::RunnerOptions options;
+    options.jobs = benchJobs();
+    options.replications = replications;
+    options.baseSeed = base_seed;
+    runner::SweepRunner sweep_runner(options);
+    sweep_runner.addSweep(label, loads, factory);
+    return sweep_runner.run().front().toSweepCurve();
+}
 
 inline void
 banner(const std::string& figure, const std::string& description)

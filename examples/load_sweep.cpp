@@ -1,75 +1,95 @@
 /**
  * @file
  * Generic load-sweep tool: sweeps offered load for one of the
- * bundled applications and prints the load-latency curve.
+ * bundled applications and prints the load-latency curve.  Runs the
+ * (load × seed replication) grid on the parallel SweepRunner; with
+ * more than one replication the table shows across-replication
+ * confidence intervals.
  *
  * Usage:
  *   load_sweep <app> [lo hi points [duration_s]]
+ *             [--jobs N] [--reps R] [--seed S]
  *
  * where <app> is one of: two_tier, three_tier, lb4, lb8, lb16,
- * fanout4, fanout8, fanout16, thrift, social.
+ * fanout4, fanout8, fanout16, thrift, social.  --jobs 0 (default)
+ * uses all hardware threads.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
 
-#include "uqsim/core/sim/sweep.h"
 #include "uqsim/models/applications.h"
+#include "uqsim/runner/sweep_runner.h"
 
 using namespace uqsim;
 
 namespace {
 
 models::RunParams
-runParams(double qps, double duration)
+runParams(double qps, std::uint64_t seed, double duration)
 {
     models::RunParams run;
     run.qps = qps;
-    run.warmupSeconds = 0.5;
+    run.seed = seed;
+    // durationSeconds is the total horizon; keep a measurement
+    // window even when the user asks for a very short run.
+    run.warmupSeconds = std::min(0.5, duration * 0.2);
     run.durationSeconds = duration;
     return run;
 }
 
 std::unique_ptr<Simulation>
-makeApp(const std::string& app, double qps, double duration)
+makeApp(const std::string& app, double qps, std::uint64_t seed,
+        double duration)
 {
     if (app == "two_tier") {
         models::TwoTierParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         return Simulation::fromBundle(models::twoTierBundle(params));
     }
     if (app == "three_tier") {
         models::ThreeTierParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         return Simulation::fromBundle(models::threeTierBundle(params));
     }
     if (app.rfind("lb", 0) == 0) {
         models::LoadBalancerParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         params.webServers = std::atoi(app.c_str() + 2);
         return Simulation::fromBundle(
             models::loadBalancerBundle(params));
     }
     if (app.rfind("fanout", 0) == 0) {
         models::FanoutParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         params.fanout = std::atoi(app.c_str() + 6);
         return Simulation::fromBundle(models::fanoutBundle(params));
     }
     if (app == "thrift") {
         models::ThriftEchoParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         return Simulation::fromBundle(models::thriftEchoBundle(params));
     }
     if (app == "social") {
         models::SocialNetworkParams params;
-        params.run = runParams(qps, duration);
+        params.run = runParams(qps, seed, duration);
         return Simulation::fromBundle(
             models::socialNetworkBundle(params));
     }
     throw std::invalid_argument("unknown app: " + app);
+}
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <app> [lo hi points [duration_s]] "
+                 "[--jobs N] [--reps R] [--seed S]\n",
+                 argv0);
 }
 
 }  // namespace
@@ -78,30 +98,71 @@ int
 main(int argc, char** argv)
 {
     if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <app> [lo hi points [duration_s]]\n",
-                     argv[0]);
+        usage(argv[0]);
         return 1;
     }
     const std::string app = argv[1];
     double lo = 1000.0, hi = 50000.0;
     int points = 8;
     double duration = 2.5;
-    if (argc >= 5) {
-        lo = std::atof(argv[2]);
-        hi = std::atof(argv[3]);
-        points = std::atoi(argv[4]);
-    }
-    if (argc >= 6)
-        duration = std::atof(argv[5]);
+    runner::RunnerOptions options;
+    options.jobs = 0;  // all hardware threads
 
-    const SweepCurve curve = runLoadSweep(
-        app, linspace(lo, hi, points), [&](double qps) {
-            return makeApp(app, qps, duration);
-        });
-    std::cout << formatSweepTable({curve});
-    std::cout << "saturation ~" << curve.saturationQps()
-              << " qps, p99 before saturation "
-              << curve.tailBeforeSaturationMs() << " ms\n";
+    std::vector<const char*> positional;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next_value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                usage(argv[0]);
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--jobs") {
+            options.jobs = std::atoi(next_value());
+        } else if (arg == "--reps") {
+            options.replications = std::atoi(next_value());
+        } else if (arg == "--seed") {
+            options.baseSeed =
+                static_cast<std::uint64_t>(std::atol(next_value()));
+        } else if (arg.rfind("--", 0) == 0) {
+            usage(argv[0]);
+            return 1;
+        } else {
+            positional.push_back(argv[i]);
+        }
+    }
+    if (positional.size() >= 3) {
+        lo = std::atof(positional[0]);
+        hi = std::atof(positional[1]);
+        points = std::atoi(positional[2]);
+    }
+    if (positional.size() >= 4)
+        duration = std::atof(positional[3]);
+
+    try {
+        runner::SweepRunner sweep_runner(options);
+        sweep_runner.addSweep(
+            app, linspace(lo, hi, points),
+            [&](double qps, std::uint64_t seed) {
+                return makeApp(app, qps, seed, duration);
+            });
+        const std::vector<runner::ReplicatedCurve> curves =
+            sweep_runner.run();
+        if (options.replications > 1) {
+            std::cout << runner::formatReplicatedTable(curves);
+        }
+        const SweepCurve curve = curves.front().toSweepCurve();
+        if (options.replications <= 1)
+            std::cout << formatSweepTable({curve});
+        std::cout << "saturation ~" << curve.saturationQps()
+                  << " qps, p99 before saturation "
+                  << curve.tailBeforeSaturationMs() << " ms ("
+                  << sweep_runner.effectiveJobs() << " jobs, "
+                  << options.replications << " replication(s))\n";
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+    }
     return 0;
 }

@@ -6,10 +6,13 @@
  *
  * Usage:
  *   uqsim_cli <config-dir> [--qps N] [--duration S] [--seed N]
- *             [--warmup S] [--csv]
+ *             [--warmup S] [--csv] [--reps R] [--jobs N]
  *
  * Overrides replace the corresponding fields of client.json /
- * options.json without editing the files.
+ * options.json without editing the files.  --reps R runs R seed
+ * replications (seeds split from --seed) on --jobs worker threads
+ * (0 = all hardware threads) and reports pooled statistics with
+ * across-replication confidence intervals.
  */
 
 #include <cstdio>
@@ -19,6 +22,7 @@
 #include <string>
 
 #include "uqsim/core/sim/simulation.h"
+#include "uqsim/runner/sweep_runner.h"
 
 using namespace uqsim;
 
@@ -29,7 +33,8 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <config-dir> [--qps N] [--duration S] "
-                 "[--seed N] [--warmup S] [--csv]\n",
+                 "[--seed N] [--warmup S] [--csv] [--reps R] "
+                 "[--jobs N]\n",
                  argv0);
 }
 
@@ -46,6 +51,7 @@ main(int argc, char** argv)
     double qps = -1.0, duration = -1.0, warmup = -1.0;
     long seed = -1;
     bool csv = false;
+    int reps = 1, jobs = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next_value = [&]() -> const char* {
@@ -65,10 +71,22 @@ main(int argc, char** argv)
             seed = std::atol(next_value());
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--reps") {
+            reps = std::atoi(next_value());
+        } else if (arg == "--jobs") {
+            jobs = std::atoi(next_value());
         } else {
             usage(argv[0]);
             return 1;
         }
+    }
+    if (reps < 1) {
+        std::fprintf(stderr, "error: --reps must be >= 1\n");
+        return 1;
+    }
+    if (jobs < 0) {
+        std::fprintf(stderr, "error: --jobs must be >= 0\n");
+        return 1;
     }
 
     try {
@@ -86,22 +104,55 @@ main(int argc, char** argv)
         if (seed >= 0)
             bundle.options.seed = static_cast<std::uint64_t>(seed);
 
-        auto simulation = Simulation::fromBundle(bundle);
-        const RunReport report = simulation->run();
+        if (reps <= 1) {
+            auto simulation = Simulation::fromBundle(bundle);
+            const RunReport report = simulation->run();
+            if (csv) {
+                std::cout << RunReport::csvHeader() << '\n'
+                          << report.toCsvRow() << '\n';
+            } else {
+                std::cout << report.toString();
+                std::cout << "events: " << report.events << " ("
+                          << static_cast<long>(
+                                 report.events /
+                                 std::max(report.wallSeconds, 1e-9))
+                          << " events/s wall)\n";
+                if (report.timeouts > 0) {
+                    std::cout << "client timeouts: "
+                              << report.timeouts << '\n';
+                }
+            }
+            return 0;
+        }
+
+        // Replicated run: one isolated simulation per seed split,
+        // executed on the worker pool, pooled for the report.
+        runner::RunnerOptions options;
+        options.jobs = jobs;
+        options.replications = reps;
+        options.baseSeed = bundle.options.seed;
+        const runner::ReplicatedPoint point = runner::runReplicated(
+            [&bundle](double, std::uint64_t rep_seed) {
+                ConfigBundle replicated = bundle;
+                replicated.options.seed = rep_seed;
+                return Simulation::fromBundle(replicated);
+            },
+            qps > 0.0 ? qps : 0.0, options);
+        const RunReport merged = point.mergedReport();
         if (csv) {
             std::cout << RunReport::csvHeader() << '\n'
-                      << report.toCsvRow() << '\n';
+                      << merged.toCsvRow() << '\n';
         } else {
-            std::cout << report.toString();
-            std::cout << "events: " << report.events << " ("
-                      << static_cast<long>(
-                             report.events /
-                             std::max(report.wallSeconds, 1e-9))
-                      << " events/s wall)\n";
-            if (report.timeouts > 0) {
-                std::cout << "client timeouts: " << report.timeouts
-                          << '\n';
-            }
+            std::cout << merged.toString();
+            std::cout << "replications: " << reps << " (base seed "
+                      << bundle.options.seed << ", "
+                      << (jobs > 0 ? jobs : 0) << " jobs requested)\n"
+                      << "mean latency ms: "
+                      << point.meanCi.describe() << '\n'
+                      << "p99 latency ms:  "
+                      << point.p99Ci.describe() << '\n'
+                      << "achieved qps:    "
+                      << point.achievedCi.describe() << '\n';
         }
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -15,7 +15,43 @@ EventQueue::schedule(std::shared_ptr<Event> event, SimTime when)
     EventHandle handle{std::weak_ptr<Event>(event)};
     heap_.push_back(Entry{std::move(event)});
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+    maybePurge();
     return handle;
+}
+
+void
+EventQueue::maybePurge()
+{
+    if (heap_.size() < purgeCheckSize_)
+        return;
+    std::size_t cancelled = 0;
+    for (const Entry& entry : heap_) {
+        if (entry.event->cancelled())
+            ++cancelled;
+    }
+    if (cancelled * 2 > heap_.size()) {
+        heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                                   [](const Entry& entry) {
+                                       return entry.event->cancelled();
+                                   }),
+                    heap_.end());
+        std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
+        ++purgeCount_;
+    }
+    // Re-check only once the heap has grown well past the current
+    // live population, keeping the scan amortized O(1) per schedule.
+    purgeCheckSize_ = std::max<std::size_t>(64, heap_.size() * 2);
+}
+
+std::size_t
+EventQueue::liveSize() const
+{
+    std::size_t live = 0;
+    for (const Entry& entry : heap_) {
+        if (!entry.event->cancelled())
+            ++live;
+    }
+    return live;
 }
 
 void

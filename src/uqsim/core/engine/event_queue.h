@@ -8,7 +8,12 @@
  * All events are stored in increasing time order; every simulation
  * cycle the queue manager pops the earliest event (paper §III-A).
  * Cancellation is lazy: cancelled events are dropped when they reach
- * the front of the heap.
+ * the front of the heap.  To keep cancellation-heavy workloads
+ * (e.g. client timeouts that almost always get cancelled) from
+ * growing the heap unboundedly, schedule() periodically scans the
+ * heap and eagerly purges all cancelled entries when they exceed
+ * half of it; the scan interval doubles with the heap size, so the
+ * purge costs amortized O(1) per scheduled event.
  */
 
 #include <cstdint>
@@ -44,9 +49,20 @@ class EventQueue {
 
     /**
      * Number of pending heap entries.  May overcount by events that
-     * were cancelled but not yet dropped.
+     * were cancelled but not yet dropped, but the eager purge bounds
+     * the overcount: at most half the heap plus the entries
+     * cancelled since the last purge check.
      */
     std::size_t size() const { return heap_.size(); }
+
+    /**
+     * Exact number of live (non-cancelled) pending events.  O(n);
+     * intended for diagnostics and tests.
+     */
+    std::size_t liveSize() const;
+
+    /** Eager purges performed so far (diagnostics). */
+    std::uint64_t purgeCount() const { return purgeCount_; }
 
     /** Firing time of the earliest live event; kSimTimeMax if none. */
     SimTime nextTime();
@@ -76,9 +92,13 @@ class EventQueue {
     };
 
     void dropCancelled();
+    void maybePurge();
 
     std::vector<Entry> heap_;
     std::uint64_t nextSequence_ = 0;
+    /** Heap size that triggers the next cancelled-entry scan. */
+    std::size_t purgeCheckSize_ = 64;
+    std::uint64_t purgeCount_ = 0;
 };
 
 }  // namespace uqsim

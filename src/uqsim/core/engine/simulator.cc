@@ -55,6 +55,23 @@ Simulator::scheduleAfter(SimTime delay, std::function<void()> callback,
     return scheduleAt(now_ + delay, std::move(callback), std::move(label));
 }
 
+void
+Simulator::digestEvent(std::uint64_t when, std::uint64_t sequence)
+{
+    // FNV-1a over the 16 bytes of (when, sequence), one byte at a
+    // time so the digest is identical on every platform regardless
+    // of endianness conventions in wider folds.
+    constexpr std::uint64_t kPrime = 0x100000001B3ULL;
+    std::uint64_t h = traceDigest_;
+    for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((when >> (8 * i)) & 0xFF)) * kPrime;
+    }
+    for (int i = 0; i < 8; ++i) {
+        h = (h ^ ((sequence >> (8 * i)) & 0xFF)) * kPrime;
+    }
+    traceDigest_ = h;
+}
+
 StopReason
 Simulator::run(SimTime until, std::uint64_t max_events)
 {
@@ -76,6 +93,8 @@ Simulator::run(SimTime until, std::uint64_t max_events)
         if (logger_.enabled(LogLevel::Trace))
             logger_.log(LogLevel::Trace, now_, "engine",
                         "fire " + event->label());
+        digestEvent(static_cast<std::uint64_t>(event->when()),
+                    event->sequence());
         event->execute();
         ++executedEvents_;
     }

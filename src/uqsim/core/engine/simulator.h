@@ -83,16 +83,27 @@ class Simulator {
     /** Number of events executed so far. */
     std::uint64_t executedEvents() const { return executedEvents_; }
 
+    /**
+     * Running FNV-1a digest of the executed event trace: every fired
+     * event folds (when, sequence) into the hash.  Two runs with the
+     * same seed and configuration must produce the same digest on
+     * every platform; the determinism regression tests rely on this.
+     */
+    std::uint64_t traceDigest() const { return traceDigest_; }
+
     EventQueue& queue() { return queue_; }
     Logger& logger() { return logger_; }
 
   private:
+    void digestEvent(std::uint64_t when, std::uint64_t sequence);
+
     SimTime now_ = 0;
     std::uint64_t masterSeed_;
     EventQueue queue_;
     Logger logger_;
     bool stopRequested_ = false;
     std::uint64_t executedEvents_ = 0;
+    std::uint64_t traceDigest_ = 0xCBF29CE484222325ULL;  // FNV offset
 };
 
 }  // namespace uqsim

@@ -1,0 +1,299 @@
+#include "uqsim/runner/sweep_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+namespace runner {
+
+std::uint64_t
+replicationSeed(std::uint64_t base_seed, int replication)
+{
+    if (replication < 0)
+        throw std::invalid_argument("replication index must be >= 0");
+    if (replication == 0)
+        return base_seed;
+    return random::RngStream::deriveSeed(
+        base_seed, "replication/" + std::to_string(replication));
+}
+
+RunReport
+ReplicatedPoint::mergedReport() const
+{
+    RunReport report;
+    // A zero grid load means "whatever the bundle offers" (the CLI's
+    // replicated mode); report what the replications measured.
+    report.offeredQps = offeredQps > 0.0 || replications.empty()
+                            ? offeredQps
+                            : replications.front().report.offeredQps;
+    report.achievedQps = achievedQps.mean();
+    for (const ReplicationResult& rep : replications) {
+        report.generated += rep.report.generated;
+        report.completed += rep.report.completed;
+        report.timeouts += rep.report.timeouts;
+        report.events += rep.report.events;
+        report.wallSeconds += rep.report.wallSeconds;
+    }
+    report.endToEnd.count = pooled.count();
+    report.endToEnd.meanMs = pooled.mean() * 1e3;
+    report.endToEnd.p50Ms = pooled.p50() * 1e3;
+    report.endToEnd.p95Ms = pooled.p95() * 1e3;
+    report.endToEnd.p99Ms = pooled.p99() * 1e3;
+    report.endToEnd.maxMs = pooled.max() * 1e3;
+    // Per-tier stats are not pooled: percentiles cannot be rebuilt
+    // from the per-run LatencyStats.  Consumers needing tiers read
+    // the individual replications.
+    return report;
+}
+
+SweepCurve
+ReplicatedCurve::toSweepCurve() const
+{
+    SweepCurve curve;
+    curve.label = label;
+    curve.points.reserve(points.size());
+    for (const ReplicatedPoint& point : points) {
+        SweepPoint out;
+        out.offeredQps = point.offeredQps;
+        out.report = point.mergedReport();
+        curve.points.push_back(std::move(out));
+    }
+    return curve;
+}
+
+SweepRunner::SweepRunner(RunnerOptions options)
+    : options_(options)
+{
+    if (options_.jobs < 0)
+        throw std::invalid_argument("jobs must be >= 0");
+    if (options_.replications < 1)
+        throw std::invalid_argument("replications must be >= 1");
+    if (!(options_.confidence > 0.0 && options_.confidence < 1.0))
+        throw std::invalid_argument("confidence must be in (0, 1)");
+}
+
+int
+SweepRunner::effectiveJobs() const
+{
+    if (options_.jobs > 0)
+        return options_.jobs;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void
+SweepRunner::addSweep(std::string label, std::vector<double> loads,
+                      ReplicatedFactory factory)
+{
+    if (ran_)
+        throw std::logic_error("cannot add sweeps after run()");
+    if (loads.empty())
+        throw std::invalid_argument("sweep needs at least one load");
+    if (!factory)
+        throw std::invalid_argument("sweep needs a factory");
+    sweeps_.push_back(SweepSpec{std::move(label), std::move(loads),
+                                std::move(factory)});
+}
+
+namespace {
+
+struct JobSpec {
+    std::size_t sweep = 0;
+    std::size_t point = 0;
+    int replication = 0;
+    double qps = 0.0;
+    std::uint64_t seed = 0;
+};
+
+struct JobSlot {
+    ReplicationResult result;
+    stats::PercentileRecorder latencies;
+    std::exception_ptr error;
+};
+
+}  // namespace
+
+std::vector<ReplicatedCurve>
+SweepRunner::run()
+{
+    if (ran_)
+        throw std::logic_error("run() called twice");
+    ran_ = true;
+
+    // Lay the grid out sweep-major, then point, then replication, so
+    // slot indices (and with them aggregation order) are independent
+    // of execution interleaving.
+    std::vector<JobSpec> grid;
+    for (std::size_t s = 0; s < sweeps_.size(); ++s) {
+        for (std::size_t p = 0; p < sweeps_[s].loads.size(); ++p) {
+            for (int r = 0; r < options_.replications; ++r) {
+                JobSpec job;
+                job.sweep = s;
+                job.point = p;
+                job.replication = r;
+                job.qps = sweeps_[s].loads[p];
+                job.seed = replicationSeed(options_.baseSeed, r);
+                grid.push_back(job);
+            }
+        }
+    }
+
+    std::vector<JobSlot> slots(grid.size());
+    std::atomic<std::size_t> next{0};
+
+    auto worker = [&]() {
+        while (true) {
+            const std::size_t index =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (index >= grid.size())
+                return;
+            const JobSpec& job = grid[index];
+            JobSlot& slot = slots[index];
+            try {
+                std::unique_ptr<Simulation> simulation =
+                    sweeps_[job.sweep].factory(job.qps, job.seed);
+                if (!simulation || !simulation->finalized()) {
+                    throw std::logic_error(
+                        "runner factory must return a finalized "
+                        "simulation");
+                }
+                slot.result.seed = job.seed;
+                slot.result.report = simulation->run();
+                slot.result.traceDigest =
+                    simulation->sim().traceDigest();
+                slot.latencies = simulation->latencies();
+            } catch (...) {
+                slot.error = std::current_exception();
+            }
+        }
+    };
+
+    const int thread_count = std::min<std::size_t>(
+        static_cast<std::size_t>(effectiveJobs()), grid.size());
+    if (thread_count <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(thread_count));
+        for (int t = 0; t < thread_count; ++t)
+            pool.emplace_back(worker);
+        for (std::thread& thread : pool)
+            thread.join();
+    }
+
+    for (const JobSlot& slot : slots) {
+        if (slot.error)
+            std::rethrow_exception(slot.error);
+    }
+
+    // Single-threaded aggregation in grid order: merge order (and
+    // with it floating-point rounding) never depends on the pool.
+    std::vector<ReplicatedCurve> curves(sweeps_.size());
+    for (std::size_t s = 0; s < sweeps_.size(); ++s) {
+        curves[s].label = sweeps_[s].label;
+        curves[s].points.resize(sweeps_[s].loads.size());
+        for (std::size_t p = 0; p < sweeps_[s].loads.size(); ++p)
+            curves[s].points[p].offeredQps = sweeps_[s].loads[p];
+    }
+    for (std::size_t index = 0; index < grid.size(); ++index) {
+        const JobSpec& job = grid[index];
+        JobSlot& slot = slots[index];
+        ReplicatedPoint& point = curves[job.sweep].points[job.point];
+        const RunReport& report = slot.result.report;
+        point.achievedQps.add(report.achievedQps);
+        point.meanMs.add(report.endToEnd.meanMs);
+        point.p50Ms.add(report.endToEnd.p50Ms);
+        point.p95Ms.add(report.endToEnd.p95Ms);
+        point.p99Ms.add(report.endToEnd.p99Ms);
+        point.pooled.merge(slot.latencies);
+        slot.latencies.reset();
+        point.replications.push_back(std::move(slot.result));
+    }
+    for (ReplicatedCurve& curve : curves) {
+        for (ReplicatedPoint& point : curve.points) {
+            point.meanCi = stats::meanConfidenceInterval(
+                point.meanMs, options_.confidence);
+            point.p99Ci = stats::meanConfidenceInterval(
+                point.p99Ms, options_.confidence);
+            point.achievedCi = stats::meanConfidenceInterval(
+                point.achievedQps, options_.confidence);
+        }
+    }
+    return curves;
+}
+
+ReplicatedPoint
+runReplicated(const ReplicatedFactory& factory, double qps,
+              const RunnerOptions& options)
+{
+    SweepRunner runner(options);
+    runner.addSweep("replications", {qps}, factory);
+    std::vector<ReplicatedCurve> curves = runner.run();
+    return std::move(curves.front().points.front());
+}
+
+namespace {
+
+std::string
+ciCell(double mean, const stats::ConfidenceInterval& ci)
+{
+    std::ostringstream out;
+    out << std::fixed << std::setprecision(3) << mean;
+    if (ci.valid())
+        out << "±" << std::setprecision(3) << ci.halfWidth;
+    return out.str();
+}
+
+}  // namespace
+
+std::string
+formatReplicatedTable(const std::vector<ReplicatedCurve>& curves)
+{
+    std::ostringstream out;
+    out << std::fixed;
+    out << std::setw(12) << "load_qps";
+    for (const ReplicatedCurve& curve : curves) {
+        out << " | " << std::setw(10) << (curve.label + ".ach")
+            << ' ' << std::setw(14) << (curve.label + ".mean")
+            << ' ' << std::setw(14) << (curve.label + ".p99");
+    }
+    out << '\n';
+    std::size_t rows = 0;
+    for (const ReplicatedCurve& curve : curves)
+        rows = std::max(rows, curve.points.size());
+    for (std::size_t row = 0; row < rows; ++row) {
+        double load = 0.0;
+        for (const ReplicatedCurve& curve : curves) {
+            if (row < curve.points.size()) {
+                load = curve.points[row].offeredQps;
+                break;
+            }
+        }
+        out << std::setprecision(0) << std::setw(12) << load;
+        for (const ReplicatedCurve& curve : curves) {
+            if (row >= curve.points.size()) {
+                out << " | " << std::setw(10) << '-' << ' '
+                    << std::setw(14) << '-' << ' ' << std::setw(14)
+                    << '-';
+                continue;
+            }
+            const ReplicatedPoint& point = curve.points[row];
+            out << std::setprecision(0) << " | " << std::setw(10)
+                << point.achievedQps.mean() << ' ' << std::setw(14)
+                << ciCell(point.meanMs.mean(), point.meanCi) << ' '
+                << std::setw(14)
+                << ciCell(point.p99Ms.mean(), point.p99Ci);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+}  // namespace runner
+}  // namespace uqsim

@@ -1,0 +1,179 @@
+#ifndef UQSIM_RUNNER_SWEEP_RUNNER_H_
+#define UQSIM_RUNNER_SWEEP_RUNNER_H_
+
+/**
+ * @file
+ * Parallel experiment harness.
+ *
+ * Every figure in the paper is a grid of independent simulations:
+ * (configuration × offered-load point × seed replication).  The
+ * SweepRunner executes that grid on a thread pool, one isolated
+ * Simulation per job, and aggregates each point's replications with
+ * the mergeable statistics (Summary::merge, PercentileRecorder::
+ * merge) plus Student-t confidence intervals.
+ *
+ * Determinism contract (docs/ARCHITECTURE.md §"Parallel execution"):
+ * a job's result is a pure function of (load, seed) — Simulation
+ * instances share no mutable state, and every replication gets its
+ * own seed split off the base seed — so the per-(seed, load) results
+ * and all aggregates are bitwise identical no matter how many worker
+ * threads execute the grid, including `jobs = 1`.  Aggregation runs
+ * single-threaded in replication order after the pool drains, so
+ * floating-point merge order is fixed.
+ *
+ * The factory is invoked concurrently from pool threads and must be
+ * thread-safe: it should only read shared immutable parameters and
+ * build a fresh Simulation from them.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/sim/report.h"
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/core/sim/sweep.h"
+#include "uqsim/stats/confidence.h"
+#include "uqsim/stats/percentile_recorder.h"
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+namespace runner {
+
+/**
+ * Builds a finalized Simulation offering @p qps with master seed
+ * @p seed.  Called once per grid job, possibly from several threads
+ * at once.
+ */
+using ReplicatedFactory = std::function<std::unique_ptr<Simulation>(
+    double qps, std::uint64_t seed)>;
+
+/** Runner knobs. */
+struct RunnerOptions {
+    /** Worker threads; 0 means hardware concurrency. */
+    int jobs = 1;
+    /** Seed replications per load point (>= 1). */
+    int replications = 1;
+    /** Base seed the replication seeds are split from. */
+    std::uint64_t baseSeed = 1;
+    /** Confidence level for across-replication intervals. */
+    double confidence = 0.95;
+};
+
+/**
+ * Seed of replication @p replication: the base seed itself for
+ * replication 0 (so a single-replication campaign reproduces a plain
+ * run with that seed), and an independent split derived from
+ * (base seed, "replication/<r>") otherwise.
+ */
+std::uint64_t replicationSeed(std::uint64_t base_seed, int replication);
+
+/** Outcome of one (load, seed) job. */
+struct ReplicationResult {
+    std::uint64_t seed = 0;
+    /** Event-trace digest of the run (Simulator::traceDigest). */
+    std::uint64_t traceDigest = 0;
+    RunReport report;
+};
+
+/** One load point with all its replications and their aggregates. */
+struct ReplicatedPoint {
+    double offeredQps = 0.0;
+    /** Per-replication results, in replication order. */
+    std::vector<ReplicationResult> replications;
+
+    /** Across-replication distributions of the headline metrics
+     *  (one observation per replication; latency in ms). */
+    stats::Summary achievedQps;
+    stats::Summary meanMs;
+    stats::Summary p50Ms;
+    stats::Summary p95Ms;
+    stats::Summary p99Ms;
+
+    /** Student-t confidence intervals on the across-replication
+     *  means; valid() is false with fewer than 2 replications. */
+    stats::ConfidenceInterval meanCi;
+    stats::ConfidenceInterval p99Ci;
+    stats::ConfidenceInterval achievedCi;
+
+    /** All end-to-end latencies (seconds) of all replications,
+     *  pooled with PercentileRecorder::merge in replication order. */
+    stats::PercentileRecorder pooled;
+
+    /**
+     * Report of the pooled point: across-replication mean throughput
+     * and exact percentiles of the pooled latency stream; counts and
+     * events are summed over replications.
+     */
+    RunReport mergedReport() const;
+};
+
+/** A labelled curve of replicated points. */
+struct ReplicatedCurve {
+    std::string label;
+    std::vector<ReplicatedPoint> points;
+
+    /**
+     * Collapses each point to its pooled report, yielding the
+     * SweepCurve shape the figure benches and saturation helpers
+     * consume.  With one replication this is exactly the serial
+     * runLoadSweep result for the same seed.
+     */
+    SweepCurve toSweepCurve() const;
+};
+
+/** Thread-pool executor for (config × load × seed) grids. */
+class SweepRunner {
+  public:
+    explicit SweepRunner(RunnerOptions options = {});
+
+    /** Queues one curve: @p loads points × options.replications. */
+    void addSweep(std::string label, std::vector<double> loads,
+                  ReplicatedFactory factory);
+
+    /**
+     * Executes all queued jobs and returns the curves in addSweep
+     * order.  May be called once.  The first job exception (in grid
+     * order) is rethrown after the pool drains.
+     */
+    std::vector<ReplicatedCurve> run();
+
+    /** Resolved worker count (options.jobs, or the hardware). */
+    int effectiveJobs() const;
+
+    const RunnerOptions& options() const { return options_; }
+
+  private:
+    struct SweepSpec {
+        std::string label;
+        std::vector<double> loads;
+        ReplicatedFactory factory;
+    };
+
+    RunnerOptions options_;
+    std::vector<SweepSpec> sweeps_;
+    bool ran_ = false;
+};
+
+/**
+ * Convenience: runs @p replications seeded replications of one
+ * configuration at one load on @p jobs threads and returns the
+ * aggregated point.
+ */
+ReplicatedPoint runReplicated(const ReplicatedFactory& factory,
+                              double qps, const RunnerOptions& options);
+
+/**
+ * Text table of replicated curves: one row per load with
+ * "mean ± hw" / "p99 ± hw" columns per curve (half-widths at the
+ * runner's confidence level; "-" when fewer than 2 replications).
+ */
+std::string
+formatReplicatedTable(const std::vector<ReplicatedCurve>& curves);
+
+}  // namespace runner
+}  // namespace uqsim
+
+#endif  // UQSIM_RUNNER_SWEEP_RUNNER_H_

@@ -1,0 +1,120 @@
+#include "uqsim/stats/confidence.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace uqsim {
+namespace stats {
+
+double
+normalQuantile(double p)
+{
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("normalQuantile needs p in (0, 1)");
+
+    // Acklam's rational approximation in three regions.
+    static const double a[] = {-3.969683028665376e+01,
+                               2.209460984245205e+02,
+                               -2.759285104469687e+02,
+                               1.383577518672690e+02,
+                               -3.066479806614716e+01,
+                               2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01,
+                               1.615858368580409e+02,
+                               -1.556989798598866e+02,
+                               6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03,
+                               -3.223964580411365e-01,
+                               -2.400758277161838e+00,
+                               -2.549732539343734e+00,
+                               4.374664141464968e+00,
+                               2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03,
+                               3.224671290700398e-01,
+                               2.445134137142996e+00,
+                               3.754408661907416e+00};
+    const double p_low = 0.02425;
+
+    if (p < p_low) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                 c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    if (p > 1.0 - p_low) {
+        const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q +
+                  c[4]) * q + c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) *
+            r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) *
+            r + 1.0);
+}
+
+double
+tQuantile(double p, int dof)
+{
+    if (!(p > 0.0 && p < 1.0))
+        throw std::invalid_argument("tQuantile needs p in (0, 1)");
+    if (dof < 1)
+        throw std::invalid_argument("tQuantile needs dof >= 1");
+
+    // Exact closed forms for the heaviest tails.
+    if (dof == 1)
+        return std::tan(M_PI * (p - 0.5));
+    if (dof == 2)
+        return (2.0 * p - 1.0) *
+               std::sqrt(2.0 / (4.0 * p * (1.0 - p)));
+
+    // Hill (1970): Cornish-Fisher style expansion of the t quantile
+    // in powers of 1/dof around the normal quantile.
+    const double z = normalQuantile(p);
+    const double g = static_cast<double>(dof);
+    const double z2 = z * z;
+    const double term1 = (z2 + 1.0) * z / 4.0;
+    const double term2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+    const double term3 =
+        (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+    const double term4 =
+        ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 -
+         945.0) * z / 92160.0;
+    return z + term1 / g + term2 / (g * g) + term3 / (g * g * g) +
+           term4 / (g * g * g * g);
+}
+
+std::string
+ConfidenceInterval::describe() const
+{
+    std::ostringstream out;
+    out << mean << " ± " << halfWidth << " ("
+        << static_cast<int>(confidence * 100.0 + 0.5) << "% CI, n="
+        << count << ")";
+    return out.str();
+}
+
+ConfidenceInterval
+meanConfidenceInterval(const Summary& summary, double confidence)
+{
+    if (!(confidence > 0.0 && confidence < 1.0))
+        throw std::invalid_argument("confidence must be in (0, 1)");
+    ConfidenceInterval ci;
+    ci.mean = summary.mean();
+    ci.confidence = confidence;
+    ci.count = summary.count();
+    if (summary.count() < 2)
+        return ci;
+    const double n = static_cast<double>(summary.count());
+    const double t = tQuantile(0.5 + confidence / 2.0,
+                               static_cast<int>(summary.count()) - 1);
+    ci.halfWidth = t * summary.stddev() / std::sqrt(n);
+    return ci;
+}
+
+}  // namespace stats
+}  // namespace uqsim

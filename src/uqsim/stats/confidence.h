@@ -1,0 +1,67 @@
+#ifndef UQSIM_STATS_CONFIDENCE_H_
+#define UQSIM_STATS_CONFIDENCE_H_
+
+/**
+ * @file
+ * Confidence intervals across independent replications.
+ *
+ * Multi-seed experiment campaigns (runner::SweepRunner) report each
+ * metric as mean ± half-width at a configurable confidence level.
+ * The interval uses the Student-t quantile with n-1 degrees of
+ * freedom, so it is valid for the handful of replications (3-30) a
+ * sweep typically runs, where the normal approximation is too tight.
+ */
+
+#include <string>
+
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+namespace stats {
+
+/**
+ * Standard normal quantile (inverse CDF) for p in (0, 1).
+ * Acklam's rational approximation; |relative error| < 1.15e-9.
+ */
+double normalQuantile(double p);
+
+/**
+ * Student-t quantile for p in (0, 1) with @p dof >= 1 degrees of
+ * freedom (Hill's 1970 expansion around the normal quantile; exact
+ * closed forms for dof 1 and 2).  Accurate to ~1e-6 for the central
+ * quantiles confidence intervals use.
+ */
+double tQuantile(double p, int dof);
+
+/** A two-sided confidence interval for a mean. */
+struct ConfidenceInterval {
+    double mean = 0.0;
+    double halfWidth = 0.0;
+    /** Confidence level the interval was built at, e.g. 0.95. */
+    double confidence = 0.0;
+    /** Number of observations the interval is based on. */
+    std::uint64_t count = 0;
+
+    double lo() const { return mean - halfWidth; }
+    double hi() const { return mean + halfWidth; }
+
+    /** True when the interval is meaningful (>= 2 observations). */
+    bool valid() const { return count >= 2; }
+
+    /** "1.23 ± 0.04 (95% CI, n=8)" */
+    std::string describe() const;
+};
+
+/**
+ * Two-sided CI for the mean of the observations in @p summary:
+ * mean ± t_{1-(1-confidence)/2, n-1} * stddev / sqrt(n).
+ * With fewer than two observations the half-width is zero and
+ * valid() is false.
+ */
+ConfidenceInterval meanConfidenceInterval(const Summary& summary,
+                                          double confidence = 0.95);
+
+}  // namespace stats
+}  // namespace uqsim
+
+#endif  // UQSIM_STATS_CONFIDENCE_H_

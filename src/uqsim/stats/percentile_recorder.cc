@@ -15,6 +15,22 @@ PercentileRecorder::add(double value)
 }
 
 void
+PercentileRecorder::merge(const PercentileRecorder& other)
+{
+    if (other.values_.empty())
+        return;
+    if (&other == this) {
+        PercentileRecorder copy = other;
+        merge(copy);
+        return;
+    }
+    values_.insert(values_.end(), other.values_.begin(),
+                   other.values_.end());
+    summary_.merge(other.summary_);
+    sortedValid_ = false;
+}
+
+void
 PercentileRecorder::ensureSorted() const
 {
     if (sortedValid_)

@@ -28,6 +28,15 @@ class PercentileRecorder {
     /** Adds one observation. */
     void add(double value);
 
+    /**
+     * Appends all of @p other's observations to this recorder.
+     * Merging the recorders of independent replications is exactly
+     * equivalent to having recorded the pooled stream (observations
+     * keep insertion order within each source; percentiles are
+     * order-independent).  Merging an empty recorder is a no-op.
+     */
+    void merge(const PercentileRecorder& other);
+
     /** Number of recorded observations. */
     std::size_t count() const { return values_.size(); }
     bool empty() const { return values_.empty(); }

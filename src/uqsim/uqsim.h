@@ -50,6 +50,8 @@
 #include "uqsim/random/distribution_factory.h"
 #include "uqsim/random/distributions.h"
 #include "uqsim/random/histogram_distribution.h"
+#include "uqsim/runner/sweep_runner.h"
+#include "uqsim/stats/confidence.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/queueing_theory.h"
 #include "uqsim/workload/client.h"

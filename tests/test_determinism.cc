@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Determinism regression tests: the contract that a simulation's
+ * result is a pure function of (configuration, seed), regardless of
+ * process history or how many runner threads execute it
+ * (docs/ARCHITECTURE.md, "Parallel execution & determinism").
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "uqsim/models/applications.h"
+#include "uqsim/runner/sweep_runner.h"
+
+namespace uqsim {
+namespace {
+
+models::TwoTierParams
+twoTierParams(double qps, std::uint64_t seed)
+{
+    models::TwoTierParams params;
+    params.run.qps = qps;
+    params.run.seed = seed;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 0.9;
+    return params;
+}
+
+struct RunOutcome {
+    RunReport report;
+    std::uint64_t digest = 0;
+    std::vector<double> latencies;
+};
+
+RunOutcome
+runTwoTier(double qps, std::uint64_t seed)
+{
+    auto simulation =
+        Simulation::fromBundle(models::twoTierBundle(twoTierParams(qps, seed)));
+    RunOutcome outcome;
+    outcome.report = simulation->run();
+    outcome.digest = simulation->sim().traceDigest();
+    outcome.latencies = simulation->latencies().values();
+    return outcome;
+}
+
+void
+expectIdenticalReports(const RunReport& a, const RunReport& b)
+{
+    EXPECT_EQ(a.generated, b.generated);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.timeouts, b.timeouts);
+    EXPECT_EQ(a.events, b.events);
+    // Bitwise equality, not EXPECT_NEAR: the contract is that the
+    // exact same floating-point operations run in the same order.
+    EXPECT_EQ(a.achievedQps, b.achievedQps);
+    EXPECT_EQ(a.endToEnd.count, b.endToEnd.count);
+    EXPECT_EQ(a.endToEnd.meanMs, b.endToEnd.meanMs);
+    EXPECT_EQ(a.endToEnd.p50Ms, b.endToEnd.p50Ms);
+    EXPECT_EQ(a.endToEnd.p95Ms, b.endToEnd.p95Ms);
+    EXPECT_EQ(a.endToEnd.p99Ms, b.endToEnd.p99Ms);
+    EXPECT_EQ(a.endToEnd.maxMs, b.endToEnd.maxMs);
+    ASSERT_EQ(a.tiers.size(), b.tiers.size());
+    for (const auto& [tier, stats] : a.tiers) {
+        ASSERT_TRUE(b.tiers.count(tier));
+        const LatencyStats& other = b.tiers.at(tier);
+        EXPECT_EQ(stats.count, other.count);
+        EXPECT_EQ(stats.meanMs, other.meanMs);
+        EXPECT_EQ(stats.p99Ms, other.p99Ms);
+    }
+}
+
+// ------------------------------------------- golden-trace regression
+
+TEST(Determinism, SameSeedIsBitIdentical)
+{
+    const RunOutcome first = runTwoTier(20000.0, 42);
+    const RunOutcome second = runTwoTier(20000.0, 42);
+
+    ASSERT_GT(first.report.completed, 100u);
+    EXPECT_EQ(first.digest, second.digest);
+    expectIdenticalReports(first.report, second.report);
+    ASSERT_EQ(first.latencies.size(), second.latencies.size());
+    for (std::size_t i = 0; i < first.latencies.size(); ++i)
+        ASSERT_EQ(first.latencies[i], second.latencies[i]);
+}
+
+TEST(Determinism, DifferentSeedsDiverge)
+{
+    const RunOutcome a = runTwoTier(20000.0, 1);
+    const RunOutcome b = runTwoTier(20000.0, 2);
+    EXPECT_NE(a.digest, b.digest);
+}
+
+TEST(Determinism, TraceDigestCoversEventOrder)
+{
+    // Two empty simulators agree; executing any event moves the
+    // digest away from the initial offset.
+    Simulator idle(1);
+    Simulator busy(1);
+    busy.scheduleAt(secondsToSimTime(1e-3), []() {}, "tick");
+    busy.run();
+    EXPECT_NE(idle.traceDigest(), busy.traceDigest());
+}
+
+// ------------------------------------ runner thread-count invariance
+
+std::vector<runner::ReplicatedCurve>
+runGrid(int jobs)
+{
+    runner::RunnerOptions options;
+    options.jobs = jobs;
+    options.replications = 3;
+    options.baseSeed = 7;
+    runner::SweepRunner sweep_runner(options);
+    sweep_runner.addSweep("two_tier", {12000.0, 24000.0},
+                          [](double qps, std::uint64_t seed) {
+                              return Simulation::fromBundle(
+                                  models::twoTierBundle(
+                                      twoTierParams(qps, seed)));
+                          });
+    return sweep_runner.run();
+}
+
+TEST(Determinism, RunnerResultsIndependentOfThreadCount)
+{
+    const std::vector<runner::ReplicatedCurve> serial = runGrid(1);
+    const std::vector<runner::ReplicatedCurve> parallel = runGrid(4);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+        ASSERT_EQ(serial[c].points.size(), parallel[c].points.size());
+        for (std::size_t p = 0; p < serial[c].points.size(); ++p) {
+            const runner::ReplicatedPoint& lhs = serial[c].points[p];
+            const runner::ReplicatedPoint& rhs = parallel[c].points[p];
+            ASSERT_EQ(lhs.replications.size(), rhs.replications.size());
+            for (std::size_t r = 0; r < lhs.replications.size(); ++r) {
+                EXPECT_EQ(lhs.replications[r].seed,
+                          rhs.replications[r].seed);
+                EXPECT_EQ(lhs.replications[r].traceDigest,
+                          rhs.replications[r].traceDigest);
+                expectIdenticalReports(lhs.replications[r].report,
+                                       rhs.replications[r].report);
+            }
+            // Aggregates merge in fixed replication order, so they
+            // are bitwise identical too, not just close.
+            EXPECT_EQ(lhs.meanMs.mean(), rhs.meanMs.mean());
+            EXPECT_EQ(lhs.p99Ms.mean(), rhs.p99Ms.mean());
+            EXPECT_EQ(lhs.meanCi.halfWidth, rhs.meanCi.halfWidth);
+            EXPECT_EQ(lhs.pooled.count(), rhs.pooled.count());
+            EXPECT_EQ(lhs.pooled.p99(), rhs.pooled.p99());
+        }
+    }
+}
+
+TEST(Determinism, ReplicationSeedsAreDistinctAndStable)
+{
+    EXPECT_EQ(runner::replicationSeed(123, 0), 123u);
+    const std::uint64_t r1 = runner::replicationSeed(123, 1);
+    const std::uint64_t r2 = runner::replicationSeed(123, 2);
+    EXPECT_NE(r1, 123u);
+    EXPECT_NE(r1, r2);
+    EXPECT_EQ(r1, runner::replicationSeed(123, 1));
+}
+
+}  // namespace
+}  // namespace uqsim

@@ -129,6 +129,65 @@ TEST(EventQueue, NullEventThrows)
     EXPECT_THROW(queue.schedule(nullptr, 0), std::invalid_argument);
 }
 
+TEST(EventQueue, EagerPurgeBoundsCancellationHeavyWorkloads)
+{
+    // Timeout-style workload: every event is scheduled far in the
+    // future and cancelled almost immediately, so lazy front-of-heap
+    // dropping alone would never reclaim anything.  The eager purge
+    // must keep the heap within a constant factor of the live
+    // population.
+    EventQueue queue;
+    std::vector<EventHandle> live;
+    for (int i = 0; i < 100000; ++i) {
+        EventHandle handle = queue.schedule(
+            std::make_shared<CallbackEvent>([] {}),
+            static_cast<SimTime>(1000000 + i));
+        if (i % 100 == 0)
+            live.push_back(handle);  // 1% survive
+        else
+            handle.cancel();
+    }
+    EXPECT_GT(queue.purgeCount(), 0u);
+    EXPECT_EQ(queue.liveSize(), live.size());
+    // Without purging the heap would hold all 100000 entries; the
+    // doubling purge schedule bounds it near 2x the live population
+    // plus the post-purge check interval.
+    EXPECT_LT(queue.size(), 10000u);
+}
+
+TEST(EventQueue, PurgePreservesOrderAndLiveEvents)
+{
+    EventQueue queue;
+    std::vector<int> fired;
+    // Interleave live and immediately-cancelled events at
+    // random-ish times; enough of them to cross several purge
+    // thresholds while the heap is a mix of both kinds.
+    for (int i = 0; i < 5000; ++i) {
+        const SimTime when = static_cast<SimTime>((i * 37) % 9973);
+        if (i % 10 == 0) {
+            const int id = i;
+            queue.schedule(std::make_shared<CallbackEvent>(
+                               [&fired, id]() { fired.push_back(id); }),
+                           when);
+        } else {
+            EventHandle handle = queue.schedule(
+                std::make_shared<CallbackEvent>([] {}), when);
+            handle.cancel();
+        }
+    }
+    SimTime last = 0;
+    std::size_t popped = 0;
+    while (!queue.empty()) {
+        std::shared_ptr<Event> event = queue.pop();
+        EXPECT_GE(event->when(), last);
+        last = event->when();
+        event->execute();
+        ++popped;
+    }
+    EXPECT_EQ(popped, 500u);
+    EXPECT_EQ(fired.size(), 500u);
+}
+
 // -------------------------------------------------------------- Simulator
 
 TEST(Simulator, ClockAdvancesWithEvents)

@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "uqsim/random/rng.h"
+#include "uqsim/stats/confidence.h"
 #include "uqsim/stats/latency_histogram.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/summary.h"
@@ -325,6 +326,256 @@ TEST(ThroughputMeter, BucketedRates)
 TEST(ThroughputMeter, NegativeBucketWidthThrows)
 {
     EXPECT_THROW(ThroughputMeter(-1.0), std::invalid_argument);
+}
+
+// ------------------------------------------- mergeable statistics
+
+TEST(Summary, MergeIsAssociative)
+{
+    random::Rng rng(17);
+    Summary a, b, c;
+    for (int i = 0; i < 300; ++i) {
+        a.add(rng.nextGaussian());
+        b.add(rng.nextGaussian() * 3.0 + 1.0);
+        c.add(rng.nextDouble());
+    }
+    Summary left_first = a;
+    left_first.merge(b);
+    left_first.merge(c);
+    Summary right_first = b;
+    right_first.merge(c);
+    Summary a_then_rest = a;
+    a_then_rest.merge(right_first);
+    EXPECT_EQ(left_first.count(), a_then_rest.count());
+    EXPECT_NEAR(left_first.mean(), a_then_rest.mean(), 1e-12);
+    EXPECT_NEAR(left_first.variance(), a_then_rest.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left_first.min(), a_then_rest.min());
+    EXPECT_DOUBLE_EQ(left_first.max(), a_then_rest.max());
+}
+
+TEST(PercentileRecorder, MergeOfPartsEqualsSingleStream)
+{
+    random::Rng rng(23);
+    PercentileRecorder all, left, right;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.nextDouble() * 5.0;
+        all.add(v);
+        (i % 3 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    ASSERT_EQ(left.count(), all.count());
+    // Percentiles sort, so they are bitwise independent of the
+    // recording order of the pooled stream.
+    for (double p : {0.0, 25.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_EQ(left.percentile(p), all.percentile(p));
+    EXPECT_EQ(left.min(), all.min());
+    EXPECT_EQ(left.max(), all.max());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+}
+
+TEST(PercentileRecorder, MergeEmptyIsIdentity)
+{
+    PercentileRecorder recorder, empty;
+    recorder.add(1.0);
+    recorder.add(2.0);
+    recorder.merge(empty);
+    EXPECT_EQ(recorder.count(), 2u);
+    EXPECT_EQ(recorder.p50(), 1.5);
+
+    empty.merge(recorder);
+    EXPECT_EQ(empty.count(), 2u);
+    EXPECT_EQ(empty.p50(), 1.5);
+
+    PercentileRecorder blank, other_blank;
+    blank.merge(other_blank);
+    EXPECT_EQ(blank.count(), 0u);
+    EXPECT_EQ(blank.percentile(50.0), 0.0);
+}
+
+TEST(PercentileRecorder, MergeIsAssociative)
+{
+    random::Rng rng(29);
+    PercentileRecorder a, b, c;
+    for (int i = 0; i < 500; ++i) {
+        a.add(rng.nextDouble());
+        b.add(rng.nextDouble() * 2.0);
+        c.add(rng.nextDouble() * 0.5);
+    }
+    PercentileRecorder ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+    PercentileRecorder bc = b;
+    bc.merge(c);
+    PercentileRecorder a_bc = a;
+    a_bc.merge(bc);
+    ASSERT_EQ(ab_c.count(), a_bc.count());
+    for (double p : {10.0, 50.0, 90.0, 99.0})
+        EXPECT_EQ(ab_c.percentile(p), a_bc.percentile(p));
+}
+
+TEST(PercentileRecorder, SelfMergeDoublesObservations)
+{
+    PercentileRecorder recorder;
+    recorder.add(1.0);
+    recorder.add(3.0);
+    recorder.merge(recorder);
+    EXPECT_EQ(recorder.count(), 4u);
+    EXPECT_DOUBLE_EQ(recorder.mean(), 2.0);
+}
+
+TEST(PercentileRecorder, MergeInvalidatesCachedSort)
+{
+    PercentileRecorder a, b;
+    a.add(1.0);
+    EXPECT_DOUBLE_EQ(a.p50(), 1.0);  // caches the sorted order
+    b.add(3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.p50(), 2.0);
+}
+
+TEST(LatencyHistogram, MergeOfPartsEqualsSingleStream)
+{
+    random::Rng rng(31);
+    LatencyHistogram all(1e-6, 7), left(1e-6, 7), right(1e-6, 7);
+    for (int i = 0; i < 3000; ++i) {
+        const double v = rng.nextDouble() * 1e-2;
+        all.add(v);
+        (i % 2 == 0 ? left : right).add(v);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), all.count());
+    EXPECT_EQ(left.percentile(50.0), all.percentile(50.0));
+    EXPECT_EQ(left.percentile(99.0), all.percentile(99.0));
+    EXPECT_EQ(left.max(), all.max());
+    EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+}
+
+TEST(LatencyHistogram, MergeEmptyIsIdentity)
+{
+    LatencyHistogram histogram, empty;
+    histogram.add(0.5);
+    histogram.merge(empty);
+    EXPECT_EQ(histogram.count(), 1u);
+    empty.merge(histogram);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_EQ(empty.percentile(50.0), histogram.percentile(50.0));
+}
+
+TEST(LatencyHistogram, MergeIsAssociative)
+{
+    random::Rng rng(37);
+    LatencyHistogram a, b, c;
+    for (int i = 0; i < 1000; ++i) {
+        a.add(rng.nextDouble() * 1e-3);
+        b.add(rng.nextDouble() * 1e-2);
+        c.add(rng.nextDouble() * 1e-1);
+    }
+    LatencyHistogram ab_c = a;
+    ab_c.merge(b);
+    ab_c.merge(c);
+    LatencyHistogram bc = b;
+    bc.merge(c);
+    LatencyHistogram a_bc = a;
+    a_bc.merge(bc);
+    EXPECT_EQ(ab_c.count(), a_bc.count());
+    for (double p : {10.0, 50.0, 90.0, 99.0})
+        EXPECT_EQ(ab_c.percentile(p), a_bc.percentile(p));
+    EXPECT_NEAR(ab_c.mean(), a_bc.mean(), 1e-15);
+}
+
+// ------------------------------------------- confidence intervals
+
+TEST(Confidence, NormalQuantileMatchesTables)
+{
+    EXPECT_NEAR(normalQuantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(normalQuantile(0.975), 1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.995), 2.575829, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.025), -1.959964, 1e-5);
+    EXPECT_NEAR(normalQuantile(0.9999), 3.719016, 1e-4);
+    EXPECT_THROW(normalQuantile(0.0), std::invalid_argument);
+    EXPECT_THROW(normalQuantile(1.0), std::invalid_argument);
+}
+
+TEST(Confidence, TQuantileMatchesTables)
+{
+    // Standard two-sided 95% critical values t_{0.975, dof}.
+    EXPECT_NEAR(tQuantile(0.975, 1), 12.7062, 1e-3);
+    EXPECT_NEAR(tQuantile(0.975, 2), 4.30265, 1e-4);
+    EXPECT_NEAR(tQuantile(0.975, 5), 2.57058, 2e-3);
+    EXPECT_NEAR(tQuantile(0.975, 10), 2.22814, 1e-3);
+    EXPECT_NEAR(tQuantile(0.975, 30), 2.04227, 1e-3);
+    // Converges to the normal quantile for large dof.
+    EXPECT_NEAR(tQuantile(0.975, 10000), normalQuantile(0.975), 1e-3);
+    // Symmetry.
+    EXPECT_NEAR(tQuantile(0.1, 7), -tQuantile(0.9, 7), 1e-9);
+    EXPECT_THROW(tQuantile(0.975, 0), std::invalid_argument);
+}
+
+TEST(Confidence, MeanIntervalMatchesHandComputation)
+{
+    Summary summary;
+    for (double v : {4.0, 6.0, 8.0, 10.0})
+        summary.add(v);
+    // mean 7, sd sqrt(20/3), n 4, t_{0.975,3} = 3.18245.  The Hill
+    // t-quantile expansion is good to ~0.2% at dof=3, so allow a
+    // proportional tolerance rather than an absolute epsilon.
+    const ConfidenceInterval ci =
+        meanConfidenceInterval(summary, 0.95);
+    EXPECT_TRUE(ci.valid());
+    EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+    const double expected_hw =
+        3.18245 * std::sqrt(20.0 / 3.0) / 2.0;
+    EXPECT_NEAR(ci.halfWidth, expected_hw, 0.003 * expected_hw);
+    EXPECT_NEAR(ci.lo(), 7.0 - expected_hw, 0.003 * expected_hw);
+    EXPECT_NEAR(ci.hi(), 7.0 + expected_hw, 0.003 * expected_hw);
+}
+
+TEST(Confidence, DegenerateCountsAreInvalid)
+{
+    Summary empty;
+    EXPECT_FALSE(meanConfidenceInterval(empty).valid());
+    Summary one;
+    one.add(3.0);
+    const ConfidenceInterval ci = meanConfidenceInterval(one);
+    EXPECT_FALSE(ci.valid());
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_DOUBLE_EQ(ci.halfWidth, 0.0);
+    EXPECT_THROW(meanConfidenceInterval(one, 1.5),
+                 std::invalid_argument);
+}
+
+TEST(Confidence, IntervalCoversTrueMean)
+{
+    // Frequentist sanity: across many replications of a known
+    // process, the 95% interval should cover the true mean roughly
+    // 95% of the time (allow a wide band; 400 trials).
+    random::Rng rng(41);
+    int covered = 0;
+    const int trials = 400;
+    for (int t = 0; t < trials; ++t) {
+        Summary summary;
+        for (int i = 0; i < 10; ++i)
+            summary.add(rng.nextGaussian() * 2.0 + 5.0);
+        const ConfidenceInterval ci =
+            meanConfidenceInterval(summary, 0.95);
+        if (ci.lo() <= 5.0 && 5.0 <= ci.hi())
+            ++covered;
+    }
+    const double coverage = static_cast<double>(covered) / trials;
+    EXPECT_GT(coverage, 0.90);
+    EXPECT_LT(coverage, 0.99);
+}
+
+TEST(Confidence, DescribeRendersInterval)
+{
+    Summary summary;
+    summary.add(1.0);
+    summary.add(3.0);
+    const std::string text =
+        meanConfidenceInterval(summary, 0.95).describe();
+    EXPECT_NE(text.find("±"), std::string::npos);
+    EXPECT_NE(text.find("95% CI"), std::string::npos);
+    EXPECT_NE(text.find("n=2"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Analytical validation: a single-stage service driven by Poisson
+ * arrivals and exponential service, simulated on the DES engine,
+ * must match the M/M/1 and M/M/k closed forms in
+ * uqsim/stats/queueing_theory (the paper's core claim that
+ * single-concerned microservices conform to queueing theory).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <deque>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/stats/percentile_recorder.h"
+#include "uqsim/stats/queueing_theory.h"
+#include "uqsim/stats/summary.h"
+
+namespace uqsim {
+namespace {
+
+/**
+ * Minimal M/M/k station on the event engine: Poisson arrivals at
+ * @p lambda, @p k servers with exponential service at rate @p mu,
+ * FIFO queue.  Tracks sojourn times and the time-averaged number of
+ * jobs in the system.
+ */
+class MmkStation {
+  public:
+    MmkStation(double lambda, double mu, int k, std::uint64_t seed)
+        : sim_(seed), lambda_(lambda), mu_(mu), servers_(k),
+          arrivals_(sim_.makeStream("arrivals")),
+          services_(sim_.makeStream("services"))
+    {
+    }
+
+    void
+    run(double horizon_seconds, double warmup_seconds)
+    {
+        warmup_ = warmup_seconds;
+        horizon_ = horizon_seconds;
+        scheduleArrival();
+        sim_.run(secondsToSimTime(horizon_seconds));
+        // Close the time-average integral at the horizon.
+        accumulateArea();
+    }
+
+    const stats::PercentileRecorder& sojourns() const
+    {
+        return sojourns_;
+    }
+
+    /** Time-averaged jobs in system over the measured window. */
+    double
+    meanJobs() const
+    {
+        const double window = horizon_ - warmup_;
+        return window > 0.0 ? area_ / window : 0.0;
+    }
+
+  private:
+    void
+    scheduleArrival()
+    {
+        const double gap =
+            -std::log(arrivals_.nextDoubleOpenLeft()) / lambda_;
+        sim_.scheduleAfter(secondsToSimTime(gap),
+                           [this]() { onArrival(); }, "arrival");
+    }
+
+    void
+    onArrival()
+    {
+        scheduleArrival();
+        accumulateArea();
+        ++inSystem_;
+        const SimTime now = sim_.now();
+        if (busy_ < servers_) {
+            ++busy_;
+            startService(now);
+        } else {
+            waiting_.push_back(now);
+        }
+    }
+
+    void
+    startService(SimTime arrived)
+    {
+        const double service =
+            -std::log(services_.nextDoubleOpenLeft()) / mu_;
+        sim_.scheduleAfter(
+            secondsToSimTime(service),
+            [this, arrived]() { onDeparture(arrived); }, "departure");
+    }
+
+    void
+    onDeparture(SimTime arrived)
+    {
+        accumulateArea();
+        --inSystem_;
+        if (simTimeToSeconds(arrived) >= warmup_) {
+            sojourns_.add(simTimeToSeconds(sim_.now() - arrived));
+        }
+        if (!waiting_.empty()) {
+            const SimTime next = waiting_.front();
+            waiting_.pop_front();
+            startService(next);
+        } else {
+            --busy_;
+        }
+    }
+
+    void
+    accumulateArea()
+    {
+        const double now =
+            std::min(simTimeToSeconds(sim_.now()), horizon_);
+        const double from = std::max(lastChange_, warmup_);
+        if (now > from)
+            area_ += inSystem_ * (now - from);
+        lastChange_ = now;
+    }
+
+    Simulator sim_;
+    double lambda_;
+    double mu_;
+    int servers_;
+    random::RngStream arrivals_;
+    random::RngStream services_;
+    std::deque<SimTime> waiting_;
+    int inSystem_ = 0;
+    int busy_ = 0;
+    double warmup_ = 0.0;
+    double horizon_ = 0.0;
+    double lastChange_ = 0.0;
+    double area_ = 0.0;
+    stats::PercentileRecorder sojourns_;
+};
+
+// Relative tolerance for ~200k-sample estimates of means and central
+// quantiles; generous enough to be seed-robust, tight enough to
+// catch a wrong formula (errors there are typically 2x, not 5%).
+constexpr double kTol = 0.05;
+
+TEST(AnalyticalValidation, Mm1MeanSojournMatchesClosedForm)
+{
+    const double lambda = 800.0, mu = 1000.0;  // rho = 0.8
+    MmkStation station(lambda, mu, 1, 2024);
+    station.run(300.0, 5.0);
+
+    ASSERT_GT(station.sojourns().count(), 100000u);
+    const double expected = stats::mmkMeanSojourn(lambda, mu, 1);
+    EXPECT_NEAR(station.sojourns().mean(), expected,
+                kTol * expected);
+}
+
+TEST(AnalyticalValidation, Mm1MeanJobsMatchesClosedForm)
+{
+    const double lambda = 700.0, mu = 1000.0;  // rho = 0.7, L = 7/3
+    MmkStation station(lambda, mu, 1, 99);
+    station.run(300.0, 5.0);
+
+    const double expected = stats::mm1MeanJobs(lambda, mu);
+    EXPECT_NEAR(station.meanJobs(), expected, kTol * expected);
+}
+
+TEST(AnalyticalValidation, Mm1SojournQuantilesAreExponential)
+{
+    const double lambda = 600.0, mu = 1000.0;
+    MmkStation station(lambda, mu, 1, 7);
+    station.run(400.0, 5.0);
+
+    // FIFO M/M/1 sojourn is exponential with rate mu - lambda; the
+    // p50 and p90 closed forms must match the simulated quantiles.
+    for (double p : {0.5, 0.9}) {
+        const double expected =
+            stats::mm1SojournQuantile(lambda, mu, p);
+        EXPECT_NEAR(station.sojourns().percentile(p * 100.0),
+                    expected, kTol * expected)
+            << "quantile p=" << p;
+    }
+}
+
+TEST(AnalyticalValidation, MmkMeanSojournMatchesErlangC)
+{
+    const double lambda = 960.0, mu = 300.0;  // k=4, rho = 0.8
+    const int k = 4;
+    MmkStation station(lambda, mu, k, 31337);
+    station.run(250.0, 5.0);
+
+    const double expected = stats::mmkMeanSojourn(lambda, mu, k);
+    EXPECT_NEAR(station.sojourns().mean(), expected,
+                kTol * expected);
+}
+
+TEST(AnalyticalValidation, MmkMeanWaitMatchesErlangC)
+{
+    const double lambda = 1350.0, mu = 500.0;  // k=3, rho = 0.9
+    const int k = 3;
+    MmkStation station(lambda, mu, k, 5);
+    station.run(400.0, 5.0);
+
+    // Wait = sojourn - service; service mean is 1/mu exactly in
+    // expectation, so compare mean sojourn against wait + 1/mu.
+    const double expected =
+        stats::mmkMeanWait(lambda, mu, k) + 1.0 / mu;
+    EXPECT_NEAR(station.sojourns().mean(), expected,
+                kTol * expected);
+}
+
+TEST(AnalyticalValidation, HigherUtilizationMeansLongerQueues)
+{
+    // Sanity ordering across utilizations with one seed: the
+    // simulated station must reproduce the convex blow-up of M/M/1.
+    double previous = 0.0;
+    for (double lambda : {300.0, 600.0, 900.0}) {
+        MmkStation station(lambda, 1000.0, 1, 11);
+        station.run(120.0, 2.0);
+        EXPECT_GT(station.sojourns().mean(), previous);
+        previous = station.sojourns().mean();
+    }
+}
+
+}  // namespace
+}  // namespace uqsim
