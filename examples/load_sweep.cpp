@@ -21,7 +21,9 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "uqsim/json/validation.h"
 #include "uqsim/models/applications.h"
 #include "uqsim/runner/sweep_runner.h"
 
@@ -126,6 +128,13 @@ main(int argc, char** argv)
             options.baseSeed =
                 static_cast<std::uint64_t>(std::atol(next_value()));
         } else if (arg.rfind("--", 0) == 0) {
+            std::string message =
+                "error: unknown option \"" + arg + "\"";
+            const std::string suggestion = json::suggestClosest(
+                arg, {"--jobs", "--reps", "--seed"});
+            if (!suggestion.empty())
+                message += "; did you mean \"" + suggestion + "\"?";
+            std::fprintf(stderr, "%s\n", message.c_str());
             usage(argv[0]);
             return 1;
         } else {

@@ -6,13 +6,18 @@
  *
  * Usage:
  *   uqsim_cli <config-dir> [--qps N] [--duration S] [--seed N]
- *             [--warmup S] [--csv] [--reps R] [--jobs N]
+ *             [--warmup S] [--csv] [--json] [--reps R] [--jobs N]
  *
  * Overrides replace the corresponding fields of client.json /
  * options.json without editing the files.  --reps R runs R seed
  * replications (seeds split from --seed) on --jobs worker threads
  * (0 = all hardware threads) and reports pooled statistics with
- * across-replication confidence intervals.
+ * across-replication confidence intervals.  --json emits the full
+ * structured report (including fault counters) instead of text.
+ *
+ * Unknown flags and unknown JSON keys both fail with exit code 1 and
+ * a did-you-mean suggestion; a typoed option must never silently
+ * simulate something else.
  */
 
 #include <cstdio>
@@ -20,22 +25,42 @@
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "uqsim/core/sim/simulation.h"
+#include "uqsim/json/validation.h"
 #include "uqsim/runner/sweep_runner.h"
 
 using namespace uqsim;
 
 namespace {
 
+const std::vector<std::string> kKnownFlags = {
+    "--qps",  "--duration", "--seed", "--warmup",
+    "--csv",  "--json",     "--reps", "--jobs",
+};
+
 void
 usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <config-dir> [--qps N] [--duration S] "
-                 "[--seed N] [--warmup S] [--csv] [--reps R] "
+                 "[--seed N] [--warmup S] [--csv] [--json] [--reps R] "
                  "[--jobs N]\n",
                  argv0);
+}
+
+int
+rejectUnknownFlag(const char* argv0, const std::string& arg)
+{
+    std::string message = "error: unknown option \"" + arg + "\"";
+    const std::string suggestion =
+        json::suggestClosest(arg, kKnownFlags);
+    if (!suggestion.empty())
+        message += "; did you mean \"" + suggestion + "\"?";
+    std::fprintf(stderr, "%s\n", message.c_str());
+    usage(argv0);
+    return 1;
 }
 
 }  // namespace
@@ -50,7 +75,7 @@ main(int argc, char** argv)
     const std::string directory = argv[1];
     double qps = -1.0, duration = -1.0, warmup = -1.0;
     long seed = -1;
-    bool csv = false;
+    bool csv = false, json_out = false;
     int reps = 1, jobs = 0;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -71,13 +96,14 @@ main(int argc, char** argv)
             seed = std::atol(next_value());
         } else if (arg == "--csv") {
             csv = true;
+        } else if (arg == "--json") {
+            json_out = true;
         } else if (arg == "--reps") {
             reps = std::atoi(next_value());
         } else if (arg == "--jobs") {
             jobs = std::atoi(next_value());
         } else {
-            usage(argv[0]);
-            return 1;
+            return rejectUnknownFlag(argv[0], arg);
         }
     }
     if (reps < 1) {
@@ -107,7 +133,9 @@ main(int argc, char** argv)
         if (reps <= 1) {
             auto simulation = Simulation::fromBundle(bundle);
             const RunReport report = simulation->run();
-            if (csv) {
+            if (json_out) {
+                std::cout << report.toJsonString() << '\n';
+            } else if (csv) {
                 std::cout << RunReport::csvHeader() << '\n'
                           << report.toCsvRow() << '\n';
             } else {
@@ -139,7 +167,9 @@ main(int argc, char** argv)
             },
             qps > 0.0 ? qps : 0.0, options);
         const RunReport merged = point.mergedReport();
-        if (csv) {
+        if (json_out) {
+            std::cout << merged.toJsonString() << '\n';
+        } else if (csv) {
             std::cout << RunReport::csvHeader() << '\n'
                       << merged.toCsvRow() << '\n';
         } else {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "uqsim/json/validation.h"
+
 namespace uqsim {
 
 LbPolicy
@@ -17,11 +19,17 @@ lbPolicyFromString(const std::string& name)
 InstanceConfig
 instanceConfigFromJson(const json::JsonValue& doc)
 {
+    json::requireKnownKeys(doc,
+                           {"machine", "threads", "cores",
+                            "disk_channels", "own_dvfs", "scheduling",
+                            "queue_capacity"},
+                           "graph.json instance");
     InstanceConfig config;
     config.threads = doc.getOr("threads", 0);
     config.cores = doc.getOr("cores", 0);
     config.diskChannels = doc.getOr("disk_channels", 0);
     config.ownDvfsDomain = doc.getOr("own_dvfs", false);
+    config.queueCapacity = doc.getOr("queue_capacity", 0);
     const std::string policy = doc.getOr("scheduling", "drain");
     if (policy == "drain") {
         config.policy = SchedulingPolicy::Drain;
@@ -96,7 +104,13 @@ Deployment::deployInstance(const std::string& service,
 void
 Deployment::loadGraphJson(const json::JsonValue& doc)
 {
+    json::requireKnownKeys(doc, {"services"}, "graph.json");
     for (const json::JsonValue& svc : doc.at("services").asArray()) {
+        json::requireKnownKeys(svc,
+                               {"service", "lb_policy",
+                                "connection_pools", "instances",
+                                "policies", "admission"},
+                               "graph.json service");
         const std::string service = svc.at("service").asString();
         if (svc.contains("lb_policy")) {
             setLbPolicy(service, lbPolicyFromString(
@@ -108,12 +122,53 @@ Deployment::loadGraphJson(const json::JsonValue& doc)
                             static_cast<int>(size.asInt()));
             }
         }
+        if (const json::JsonValue* policies = svc.find("policies")) {
+            for (const auto& [downstream, policy] :
+                 policies->asObject()) {
+                setEdgePolicy(service, downstream,
+                              fault::EdgePolicy::fromJson(policy));
+            }
+        }
+        if (const json::JsonValue* admission = svc.find("admission")) {
+            setAdmission(service,
+                         fault::AdmissionConfig::fromJson(*admission));
+        }
         for (const json::JsonValue& inst :
              svc.at("instances").asArray()) {
             deployInstance(service, inst.getOr("machine", ""),
                            instanceConfigFromJson(inst));
         }
     }
+}
+
+void
+Deployment::setEdgePolicy(const std::string& from_service,
+                          const std::string& to_service,
+                          const fault::EdgePolicy& policy)
+{
+    edgePolicies_[{from_service, to_service}] = policy;
+}
+
+const fault::EdgePolicy*
+Deployment::edgePolicy(const std::string& from_service,
+                       const std::string& to_service) const
+{
+    const auto it = edgePolicies_.find({from_service, to_service});
+    return it == edgePolicies_.end() ? nullptr : &it->second;
+}
+
+void
+Deployment::setAdmission(const std::string& service,
+                         const fault::AdmissionConfig& config)
+{
+    admission_[service] = config;
+}
+
+const fault::AdmissionConfig*
+Deployment::admission(const std::string& service) const
+{
+    const auto it = admission_.find(service);
+    return it == admission_.end() ? nullptr : &it->second;
 }
 
 void

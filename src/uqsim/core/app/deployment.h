@@ -30,6 +30,7 @@
 #include "uqsim/core/service/connection_pool.h"
 #include "uqsim/core/service/instance.h"
 #include "uqsim/core/service/service_model.h"
+#include "uqsim/fault/resilience.h"
 #include "uqsim/hw/cluster.h"
 #include "uqsim/json/json_value.h"
 
@@ -112,6 +113,25 @@ class Deployment {
     /** Allocator for ad-hoc (client) connection ids. */
     ConnectionIdAllocator& connectionIds() { return connectionIds_; }
 
+    /** Sets the resilience policy for hops from @p from_service to
+     *  @p to_service (graph.json "policies" block). */
+    void setEdgePolicy(const std::string& from_service,
+                       const std::string& to_service,
+                       const fault::EdgePolicy& policy);
+
+    /** The policy for a (from, to) service edge, or nullptr. */
+    const fault::EdgePolicy* edgePolicy(const std::string& from_service,
+                                        const std::string& to_service)
+        const;
+
+    /** Sets admission control for requests entering via @p service. */
+    void setAdmission(const std::string& service,
+                      const fault::AdmissionConfig& config);
+
+    /** Admission config for @p service, or nullptr. */
+    const fault::AdmissionConfig*
+    admission(const std::string& service) const;
+
   private:
     struct ServiceEntry {
         ServiceModelPtr model;
@@ -134,6 +154,9 @@ class Deployment {
         pools_;
     ConnectionIdAllocator connectionIds_;
     std::vector<MicroserviceInstance*> allInstances_;
+    std::map<std::pair<std::string, std::string>, fault::EdgePolicy>
+        edgePolicies_;
+    std::map<std::string, fault::AdmissionConfig> admission_;
 };
 
 /** Parses one instance object from graph.json. */

@@ -1,6 +1,7 @@
 #include "uqsim/core/app/dispatcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace uqsim {
@@ -8,7 +9,8 @@ namespace uqsim {
 Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
                        PathTree& tree, Deployment& deployment)
     : sim_(sim), network_(network), tree_(tree), deployment_(deployment),
-      rng_(sim.masterSeed(), "dispatcher")
+      rng_(sim.masterSeed(), "dispatcher"),
+      retryRng_(sim.masterSeed(), "dispatcher/retry")
 {
     tree_.resolveExecPaths(
         [this](const std::string& service, const std::string& path) {
@@ -18,6 +20,10 @@ Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
         instance->setOnJobDone([this, instance](JobPtr job) {
             onNodeComplete(std::move(job), *instance);
         });
+        instance->setOnJobFailed(
+            [this, instance](JobPtr job, fault::FailReason reason) {
+                onJobFailed(std::move(job), *instance, reason);
+            });
     }
 }
 
@@ -31,6 +37,24 @@ Dispatcher::rootState(JobId root)
     return it->second;
 }
 
+Dispatcher::RootState*
+Dispatcher::findRoot(JobId root)
+{
+    const auto it = roots_.find(root);
+    return it == roots_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t
+Dispatcher::breakerTrips() const
+{
+    std::uint64_t trips = 0;
+    for (const auto& [edge, runtime] : edges_) {
+        if (runtime.breaker)
+            trips += runtime.breaker->trips();
+    }
+    return trips;
+}
+
 void
 Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
                          ConnectionId client_conn)
@@ -38,6 +62,21 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
     if (!job)
         throw std::invalid_argument("cannot start a null request");
     ++started_;
+    const std::string& front_service = front.model().name();
+    const fault::AdmissionConfig* admission =
+        deployment_.admission(front_service);
+    if (admission != nullptr && admission->maxInflight > 0 &&
+        inflightByFront_[front_service] >= admission->maxInflight) {
+        // Load shedding: reject at the door, before any work or
+        // RNG draw happens for this request.
+        ++shed_;
+        ++tierFaults_[front_service].shed;
+        if (onRequestFailed_) {
+            onRequestFailed_(job->rootId, job->clientTag, job->created,
+                             fault::FailReason::Shed);
+        }
+        return;
+    }
     job->pathVariant = tree_.sampleVariant(rng_);
     const PathVariant& variant = tree_.variant(job->pathVariant);
     const PathNode& root = variant.nodes[
@@ -51,6 +90,10 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
     RootState& state = roots_[job->rootId];
     state.variant = job->pathVariant;
     state.affinity[root.service] = &front;
+    state.clientTag = job->clientTag;
+    state.created = job->created;
+    state.frontService = front_service;
+    ++inflightByFront_[front_service];
     if (tracer_ != nullptr)
         tracer_->recordStart(*job, sim_.now());
 
@@ -58,10 +101,16 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
         job->bytes = root.requestBytes;
     job->connectionId = client_conn;
     const int node_id = variant.rootId;
+    const JobId root_id = job->rootId;
     MicroserviceInstance* target = &front;
     network_.transfer(nullptr, front.machine(), job->bytes,
                       [this, job, node_id, target]() mutable {
                           deliver(std::move(job), node_id, *target);
+                      },
+                      [this, root_id]() {
+                          failRequest(root_id,
+                                      fault::FailReason::NetworkLoss,
+                                      "");
                       });
 }
 
@@ -83,8 +132,28 @@ void
 Dispatcher::routeToNode(JobPtr job, int node_id,
                         MicroserviceInstance* from)
 {
-    RootState& state = rootState(job->rootId);
+    RootState* state_ptr = findRoot(job->rootId);
+    if (state_ptr == nullptr)
+        return;  // request already completed or failed; drop the copy
+    RootState& state = *state_ptr;
     const PathNode& node = tree_.node(state.variant, node_id);
+
+    if (from != nullptr) {
+        // A managed hop replaces the plain forward hop when the
+        // service edge carries an active resilience policy.  Fan-in
+        // nodes are excluded: a retried or hedged duplicate would
+        // corrupt the arrival count.
+        const fault::EdgePolicy* policy =
+            deployment_.edgePolicy(from->model().name(), node.service);
+        if (policy != nullptr && policy->active() && node.fanIn <= 1 &&
+            state.hopStates.find(node_id) == state.hopStates.end() &&
+            &selectInstance(state, node) != from) {
+            startManagedHop(state, std::move(job), node_id, from,
+                            *policy);
+            return;
+        }
+    }
+
     MicroserviceInstance& target = selectInstance(state, node);
     if (node.requestBytes != 0)
         job->bytes = node.requestBytes;
@@ -102,12 +171,23 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
     }
 
     // Return hop? (target handled an earlier node and holds the
-    // pooled connection this response travels back on.)
-    const auto hop_it = std::find_if(
+    // pooled connection this response travels back on.)  Prefer the
+    // exact connection the job traveled out on — hedged duplicates
+    // can leave several (upstream, downstream) pairs.
+    auto hop_it = std::find_if(
         state.hops.begin(), state.hops.end(),
         [&](const ForwardHop& hop) {
-            return hop.upstream == &target && hop.downstream == from;
+            return hop.upstream == &target && hop.downstream == from &&
+                   hop.conn == job->connectionId;
         });
+    if (hop_it == state.hops.end()) {
+        hop_it = std::find_if(
+            state.hops.begin(), state.hops.end(),
+            [&](const ForwardHop& hop) {
+                return hop.upstream == &target &&
+                       hop.downstream == from;
+            });
+    }
     if (hop_it != state.hops.end()) {
         const ForwardHop hop = *hop_it;
         state.hops.erase(hop_it);
@@ -120,6 +200,13 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
                 // next request (HTTP/1.1 reuse).
                 hop.pool->release(hop.conn);
                 deliver(std::move(job), node_id, *t);
+            },
+            [this, root = job->rootId, hop]() {
+                // Response lost in transit; the connection still
+                // frees (it was past the pool when the hop record
+                // was erased above).
+                hop.pool->release(hop.conn);
+                failRequest(root, fault::FailReason::NetworkLoss, "");
             });
         return;
     }
@@ -131,12 +218,20 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
         const JobId root = job->rootId;
         pool->acquire([this, job, node_id, from, t = &target, pool,
                        root](ConnectionId conn) mutable {
-            RootState& st = rootState(root);
-            st.hops.push_back(ForwardHop{from, t, conn, pool});
+            RootState* st = findRoot(root);
+            if (st == nullptr) {
+                pool->release(conn);
+                return;
+            }
+            st->hops.push_back(ForwardHop{from, t, conn, pool});
             job->connectionId = conn;
             network_.transfer(from->machine(), t->machine(), job->bytes,
                               [this, job, node_id, t]() mutable {
                                   deliver(std::move(job), node_id, *t);
+                              },
+                              [this, job, node_id]() mutable {
+                                  onTransferDropped(std::move(job),
+                                                    node_id);
                               });
         });
         return;
@@ -146,13 +241,21 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
     network_.transfer(nullptr, target.machine(), job->bytes,
                       [this, job, node_id, t = &target]() mutable {
                           deliver(std::move(job), node_id, *t);
+                      },
+                      [this, root = job->rootId]() {
+                          failRequest(root,
+                                      fault::FailReason::NetworkLoss,
+                                      "");
                       });
 }
 
 void
 Dispatcher::deliver(JobPtr job, int node_id, MicroserviceInstance& target)
 {
-    RootState& state = rootState(job->rootId);
+    RootState* state_ptr = findRoot(job->rootId);
+    if (state_ptr == nullptr)
+        return;
+    RootState& state = *state_ptr;
     const PathNode& node = tree_.node(state.variant, node_id);
 
     // Fan-in synchronization: only the final copy proceeds.
@@ -181,13 +284,52 @@ Dispatcher::deliver(JobPtr job, int node_id, MicroserviceInstance& target)
 void
 Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
 {
+    if (deadJobs_.erase(job->id) > 0)
+        return;  // cancelled attempt finishing late; drop silently
+    RootState* state_ptr = findRoot(job->rootId);
+    if (state_ptr == nullptr)
+        return;
+    RootState& state = *state_ptr;
     if (tierLatencyHook_) {
         tierLatencyHook_(inst.model().name(),
                          simTimeToSeconds(sim_.now() - job->enteredTier));
     }
     if (tracer_ != nullptr)
         tracer_->recordLeave(*job, sim_.now());
-    RootState& state = rootState(job->rootId);
+
+    // Managed hop won by this job: stop the policy machinery and
+    // cancel the other attempts (first-response-wins).
+    auto hs_it = state.hopStates.find(job->pathNodeId);
+    if (hs_it != state.hopStates.end() && !hs_it->second.done) {
+        HopState& hs = hs_it->second;
+        auto winner = std::find_if(
+            hs.attempts.begin(), hs.attempts.end(),
+            [&](const Attempt& attempt) {
+                return attempt.jobId == job->id;
+            });
+        if (winner != hs.attempts.end()) {
+            hs.done = true;
+            hs.timeoutEvent.cancel();
+            hs.hedgeEvent.cancel();
+            hs.resendEvent.cancel();
+            hs.prototype.reset();
+            EdgeRuntime& edge = edgeRuntime(hs.from->model().name(),
+                                            hs.service, *hs.policy);
+            edge.hopLatency.add(
+                simTimeToSeconds(sim_.now() - winner->sentAt));
+            if (edge.breaker)
+                edge.breaker->recordSuccess(sim_.now());
+            for (Attempt& attempt : hs.attempts) {
+                if (attempt.jobId == job->id || !attempt.live)
+                    continue;
+                attempt.live = false;
+                --hs.liveAttempts;
+                deadJobs_.insert(attempt.jobId);
+                releaseAttemptConn(state, attempt);
+            }
+        }
+    }
+
     const PathNode& node = tree_.node(state.variant, job->pathNodeId);
     for (const PathNodeOp& op : node.onLeave) {
         if (op.kind == PathNodeOp::Kind::UnblockConnection)
@@ -209,7 +351,10 @@ Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
 void
 Dispatcher::finishRequest(JobPtr job, MicroserviceInstance& last)
 {
-    RootState& state = rootState(job->rootId);
+    RootState* state_ptr = findRoot(job->rootId);
+    if (state_ptr == nullptr)
+        return;
+    RootState& state = *state_ptr;
     // A leaf that never routes back releases its own connection.
     const auto hop_it = std::find_if(
         state.hops.begin(), state.hops.end(),
@@ -218,15 +363,22 @@ Dispatcher::finishRequest(JobPtr job, MicroserviceInstance& last)
                    hop.conn == job->connectionId;
         });
     if (hop_it != state.hops.end()) {
-        hop_it->pool->release(hop_it->conn);
+        const ForwardHop hop = *hop_it;
         state.hops.erase(hop_it);
+        hop.pool->release(hop.conn);
     }
     const PathVariant& variant = tree_.variant(state.variant);
     if (++state.terminalsDone < variant.terminalCount)
         return;
+    const JobId root_id = job->rootId;
     network_.transfer(last.machine(), nullptr, job->bytes,
                       [this, job]() mutable {
                           completeAtClient(std::move(job));
+                      },
+                      [this, root_id]() {
+                          failRequest(root_id,
+                                      fault::FailReason::NetworkLoss,
+                                      "");
                       });
 }
 
@@ -235,12 +387,15 @@ Dispatcher::completeAtClient(JobPtr job)
 {
     const auto it = roots_.find(job->rootId);
     if (it != roots_.end()) {
+        RootState state = std::move(it->second);
+        roots_.erase(it);
+        cancelHopEvents(state);
+        decrementInflight(state.frontService);
         // Defensive cleanup; well-formed paths leave nothing behind.
-        for (const ForwardHop& hop : it->second.hops) {
+        for (const ForwardHop& hop : state.hops) {
             hop.pool->release(hop.conn);
             ++leakedHops_;
         }
-        roots_.erase(it);
     }
     leakedBlocks_ +=
         static_cast<std::uint64_t>(blocks_.unblock(job->rootId, ""));
@@ -249,6 +404,384 @@ Dispatcher::completeAtClient(JobPtr job)
         tracer_->recordComplete(*job, sim_.now());
     if (onRequestComplete_)
         onRequestComplete_(*job, sim_.now() - job->created);
+}
+
+// ------------------------------------------------------------- resilience
+
+Dispatcher::EdgeRuntime&
+Dispatcher::edgeRuntime(const std::string& from_service,
+                        const std::string& to_service,
+                        const fault::EdgePolicy& policy)
+{
+    const auto key = std::make_pair(from_service, to_service);
+    auto it = edges_.find(key);
+    if (it == edges_.end()) {
+        EdgeRuntime runtime;
+        if (policy.breaker.enabled) {
+            runtime.breaker = std::make_unique<fault::CircuitBreaker>(
+                policy.breaker);
+        }
+        it = edges_.emplace(key, std::move(runtime)).first;
+    }
+    return it->second;
+}
+
+SimTime
+Dispatcher::resolveHedgeDelay(EdgeRuntime& edge,
+                              const fault::EdgePolicy& policy)
+{
+    if (policy.hedgePercentile > 0.0 &&
+        edge.hopLatency.count() >=
+            static_cast<std::size_t>(policy.hedgeMinSamples)) {
+        return secondsToSimTime(
+            edge.hopLatency.percentile(policy.hedgePercentile * 100.0));
+    }
+    if (policy.hedgeDelaySeconds > 0.0)
+        return secondsToSimTime(policy.hedgeDelaySeconds);
+    return 0;
+}
+
+void
+Dispatcher::startManagedHop(RootState& state, JobPtr job, int node_id,
+                            MicroserviceInstance* from,
+                            const fault::EdgePolicy& policy)
+{
+    const PathNode& node = tree_.node(state.variant, node_id);
+    EdgeRuntime& edge =
+        edgeRuntime(from->model().name(), node.service, policy);
+    const JobId root = job->rootId;
+    if (edge.breaker && !edge.breaker->allowRequest(sim_.now())) {
+        failRequest(root, fault::FailReason::BreakerOpen, node.service);
+        return;
+    }
+    HopState& hs = state.hopStates[node_id];
+    hs.policy = &policy;
+    hs.from = from;
+    hs.service = node.service;
+    hs.prototype = jobs_.createCopy(*job);
+    hs.retriesLeft = policy.retries;
+    hs.hedgesLeft = policy.hedgingEnabled() ? policy.hedgeMax : 0;
+    launchAttempt(root, node_id, std::move(job));
+    if (findRoot(root) == nullptr)
+        return;
+    if (hs.hedgesLeft > 0) {
+        const SimTime delay = resolveHedgeDelay(edge, policy);
+        if (delay > 0) {
+            hs.hedgeEvent = sim_.scheduleAfter(
+                delay,
+                [this, root, node_id]() { onHedgeTimer(root, node_id); },
+                "dispatch/hedge");
+        }
+    }
+}
+
+void
+Dispatcher::launchAttempt(JobId root, int node_id, JobPtr job)
+{
+    RootState* state_ptr = findRoot(root);
+    if (state_ptr == nullptr)
+        return;
+    RootState& state = *state_ptr;
+    const auto hs_it = state.hopStates.find(node_id);
+    if (hs_it == state.hopStates.end())
+        return;
+    HopState& hs = hs_it->second;
+    const PathNode& node = tree_.node(state.variant, node_id);
+
+    MicroserviceInstance* target = nullptr;
+    if (hs.attempts.empty()) {
+        target = &selectInstance(state, node);
+    } else if (node.instanceIndex >= 0) {
+        target = &deployment_.instance(node.service, node.instanceIndex);
+    } else {
+        // Retries and hedges prefer a different instance — the point
+        // is to dodge the slow or dead one.
+        MicroserviceInstance* previous = state.affinity[node.service];
+        target = &deployment_.pickInstance(node.service, rng_);
+        if (target == previous &&
+            deployment_.instanceCount(node.service) > 1) {
+            target = &deployment_.pickInstance(node.service, rng_);
+        }
+        state.affinity[node.service] = target;
+    }
+    if (node.requestBytes != 0)
+        job->bytes = node.requestBytes;
+    hs.attempts.push_back(
+        Attempt{job->id, sim_.now(), kNoConnection, true});
+    ++hs.liveAttempts;
+    if (hs.policy->retriesEnabled()) {
+        hs.timeoutEvent.cancel();
+        hs.timeoutEvent = sim_.scheduleAfter(
+            secondsToSimTime(hs.policy->timeoutSeconds),
+            [this, root, node_id]() { onHopTimeout(root, node_id); },
+            "dispatch/timeout");
+    }
+    MicroserviceInstance* from = hs.from;
+    ConnectionPool* pool = &deployment_.pool(*from, *target);
+    pool->acquire([this, job, node_id, from, t = target, pool,
+                   root](ConnectionId conn) mutable {
+        RootState* st = findRoot(root);
+        if (st == nullptr || deadJobs_.erase(job->id) > 0) {
+            pool->release(conn);
+            return;
+        }
+        const auto it = st->hopStates.find(node_id);
+        if (it != st->hopStates.end()) {
+            if (it->second.done) {
+                pool->release(conn);
+                return;
+            }
+            for (Attempt& attempt : it->second.attempts) {
+                if (attempt.jobId == job->id) {
+                    attempt.conn = conn;
+                    break;
+                }
+            }
+        }
+        st->hops.push_back(ForwardHop{from, t, conn, pool});
+        job->connectionId = conn;
+        network_.transfer(from->machine(), t->machine(), job->bytes,
+                          [this, job, node_id, t]() mutable {
+                              deliver(std::move(job), node_id, *t);
+                          },
+                          [this, job, node_id]() mutable {
+                              onTransferDropped(std::move(job),
+                                                node_id);
+                          });
+    });
+}
+
+void
+Dispatcher::onHopTimeout(JobId root, int node_id)
+{
+    RootState* state = findRoot(root);
+    if (state == nullptr)
+        return;
+    const auto hs_it = state->hopStates.find(node_id);
+    if (hs_it == state->hopStates.end() || hs_it->second.done)
+        return;
+    HopState& hs = hs_it->second;
+    EdgeRuntime& edge =
+        edgeRuntime(hs.from->model().name(), hs.service, *hs.policy);
+    if (edge.breaker)
+        edge.breaker->recordFailure(sim_.now());
+    ++tierFaults_[hs.from->model().name()].hopTimeouts;
+    if (hs.retriesLeft > 0) {
+        // The timed-out attempt stays live as a racer: if it responds
+        // before the retry, its response still wins.
+        --hs.retriesLeft;
+        scheduleResend(root, node_id);
+        return;
+    }
+    failRequest(root, fault::FailReason::HopTimeout, hs.service);
+}
+
+void
+Dispatcher::scheduleResend(JobId root, int node_id)
+{
+    RootState* state = findRoot(root);
+    if (state == nullptr)
+        return;
+    const auto hs_it = state->hopStates.find(node_id);
+    if (hs_it == state->hopStates.end() || hs_it->second.done)
+        return;
+    HopState& hs = hs_it->second;
+    hs.timeoutEvent.cancel();
+    const fault::EdgePolicy& policy = *hs.policy;
+    double backoff = 0.0;
+    if (policy.backoffBaseSeconds > 0.0) {
+        backoff = policy.backoffBaseSeconds *
+                  std::pow(policy.backoffMultiplier,
+                           static_cast<double>(hs.attempts.size() - 1));
+        if (policy.jitter > 0.0)
+            backoff *= 1.0 + policy.jitter * retryRng_.nextDouble();
+    }
+    ++retriesSent_;
+    ++tierFaults_[hs.from->model().name()].retries;
+    auto fire = [this, root, node_id]() {
+        RootState* st = findRoot(root);
+        if (st == nullptr)
+            return;
+        const auto it = st->hopStates.find(node_id);
+        if (it == st->hopStates.end() || it->second.done ||
+            !it->second.prototype) {
+            return;
+        }
+        launchAttempt(root, node_id,
+                      jobs_.createCopy(*it->second.prototype));
+    };
+    if (backoff <= 0.0) {
+        fire();
+    } else {
+        hs.resendEvent = sim_.scheduleAfter(secondsToSimTime(backoff),
+                                            fire, "dispatch/retry");
+    }
+}
+
+void
+Dispatcher::onHedgeTimer(JobId root, int node_id)
+{
+    RootState* state = findRoot(root);
+    if (state == nullptr)
+        return;
+    const auto hs_it = state->hopStates.find(node_id);
+    if (hs_it == state->hopStates.end() || hs_it->second.done)
+        return;
+    HopState& hs = hs_it->second;
+    if (hs.hedgesLeft <= 0 || !hs.prototype)
+        return;
+    --hs.hedgesLeft;
+    ++hedgesSent_;
+    ++tierFaults_[hs.from->model().name()].hedges;
+    launchAttempt(root, node_id, jobs_.createCopy(*hs.prototype));
+    if (findRoot(root) == nullptr)
+        return;
+    if (hs.hedgesLeft > 0) {
+        EdgeRuntime& edge =
+            edgeRuntime(hs.from->model().name(), hs.service, *hs.policy);
+        const SimTime delay = resolveHedgeDelay(edge, *hs.policy);
+        if (delay > 0) {
+            hs.hedgeEvent = sim_.scheduleAfter(
+                delay,
+                [this, root, node_id]() { onHedgeTimer(root, node_id); },
+                "dispatch/hedge");
+        }
+    }
+}
+
+void
+Dispatcher::onJobFailed(JobPtr job, MicroserviceInstance& inst,
+                        fault::FailReason reason)
+{
+    if (deadJobs_.erase(job->id) > 0)
+        return;
+    RootState* state = findRoot(job->rootId);
+    if (state == nullptr)
+        return;
+    const std::string& tier = inst.model().name();
+    if (reason == fault::FailReason::Crash)
+        ++tierFaults_[tier].crashKills;
+    else if (reason == fault::FailReason::QueueFull)
+        ++tierFaults_[tier].rejected;
+    failAttemptOrRequest(job->rootId, job->pathNodeId, job->id, reason,
+                         tier);
+}
+
+void
+Dispatcher::onTransferDropped(JobPtr job, int node_id)
+{
+    if (deadJobs_.erase(job->id) > 0)
+        return;
+    RootState* state = findRoot(job->rootId);
+    if (state == nullptr)
+        return;
+    const PathNode& node = tree_.node(state->variant, node_id);
+    failAttemptOrRequest(job->rootId, node_id, job->id,
+                         fault::FailReason::NetworkLoss, node.service);
+}
+
+void
+Dispatcher::failAttemptOrRequest(JobId root, int node_id, JobId job_id,
+                                 fault::FailReason reason,
+                                 const std::string& tier)
+{
+    RootState* state = findRoot(root);
+    if (state == nullptr)
+        return;
+    const auto hs_it = state->hopStates.find(node_id);
+    if (hs_it != state->hopStates.end() && !hs_it->second.done) {
+        HopState& hs = hs_it->second;
+        const auto a_it = std::find_if(
+            hs.attempts.begin(), hs.attempts.end(),
+            [&](const Attempt& attempt) {
+                return attempt.jobId == job_id;
+            });
+        if (a_it != hs.attempts.end() && a_it->live) {
+            a_it->live = false;
+            --hs.liveAttempts;
+            releaseAttemptConn(*state, *a_it);
+            EdgeRuntime& edge = edgeRuntime(hs.from->model().name(),
+                                            hs.service, *hs.policy);
+            if (edge.breaker)
+                edge.breaker->recordFailure(sim_.now());
+            if (hs.retriesLeft > 0) {
+                --hs.retriesLeft;
+                scheduleResend(root, node_id);
+                return;
+            }
+            if (hs.liveAttempts > 0)
+                return;  // a racing attempt may still succeed
+            failRequest(root, reason, tier);
+            return;
+        }
+    }
+    failRequest(root, reason, tier);
+}
+
+void
+Dispatcher::releaseAttemptConn(RootState& state, Attempt& attempt)
+{
+    if (attempt.conn == kNoConnection)
+        return;
+    const auto it = std::find_if(
+        state.hops.begin(), state.hops.end(),
+        [&](const ForwardHop& hop) { return hop.conn == attempt.conn; });
+    attempt.conn = kNoConnection;
+    if (it == state.hops.end())
+        return;
+    // Erase before releasing: release can synchronously run a pool
+    // waiter that pushes into this same hops vector.
+    const ForwardHop hop = *it;
+    state.hops.erase(it);
+    hop.pool->release(hop.conn);
+}
+
+void
+Dispatcher::cancelHopEvents(RootState& state)
+{
+    for (auto& [node_id, hs] : state.hopStates) {
+        hs.timeoutEvent.cancel();
+        hs.hedgeEvent.cancel();
+        hs.resendEvent.cancel();
+        // Dead marks of this root's cancelled attempts are no longer
+        // needed: with the root gone every late result is dropped by
+        // the root lookup anyway.
+        for (const Attempt& attempt : hs.attempts) {
+            if (!attempt.live)
+                deadJobs_.erase(attempt.jobId);
+        }
+    }
+}
+
+void
+Dispatcher::decrementInflight(const std::string& front_service)
+{
+    const auto it = inflightByFront_.find(front_service);
+    if (it != inflightByFront_.end() && it->second > 0)
+        --it->second;
+}
+
+void
+Dispatcher::failRequest(JobId root, fault::FailReason reason,
+                        const std::string& tier)
+{
+    const auto it = roots_.find(root);
+    if (it == roots_.end())
+        return;
+    // Move the state out before any release: releasing connections
+    // can synchronously run pool waiters that re-enter the
+    // dispatcher.
+    RootState state = std::move(it->second);
+    roots_.erase(it);
+    cancelHopEvents(state);
+    for (const ForwardHop& hop : state.hops)
+        hop.pool->release(hop.conn);
+    blocks_.unblock(root, "");
+    decrementInflight(state.frontService);
+    ++failed_;
+    ++tierFaults_[tier.empty() ? state.frontService : tier].errors;
+    if (onRequestFailed_)
+        onRequestFailed_(root, state.clientTag, state.created, reason);
 }
 
 }  // namespace uqsim

@@ -20,11 +20,26 @@
  * when the response arrives at A (HTTP/1.1-style reuse).  A leaf
  * node that never routes back releases its connection when the node
  * completes.
+ *
+ * Resilience: a hop whose (upstream, downstream) service edge has an
+ * EdgePolicy becomes *managed* — the dispatcher arms a per-attempt
+ * timeout with a retry budget (exponential backoff + jitter from the
+ * "dispatcher/retry" stream), fires hedged duplicate attempts after
+ * a fixed or adaptive-percentile delay, and gates sends on the
+ * edge's circuit breaker.  The first attempt to respond wins; the
+ * others are marked dead, their connections released, and their
+ * late results dropped.  A request with no live attempts and no
+ * retry budget left fails, as do requests hit by instance crashes,
+ * bounded-queue rejection, network loss, or entry-tier admission
+ * control.  Fan-in nodes stay unmanaged (a duplicate copy would
+ * corrupt the arrival count).
  */
 
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -34,7 +49,10 @@
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/core/service/connection.h"
 #include "uqsim/core/service/job.h"
+#include "uqsim/core/sim/report.h"
+#include "uqsim/fault/resilience.h"
 #include "uqsim/hw/network.h"
+#include "uqsim/stats/percentile_recorder.h"
 
 namespace uqsim {
 
@@ -42,10 +60,10 @@ namespace uqsim {
 class Dispatcher {
   public:
     /**
-     * Wires every deployed instance's completion callback to this
-     * dispatcher and resolves the path tree's execution-path names
-     * against the deployment's models.  Deploy all instances before
-     * constructing the dispatcher.
+     * Wires every deployed instance's completion and failure
+     * callbacks to this dispatcher and resolves the path tree's
+     * execution-path names against the deployment's models.  Deploy
+     * all instances before constructing the dispatcher.
      */
     Dispatcher(Simulator& sim, hw::Network& network, PathTree& tree,
                Deployment& deployment);
@@ -72,6 +90,18 @@ class Dispatcher {
     }
 
     /**
+     * Fired when a request fails (crash, loss, exhausted retries,
+     * breaker, shed) with the root id, issuing client tag, issue
+     * time, and reason.
+     */
+    void setOnRequestFailed(
+        std::function<void(JobId, int, SimTime, fault::FailReason)>
+            callback)
+    {
+        onRequestFailed_ = std::move(callback);
+    }
+
+    /**
      * Fired when a job leaves a tier, with the per-tier latency in
      * seconds (queueing + processing at that tier).  Used by the
      * power manager.
@@ -94,7 +124,19 @@ class Dispatcher {
 
     std::uint64_t requestsStarted() const { return started_; }
     std::uint64_t requestsCompleted() const { return completed_; }
+    std::uint64_t requestsFailed() const { return failed_; }
+    std::uint64_t requestsShed() const { return shed_; }
+    std::uint64_t retriesSent() const { return retriesSent_; }
+    std::uint64_t hedgesSent() const { return hedgesSent_; }
+    /** Circuit-breaker trips summed over all edges. */
+    std::uint64_t breakerTrips() const;
     std::size_t activeRequests() const { return roots_.size(); }
+
+    /** Per-tier failure counters accumulated so far. */
+    const std::map<std::string, TierFaultStats>& tierFaults() const
+    {
+        return tierFaults_;
+    }
 
     /** Blocks/hops force-released at request completion (should stay
      *  zero for well-formed path configurations). */
@@ -109,6 +151,39 @@ class Dispatcher {
         ConnectionPool* pool = nullptr;
     };
 
+    /** One send (original, retry, or hedge) of a managed hop. */
+    struct Attempt {
+        JobId jobId = 0;
+        SimTime sentAt = 0;
+        ConnectionId conn = kNoConnection;
+        bool live = true;
+    };
+
+    /** Per-(root, node) state of a managed hop. */
+    struct HopState {
+        const fault::EdgePolicy* policy = nullptr;
+        MicroserviceInstance* from = nullptr;
+        /** Downstream service name. */
+        std::string service;
+        /** Pristine copy for minting retry/hedge attempts. */
+        JobPtr prototype;
+        std::vector<Attempt> attempts;
+        int liveAttempts = 0;
+        int retriesLeft = 0;
+        int hedgesLeft = 0;
+        bool done = false;
+        EventHandle timeoutEvent;
+        EventHandle hedgeEvent;
+        EventHandle resendEvent;
+    };
+
+    /** Per-(upstream, downstream) service-edge runtime state. */
+    struct EdgeRuntime {
+        std::unique_ptr<fault::CircuitBreaker> breaker;
+        /** Winner hop latencies (seconds); feeds adaptive hedging. */
+        stats::PercentileRecorder hopLatency;
+    };
+
     struct RootState {
         int variant = 0;
         /** Sticky routing: service name -> chosen instance. */
@@ -117,10 +192,17 @@ class Dispatcher {
         std::map<int, int> syncArrived;
         /** Outstanding pooled connections. */
         std::vector<ForwardHop> hops;
+        /** Managed hops in flight: node id -> state. */
+        std::map<int, HopState> hopStates;
         int terminalsDone = 0;
+        int clientTag = -1;
+        SimTime created = 0;
+        std::string frontService;
     };
 
     RootState& rootState(JobId root);
+    /** Nullable lookup; null after the request completed or failed. */
+    RootState* findRoot(JobId root);
     MicroserviceInstance& selectInstance(RootState& state,
                                          const PathNode& node);
     void routeToNode(JobPtr job, int node_id,
@@ -130,19 +212,67 @@ class Dispatcher {
     void finishRequest(JobPtr job, MicroserviceInstance& last);
     void completeAtClient(JobPtr job);
 
+    // Resilience machinery -------------------------------------------
+    EdgeRuntime& edgeRuntime(const std::string& from_service,
+                             const std::string& to_service,
+                             const fault::EdgePolicy& policy);
+    void startManagedHop(RootState& state, JobPtr job, int node_id,
+                         MicroserviceInstance* from,
+                         const fault::EdgePolicy& policy);
+    void launchAttempt(JobId root, int node_id, JobPtr job);
+    void onHopTimeout(JobId root, int node_id);
+    void scheduleResend(JobId root, int node_id);
+    void onHedgeTimer(JobId root, int node_id);
+    SimTime resolveHedgeDelay(EdgeRuntime& edge,
+                              const fault::EdgePolicy& policy);
+    /** Job-level failure reported by an instance (crash, refusal,
+     *  bounded-queue rejection). */
+    void onJobFailed(JobPtr job, MicroserviceInstance& inst,
+                     fault::FailReason reason);
+    /** Message lost in transit toward @p node_id. */
+    void onTransferDropped(JobPtr job, int node_id);
+    /**
+     * Routes one attempt failure: consumes a retry, lets surviving
+     * racer attempts run, or fails the whole request.
+     */
+    void failAttemptOrRequest(JobId root, int node_id, JobId job_id,
+                              fault::FailReason reason,
+                              const std::string& tier);
+    /** Releases the pooled connection an attempt holds (if any). */
+    void releaseAttemptConn(RootState& state, Attempt& attempt);
+    void failRequest(JobId root, fault::FailReason reason,
+                     const std::string& tier);
+    void cancelHopEvents(RootState& state);
+    void decrementInflight(const std::string& front_service);
+
     Simulator& sim_;
     hw::Network& network_;
     PathTree& tree_;
     Deployment& deployment_;
     random::RngStream rng_;
+    /** Backoff jitter; only drawn when a retry policy asks for it. */
+    random::RngStream retryRng_;
     JobFactory jobs_;
     BlockRegistry blocks_;
     std::map<JobId, RootState> roots_;
+    /** Edge-keyed breaker + latency state. */
+    std::map<std::pair<std::string, std::string>, EdgeRuntime> edges_;
+    /** Cancelled attempt jobs whose late results must be dropped. */
+    std::set<JobId> deadJobs_;
+    /** Admission control: active roots per front service. */
+    std::map<std::string, int> inflightByFront_;
+    std::map<std::string, TierFaultStats> tierFaults_;
     TraceRecorder* tracer_ = nullptr;
     std::function<void(const Job&, SimTime)> onRequestComplete_;
+    std::function<void(JobId, int, SimTime, fault::FailReason)>
+        onRequestFailed_;
     std::function<void(const std::string&, double)> tierLatencyHook_;
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
+    std::uint64_t failed_ = 0;
+    std::uint64_t shed_ = 0;
+    std::uint64_t retriesSent_ = 0;
+    std::uint64_t hedgesSent_ = 0;
     std::uint64_t leakedBlocks_ = 0;
     std::uint64_t leakedHops_ = 0;
 };

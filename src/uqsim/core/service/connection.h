@@ -80,6 +80,11 @@ class ConnectionTable {
         onUnblock_ = std::move(callback);
     }
 
+    /** Drops all connection state (instance crash: every TCP
+     *  connection to the dead process resets).  Keeps the unblock
+     *  callback so the table is reusable after recovery. */
+    void reset() { connections_.clear(); }
+
     std::size_t connectionCount() const { return connections_.size(); }
 
   private:

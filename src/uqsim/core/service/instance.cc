@@ -1,5 +1,7 @@
 #include "uqsim/core/service/instance.h"
 
+#include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -27,7 +29,8 @@ MicroserviceInstance::MicroserviceInstance(Simulator& sim,
       machine_(machine), threads_(resolveThreads(model_, config)),
       idleThreads_(threads_), baseThreads_(threads_),
       peakThreads_(threads_), policy_(config.policy),
-      rng_(sim.masterSeed(), name_)
+      rng_(sim.masterSeed(), name_),
+      queueCapacity_(config.queueCapacity)
 {
     int cores = config.cores > 0 ? config.cores : threads_;
     if (model_->executionModel() == ExecutionModel::Simple) {
@@ -85,6 +88,19 @@ MicroserviceInstance::accept(JobPtr job)
 {
     if (!job)
         throw std::invalid_argument("cannot accept a null job");
+    if (down_) {
+        ++refused_;
+        if (onJobFailed_)
+            onJobFailed_(std::move(job), fault::FailReason::Refused);
+        return;
+    }
+    if (queueCapacity_ > 0 &&
+        queuedJobs() >= static_cast<std::size_t>(queueCapacity_)) {
+        ++rejected_;
+        if (onJobFailed_)
+            onJobFailed_(std::move(job), fault::FailReason::QueueFull);
+        return;
+    }
     if (job->execPathId < 0)
         job->execPathId = model_->pathSelector().select(rng_);
     const PathConfig& path = model_->path(job->execPathId);
@@ -97,7 +113,7 @@ MicroserviceInstance::accept(JobPtr job)
 void
 MicroserviceInstance::scheduleWork()
 {
-    if (scheduling_)
+    if (scheduling_ || down_)
         return;
     scheduling_ = true;
     while (tryStartWork()) {
@@ -200,11 +216,16 @@ MicroserviceInstance::startBatch(int stage_id, std::vector<JobPtr> batch)
         model_->executionModel() == ExecutionModel::MultiThreaded) {
         duration += secondsToSimTime(model_->contextSwitchSeconds());
     }
+    if (slowFactor_ != 1.0) {
+        duration = static_cast<SimTime>(std::llround(
+            static_cast<double>(duration) * slowFactor_));
+    }
     ++batches_;
     batchSizes_.add(static_cast<double>(batch.size()));
 
     auto shared_batch =
         std::make_shared<std::vector<JobPtr>>(std::move(batch));
+    activeBatches_.push_back(shared_batch);
     sim_.scheduleAfter(
         duration,
         [this, stage_id, shared_batch]() {
@@ -222,9 +243,55 @@ MicroserviceInstance::finishBatch(int stage_id, std::vector<JobPtr>& batch)
                                 : disk_.get();
     resource->release(sim_.now());
     ++idleThreads_;
+    // Deregister; a crash may already have cleared the registry (and
+    // the batch), in which case this completes empty.
+    auto it = std::find_if(
+        activeBatches_.begin(), activeBatches_.end(),
+        [&batch](const std::shared_ptr<std::vector<JobPtr>>& entry) {
+            return entry.get() == &batch;
+        });
+    if (it != activeBatches_.end())
+        activeBatches_.erase(it);
     for (JobPtr& job : batch)
         advanceJob(std::move(job));
     batch.clear();
+    scheduleWork();
+}
+
+void
+MicroserviceInstance::crash()
+{
+    if (down_)
+        return;
+    down_ = true;
+    std::vector<JobPtr> victims;
+    for (auto& queue : queues_) {
+        for (JobPtr& job : queue->drainAll())
+            victims.push_back(std::move(job));
+    }
+    // Jobs inside running batches die too.  The batch-completion
+    // events stay scheduled — they release the core and the worker
+    // with zero jobs, keeping resource accounting balanced.
+    for (auto& entry : activeBatches_) {
+        for (JobPtr& job : *entry)
+            victims.push_back(std::move(job));
+        entry->clear();
+    }
+    activeBatches_.clear();
+    connections_.reset();
+    killed_ += victims.size();
+    if (onJobFailed_) {
+        for (JobPtr& job : victims)
+            onJobFailed_(std::move(job), fault::FailReason::Crash);
+    }
+}
+
+void
+MicroserviceInstance::recover()
+{
+    if (!down_)
+        return;
+    down_ = false;
     scheduleWork();
 }
 

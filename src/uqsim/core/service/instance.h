@@ -32,6 +32,7 @@
 #include "uqsim/core/service/job.h"
 #include "uqsim/core/service/service_model.h"
 #include "uqsim/core/service/stage_queue.h"
+#include "uqsim/fault/resilience.h"
 #include "uqsim/hw/machine.h"
 #include "uqsim/random/rng.h"
 #include "uqsim/stats/summary.h"
@@ -58,6 +59,9 @@ struct InstanceConfig {
      *  control) instead of sharing the machine's. */
     bool ownDvfsDomain = false;
     SchedulingPolicy policy = SchedulingPolicy::Drain;
+    /** Bound on jobs queued across all stages; 0 = unbounded.  A
+     *  full instance rejects new jobs (reject-on-full). */
+    int queueCapacity = 0;
 };
 
 /** One deployed microservice instance. */
@@ -100,11 +104,48 @@ class MicroserviceInstance {
         onJobDone_ = std::move(callback);
     }
 
+    /** Callback fired when a job is lost to a fault or rejection
+     *  (crash kill, delivery while down, bounded queue full). */
+    void setOnJobFailed(
+        std::function<void(JobPtr, fault::FailReason)> callback)
+    {
+        onJobFailed_ = std::move(callback);
+    }
+
     /** Receive-blocking state for this instance's connections. */
     ConnectionTable& connections() { return connections_; }
 
     /** Re-examines queues; called when external state changes. */
     void scheduleWork();
+
+    // Fault injection ------------------------------------------------
+
+    /**
+     * Kills the instance: every queued job and every job in a
+     * running batch fails (reported via the job-failed callback),
+     * and all connection state resets.  Worker-thread and core
+     * accounting stays balanced — in-flight batch completions still
+     * fire, they just complete empty.
+     */
+    void crash();
+
+    /** Brings a crashed instance back (empty queues, fresh
+     *  connections). */
+    void recover();
+
+    bool isDown() const { return down_; }
+
+    /** Multiplies sampled processing times (slow-node fault);
+     *  1.0 = nominal. */
+    void setSlowFactor(double factor) { slowFactor_ = factor; }
+    double slowFactor() const { return slowFactor_; }
+
+    /** Jobs killed by crashes. */
+    std::uint64_t killedJobs() const { return killed_; }
+    /** Jobs rejected by the bounded queue. */
+    std::uint64_t rejectedJobs() const { return rejected_; }
+    /** Jobs refused because the instance was down. */
+    std::uint64_t refusedJobs() const { return refused_; }
 
     // Introspection / statistics -------------------------------------
 
@@ -164,10 +205,20 @@ class MicroserviceInstance {
     /** Precomputed "<instance>/<stage>" event labels (hot path). */
     std::vector<std::string> stageLabels_;
     std::function<void(JobPtr)> onJobDone_;
+    std::function<void(JobPtr, fault::FailReason)> onJobFailed_;
     bool scheduling_ = false;
     std::uint64_t completed_ = 0;
     std::uint64_t batches_ = 0;
     stats::Summary batchSizes_;
+    bool down_ = false;
+    double slowFactor_ = 1.0;
+    int queueCapacity_ = 0;
+    std::uint64_t killed_ = 0;
+    std::uint64_t rejected_ = 0;
+    std::uint64_t refused_ = 0;
+    /** Batches currently executing; cleared (jobs killed) on crash
+     *  while their completion events drain harmlessly. */
+    std::vector<std::shared_ptr<std::vector<JobPtr>>> activeBatches_;
 };
 
 using InstancePtr = std::unique_ptr<MicroserviceInstance>;

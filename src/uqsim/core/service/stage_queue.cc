@@ -93,6 +93,15 @@ SingleQueue::popBatch()
     return batch;
 }
 
+std::vector<JobPtr>
+SingleQueue::drainAll()
+{
+    std::vector<JobPtr> jobs(std::make_move_iterator(queue_.begin()),
+                             std::make_move_iterator(queue_.end()));
+    queue_.clear();
+    return jobs;
+}
+
 // ---------------------------------------------------------------- Socket
 
 SocketQueue::SocketQueue(int batch_limit,
@@ -152,6 +161,21 @@ SocketQueue::popBatch()
     return batch;
 }
 
+std::vector<JobPtr>
+SocketQueue::drainAll()
+{
+    std::vector<JobPtr> jobs;
+    jobs.reserve(total_);
+    for (auto& [id, queue] : subqueues_) {
+        for (JobPtr& job : queue)
+            jobs.push_back(std::move(job));
+    }
+    subqueues_.clear();
+    total_ = 0;
+    cursor_ = kNoConnection;
+    return jobs;
+}
+
 // ----------------------------------------------------------------- Epoll
 
 EpollQueue::EpollQueue(int batch_limit, const ConnectionTable* connections)
@@ -209,6 +233,20 @@ EpollQueue::popBatch()
         }
     }
     return batch;
+}
+
+std::vector<JobPtr>
+EpollQueue::drainAll()
+{
+    std::vector<JobPtr> jobs;
+    jobs.reserve(total_);
+    for (auto& [id, queue] : subqueues_) {
+        for (JobPtr& job : queue)
+            jobs.push_back(std::move(job));
+    }
+    subqueues_.clear();
+    total_ = 0;
+    return jobs;
 }
 
 }  // namespace uqsim

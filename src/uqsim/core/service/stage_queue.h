@@ -45,6 +45,9 @@ class StageQueue {
     /** Jobs currently queued (eligible or not). */
     virtual std::size_t size() const = 0;
 
+    /** Removes and returns every queued job (instance crash). */
+    virtual std::vector<JobPtr> drainAll() = 0;
+
     /**
      * Factory from a stage configuration.  @p connections supplies
      * receive-blocking state for socket/epoll queues and may be
@@ -65,6 +68,7 @@ class SingleQueue : public StageQueue {
     bool hasEligible() const override { return !queue_.empty(); }
     std::vector<JobPtr> popBatch() override;
     std::size_t size() const override { return queue_.size(); }
+    std::vector<JobPtr> drainAll() override;
 
   private:
     std::deque<JobPtr> queue_;
@@ -81,6 +85,7 @@ class SocketQueue : public StageQueue {
     bool hasEligible() const override;
     std::vector<JobPtr> popBatch() override;
     std::size_t size() const override { return total_; }
+    std::vector<JobPtr> drainAll() override;
 
   private:
     std::map<ConnectionId, std::deque<JobPtr>> subqueues_;
@@ -100,6 +105,7 @@ class EpollQueue : public StageQueue {
     bool hasEligible() const override;
     std::vector<JobPtr> popBatch() override;
     std::size_t size() const override { return total_; }
+    std::vector<JobPtr> drainAll() override;
 
     /** Number of currently active (pollable) subqueues. */
     std::size_t activeSubqueues() const;

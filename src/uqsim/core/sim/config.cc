@@ -4,12 +4,16 @@
 #include <filesystem>
 
 #include "uqsim/json/json_parser.h"
+#include "uqsim/json/validation.h"
 
 namespace uqsim {
 
 SimulationOptions
 SimulationOptions::fromJson(const json::JsonValue& doc)
 {
+    json::requireKnownKeys(
+        doc, {"seed", "warmup_s", "duration_s", "max_events"},
+        "options.json");
     SimulationOptions options;
     options.seed = static_cast<std::uint64_t>(
         doc.getOr("seed", std::int64_t{1}));
@@ -40,6 +44,9 @@ ConfigBundle::fromDirectory(const std::string& directory)
         bundle.options = SimulationOptions::fromJson(
             json::parseFile(options_path.string()));
     }
+    const fs::path faults_path = root / "faults.json";
+    if (fs::exists(faults_path))
+        bundle.faults = json::parseFile(faults_path.string());
     const fs::path services_dir = root / "services";
     if (!fs::is_directory(services_dir)) {
         throw json::JsonError("missing services/ directory under " +

@@ -30,19 +30,23 @@ struct SimulationOptions {
     static SimulationOptions fromJson(const json::JsonValue& doc);
 };
 
-/** The five simulator inputs, as parsed JSON documents. */
+/** The simulator inputs, as parsed JSON documents. */
 struct ConfigBundle {
     json::JsonValue machines;
     std::vector<json::JsonValue> services;
     json::JsonValue graph;
     json::JsonValue paths;
     json::JsonValue client;
+    /** Optional fault-injection timeline (faults.json); null when
+     *  the file is absent. */
+    json::JsonValue faults;
     SimulationOptions options;
 
     /**
      * Loads a bundle from a directory containing machines.json,
      * graph.json, path.json, client.json, an optional options.json,
-     * and a services/ subdirectory of service.json files.
+     * an optional faults.json, and a services/ subdirectory of
+     * service.json files.
      */
     static ConfigBundle fromDirectory(const std::string& directory);
 };

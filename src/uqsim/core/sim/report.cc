@@ -3,7 +3,34 @@
 #include <iomanip>
 #include <sstream>
 
+#include "uqsim/json/json_writer.h"
+
 namespace uqsim {
+
+namespace {
+
+double
+rate(std::uint64_t count, std::uint64_t total)
+{
+    return total > 0 ? static_cast<double>(count) /
+                           static_cast<double>(total)
+                     : 0.0;
+}
+
+json::JsonValue
+latencyJson(const LatencyStats& stats)
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    doc.asObject()["count"] = stats.count;
+    doc.asObject()["mean_ms"] = stats.meanMs;
+    doc.asObject()["p50_ms"] = stats.p50Ms;
+    doc.asObject()["p95_ms"] = stats.p95Ms;
+    doc.asObject()["p99_ms"] = stats.p99Ms;
+    doc.asObject()["max_ms"] = stats.maxMs;
+    return doc;
+}
+
+}  // namespace
 
 std::string
 RunReport::toString() const
@@ -19,6 +46,22 @@ RunReport::toString() const
         out << "  tier " << tier << ": mean " << stats.meanMs
             << " ms, p99 " << stats.p99Ms << " ms (" << stats.count
             << " samples)\n";
+    }
+    if (failed > 0 || shed > 0 || crashes > 0 || netDropped > 0 ||
+        breakerTrips > 0) {
+        out << "  faults: " << failed << " failed, " << shed
+            << " shed, " << retries << " retries, " << hedges
+            << " hedges, " << breakerTrips << " breaker trips, "
+            << crashes << " crashes, " << netDropped
+            << " messages dropped\n";
+        out << "  availability: " << availability << "\n";
+    }
+    for (const auto& [tier, stats] : tierFaults) {
+        out << "  tier " << tier << " faults: " << stats.errors
+            << " errors, " << stats.timeouts << " timeouts, "
+            << stats.retries << " retries, " << stats.hedges
+            << " hedges, " << stats.shed << " shed, " << stats.rejected
+            << " rejected, " << stats.crashKills << " crash kills\n";
     }
     return out.str();
 }
@@ -38,6 +81,61 @@ RunReport::toCsvRow() const
         << ',' << endToEnd.p50Ms << ',' << endToEnd.p95Ms << ','
         << endToEnd.p99Ms << ',' << endToEnd.maxMs;
     return out.str();
+}
+
+json::JsonValue
+RunReport::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    auto& obj = doc.asObject();
+    obj["offered_qps"] = offeredQps;
+    obj["achieved_qps"] = achievedQps;
+    obj["generated"] = generated;
+    obj["completed"] = completed;
+    obj["timeouts"] = timeouts;
+    obj["failed"] = failed;
+    obj["shed"] = shed;
+    obj["retries"] = retries;
+    obj["hedges"] = hedges;
+    obj["breaker_trips"] = breakerTrips;
+    obj["net_dropped"] = netDropped;
+    obj["crashes"] = crashes;
+    obj["availability"] = availability;
+    obj["timeout_rate"] = rate(timeouts, generated);
+    obj["error_rate"] = rate(failed + shed, generated);
+    obj["end_to_end"] = latencyJson(endToEnd);
+    json::JsonValue tiers_doc = json::JsonValue::makeObject();
+    for (const auto& [tier, stats] : tiers)
+        tiers_doc.asObject()[tier] = latencyJson(stats);
+    obj["tiers"] = std::move(tiers_doc);
+    json::JsonValue faults_doc = json::JsonValue::makeObject();
+    for (const auto& [tier, stats] : tierFaults) {
+        json::JsonValue entry = json::JsonValue::makeObject();
+        auto& tier_obj = entry.asObject();
+        tier_obj["errors"] = stats.errors;
+        tier_obj["timeouts"] = stats.timeouts;
+        tier_obj["hop_timeouts"] = stats.hopTimeouts;
+        tier_obj["retries"] = stats.retries;
+        tier_obj["hedges"] = stats.hedges;
+        tier_obj["shed"] = stats.shed;
+        tier_obj["rejected"] = stats.rejected;
+        tier_obj["crash_kills"] = stats.crashKills;
+        tier_obj["error_rate"] = rate(stats.errors, generated);
+        tier_obj["timeout_rate"] = rate(stats.timeouts, generated);
+        faults_doc.asObject()[tier] = std::move(entry);
+    }
+    obj["tier_faults"] = std::move(faults_doc);
+    obj["events"] = events;
+    obj["wall_seconds"] = wallSeconds;
+    return doc;
+}
+
+std::string
+RunReport::toJsonString(bool pretty) const
+{
+    json::WriteOptions options;
+    options.pretty = pretty;
+    return json::write(toJson(), options);
 }
 
 }  // namespace uqsim

@@ -5,11 +5,15 @@
  * @file
  * Run results: end-to-end and per-tier latency statistics plus
  * throughput, in the units the paper reports (milliseconds, kQPS).
+ * Under fault injection the report also carries goodput (achieved
+ * vs. offered), availability, and per-tier failure counters.
  */
 
 #include <cstdint>
 #include <map>
 #include <string>
+
+#include "uqsim/json/json_value.h"
 
 namespace uqsim {
 
@@ -23,6 +27,26 @@ struct LatencyStats {
     double maxMs = 0.0;
 };
 
+/** Failure and mitigation counters for one service tier. */
+struct TierFaultStats {
+    /** Requests that failed at (or entering) this tier. */
+    std::uint64_t errors = 0;
+    /** Client-side timeouts of requests fronted by this tier. */
+    std::uint64_t timeouts = 0;
+    /** Per-hop timeouts on edges out of this tier. */
+    std::uint64_t hopTimeouts = 0;
+    /** Retry attempts sent from this tier. */
+    std::uint64_t retries = 0;
+    /** Hedged attempts sent from this tier. */
+    std::uint64_t hedges = 0;
+    /** Requests shed by admission control at this tier. */
+    std::uint64_t shed = 0;
+    /** Jobs rejected by this tier's bounded queues. */
+    std::uint64_t rejected = 0;
+    /** Jobs killed by instance crashes in this tier. */
+    std::uint64_t crashKills = 0;
+};
+
 /** Summary of one simulation run (measurement window only). */
 struct RunReport {
     /** Offered load at the end of warm-up (requests/second). */
@@ -34,10 +58,29 @@ struct RunReport {
     std::uint64_t completed = 0;
     /** Client-side timeouts over the whole run (0 when disabled). */
     std::uint64_t timeouts = 0;
+
+    // Fault / resilience counters (whole run; 0 without faults).
+    /** Requests failed by faults, exhausted retries, or breakers. */
+    std::uint64_t failed = 0;
+    /** Requests shed by admission control. */
+    std::uint64_t shed = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t hedges = 0;
+    std::uint64_t breakerTrips = 0;
+    /** Messages lost in network fault windows. */
+    std::uint64_t netDropped = 0;
+    /** Instance crashes injected. */
+    std::uint64_t crashes = 0;
+    /** completed / (completed + failed + shed); 1.0 fault-free. */
+    double availability = 1.0;
+
     /** End-to-end request latency. */
     LatencyStats endToEnd;
     /** Per-tier latency (service name keyed). */
     std::map<std::string, LatencyStats> tiers;
+    /** Per-tier failure counters (service name keyed; empty when
+     *  nothing failed). */
+    std::map<std::string, TierFaultStats> tierFaults;
     /** Events executed over the whole run (engine effort). */
     std::uint64_t events = 0;
     /** Wall-clock seconds the run took (host time). */
@@ -49,6 +92,11 @@ struct RunReport {
     /** One CSV row: offered,achieved,mean,p50,p95,p99,max. */
     std::string toCsvRow() const;
     static std::string csvHeader();
+
+    /** Structured rendering (scalars, rates, latencies, per-tier
+     *  error/timeout rates). */
+    json::JsonValue toJson() const;
+    std::string toJsonString(bool pretty = true) const;
 };
 
 }  // namespace uqsim

@@ -22,6 +22,8 @@ Simulation::fromBundle(const ConfigBundle& bundle)
     simulation->loadGraphJson(bundle.graph);
     simulation->loadPathJson(bundle.paths);
     simulation->loadClientJson(bundle.client);
+    if (!bundle.faults.isNull())
+        simulation->loadFaultsJson(bundle.faults);
     simulation->finalize();
     return simulation;
 }
@@ -78,6 +80,22 @@ Simulation::loadClientJson(const json::JsonValue& doc)
 }
 
 void
+Simulation::loadFaultsJson(const json::JsonValue& doc)
+{
+    setFaultPlan(fault::FaultPlan::fromJson(doc));
+}
+
+void
+Simulation::setFaultPlan(fault::FaultPlan plan)
+{
+    if (finalized()) {
+        throw std::logic_error(
+            "cannot set a fault plan after finalize()");
+    }
+    faultPlan_ = std::move(plan);
+}
+
+void
 Simulation::addClient(workload::ClientConfig config)
 {
     if (finalized())
@@ -123,6 +141,17 @@ Simulation::finalize()
             if (completionListener_)
                 completionListener_(job, seconds);
         });
+    dispatcher_->setOnRequestFailed(
+        [this](JobId root, int client_tag, SimTime created,
+               fault::FailReason) {
+            if (client_tag >= 0 &&
+                client_tag < static_cast<int>(clients_.size())) {
+                clients_[static_cast<std::size_t>(client_tag)]
+                    ->onFailure(root);
+            }
+            if (simTimeToSeconds(created) >= options_.warmupSeconds)
+                ++measuredFailed_;
+        });
     dispatcher_->setTierLatencyHook(
         [this](const std::string& service, double seconds) {
             if (inMeasurementWindow())
@@ -139,6 +168,12 @@ Simulation::finalize()
         clients_.back()->start();
     }
     pendingClients_.clear();
+
+    if (!faultPlan_.empty()) {
+        faultScheduler_ = std::make_unique<fault::FaultScheduler>(
+            sim_, *deployment_, cluster_->network(), faultPlan_);
+        faultScheduler_->start(options_.durationSeconds);
+    }
 
     // Snapshot issue counts at the warm-up boundary.
     sim_.scheduleAt(
@@ -204,10 +239,44 @@ Simulation::buildReport(double wall_seconds) const
         dispatcher_ ? dispatcher_->requestsStarted() - measuredGenerated_
                     : 0;
     report.endToEnd = toLatencyStats(endToEnd_);
-    for (const auto& client : clients_)
+    for (const auto& client : clients_) {
         report.timeouts += client->timeouts();
+        report.retries += client->retriesIssued();
+        if (client->timeouts() > 0) {
+            report.tierFaults[client->config().frontService].timeouts +=
+                client->timeouts();
+        }
+    }
     for (const auto& [tier, recorder] : tiers_)
         report.tiers[tier] = toLatencyStats(recorder);
+    if (dispatcher_) {
+        report.failed = dispatcher_->requestsFailed();
+        report.shed = dispatcher_->requestsShed();
+        report.retries += dispatcher_->retriesSent();
+        report.hedges = dispatcher_->hedgesSent();
+        report.breakerTrips = dispatcher_->breakerTrips();
+        for (const auto& [tier, stats] : dispatcher_->tierFaults()) {
+            TierFaultStats& merged = report.tierFaults[tier];
+            merged.errors += stats.errors;
+            merged.hopTimeouts += stats.hopTimeouts;
+            merged.retries += stats.retries;
+            merged.hedges += stats.hedges;
+            merged.shed += stats.shed;
+            merged.rejected += stats.rejected;
+            merged.crashKills += stats.crashKills;
+        }
+        const std::uint64_t served = dispatcher_->requestsCompleted();
+        const std::uint64_t denom =
+            served + report.failed + report.shed;
+        report.availability =
+            denom > 0
+                ? static_cast<double>(served) /
+                      static_cast<double>(denom)
+                : 1.0;
+    }
+    report.netDropped = cluster_->network().droppedMessages();
+    if (faultScheduler_)
+        report.crashes = faultScheduler_->crashesInjected();
     report.events = sim_.executedEvents();
     report.wallSeconds = wall_seconds;
     return report;

@@ -30,6 +30,8 @@
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/core/sim/config.h"
 #include "uqsim/core/sim/report.h"
+#include "uqsim/fault/fault_plan.h"
+#include "uqsim/fault/fault_scheduler.h"
 #include "uqsim/hw/cluster.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/throughput_meter.h"
@@ -57,6 +59,11 @@ class Simulation {
     void loadGraphJson(const json::JsonValue& doc);
     void loadPathJson(const json::JsonValue& doc);
     void loadClientJson(const json::JsonValue& doc);
+    /** Parses a faults.json document; call before finalize(). */
+    void loadFaultsJson(const json::JsonValue& doc);
+
+    /** Sets the fault plan programmatically; call before finalize(). */
+    void setFaultPlan(fault::FaultPlan plan);
 
     /** Adds a client programmatically. */
     void addClient(workload::ClientConfig config);
@@ -98,6 +105,8 @@ class Simulation {
 
     Simulator& sim() { return sim_; }
     Dispatcher& dispatcher();
+    /** Null when the run has no fault plan. */
+    fault::FaultScheduler* faultScheduler() { return faultScheduler_.get(); }
     const SimulationOptions& options() const { return options_; }
     std::vector<std::unique_ptr<workload::Client>>& clients()
     {
@@ -128,12 +137,15 @@ class Simulation {
     PathTree pathTree_;
     bool pathTreeLoaded_ = false;
     std::unique_ptr<Dispatcher> dispatcher_;
+    fault::FaultPlan faultPlan_;
+    std::unique_ptr<fault::FaultScheduler> faultScheduler_;
     std::vector<workload::ClientConfig> pendingClients_;
     std::vector<std::unique_ptr<workload::Client>> clients_;
     stats::PercentileRecorder endToEnd_;
     std::map<std::string, stats::PercentileRecorder> tiers_;
     std::uint64_t measuredCompletions_ = 0;
     std::uint64_t measuredGenerated_ = 0;
+    std::uint64_t measuredFailed_ = 0;
     std::function<void(const Job&, double)> completionListener_;
     std::function<void(const std::string&, double)> tierListener_;
     bool ran_ = false;

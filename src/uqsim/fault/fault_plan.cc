@@ -1,0 +1,116 @@
+#include "uqsim/fault/fault_plan.h"
+
+#include "uqsim/json/validation.h"
+
+namespace uqsim {
+namespace fault {
+
+namespace {
+
+FaultSpec::Kind
+kindFromString(const std::string& name)
+{
+    if (name == "crash")
+        return FaultSpec::Kind::Crash;
+    if (name == "slow")
+        return FaultSpec::Kind::Slow;
+    if (name == "network")
+        return FaultSpec::Kind::Network;
+    std::string message = "unknown fault type \"" + name + "\"";
+    const std::string suggestion =
+        json::suggestClosest(name, {"crash", "slow", "network"});
+    if (!suggestion.empty())
+        message += "; did you mean \"" + suggestion + "\"?";
+    throw json::JsonError(message);
+}
+
+}  // namespace
+
+FaultSpec
+FaultSpec::fromJson(const json::JsonValue& doc)
+{
+    FaultSpec spec;
+    spec.kind = kindFromString(doc.at("type").asString());
+    switch (spec.kind) {
+      case Kind::Crash:
+        json::requireKnownKeys(doc,
+                               {"type", "instance", "service", "at_s",
+                                "recover_s", "mtbf_s", "mttr_s"},
+                               "crash fault");
+        spec.instance = doc.getOr("instance", std::string());
+        spec.service = doc.getOr("service", std::string());
+        spec.atSeconds = doc.getOr("at_s", 0.0);
+        spec.recoverSeconds = doc.getOr("recover_s", 0.0);
+        spec.mtbfSeconds = doc.getOr("mtbf_s", 0.0);
+        spec.mttrSeconds = doc.getOr("mttr_s", 0.0);
+        if (spec.instance.empty() == spec.service.empty())
+            throw json::JsonError(
+                "crash fault needs exactly one of \"instance\" or "
+                "\"service\"");
+        if (spec.stochastic()) {
+            if (spec.mttrSeconds <= 0.0)
+                throw json::JsonError(
+                    "stochastic crash fault needs mttr_s > 0");
+        } else if (spec.recoverSeconds > 0.0 &&
+                   spec.recoverSeconds <= spec.atSeconds) {
+            throw json::JsonError(
+                "crash fault recover_s must exceed at_s");
+        }
+        break;
+      case Kind::Slow:
+        json::requireKnownKeys(doc,
+                               {"type", "instance", "service",
+                                "start_s", "end_s", "factor"},
+                               "slow fault");
+        spec.instance = doc.getOr("instance", std::string());
+        spec.service = doc.getOr("service", std::string());
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        spec.factor = doc.getOr("factor", 1.0);
+        if (spec.instance.empty() == spec.service.empty())
+            throw json::JsonError(
+                "slow fault needs exactly one of \"instance\" or "
+                "\"service\"");
+        if (spec.factor <= 0.0)
+            throw json::JsonError("slow fault factor must be > 0");
+        if (spec.endSeconds > 0.0 &&
+            spec.endSeconds <= spec.startSeconds)
+            throw json::JsonError(
+                "slow fault end_s must exceed start_s");
+        break;
+      case Kind::Network:
+        json::requireKnownKeys(doc,
+                               {"type", "start_s", "end_s",
+                                "extra_latency_us", "loss_prob"},
+                               "network fault");
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        spec.extraLatencySeconds =
+            doc.getOr("extra_latency_us", 0.0) * 1e-6;
+        spec.lossProbability = doc.getOr("loss_prob", 0.0);
+        if (spec.lossProbability < 0.0 || spec.lossProbability > 1.0)
+            throw json::JsonError(
+                "network fault loss_prob must be in [0, 1]");
+        if (spec.endSeconds > 0.0 &&
+            spec.endSeconds <= spec.startSeconds)
+            throw json::JsonError(
+                "network fault end_s must exceed start_s");
+        break;
+    }
+    return spec;
+}
+
+FaultPlan
+FaultPlan::fromJson(const json::JsonValue& doc)
+{
+    json::requireKnownKeys(doc, {"faults"}, "faults.json");
+    FaultPlan plan;
+    if (const json::JsonValue* faults = doc.find("faults")) {
+        for (const json::JsonValue& entry : faults->asArray())
+            plan.faults.push_back(FaultSpec::fromJson(entry));
+    }
+    return plan;
+}
+
+}  // namespace fault
+}  // namespace uqsim

@@ -1,0 +1,75 @@
+#ifndef UQSIM_FAULT_FAULT_PLAN_H_
+#define UQSIM_FAULT_FAULT_PLAN_H_
+
+/**
+ * @file
+ * Fault timelines parsed from faults.json.
+ *
+ * A plan is a list of fault specs.  Crashes target an instance (or
+ * every instance of a service) and are either scripted (at_s +
+ * recover_s) or stochastic (mtbf_s + mttr_s with exponential up/down
+ * times from a per-instance seed-split stream).  Slow-node faults
+ * inflate processing time by a factor over a window; network faults
+ * add latency and message-loss probability cluster-wide over a
+ * window.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace fault {
+
+/** One fault timeline entry. */
+struct FaultSpec {
+    enum class Kind { Crash, Slow, Network };
+
+    Kind kind = Kind::Crash;
+
+    /** Target "service.index" (e.g. "leaf.3"); empty when the spec
+     *  targets a whole service or, for network faults, the cluster. */
+    std::string instance;
+    /** Target service name (all its instances); empty when a single
+     *  instance is named. */
+    std::string service;
+
+    // Scripted crash.
+    double atSeconds = 0.0;
+    double recoverSeconds = 0.0;
+
+    // Stochastic crash (exponential up/down times).
+    double mtbfSeconds = 0.0;
+    double mttrSeconds = 0.0;
+
+    // Slow-node and network windows.
+    double startSeconds = 0.0;
+    double endSeconds = 0.0;
+
+    /** Slow-node processing-time multiplier. */
+    double factor = 1.0;
+
+    // Network degradation.
+    double extraLatencySeconds = 0.0;
+    double lossProbability = 0.0;
+
+    bool stochastic() const { return mtbfSeconds > 0.0; }
+
+    static FaultSpec fromJson(const json::JsonValue& doc);
+};
+
+/** The full fault timeline for a run. */
+struct FaultPlan {
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+
+    /** Parses a faults.json document: {"faults": [ ... ]}. */
+    static FaultPlan fromJson(const json::JsonValue& doc);
+};
+
+}  // namespace fault
+}  // namespace uqsim
+
+#endif  // UQSIM_FAULT_FAULT_PLAN_H_

@@ -1,0 +1,162 @@
+#include "uqsim/fault/fault_scheduler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace uqsim {
+namespace fault {
+
+namespace {
+
+/** Exponential variate with mean @p meanSeconds. */
+SimTime
+sampleExponential(random::Rng& rng, double meanSeconds)
+{
+    const double u = rng.nextDoubleOpenLeft();
+    return secondsToSimTime(-meanSeconds * std::log(u));
+}
+
+}  // namespace
+
+FaultScheduler::FaultScheduler(Simulator& sim, Deployment& deployment,
+                               hw::Network& network,
+                               const FaultPlan& plan)
+    : sim_(sim), deployment_(deployment), network_(network), plan_(plan)
+{
+}
+
+std::vector<MicroserviceInstance*>
+FaultScheduler::resolveTargets(const FaultSpec& spec) const
+{
+    if (!spec.service.empty())
+        return deployment_.instances(spec.service);
+    const std::size_t dot = spec.instance.rfind('.');
+    if (dot == std::string::npos)
+        throw std::runtime_error(
+            "fault target \"" + spec.instance +
+            "\" is not of the form service.index");
+    const std::string service = spec.instance.substr(0, dot);
+    const int index = std::stoi(spec.instance.substr(dot + 1));
+    return {&deployment_.instance(service, index)};
+}
+
+void
+FaultScheduler::start(double horizonSeconds)
+{
+    horizon_ = secondsToSimTime(horizonSeconds);
+    for (const FaultSpec& spec : plan_.faults) {
+        switch (spec.kind) {
+          case FaultSpec::Kind::Crash:
+            for (MicroserviceInstance* target : resolveTargets(spec)) {
+                if (spec.stochastic())
+                    scheduleStochasticCrash(*target, spec);
+                else
+                    scheduleScriptedCrash(*target, spec);
+            }
+            break;
+          case FaultSpec::Kind::Slow:
+            for (MicroserviceInstance* target : resolveTargets(spec))
+                scheduleSlowWindow(*target, spec);
+            break;
+          case FaultSpec::Kind::Network:
+            scheduleNetworkWindow(spec);
+            break;
+        }
+    }
+}
+
+void
+FaultScheduler::scheduleScriptedCrash(MicroserviceInstance& target,
+                                      const FaultSpec& spec)
+{
+    sim_.scheduleAt(
+        secondsToSimTime(spec.atSeconds),
+        [this, &target]() { crash(target); }, "fault/crash");
+    if (spec.recoverSeconds > 0.0) {
+        sim_.scheduleAt(
+            secondsToSimTime(spec.recoverSeconds),
+            [&target]() { target.recover(); }, "fault/recover");
+    }
+}
+
+void
+FaultScheduler::scheduleStochasticCrash(MicroserviceInstance& target,
+                                        const FaultSpec& spec)
+{
+    streams_.push_back(std::make_unique<random::RngStream>(
+        sim_.masterSeed(), "fault/" + target.name()));
+    random::Rng& rng = *streams_.back();
+    scheduleNextStochasticFailure(target, spec, rng);
+}
+
+void
+FaultScheduler::scheduleNextStochasticFailure(
+    MicroserviceInstance& target, const FaultSpec& spec,
+    random::Rng& rng)
+{
+    // Draw the whole (up, down) pair now so the stream's consumption
+    // is a pure function of the failure count, then chain the next
+    // draw off the recovery event.
+    const SimTime up = sampleExponential(rng, spec.mtbfSeconds);
+    const SimTime down = sampleExponential(rng, spec.mttrSeconds);
+    const SimTime failAt = sim_.now() + up;
+    if (failAt >= horizon_)
+        return;
+    sim_.scheduleAt(
+        failAt, [this, &target]() { crash(target); }, "fault/crash");
+    sim_.scheduleAt(
+        failAt + down,
+        [this, &target, &spec, &rng]() {
+            target.recover();
+            scheduleNextStochasticFailure(target, spec, rng);
+        },
+        "fault/recover");
+}
+
+void
+FaultScheduler::scheduleSlowWindow(MicroserviceInstance& target,
+                                   const FaultSpec& spec)
+{
+    sim_.scheduleAt(
+        secondsToSimTime(spec.startSeconds),
+        [&target, factor = spec.factor]() {
+            target.setSlowFactor(factor);
+        },
+        "fault/slow");
+    if (spec.endSeconds > 0.0) {
+        sim_.scheduleAt(
+            secondsToSimTime(spec.endSeconds),
+            [&target]() { target.setSlowFactor(1.0); },
+            "fault/slow-end");
+    }
+}
+
+void
+FaultScheduler::scheduleNetworkWindow(const FaultSpec& spec)
+{
+    sim_.scheduleAt(
+        secondsToSimTime(spec.startSeconds),
+        [this, extra = spec.extraLatencySeconds,
+         loss = spec.lossProbability]() {
+            network_.setDegradation(extra, loss);
+        },
+        "fault/net");
+    if (spec.endSeconds > 0.0) {
+        sim_.scheduleAt(
+            secondsToSimTime(spec.endSeconds),
+            [this]() { network_.clearDegradation(); },
+            "fault/net-end");
+    }
+}
+
+void
+FaultScheduler::crash(MicroserviceInstance& target)
+{
+    if (target.isDown())
+        return;
+    ++crashes_;
+    target.crash();
+}
+
+}  // namespace fault
+}  // namespace uqsim

@@ -1,0 +1,82 @@
+#ifndef UQSIM_FAULT_FAULT_SCHEDULER_H_
+#define UQSIM_FAULT_FAULT_SCHEDULER_H_
+
+/**
+ * @file
+ * Executes a FaultPlan against a deployed simulation.
+ *
+ * The scheduler turns fault specs into simulator events at start():
+ * scripted crashes become (crash, recover) event pairs, stochastic
+ * crashes become a chain of exponential up/down intervals drawn from
+ * a per-instance seed-split stream ("fault/<instance>"), slow-node
+ * windows toggle the instance's processing-time factor, and network
+ * windows toggle cluster-wide degradation in hw::Network.
+ *
+ * Determinism: each stochastic timeline draws only from its own
+ * stream, so adding a fault never perturbs service-time or client
+ * arrival sampling, and an empty plan schedules nothing at all.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "uqsim/core/app/deployment.h"
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/fault/fault_plan.h"
+#include "uqsim/hw/network.h"
+#include "uqsim/random/rng.h"
+
+namespace uqsim {
+namespace fault {
+
+/** Drives fault injection for one run. */
+class FaultScheduler {
+  public:
+    FaultScheduler(Simulator& sim, Deployment& deployment,
+                   hw::Network& network, const FaultPlan& plan);
+
+    FaultScheduler(const FaultScheduler&) = delete;
+    FaultScheduler& operator=(const FaultScheduler&) = delete;
+
+    /**
+     * Schedules all fault events.  @p horizonSeconds bounds
+     * stochastic crash timelines (no events are generated past it).
+     */
+    void start(double horizonSeconds);
+
+    std::uint64_t crashesInjected() const { return crashes_; }
+
+  private:
+    /** Instances matching a spec's instance/service target. */
+    std::vector<MicroserviceInstance*>
+    resolveTargets(const FaultSpec& spec) const;
+
+    void scheduleScriptedCrash(MicroserviceInstance& target,
+                               const FaultSpec& spec);
+    void scheduleStochasticCrash(MicroserviceInstance& target,
+                                 const FaultSpec& spec);
+    void scheduleNextStochasticFailure(MicroserviceInstance& target,
+                                       const FaultSpec& spec,
+                                       random::Rng& rng);
+    void scheduleSlowWindow(MicroserviceInstance& target,
+                            const FaultSpec& spec);
+    void scheduleNetworkWindow(const FaultSpec& spec);
+
+    void crash(MicroserviceInstance& target);
+
+    Simulator& sim_;
+    Deployment& deployment_;
+    hw::Network& network_;
+    FaultPlan plan_;
+    SimTime horizon_ = 0;
+    /** One stream per stochastic timeline; stable addresses for the
+     *  event chain. */
+    std::vector<std::unique_ptr<random::RngStream>> streams_;
+    std::uint64_t crashes_ = 0;
+};
+
+}  // namespace fault
+}  // namespace uqsim
+
+#endif  // UQSIM_FAULT_FAULT_SCHEDULER_H_

@@ -6,18 +6,46 @@ namespace uqsim {
 namespace hw {
 
 Network::Network(Simulator& sim, const NetworkConfig& config)
-    : sim_(sim), config_(config)
+    : sim_(sim),
+      config_(config),
+      faultRng_(sim.masterSeed(), "network/faults")
 {
 }
 
 void
+Network::setDegradation(double extraLatencySeconds,
+                        double lossProbability)
+{
+    degraded_ = true;
+    extraLatency_ = extraLatencySeconds;
+    lossProb_ = lossProbability;
+}
+
+void
+Network::clearDegradation()
+{
+    degraded_ = false;
+    extraLatency_ = 0.0;
+    lossProb_ = 0.0;
+}
+
+void
 Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  std::function<void()> done)
+                  std::function<void()> done,
+                  std::function<void()> dropped)
 {
     ++transfers_;
+    // Decide loss and latency at send time: a window that closes
+    // mid-flight does not rescue messages already on the wire.
+    const double extra = degraded_ ? extraLatency_ : 0.0;
+    const bool lost = degraded_ && lossProb_ > 0.0 &&
+                      faultRng_.nextBool(lossProb_);
     if (from != nullptr && from == to) {
-        // Loopback: single pass through the local IRQ service.
-        const SimTime wire = secondsToSimTime(config_.loopbackLatency);
+        // Loopback: single pass through the local IRQ service.  The
+        // kernel loopback path cannot lose messages, but a degraded
+        // host still adds latency.
+        const SimTime wire =
+            secondsToSimTime(config_.loopbackLatency + extra);
         sim_.scheduleAfter(
             wire,
             [this, to, bytes, cb = std::move(done)]() mutable {
@@ -26,15 +54,38 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
             "net/loopback");
         return;
     }
-    auto after_tx = [this, to, bytes, cb = std::move(done)]() mutable {
-        const SimTime wire = secondsToSimTime(config_.wireLatency);
-        sim_.scheduleAfter(
-            wire,
-            [this, to, bytes, cb2 = std::move(cb)]() mutable {
-                deliver(to, bytes, std::move(cb2));
-            },
-            "net/wire");
-    };
+    if (lost) {
+        ++dropped_;
+        // The sender still pays TX IRQ work and the message occupies
+        // the wire before vanishing.
+        const SimTime wire =
+            secondsToSimTime(config_.wireLatency + extra);
+        auto after_tx = [this, wire, cb = std::move(dropped)]() mutable {
+            sim_.scheduleAfter(
+                wire,
+                [cb2 = std::move(cb)]() mutable {
+                    if (cb2)
+                        cb2();
+                },
+                "net/drop");
+        };
+        if (from != nullptr && from->irq() != nullptr) {
+            from->irq()->process(bytes, std::move(after_tx));
+        } else {
+            after_tx();
+        }
+        return;
+    }
+    const SimTime wire = secondsToSimTime(config_.wireLatency + extra);
+    auto after_tx =
+        [this, to, bytes, wire, cb = std::move(done)]() mutable {
+            sim_.scheduleAfter(
+                wire,
+                [this, to, bytes, cb2 = std::move(cb)]() mutable {
+                    deliver(to, bytes, std::move(cb2));
+                },
+                "net/wire");
+        };
     if (from != nullptr && from->irq() != nullptr) {
         from->irq()->process(bytes, std::move(after_tx));
     } else {

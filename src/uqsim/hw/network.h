@@ -10,6 +10,13 @@
  * IRQ service (RX).  Transfers within the same machine take the
  * loopback path: a smaller constant latency and a single pass
  * through the local IRQ service (kernel loopback work).
+ *
+ * A FaultScheduler may open a degradation window: every transfer
+ * then pays extra wire latency, and cross-machine messages are lost
+ * with a configured probability (the @p dropped callback fires
+ * instead of delivery).  Loss coin flips come from a seed-split
+ * stream that is only drawn inside a window, so fault-free runs are
+ * bitwise identical to builds without fault support.
  */
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/hw/machine.h"
+#include "uqsim/random/rng.h"
 
 namespace uqsim {
 namespace hw {
@@ -38,12 +46,24 @@ class Network {
      * Moves a message of @p bytes from @p from to @p to, then calls
      * @p done.  Either endpoint may be nullptr, meaning "outside the
      * cluster" (e.g. the client); that leg then only pays wire
-     * latency.
+     * latency.  When the message is lost in a degradation window,
+     * @p dropped fires instead of @p done (or the message silently
+     * vanishes when no @p dropped is given).
      */
     void transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  std::function<void()> done);
+                  std::function<void()> done,
+                  std::function<void()> dropped = {});
+
+    /** Opens a degradation window: adds @p extraLatencySeconds to
+     *  every transfer and loses cross-machine messages with
+     *  probability @p lossProbability. */
+    void setDegradation(double extraLatencySeconds,
+                        double lossProbability);
+    void clearDegradation();
+    bool degraded() const { return degraded_; }
 
     std::uint64_t transferCount() const { return transfers_; }
+    std::uint64_t droppedMessages() const { return dropped_; }
 
   private:
     void deliver(Machine* to, std::uint32_t bytes,
@@ -52,6 +72,11 @@ class Network {
     Simulator& sim_;
     NetworkConfig config_;
     std::uint64_t transfers_ = 0;
+    bool degraded_ = false;
+    double extraLatency_ = 0.0;
+    double lossProb_ = 0.0;
+    std::uint64_t dropped_ = 0;
+    random::RngStream faultRng_;
 };
 
 }  // namespace hw

@@ -1,0 +1,67 @@
+#include "uqsim/json/validation.h"
+
+#include <algorithm>
+
+namespace uqsim {
+namespace json {
+
+std::size_t
+editDistance(const std::string& a, const std::string& b)
+{
+    const std::size_t rows = a.size() + 1;
+    const std::size_t cols = b.size() + 1;
+    std::vector<std::size_t> prev(cols), curr(cols);
+    for (std::size_t j = 0; j < cols; ++j)
+        prev[j] = j;
+    for (std::size_t i = 1; i < rows; ++i) {
+        curr[0] = i;
+        for (std::size_t j = 1; j < cols; ++j) {
+            const std::size_t subst =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, subst});
+        }
+        std::swap(prev, curr);
+    }
+    return prev[cols - 1];
+}
+
+std::string
+suggestClosest(const std::string& name,
+               const std::vector<std::string>& candidates)
+{
+    const std::size_t limit = std::max<std::size_t>(2, name.size() / 3);
+    std::string best;
+    std::size_t best_distance = limit + 1;
+    for (const std::string& candidate : candidates) {
+        const std::size_t distance = editDistance(name, candidate);
+        if (distance < best_distance) {
+            best_distance = distance;
+            best = candidate;
+        }
+    }
+    return best;
+}
+
+void
+requireKnownKeys(const JsonValue& doc,
+                 const std::vector<std::string>& allowed,
+                 const std::string& context)
+{
+    if (!doc.isObject())
+        return;
+    for (const auto& [key, value] : doc.asObject()) {
+        if (std::find(allowed.begin(), allowed.end(), key) !=
+            allowed.end()) {
+            continue;
+        }
+        std::string message =
+            "unknown key \"" + key + "\" in " + context;
+        const std::string suggestion = suggestClosest(key, allowed);
+        if (!suggestion.empty())
+            message += "; did you mean \"" + suggestion + "\"?";
+        throw JsonError(message);
+    }
+}
+
+}  // namespace json
+}  // namespace uqsim

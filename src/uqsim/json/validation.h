@@ -1,0 +1,46 @@
+#ifndef UQSIM_JSON_VALIDATION_H_
+#define UQSIM_JSON_VALIDATION_H_
+
+/**
+ * @file
+ * Configuration validation helpers.
+ *
+ * A silently ignored key is the worst failure mode a simulator
+ * config can have: the run "works" but models something else.  These
+ * helpers reject unknown keys (and unknown CLI flags) with a
+ * did-you-mean suggestion based on edit distance.
+ */
+
+#include <string>
+#include <vector>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace json {
+
+/** Levenshtein edit distance between @p a and @p b. */
+std::size_t editDistance(const std::string& a, const std::string& b);
+
+/**
+ * The candidate closest to @p name by edit distance, or "" when
+ * nothing is plausibly close (distance > max(2, |name| / 3)).
+ */
+std::string suggestClosest(const std::string& name,
+                           const std::vector<std::string>& candidates);
+
+/**
+ * Throws JsonError when @p doc (an object) contains a key not in
+ * @p allowed.  The message names the offending key, the @p context
+ * (e.g. "client.json"), and the closest allowed key when one is
+ * plausible.  Non-object documents pass (callers validate shape
+ * separately).
+ */
+void requireKnownKeys(const JsonValue& doc,
+                      const std::vector<std::string>& allowed,
+                      const std::string& context);
+
+}  // namespace json
+}  // namespace uqsim
+
+#endif  // UQSIM_JSON_VALIDATION_H_

@@ -37,8 +37,35 @@ ReplicatedPoint::mergedReport() const
         report.generated += rep.report.generated;
         report.completed += rep.report.completed;
         report.timeouts += rep.report.timeouts;
+        report.failed += rep.report.failed;
+        report.shed += rep.report.shed;
+        report.retries += rep.report.retries;
+        report.hedges += rep.report.hedges;
+        report.breakerTrips += rep.report.breakerTrips;
+        report.netDropped += rep.report.netDropped;
+        report.crashes += rep.report.crashes;
+        for (const auto& [tier, stats] : rep.report.tierFaults) {
+            TierFaultStats& merged = report.tierFaults[tier];
+            merged.errors += stats.errors;
+            merged.timeouts += stats.timeouts;
+            merged.hopTimeouts += stats.hopTimeouts;
+            merged.retries += stats.retries;
+            merged.hedges += stats.hedges;
+            merged.shed += stats.shed;
+            merged.rejected += stats.rejected;
+            merged.crashKills += stats.crashKills;
+        }
         report.events += rep.report.events;
         report.wallSeconds += rep.report.wallSeconds;
+    }
+    {
+        // Pooled availability over all replications.
+        const std::uint64_t denom =
+            report.completed + report.failed + report.shed;
+        report.availability =
+            denom > 0 ? static_cast<double>(report.completed) /
+                            static_cast<double>(denom)
+                      : 1.0;
     }
     report.endToEnd.count = pooled.count();
     report.endToEnd.meanMs = pooled.mean() * 1e3;

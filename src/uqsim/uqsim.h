@@ -27,6 +27,9 @@
  *    the paper's §V-B case study.
  *  - uqsim::bighouse::BigHouseSimulation — the single-queue baseline
  *    used in the Fig. 13 comparison.
+ *  - uqsim::fault — deterministic fault injection (crashes, slow
+ *    nodes, lossy network windows) and resilience policies (per-hop
+ *    retries, hedged requests, circuit breakers, load shedding).
  */
 
 #include "uqsim/bighouse/bighouse.h"
@@ -41,9 +44,13 @@
 #include "uqsim/core/sim/report.h"
 #include "uqsim/core/sim/simulation.h"
 #include "uqsim/core/sim/sweep.h"
+#include "uqsim/fault/fault_plan.h"
+#include "uqsim/fault/fault_scheduler.h"
+#include "uqsim/fault/resilience.h"
 #include "uqsim/hw/cluster.h"
 #include "uqsim/json/json_parser.h"
 #include "uqsim/json/json_writer.h"
+#include "uqsim/json/validation.h"
 #include "uqsim/models/applications.h"
 #include "uqsim/power/energy_model.h"
 #include "uqsim/power/power_manager.h"

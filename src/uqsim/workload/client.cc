@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "uqsim/json/validation.h"
 #include "uqsim/random/distribution_factory.h"
 #include "uqsim/random/distributions.h"
 
@@ -13,6 +14,13 @@ namespace workload {
 ClientConfig
 ClientConfig::fromJson(const json::JsonValue& doc)
 {
+    json::requireKnownKeys(doc,
+                           {"front_service", "connections",
+                            "request_bytes", "arrival", "load",
+                            "start_s", "stop_s", "timeout_s", "retries",
+                            "retry_backoff_s", "retry_backoff_mult",
+                            "retry_jitter", "mode", "think_time_s"},
+                           "client.json");
     ClientConfig config;
     config.frontService = doc.at("front_service").asString();
     config.connections = doc.getOr("connections", 320);
@@ -30,6 +38,13 @@ ClientConfig::fromJson(const json::JsonValue& doc)
     config.stopTime = doc.getOr("stop_s", 0.0);
     config.timeout = doc.getOr("timeout_s", 0.0);
     config.retries = doc.getOr("retries", 0);
+    config.retryBackoffSeconds = doc.getOr("retry_backoff_s", 0.0);
+    config.retryBackoffMult = doc.getOr("retry_backoff_mult", 2.0);
+    config.retryJitter = doc.getOr("retry_jitter", 0.0);
+    if (config.retries < 0)
+        throw json::JsonError("client retries must be >= 0");
+    if (config.retryJitter < 0.0)
+        throw json::JsonError("client retry_jitter must be >= 0");
     const std::string mode = doc.getOr("mode", "open");
     if (mode == "open") {
         config.mode = ClientMode::Open;
@@ -167,8 +182,68 @@ Client::onTimeout(JobId root)
     outstanding_.erase(it);
     if (retries_left > 0) {
         ++retriesIssued_;
-        issueOn(endpoint_index, retries_left - 1);
+        reissueAfterBackoff(endpoint_index, retries_left - 1);
     }
+}
+
+void
+Client::onFailure(JobId root)
+{
+    ++errors_;
+    std::size_t endpoint_index = 0;
+    bool have_endpoint = false;
+    int retries_left = 0;
+    if (config_.mode == ClientMode::Closed) {
+        const auto cit = closedLoopEndpoints_.find(root);
+        if (cit != closedLoopEndpoints_.end()) {
+            endpoint_index = cit->second;
+            have_endpoint = true;
+            closedLoopEndpoints_.erase(cit);
+        }
+    }
+    const auto it = outstanding_.find(root);
+    if (it != outstanding_.end()) {
+        it->second.timeout.cancel();
+        endpoint_index = it->second.endpoint;
+        retries_left = it->second.retriesLeft;
+        have_endpoint = true;
+        outstanding_.erase(it);
+    }
+    if (!have_endpoint)
+        return;  // open loop without timeout: count it and move on
+    if (retries_left > 0) {
+        ++retriesIssued_;
+        reissueAfterBackoff(endpoint_index, retries_left - 1);
+        return;
+    }
+    // Out of retries: a closed loop must still issue the next
+    // request or the connection would idle forever.
+    if (config_.mode == ClientMode::Closed)
+        scheduleClosedLoopNext(endpoint_index);
+}
+
+void
+Client::reissueAfterBackoff(std::size_t endpoint_index, int retries_left)
+{
+    double backoff = 0.0;
+    if (config_.retryBackoffSeconds > 0.0) {
+        const int retry_index = config_.retries - retries_left - 1;
+        backoff = config_.retryBackoffSeconds *
+                  std::pow(config_.retryBackoffMult,
+                           static_cast<double>(retry_index));
+        if (config_.retryJitter > 0.0)
+            backoff *= 1.0 + config_.retryJitter * rng_.nextDouble();
+    }
+    if (backoff <= 0.0) {
+        issueOn(endpoint_index, retries_left);
+        return;
+    }
+    sim_.scheduleAfter(
+        secondsToSimTime(backoff),
+        [this, endpoint_index, retries_left]() {
+            issueOn(endpoint_index, retries_left);
+        },
+        "client/retry-backoff");
 }
 
 bool

@@ -63,8 +63,16 @@ struct ClientConfig {
      * beyond saturation (§IV-C).
      */
     double timeout = 0.0;
-    /** Reissue attempts after a timeout (requires timeout > 0). */
+    /** Reissue attempts after a timeout or failure (requires
+     *  timeout > 0 for the timeout path). */
     int retries = 0;
+    /** First-retry backoff (seconds); <= 0 reissues immediately. */
+    double retryBackoffSeconds = 0.0;
+    /** Backoff growth per retry. */
+    double retryBackoffMult = 2.0;
+    /** Multiplicative jitter fraction on the backoff; 0 disables
+     *  (and then no RNG is drawn for it). */
+    double retryJitter = 0.0;
 
     /** Parses a client.json document. */
     static ClientConfig fromJson(const json::JsonValue& doc);
@@ -90,7 +98,11 @@ class Client {
     /** Requests that exceeded the client timeout. */
     std::uint64_t timeouts() const { return timeouts_; }
 
-    /** Retry requests issued after timeouts. */
+    /** Requests reported failed by the dispatcher (crash, loss,
+     *  shed, exhausted hop retries, open breaker). */
+    std::uint64_t errors() const { return errors_; }
+
+    /** Retry requests issued after timeouts or failures. */
     std::uint64_t retriesIssued() const { return retriesIssued_; }
 
     /**
@@ -107,6 +119,13 @@ class Client {
      */
     bool onCompletion(JobId root);
 
+    /**
+     * Notifies the client that one of its requests failed.  Cancels
+     * the pending timeout, counts an error, reissues when the retry
+     * budget allows, and keeps a closed loop running.
+     */
+    void onFailure(JobId root);
+
     const ClientConfig& config() const { return config_; }
 
     /** Instantaneous offered load at the current simulation time. */
@@ -117,6 +136,8 @@ class Client {
     void issueRequest();
     void issueOn(std::size_t endpoint_index, int retries_left);
     void onTimeout(JobId root);
+    void reissueAfterBackoff(std::size_t endpoint_index,
+                             int retries_left);
     void scheduleClosedLoopNext(std::size_t endpoint_index);
 
     struct Endpoint {
@@ -138,6 +159,7 @@ class Client {
     random::RngStream rng_;
     std::uint64_t generated_ = 0;
     std::uint64_t timeouts_ = 0;
+    std::uint64_t errors_ = 0;
     std::uint64_t retriesIssued_ = 0;
     int tag_ = -1;
     std::map<JobId, Outstanding> outstanding_;

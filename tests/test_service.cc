@@ -442,6 +442,58 @@ TEST(ConnectionPool, ReleaseValidation)
     EXPECT_THROW(pool.release(granted), std::logic_error);
 }
 
+TEST(ConnectionPool, ExhaustionServesWaitersInFifoOrder)
+{
+    ConnectionIdAllocator ids;
+    ConnectionPool pool("p", 2, ids);
+    std::vector<ConnectionId> granted;
+    pool.acquire([&](ConnectionId id) { granted.push_back(id); });
+    pool.acquire([&](ConnectionId id) { granted.push_back(id); });
+    ASSERT_EQ(granted.size(), 2u);
+
+    // Exhausted: further acquires queue and are served strictly FIFO
+    // as connections come back.
+    std::vector<int> served;
+    for (int waiter = 0; waiter < 3; ++waiter) {
+        pool.acquire(
+            [&served, waiter](ConnectionId) { served.push_back(waiter); });
+    }
+    EXPECT_EQ(pool.waiters(), 3u);
+    EXPECT_EQ(pool.available(), 0);
+    pool.release(granted[0]);
+    pool.release(granted[1]);
+    ASSERT_EQ(served.size(), 2u);
+    EXPECT_EQ(served[0], 0);
+    EXPECT_EQ(served[1], 1);
+    EXPECT_EQ(pool.waiters(), 1u);
+    EXPECT_EQ(pool.maxWaiters(), 3u);
+}
+
+TEST(ConnectionPool, DoubleReleaseCaughtAfterWaiterHandoff)
+{
+    // release() hands the connection straight to a queued waiter
+    // without touching the free list.  The double-release guard must
+    // still hold once the id has cycled through that handoff path.
+    ConnectionIdAllocator ids;
+    ConnectionPool pool("p", 1, ids);
+    ConnectionId held = kNoConnection;
+    pool.acquire([&](ConnectionId id) { held = id; });
+    ConnectionId handed = kNoConnection;
+    pool.acquire([&](ConnectionId id) { handed = id; });
+    EXPECT_EQ(handed, kNoConnection);
+
+    pool.release(held);
+    EXPECT_EQ(handed, held);  // waiter now owns it, still busy
+    EXPECT_EQ(pool.waiters(), 0u);
+    EXPECT_EQ(pool.available(), 0);
+
+    pool.release(handed);  // rightful release returns it to the pool
+    EXPECT_EQ(pool.available(), 1);
+    EXPECT_THROW(pool.release(handed), std::logic_error);
+    EXPECT_THROW(pool.release(9999), std::logic_error);
+    EXPECT_EQ(pool.available(), 1);
+}
+
 TEST(ConnectionPool, IdsAreGloballyUnique)
 {
     ConnectionIdAllocator ids;
