@@ -26,16 +26,45 @@ BM_EventQueueScheduleAndPop(benchmark::State& state)
     for (auto _ : state) {
         EventQueue queue;
         for (int i = 0; i < batch; ++i) {
-            queue.schedule(std::make_shared<CallbackEvent>([] {}),
-                           static_cast<SimTime>(rng.nextBounded(
-                               1000000)));
+            queue.schedule(
+                static_cast<SimTime>(rng.nextBounded(1000000)),
+                [] {});
         }
-        while (!queue.empty())
-            benchmark::DoNotOptimize(queue.pop());
+        while (!queue.empty()) {
+            EventQueue::FiredEvent event = queue.pop();
+            benchmark::DoNotOptimize(event.when());
+        }
     }
     state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(65536);
+
+void
+BM_EventQueueCancelHeavy(benchmark::State& state)
+{
+    // Timeout churn: schedule far-future events and cancel 99% of
+    // them — the pattern client/hop timeouts produce.  Exercises the
+    // O(log n) interior removal and slot recycling.
+    const int batch = static_cast<int>(state.range(0));
+    random::Rng rng(3);
+    for (auto _ : state) {
+        EventQueue queue;
+        for (int i = 0; i < batch; ++i) {
+            EventHandle handle = queue.schedule(
+                static_cast<SimTime>(1000000 +
+                                     rng.nextBounded(1000000)),
+                [] {});
+            if (i % 100 != 0)
+                handle.cancel();
+        }
+        while (!queue.empty()) {
+            EventQueue::FiredEvent event = queue.pop();
+            benchmark::DoNotOptimize(event.when());
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(65536);
 
 void
 BM_SimulatorSelfSchedulingEvent(benchmark::State& state)

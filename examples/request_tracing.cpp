@@ -48,12 +48,12 @@ main()
                 recorder.traces().size());
     if (fastest != nullptr) {
         std::printf("fastest sampled request (cache hit):\n%s\n",
-                    TraceRecorder::waterfall(*fastest).c_str());
+                    recorder.waterfall(*fastest).c_str());
     }
     if (slowest != nullptr) {
         std::printf("slowest sampled request (cache miss through "
                     "MongoDB's disk):\n%s\n",
-                    TraceRecorder::waterfall(*slowest).c_str());
+                    recorder.waterfall(*slowest).c_str());
     }
 
     // Capacity planning: highest sustainable load at a 25 ms p99.

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+Usage:
+    check_bench.py BASELINE CANDIDATE [--tolerance 0.20]
+
+Fails (exit 1) when:
+  * a section present in the baseline is missing from the candidate,
+  * a section's trace digest differs (the engine stopped being
+    deterministic, or an optimisation changed simulation results),
+  * a section's events/sec dropped more than --tolerance below the
+    baseline (default 20%).
+
+Throughput above the baseline never fails; CI runners are noisy in
+the fast direction too, and improvements should be ratcheted in by
+re-running `bench_engine` and committing the new BENCH_engine.json.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_sections(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "uqsim-bench-engine-v1":
+        raise SystemExit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return {s["name"]: s for s in doc["sections"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional events/sec regression")
+    args = parser.parse_args()
+
+    baseline = load_sections(args.baseline)
+    candidate = load_sections(args.candidate)
+
+    failures = []
+    for name, base in sorted(baseline.items()):
+        got = candidate.get(name)
+        if got is None:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        section_failures = []
+        if got["trace_digest"] != base["trace_digest"]:
+            section_failures.append(
+                f"{name}: trace digest changed "
+                f"{base['trace_digest']} -> {got['trace_digest']} "
+                "(simulation results differ from baseline)")
+        if got["events"] != base["events"]:
+            section_failures.append(
+                f"{name}: event count changed "
+                f"{base['events']} -> {got['events']}")
+        floor = base["events_per_sec"] * (1.0 - args.tolerance)
+        if got["events_per_sec"] < floor:
+            section_failures.append(
+                f"{name}: {got['events_per_sec']:.0f} events/s is below "
+                f"the {floor:.0f} floor "
+                f"(baseline {base['events_per_sec']:.0f}, "
+                f"tolerance {args.tolerance:.0%})")
+        if not section_failures:
+            ratio = got["events_per_sec"] / base["events_per_sec"]
+            print(f"ok  {name}: {got['events_per_sec']:.0f} events/s "
+                  f"({ratio:.2f}x baseline), digest match")
+        failures.extend(section_failures)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("bench check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,9 @@ BigHouseSimulation::addStation(StationConfig config)
         throw std::invalid_argument("station needs >= 1 server");
     if (!config.serviceTime)
         throw std::invalid_argument("station needs a service time");
-    stations_.push_back(Station{std::move(config), {}, 0});
+    Station station{std::move(config), {}, 0, {}};
+    station.serviceLabel = "bighouse/" + station.config.name;
+    stations_.push_back(std::move(station));
 }
 
 void
@@ -62,7 +64,7 @@ BigHouseSimulation::tryStart(std::size_t station)
         sim_.scheduleAfter(
             secondsToSimTime(seconds),
             [this, request, station]() { finish(request, station); },
-            "bighouse/" + st.config.name);
+            st.serviceLabel.c_str());
     }
 }
 

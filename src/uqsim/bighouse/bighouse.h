@@ -69,6 +69,9 @@ class BigHouseSimulation {
         StationConfig config;
         std::deque<std::size_t> queue;  // waiting request indices
         int busy = 0;
+        /** Stable service-event label; events reference it by
+         *  pointer. */
+        std::string serviceLabel;
     };
 
     struct Request {

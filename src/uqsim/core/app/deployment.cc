@@ -57,6 +57,11 @@ Deployment::registerModel(ServiceModelPtr model)
         throw std::logic_error("model for \"" + model->name() +
                                "\" re-registered after deployment");
     }
+    const std::uint32_t id = names_.intern(model->name());
+    model->setNameId(id);
+    if (entriesById_.size() <= id)
+        entriesById_.resize(id + 1, nullptr);
+    entriesById_[id] = &service;
     service.model = std::move(model);
 }
 
@@ -84,6 +89,28 @@ Deployment::entry(const std::string& service) const
     return it->second;
 }
 
+Deployment::ServiceEntry&
+Deployment::entry(std::uint32_t service_id)
+{
+    if (service_id >= entriesById_.size() ||
+        entriesById_[service_id] == nullptr) {
+        throw std::out_of_range("unknown service id " +
+                                std::to_string(service_id));
+    }
+    return *entriesById_[service_id];
+}
+
+const Deployment::ServiceEntry&
+Deployment::entry(std::uint32_t service_id) const
+{
+    if (service_id >= entriesById_.size() ||
+        entriesById_[service_id] == nullptr) {
+        throw std::out_of_range("unknown service id " +
+                                std::to_string(service_id));
+    }
+    return *entriesById_[service_id];
+}
+
 int
 Deployment::deployInstance(const std::string& service,
                            const std::string& machine,
@@ -96,6 +123,8 @@ Deployment::deployInstance(const std::string& service,
         machine.empty() ? nullptr : &cluster_.machine(machine);
     svc.instances.push_back(std::make_unique<MicroserviceInstance>(
         sim_, svc.model, name, host, config));
+    svc.instances.back()->setUid(
+        static_cast<int>(allInstances_.size()));
     svc.instancePtrs.push_back(svc.instances.back().get());
     allInstances_.push_back(svc.instances.back().get());
     return index;
@@ -146,14 +175,25 @@ Deployment::setEdgePolicy(const std::string& from_service,
                           const std::string& to_service,
                           const fault::EdgePolicy& policy)
 {
-    edgePolicies_[{from_service, to_service}] = policy;
+    edgePolicies_[edgeKey(names_.intern(from_service),
+                          names_.intern(to_service))] = policy;
 }
 
 const fault::EdgePolicy*
 Deployment::edgePolicy(const std::string& from_service,
                        const std::string& to_service) const
 {
-    const auto it = edgePolicies_.find({from_service, to_service});
+    const std::uint32_t from_id = names_.find(from_service);
+    const std::uint32_t to_id = names_.find(to_service);
+    if (from_id == NameInterner::kNone || to_id == NameInterner::kNone)
+        return nullptr;
+    return edgePolicy(from_id, to_id);
+}
+
+const fault::EdgePolicy*
+Deployment::edgePolicy(std::uint32_t from_id, std::uint32_t to_id) const
+{
+    const auto it = edgePolicies_.find(edgeKey(from_id, to_id));
     return it == edgePolicies_.end() ? nullptr : &it->second;
 }
 
@@ -161,14 +201,24 @@ void
 Deployment::setAdmission(const std::string& service,
                          const fault::AdmissionConfig& config)
 {
-    admission_[service] = config;
+    const std::uint32_t id = names_.intern(service);
+    if (admission_.size() <= id)
+        admission_.resize(id + 1);
+    admission_[id] = std::make_unique<fault::AdmissionConfig>(config);
 }
 
 const fault::AdmissionConfig*
 Deployment::admission(const std::string& service) const
 {
-    const auto it = admission_.find(service);
-    return it == admission_.end() ? nullptr : &it->second;
+    const std::uint32_t id = names_.find(service);
+    return id == NameInterner::kNone ? nullptr : admission(id);
+}
+
+const fault::AdmissionConfig*
+Deployment::admission(std::uint32_t service_id) const
+{
+    return service_id < admission_.size() ? admission_[service_id].get()
+                                          : nullptr;
 }
 
 void
@@ -192,6 +242,12 @@ Deployment::instanceCount(const std::string& service) const
     return static_cast<int>(entry(service).instances.size());
 }
 
+int
+Deployment::instanceCount(std::uint32_t service_id) const
+{
+    return static_cast<int>(entry(service_id).instances.size());
+}
+
 MicroserviceInstance&
 Deployment::instance(const std::string& service, int index)
 {
@@ -204,37 +260,76 @@ Deployment::instance(const std::string& service, int index)
     return *svc.instances[static_cast<std::size_t>(index)];
 }
 
+MicroserviceInstance&
+Deployment::instance(std::uint32_t service_id, int index)
+{
+    ServiceEntry& svc = entry(service_id);
+    if (index < 0 || index >= static_cast<int>(svc.instances.size())) {
+        throw std::out_of_range("service id " +
+                                std::to_string(service_id) +
+                                " has no instance " +
+                                std::to_string(index));
+    }
+    return *svc.instances[static_cast<std::size_t>(index)];
+}
+
 const std::vector<MicroserviceInstance*>&
 Deployment::instances(const std::string& service) const
 {
     return entry(service).instancePtrs;
 }
 
+namespace {
+
+MicroserviceInstance&
+pickFromInstances(
+    std::vector<std::unique_ptr<MicroserviceInstance>>& instances,
+    LbPolicy policy, std::size_t& rr_cursor, random::Rng& rng,
+    const std::string& service)
+{
+    if (instances.empty())
+        throw std::logic_error("service \"" + service +
+                               "\" has no instances");
+    std::size_t index = 0;
+    switch (policy) {
+      case LbPolicy::RoundRobin:
+        index = rr_cursor++ % instances.size();
+        break;
+      case LbPolicy::Random:
+        index = static_cast<std::size_t>(
+            rng.nextBounded(instances.size()));
+        break;
+    }
+    return *instances[index];
+}
+
+}  // namespace
+
 MicroserviceInstance&
 Deployment::pickInstance(const std::string& service, random::Rng& rng)
 {
     ServiceEntry& svc = entry(service);
-    if (svc.instances.empty())
-        throw std::logic_error("service \"" + service +
-                               "\" has no instances");
-    std::size_t index = 0;
-    switch (svc.lbPolicy) {
-      case LbPolicy::RoundRobin:
-        index = svc.rrCursor++ % svc.instances.size();
-        break;
-      case LbPolicy::Random:
-        index = static_cast<std::size_t>(
-            rng.nextBounded(svc.instances.size()));
-        break;
-    }
-    return *svc.instances[index];
+    return pickFromInstances(svc.instances, svc.lbPolicy, svc.rrCursor,
+                             rng, service);
+}
+
+MicroserviceInstance&
+Deployment::pickInstance(std::uint32_t service_id, random::Rng& rng)
+{
+    ServiceEntry& svc = entry(service_id);
+    return pickFromInstances(svc.instances, svc.lbPolicy, svc.rrCursor,
+                             rng, svc.model->name());
 }
 
 ConnectionPool&
 Deployment::pool(const MicroserviceInstance& from,
                  const MicroserviceInstance& to)
 {
-    const auto key = std::make_pair(&from, &to);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(
+             static_cast<std::uint32_t>(from.uid()))
+         << 32) |
+        static_cast<std::uint32_t>(to.uid());
     auto it = pools_.find(key);
     if (it == pools_.end()) {
         int size = kDefaultPoolSize;

@@ -24,11 +24,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/core/service/connection_pool.h"
 #include "uqsim/core/service/instance.h"
+#include "uqsim/core/service/name_interner.h"
 #include "uqsim/core/service/service_model.h"
 #include "uqsim/fault/resilience.h"
 #include "uqsim/hw/cluster.h"
@@ -55,11 +57,16 @@ class Deployment {
     Deployment(const Deployment&) = delete;
     Deployment& operator=(const Deployment&) = delete;
 
-    /** Registers a service model before deploying instances. */
+    /** Registers a service model before deploying instances.  The
+     *  model's name is interned and its nameId assigned. */
     void registerModel(ServiceModelPtr model);
 
     /** The model for @p service; throws when unknown. */
     const ServiceModelPtr& model(const std::string& service) const;
+
+    /** Service-name interner shared by the whole simulation. */
+    NameInterner& names() { return names_; }
+    const NameInterner& names() const { return names_; }
 
     /**
      * Deploys one instance of @p service on @p machine (empty name
@@ -82,9 +89,13 @@ class Deployment {
 
     /** Number of instances of @p service. */
     int instanceCount(const std::string& service) const;
+    /** Number of instances of the service with interned id @p id. */
+    int instanceCount(std::uint32_t service_id) const;
 
     /** Instance @p index of @p service. */
     MicroserviceInstance& instance(const std::string& service, int index);
+    /** Instance @p index of the service with interned id @p id. */
+    MicroserviceInstance& instance(std::uint32_t service_id, int index);
 
     /** All instances of @p service. */
     const std::vector<MicroserviceInstance*>&
@@ -101,6 +112,9 @@ class Deployment {
      * by default).
      */
     MicroserviceInstance& pickInstance(const std::string& service,
+                                       random::Rng& rng);
+    /** Same, addressed by interned service id (hot path). */
+    MicroserviceInstance& pickInstance(std::uint32_t service_id,
                                        random::Rng& rng);
 
     /**
@@ -123,6 +137,9 @@ class Deployment {
     const fault::EdgePolicy* edgePolicy(const std::string& from_service,
                                         const std::string& to_service)
         const;
+    /** Same, addressed by interned service ids (hot path). */
+    const fault::EdgePolicy* edgePolicy(std::uint32_t from_id,
+                                        std::uint32_t to_id) const;
 
     /** Sets admission control for requests entering via @p service. */
     void setAdmission(const std::string& service,
@@ -131,6 +148,8 @@ class Deployment {
     /** Admission config for @p service, or nullptr. */
     const fault::AdmissionConfig*
     admission(const std::string& service) const;
+    /** Same, addressed by interned service id (hot path). */
+    const fault::AdmissionConfig* admission(std::uint32_t service_id) const;
 
   private:
     struct ServiceEntry {
@@ -143,20 +162,33 @@ class Deployment {
 
     ServiceEntry& entry(const std::string& service);
     const ServiceEntry& entry(const std::string& service) const;
+    ServiceEntry& entry(std::uint32_t service_id);
+    const ServiceEntry& entry(std::uint32_t service_id) const;
+
+    /** Packs a service-id pair into one lookup key. */
+    static std::uint64_t
+    edgeKey(std::uint32_t from_id, std::uint32_t to_id)
+    {
+        return (static_cast<std::uint64_t>(from_id) << 32) | to_id;
+    }
 
     Simulator& sim_;
     hw::Cluster& cluster_;
+    NameInterner names_;
     std::map<std::string, ServiceEntry> services_;
+    /** entry pointers indexed by interned service id (nullptr for
+     *  interned-but-unregistered names). */
+    std::vector<ServiceEntry*> entriesById_;
     std::map<std::pair<std::string, std::string>, int> poolSizes_;
-    std::map<std::pair<const MicroserviceInstance*,
-                       const MicroserviceInstance*>,
-             std::unique_ptr<ConnectionPool>>
+    /** Pools keyed by packed (from uid, to uid) instance pair. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<ConnectionPool>>
         pools_;
     ConnectionIdAllocator connectionIds_;
     std::vector<MicroserviceInstance*> allInstances_;
-    std::map<std::pair<std::string, std::string>, fault::EdgePolicy>
-        edgePolicies_;
-    std::map<std::string, fault::AdmissionConfig> admission_;
+    /** Edge policies keyed by packed (from, to) service ids. */
+    std::unordered_map<std::uint64_t, fault::EdgePolicy> edgePolicies_;
+    /** Admission configs indexed by interned service id. */
+    std::vector<std::unique_ptr<fault::AdmissionConfig>> admission_;
 };
 
 /** Parses one instance object from graph.json. */

@@ -6,6 +6,25 @@
 
 namespace uqsim {
 
+namespace {
+
+std::uint64_t
+edgeKey(std::uint32_t from_id, std::uint32_t to_id)
+{
+    return (static_cast<std::uint64_t>(from_id) << 32) | to_id;
+}
+
+bool
+anyFaults(const TierFaultStats& stats)
+{
+    return stats.errors != 0 || stats.timeouts != 0 ||
+           stats.hopTimeouts != 0 || stats.retries != 0 ||
+           stats.hedges != 0 || stats.shed != 0 || stats.rejected != 0 ||
+           stats.crashKills != 0;
+}
+
+}  // namespace
+
 Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
                        PathTree& tree, Deployment& deployment)
     : sim_(sim), network_(network), tree_(tree), deployment_(deployment),
@@ -16,6 +35,9 @@ Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
         [this](const std::string& service, const std::string& path) {
             return deployment_.model(service)->pathIdByName(path);
         });
+    tree_.resolveServiceIds([this](const std::string& service) {
+        return deployment_.names().intern(service);
+    });
     for (MicroserviceInstance* instance : deployment_.allInstances()) {
         instance->setOnJobDone([this, instance](JobPtr job) {
             onNodeComplete(std::move(job), *instance);
@@ -27,21 +49,47 @@ Dispatcher::Dispatcher(Simulator& sim, hw::Network& network,
     }
 }
 
-Dispatcher::RootState&
-Dispatcher::rootState(JobId root)
-{
-    const auto it = roots_.find(root);
-    if (it == roots_.end())
-        throw std::logic_error("no root state for request " +
-                               std::to_string(root));
-    return it->second;
-}
-
 Dispatcher::RootState*
 Dispatcher::findRoot(JobId root)
 {
     const auto it = roots_.find(root);
-    return it == roots_.end() ? nullptr : &it->second;
+    return it == roots_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<Dispatcher::RootState>
+Dispatcher::acquireRoot(std::size_t node_count)
+{
+    std::unique_ptr<RootState> state;
+    if (!rootPool_.empty()) {
+        state = std::move(rootPool_.back());
+        rootPool_.pop_back();
+    } else {
+        state = std::make_unique<RootState>();
+    }
+    state->variant = 0;
+    state->affinity.assign(deployment_.names().size(), nullptr);
+    state->syncArrived.clear();
+    state->hops.clear();
+    // hopStates only grows; entries beyond this variant's node count
+    // are disengaged and harmless.
+    if (state->hopStates.size() < node_count)
+        state->hopStates.resize(node_count);
+    state->terminalsDone = 0;
+    state->clientTag = -1;
+    state->created = 0;
+    state->frontId = NameInterner::kNone;
+    return state;
+}
+
+void
+Dispatcher::recycleRoot(std::unique_ptr<RootState> state)
+{
+    // Drop job references (prototypes, attempt lists) now rather
+    // than at reuse, matching the old destroy-on-completion timing.
+    for (const int node_id : state->engagedHops)
+        state->hopStates[static_cast<std::size_t>(node_id)].reset();
+    state->engagedHops.clear();
+    rootPool_.push_back(std::move(state));
 }
 
 std::uint64_t
@@ -55,6 +103,27 @@ Dispatcher::breakerTrips() const
     return trips;
 }
 
+TierFaultStats&
+Dispatcher::tierFault(std::uint32_t tier_id)
+{
+    if (tierFaults_.size() <= tier_id)
+        tierFaults_.resize(tier_id + 1);
+    return tierFaults_[tier_id];
+}
+
+std::map<std::string, TierFaultStats>
+Dispatcher::tierFaults() const
+{
+    std::map<std::string, TierFaultStats> rendered;
+    for (std::size_t id = 0; id < tierFaults_.size(); ++id) {
+        if (anyFaults(tierFaults_[id])) {
+            rendered[deployment_.names().name(
+                static_cast<std::uint32_t>(id))] = tierFaults_[id];
+        }
+    }
+    return rendered;
+}
+
 void
 Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
                          ConnectionId client_conn)
@@ -62,15 +131,17 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
     if (!job)
         throw std::invalid_argument("cannot start a null request");
     ++started_;
-    const std::string& front_service = front.model().name();
+    const std::uint32_t front_id = front.model().nameId();
     const fault::AdmissionConfig* admission =
-        deployment_.admission(front_service);
+        deployment_.admission(front_id);
+    if (inflightByFront_.size() <= front_id)
+        inflightByFront_.resize(front_id + 1, 0);
     if (admission != nullptr && admission->maxInflight > 0 &&
-        inflightByFront_[front_service] >= admission->maxInflight) {
+        inflightByFront_[front_id] >= admission->maxInflight) {
         // Load shedding: reject at the door, before any work or
         // RNG draw happens for this request.
         ++shed_;
-        ++tierFaults_[front_service].shed;
+        ++tierFault(front_id).shed;
         if (onRequestFailed_) {
             onRequestFailed_(job->rootId, job->clientTag, job->created,
                              fault::FailReason::Shed);
@@ -81,19 +152,21 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
     const PathVariant& variant = tree_.variant(job->pathVariant);
     const PathNode& root = variant.nodes[
         static_cast<std::size_t>(variant.rootId)];
-    if (root.service != front.model().name()) {
+    if (root.serviceId != front_id) {
         throw std::logic_error(
             "front-end instance \"" + front.name() +
             "\" does not serve root node service \"" + root.service +
             "\"");
     }
-    RootState& state = roots_[job->rootId];
+    std::unique_ptr<RootState> fresh = acquireRoot(variant.nodes.size());
+    RootState& state = *fresh;
+    roots_[job->rootId] = std::move(fresh);
     state.variant = job->pathVariant;
-    state.affinity[root.service] = &front;
+    state.affinity[root.serviceId] = &front;
     state.clientTag = job->clientTag;
     state.created = job->created;
-    state.frontService = front_service;
-    ++inflightByFront_[front_service];
+    state.frontId = front_id;
+    ++inflightByFront_[front_id];
     if (tracer_ != nullptr)
         tracer_->recordStart(*job, sim_.now());
 
@@ -110,7 +183,7 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
                       [this, root_id]() {
                           failRequest(root_id,
                                       fault::FailReason::NetworkLoss,
-                                      "");
+                                      NameInterner::kNone);
                       });
 }
 
@@ -118,13 +191,13 @@ MicroserviceInstance&
 Dispatcher::selectInstance(RootState& state, const PathNode& node)
 {
     if (node.instanceIndex >= 0)
-        return deployment_.instance(node.service, node.instanceIndex);
-    const auto it = state.affinity.find(node.service);
-    if (it != state.affinity.end())
-        return *it->second;
+        return deployment_.instance(node.serviceId, node.instanceIndex);
+    MicroserviceInstance*& sticky = state.affinity[node.serviceId];
+    if (sticky != nullptr)
+        return *sticky;
     MicroserviceInstance& picked =
-        deployment_.pickInstance(node.service, rng_);
-    state.affinity[node.service] = &picked;
+        deployment_.pickInstance(node.serviceId, rng_);
+    sticky = &picked;
     return picked;
 }
 
@@ -143,10 +216,11 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
         // service edge carries an active resilience policy.  Fan-in
         // nodes are excluded: a retried or hedged duplicate would
         // corrupt the arrival count.
-        const fault::EdgePolicy* policy =
-            deployment_.edgePolicy(from->model().name(), node.service);
+        const fault::EdgePolicy* policy = deployment_.edgePolicy(
+            from->model().nameId(), node.serviceId);
         if (policy != nullptr && policy->active() && node.fanIn <= 1 &&
-            state.hopStates.find(node_id) == state.hopStates.end() &&
+            state.hopStates[static_cast<std::size_t>(node_id)].policy ==
+                nullptr &&
             &selectInstance(state, node) != from) {
             startManagedHop(state, std::move(job), node_id, from,
                             *policy);
@@ -206,7 +280,8 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
                 // frees (it was past the pool when the hop record
                 // was erased above).
                 hop.pool->release(hop.conn);
-                failRequest(root, fault::FailReason::NetworkLoss, "");
+                failRequest(root, fault::FailReason::NetworkLoss,
+                            NameInterner::kNone);
             });
         return;
     }
@@ -245,7 +320,7 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
                       [this, root = job->rootId]() {
                           failRequest(root,
                                       fault::FailReason::NetworkLoss,
-                                      "");
+                                      NameInterner::kNone);
                       });
 }
 
@@ -260,17 +335,25 @@ Dispatcher::deliver(JobPtr job, int node_id, MicroserviceInstance& target)
 
     // Fan-in synchronization: only the final copy proceeds.
     if (node.fanIn > 1) {
-        int& arrived = state.syncArrived[node_id];
-        if (++arrived < node.fanIn)
+        const auto arrived = std::find_if(
+            state.syncArrived.begin(), state.syncArrived.end(),
+            [node_id](const std::pair<int, int>& entry) {
+                return entry.first == node_id;
+            });
+        if (arrived == state.syncArrived.end()) {
+            state.syncArrived.emplace_back(node_id, 1);
             return;
-        state.syncArrived.erase(node_id);
+        }
+        if (++arrived->second < node.fanIn)
+            return;
+        state.syncArrived.erase(arrived);
     }
 
     job->pathNodeId = node_id;
     job->enteredTier = sim_.now();
     job->execPathId = node.execPathId;
     if (tracer_ != nullptr)
-        tracer_->recordEnter(*job, node.service, sim_.now());
+        tracer_->recordEnter(*job, node.serviceId, sim_.now());
     for (const PathNodeOp& op : node.onEnter) {
         if (op.kind == PathNodeOp::Kind::BlockConnection &&
             job->connectionId != kNoConnection) {
@@ -291,7 +374,7 @@ Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
         return;
     RootState& state = *state_ptr;
     if (tierLatencyHook_) {
-        tierLatencyHook_(inst.model().name(),
+        tierLatencyHook_(inst.model().nameId(),
                          simTimeToSeconds(sim_.now() - job->enteredTier));
     }
     if (tracer_ != nullptr)
@@ -299,9 +382,9 @@ Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
 
     // Managed hop won by this job: stop the policy machinery and
     // cancel the other attempts (first-response-wins).
-    auto hs_it = state.hopStates.find(job->pathNodeId);
-    if (hs_it != state.hopStates.end() && !hs_it->second.done) {
-        HopState& hs = hs_it->second;
+    HopState& hs =
+        state.hopStates[static_cast<std::size_t>(job->pathNodeId)];
+    if (hs.policy != nullptr && !hs.done) {
         auto winner = std::find_if(
             hs.attempts.begin(), hs.attempts.end(),
             [&](const Attempt& attempt) {
@@ -313,8 +396,8 @@ Dispatcher::onNodeComplete(JobPtr job, MicroserviceInstance& inst)
             hs.hedgeEvent.cancel();
             hs.resendEvent.cancel();
             hs.prototype.reset();
-            EdgeRuntime& edge = edgeRuntime(hs.from->model().name(),
-                                            hs.service, *hs.policy);
+            EdgeRuntime& edge = edgeRuntime(hs.from->model().nameId(),
+                                            hs.serviceId, *hs.policy);
             edge.hopLatency.add(
                 simTimeToSeconds(sim_.now() - winner->sentAt));
             if (edge.breaker)
@@ -378,7 +461,7 @@ Dispatcher::finishRequest(JobPtr job, MicroserviceInstance& last)
                       [this, root_id]() {
                           failRequest(root_id,
                                       fault::FailReason::NetworkLoss,
-                                      "");
+                                      NameInterner::kNone);
                       });
 }
 
@@ -387,15 +470,16 @@ Dispatcher::completeAtClient(JobPtr job)
 {
     const auto it = roots_.find(job->rootId);
     if (it != roots_.end()) {
-        RootState state = std::move(it->second);
+        std::unique_ptr<RootState> state = std::move(it->second);
         roots_.erase(it);
-        cancelHopEvents(state);
-        decrementInflight(state.frontService);
+        cancelHopEvents(*state);
+        decrementInflight(state->frontId);
         // Defensive cleanup; well-formed paths leave nothing behind.
-        for (const ForwardHop& hop : state.hops) {
+        for (const ForwardHop& hop : state->hops) {
             hop.pool->release(hop.conn);
             ++leakedHops_;
         }
+        recycleRoot(std::move(state));
     }
     leakedBlocks_ +=
         static_cast<std::uint64_t>(blocks_.unblock(job->rootId, ""));
@@ -409,11 +493,10 @@ Dispatcher::completeAtClient(JobPtr job)
 // ------------------------------------------------------------- resilience
 
 Dispatcher::EdgeRuntime&
-Dispatcher::edgeRuntime(const std::string& from_service,
-                        const std::string& to_service,
+Dispatcher::edgeRuntime(std::uint32_t from_id, std::uint32_t to_id,
                         const fault::EdgePolicy& policy)
 {
-    const auto key = std::make_pair(from_service, to_service);
+    const std::uint64_t key = edgeKey(from_id, to_id);
     auto it = edges_.find(key);
     if (it == edges_.end()) {
         EdgeRuntime runtime;
@@ -448,19 +531,21 @@ Dispatcher::startManagedHop(RootState& state, JobPtr job, int node_id,
 {
     const PathNode& node = tree_.node(state.variant, node_id);
     EdgeRuntime& edge =
-        edgeRuntime(from->model().name(), node.service, policy);
+        edgeRuntime(from->model().nameId(), node.serviceId, policy);
     const JobId root = job->rootId;
     if (edge.breaker && !edge.breaker->allowRequest(sim_.now())) {
-        failRequest(root, fault::FailReason::BreakerOpen, node.service);
+        failRequest(root, fault::FailReason::BreakerOpen,
+                    node.serviceId);
         return;
     }
-    HopState& hs = state.hopStates[node_id];
+    HopState& hs = state.hopStates[static_cast<std::size_t>(node_id)];
     hs.policy = &policy;
     hs.from = from;
-    hs.service = node.service;
+    hs.serviceId = node.serviceId;
     hs.prototype = jobs_.createCopy(*job);
     hs.retriesLeft = policy.retries;
     hs.hedgesLeft = policy.hedgingEnabled() ? policy.hedgeMax : 0;
+    state.engagedHops.push_back(node_id);
     launchAttempt(root, node_id, std::move(job));
     if (findRoot(root) == nullptr)
         return;
@@ -482,27 +567,27 @@ Dispatcher::launchAttempt(JobId root, int node_id, JobPtr job)
     if (state_ptr == nullptr)
         return;
     RootState& state = *state_ptr;
-    const auto hs_it = state.hopStates.find(node_id);
-    if (hs_it == state.hopStates.end())
+    HopState& hs = state.hopStates[static_cast<std::size_t>(node_id)];
+    if (hs.policy == nullptr)
         return;
-    HopState& hs = hs_it->second;
     const PathNode& node = tree_.node(state.variant, node_id);
 
     MicroserviceInstance* target = nullptr;
     if (hs.attempts.empty()) {
         target = &selectInstance(state, node);
     } else if (node.instanceIndex >= 0) {
-        target = &deployment_.instance(node.service, node.instanceIndex);
+        target =
+            &deployment_.instance(node.serviceId, node.instanceIndex);
     } else {
         // Retries and hedges prefer a different instance — the point
         // is to dodge the slow or dead one.
-        MicroserviceInstance* previous = state.affinity[node.service];
-        target = &deployment_.pickInstance(node.service, rng_);
+        MicroserviceInstance* previous = state.affinity[node.serviceId];
+        target = &deployment_.pickInstance(node.serviceId, rng_);
         if (target == previous &&
-            deployment_.instanceCount(node.service) > 1) {
-            target = &deployment_.pickInstance(node.service, rng_);
+            deployment_.instanceCount(node.serviceId) > 1) {
+            target = &deployment_.pickInstance(node.serviceId, rng_);
         }
-        state.affinity[node.service] = target;
+        state.affinity[node.serviceId] = target;
     }
     if (node.requestBytes != 0)
         job->bytes = node.requestBytes;
@@ -525,13 +610,14 @@ Dispatcher::launchAttempt(JobId root, int node_id, JobPtr job)
             pool->release(conn);
             return;
         }
-        const auto it = st->hopStates.find(node_id);
-        if (it != st->hopStates.end()) {
-            if (it->second.done) {
+        HopState& hop_state =
+            st->hopStates[static_cast<std::size_t>(node_id)];
+        if (hop_state.policy != nullptr) {
+            if (hop_state.done) {
                 pool->release(conn);
                 return;
             }
-            for (Attempt& attempt : it->second.attempts) {
+            for (Attempt& attempt : hop_state.attempts) {
                 if (attempt.jobId == job->id) {
                     attempt.conn = conn;
                     break;
@@ -557,15 +643,14 @@ Dispatcher::onHopTimeout(JobId root, int node_id)
     RootState* state = findRoot(root);
     if (state == nullptr)
         return;
-    const auto hs_it = state->hopStates.find(node_id);
-    if (hs_it == state->hopStates.end() || hs_it->second.done)
+    HopState& hs = state->hopStates[static_cast<std::size_t>(node_id)];
+    if (hs.policy == nullptr || hs.done)
         return;
-    HopState& hs = hs_it->second;
     EdgeRuntime& edge =
-        edgeRuntime(hs.from->model().name(), hs.service, *hs.policy);
+        edgeRuntime(hs.from->model().nameId(), hs.serviceId, *hs.policy);
     if (edge.breaker)
         edge.breaker->recordFailure(sim_.now());
-    ++tierFaults_[hs.from->model().name()].hopTimeouts;
+    ++tierFault(hs.from->model().nameId()).hopTimeouts;
     if (hs.retriesLeft > 0) {
         // The timed-out attempt stays live as a racer: if it responds
         // before the retry, its response still wins.
@@ -573,7 +658,7 @@ Dispatcher::onHopTimeout(JobId root, int node_id)
         scheduleResend(root, node_id);
         return;
     }
-    failRequest(root, fault::FailReason::HopTimeout, hs.service);
+    failRequest(root, fault::FailReason::HopTimeout, hs.serviceId);
 }
 
 void
@@ -582,10 +667,9 @@ Dispatcher::scheduleResend(JobId root, int node_id)
     RootState* state = findRoot(root);
     if (state == nullptr)
         return;
-    const auto hs_it = state->hopStates.find(node_id);
-    if (hs_it == state->hopStates.end() || hs_it->second.done)
+    HopState& hs = state->hopStates[static_cast<std::size_t>(node_id)];
+    if (hs.policy == nullptr || hs.done)
         return;
-    HopState& hs = hs_it->second;
     hs.timeoutEvent.cancel();
     const fault::EdgePolicy& policy = *hs.policy;
     double backoff = 0.0;
@@ -597,18 +681,19 @@ Dispatcher::scheduleResend(JobId root, int node_id)
             backoff *= 1.0 + policy.jitter * retryRng_.nextDouble();
     }
     ++retriesSent_;
-    ++tierFaults_[hs.from->model().name()].retries;
+    ++tierFault(hs.from->model().nameId()).retries;
     auto fire = [this, root, node_id]() {
         RootState* st = findRoot(root);
         if (st == nullptr)
             return;
-        const auto it = st->hopStates.find(node_id);
-        if (it == st->hopStates.end() || it->second.done ||
-            !it->second.prototype) {
+        HopState& hop_state =
+            st->hopStates[static_cast<std::size_t>(node_id)];
+        if (hop_state.policy == nullptr || hop_state.done ||
+            !hop_state.prototype) {
             return;
         }
         launchAttempt(root, node_id,
-                      jobs_.createCopy(*it->second.prototype));
+                      jobs_.createCopy(*hop_state.prototype));
     };
     if (backoff <= 0.0) {
         fire();
@@ -624,21 +709,20 @@ Dispatcher::onHedgeTimer(JobId root, int node_id)
     RootState* state = findRoot(root);
     if (state == nullptr)
         return;
-    const auto hs_it = state->hopStates.find(node_id);
-    if (hs_it == state->hopStates.end() || hs_it->second.done)
+    HopState& hs = state->hopStates[static_cast<std::size_t>(node_id)];
+    if (hs.policy == nullptr || hs.done)
         return;
-    HopState& hs = hs_it->second;
     if (hs.hedgesLeft <= 0 || !hs.prototype)
         return;
     --hs.hedgesLeft;
     ++hedgesSent_;
-    ++tierFaults_[hs.from->model().name()].hedges;
+    ++tierFault(hs.from->model().nameId()).hedges;
     launchAttempt(root, node_id, jobs_.createCopy(*hs.prototype));
     if (findRoot(root) == nullptr)
         return;
     if (hs.hedgesLeft > 0) {
-        EdgeRuntime& edge =
-            edgeRuntime(hs.from->model().name(), hs.service, *hs.policy);
+        EdgeRuntime& edge = edgeRuntime(hs.from->model().nameId(),
+                                        hs.serviceId, *hs.policy);
         const SimTime delay = resolveHedgeDelay(edge, *hs.policy);
         if (delay > 0) {
             hs.hedgeEvent = sim_.scheduleAfter(
@@ -658,11 +742,11 @@ Dispatcher::onJobFailed(JobPtr job, MicroserviceInstance& inst,
     RootState* state = findRoot(job->rootId);
     if (state == nullptr)
         return;
-    const std::string& tier = inst.model().name();
+    const std::uint32_t tier = inst.model().nameId();
     if (reason == fault::FailReason::Crash)
-        ++tierFaults_[tier].crashKills;
+        ++tierFault(tier).crashKills;
     else if (reason == fault::FailReason::QueueFull)
-        ++tierFaults_[tier].rejected;
+        ++tierFault(tier).rejected;
     failAttemptOrRequest(job->rootId, job->pathNodeId, job->id, reason,
                          tier);
 }
@@ -677,45 +761,49 @@ Dispatcher::onTransferDropped(JobPtr job, int node_id)
         return;
     const PathNode& node = tree_.node(state->variant, node_id);
     failAttemptOrRequest(job->rootId, node_id, job->id,
-                         fault::FailReason::NetworkLoss, node.service);
+                         fault::FailReason::NetworkLoss, node.serviceId);
 }
 
 void
 Dispatcher::failAttemptOrRequest(JobId root, int node_id, JobId job_id,
                                  fault::FailReason reason,
-                                 const std::string& tier)
+                                 std::uint32_t tier_id)
 {
     RootState* state = findRoot(root);
     if (state == nullptr)
         return;
-    const auto hs_it = state->hopStates.find(node_id);
-    if (hs_it != state->hopStates.end() && !hs_it->second.done) {
-        HopState& hs = hs_it->second;
-        const auto a_it = std::find_if(
-            hs.attempts.begin(), hs.attempts.end(),
-            [&](const Attempt& attempt) {
-                return attempt.jobId == job_id;
-            });
-        if (a_it != hs.attempts.end() && a_it->live) {
-            a_it->live = false;
-            --hs.liveAttempts;
-            releaseAttemptConn(*state, *a_it);
-            EdgeRuntime& edge = edgeRuntime(hs.from->model().name(),
-                                            hs.service, *hs.policy);
-            if (edge.breaker)
-                edge.breaker->recordFailure(sim_.now());
-            if (hs.retriesLeft > 0) {
-                --hs.retriesLeft;
-                scheduleResend(root, node_id);
+    if (node_id >= 0 &&
+        static_cast<std::size_t>(node_id) < state->hopStates.size()) {
+        HopState& hs =
+            state->hopStates[static_cast<std::size_t>(node_id)];
+        if (hs.policy != nullptr && !hs.done) {
+            const auto a_it = std::find_if(
+                hs.attempts.begin(), hs.attempts.end(),
+                [&](const Attempt& attempt) {
+                    return attempt.jobId == job_id;
+                });
+            if (a_it != hs.attempts.end() && a_it->live) {
+                a_it->live = false;
+                --hs.liveAttempts;
+                releaseAttemptConn(*state, *a_it);
+                EdgeRuntime& edge =
+                    edgeRuntime(hs.from->model().nameId(), hs.serviceId,
+                                *hs.policy);
+                if (edge.breaker)
+                    edge.breaker->recordFailure(sim_.now());
+                if (hs.retriesLeft > 0) {
+                    --hs.retriesLeft;
+                    scheduleResend(root, node_id);
+                    return;
+                }
+                if (hs.liveAttempts > 0)
+                    return;  // a racing attempt may still succeed
+                failRequest(root, reason, tier_id);
                 return;
             }
-            if (hs.liveAttempts > 0)
-                return;  // a racing attempt may still succeed
-            failRequest(root, reason, tier);
-            return;
         }
     }
-    failRequest(root, reason, tier);
+    failRequest(root, reason, tier_id);
 }
 
 void
@@ -739,7 +827,9 @@ Dispatcher::releaseAttemptConn(RootState& state, Attempt& attempt)
 void
 Dispatcher::cancelHopEvents(RootState& state)
 {
-    for (auto& [node_id, hs] : state.hopStates) {
+    for (const int node_id : state.engagedHops) {
+        HopState& hs =
+            state.hopStates[static_cast<std::size_t>(node_id)];
         hs.timeoutEvent.cancel();
         hs.hedgeEvent.cancel();
         hs.resendEvent.cancel();
@@ -754,16 +844,17 @@ Dispatcher::cancelHopEvents(RootState& state)
 }
 
 void
-Dispatcher::decrementInflight(const std::string& front_service)
+Dispatcher::decrementInflight(std::uint32_t front_id)
 {
-    const auto it = inflightByFront_.find(front_service);
-    if (it != inflightByFront_.end() && it->second > 0)
-        --it->second;
+    if (front_id < inflightByFront_.size() &&
+        inflightByFront_[front_id] > 0) {
+        --inflightByFront_[front_id];
+    }
 }
 
 void
 Dispatcher::failRequest(JobId root, fault::FailReason reason,
-                        const std::string& tier)
+                        std::uint32_t tier_id)
 {
     const auto it = roots_.find(root);
     if (it == roots_.end())
@@ -771,17 +862,19 @@ Dispatcher::failRequest(JobId root, fault::FailReason reason,
     // Move the state out before any release: releasing connections
     // can synchronously run pool waiters that re-enter the
     // dispatcher.
-    RootState state = std::move(it->second);
+    std::unique_ptr<RootState> state = std::move(it->second);
     roots_.erase(it);
-    cancelHopEvents(state);
-    for (const ForwardHop& hop : state.hops)
+    cancelHopEvents(*state);
+    for (const ForwardHop& hop : state->hops)
         hop.pool->release(hop.conn);
     blocks_.unblock(root, "");
-    decrementInflight(state.frontService);
+    decrementInflight(state->frontId);
     ++failed_;
-    ++tierFaults_[tier.empty() ? state.frontService : tier].errors;
+    ++tierFault(tier_id == NameInterner::kNone ? state->frontId : tier_id)
+          .errors;
     if (onRequestFailed_)
-        onRequestFailed_(root, state.clientTag, state.created, reason);
+        onRequestFailed_(root, state->clientTag, state->created, reason);
+    recycleRoot(std::move(state));
 }
 
 }  // namespace uqsim

@@ -41,6 +41,7 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "uqsim/core/app/deployment.h"
@@ -102,12 +103,13 @@ class Dispatcher {
     }
 
     /**
-     * Fired when a job leaves a tier, with the per-tier latency in
-     * seconds (queueing + processing at that tier).  Used by the
-     * power manager.
+     * Fired when a job leaves a tier, with the tier's interned
+     * service id (resolve via Deployment::names()) and the per-tier
+     * latency in seconds (queueing + processing at that tier).  Used
+     * by the power manager.
      */
     void setTierLatencyHook(
-        std::function<void(const std::string&, double)> hook)
+        std::function<void(std::uint32_t, double)> hook)
     {
         tierLatencyHook_ = std::move(hook);
     }
@@ -115,9 +117,15 @@ class Dispatcher {
     /**
      * Attaches a trace recorder; pass nullptr to detach.  The
      * recorder receives start/enter/leave/complete events for the
-     * root requests its sampler selects.
+     * root requests its sampler selects, and is bound to the
+     * deployment's name interner for span rendering.
      */
-    void attachTracer(TraceRecorder* tracer) { tracer_ = tracer; }
+    void attachTracer(TraceRecorder* tracer)
+    {
+        tracer_ = tracer;
+        if (tracer_ != nullptr)
+            tracer_->bindNames(&deployment_.names());
+    }
 
     BlockRegistry& blocks() { return blocks_; }
     JobFactory& jobs() { return jobs_; }
@@ -132,11 +140,13 @@ class Dispatcher {
     std::uint64_t breakerTrips() const;
     std::size_t activeRequests() const { return roots_.size(); }
 
-    /** Per-tier failure counters accumulated so far. */
-    const std::map<std::string, TierFaultStats>& tierFaults() const
-    {
-        return tierFaults_;
-    }
+    /**
+     * Per-tier failure counters accumulated so far, rendered to a
+     * name-keyed map (tiers with no recorded faults are omitted).
+     * Internally the counters live in a dense id-indexed array; this
+     * is the report-render boundary.
+     */
+    std::map<std::string, TierFaultStats> tierFaults() const;
 
     /** Blocks/hops force-released at request completion (should stay
      *  zero for well-formed path configurations). */
@@ -159,12 +169,14 @@ class Dispatcher {
         bool live = true;
     };
 
-    /** Per-(root, node) state of a managed hop. */
+    /** Per-(root, node) state of a managed hop.  `policy` doubles as
+     *  the "engaged" flag; reset() recycles the record in place,
+     *  keeping the attempts vector's capacity. */
     struct HopState {
         const fault::EdgePolicy* policy = nullptr;
         MicroserviceInstance* from = nullptr;
-        /** Downstream service name. */
-        std::string service;
+        /** Interned id of the downstream service. */
+        std::uint32_t serviceId = 0xFFFFFFFFu;
         /** Pristine copy for minting retry/hedge attempts. */
         JobPtr prototype;
         std::vector<Attempt> attempts;
@@ -175,6 +187,23 @@ class Dispatcher {
         EventHandle timeoutEvent;
         EventHandle hedgeEvent;
         EventHandle resendEvent;
+
+        void
+        reset()
+        {
+            policy = nullptr;
+            from = nullptr;
+            serviceId = 0xFFFFFFFFu;
+            prototype.reset();
+            attempts.clear();
+            liveAttempts = 0;
+            retriesLeft = 0;
+            hedgesLeft = 0;
+            done = false;
+            timeoutEvent = EventHandle();
+            hedgeEvent = EventHandle();
+            resendEvent = EventHandle();
+        }
     };
 
     /** Per-(upstream, downstream) service-edge runtime state. */
@@ -184,25 +213,40 @@ class Dispatcher {
         stats::PercentileRecorder hopLatency;
     };
 
+    /**
+     * Per-root-request routing state.  RootStates are recycled
+     * through a free list: every container below keeps its capacity
+     * across requests, so steady-state request turnover performs no
+     * heap allocation here.
+     */
     struct RootState {
         int variant = 0;
-        /** Sticky routing: service name -> chosen instance. */
-        std::map<std::string, MicroserviceInstance*> affinity;
-        /** Fan-in counters: node id -> copies arrived. */
-        std::map<int, int> syncArrived;
+        /** Sticky routing, indexed by interned service id. */
+        std::vector<MicroserviceInstance*> affinity;
+        /** Fan-in counters: (node id, copies arrived) pairs. */
+        std::vector<std::pair<int, int>> syncArrived;
         /** Outstanding pooled connections. */
         std::vector<ForwardHop> hops;
-        /** Managed hops in flight: node id -> state. */
-        std::map<int, HopState> hopStates;
+        /** Managed-hop records indexed by path-node id; an entry is
+         *  engaged while its policy pointer is set. */
+        std::vector<HopState> hopStates;
+        /** Node ids with engaged hopStates entries (reset targets). */
+        std::vector<int> engagedHops;
         int terminalsDone = 0;
         int clientTag = -1;
         SimTime created = 0;
-        std::string frontService;
+        /** Interned id of the front service. */
+        std::uint32_t frontId = 0xFFFFFFFFu;
     };
 
-    RootState& rootState(JobId root);
     /** Nullable lookup; null after the request completed or failed. */
     RootState* findRoot(JobId root);
+    /** Takes a recycled (or fresh) RootState sized for a variant
+     *  with @p node_count nodes. */
+    std::unique_ptr<RootState> acquireRoot(std::size_t node_count);
+    /** Returns a finished RootState to the free list, dropping its
+     *  job references. */
+    void recycleRoot(std::unique_ptr<RootState> state);
     MicroserviceInstance& selectInstance(RootState& state,
                                          const PathNode& node);
     void routeToNode(JobPtr job, int node_id,
@@ -213,8 +257,7 @@ class Dispatcher {
     void completeAtClient(JobPtr job);
 
     // Resilience machinery -------------------------------------------
-    EdgeRuntime& edgeRuntime(const std::string& from_service,
-                             const std::string& to_service,
+    EdgeRuntime& edgeRuntime(std::uint32_t from_id, std::uint32_t to_id,
                              const fault::EdgePolicy& policy);
     void startManagedHop(RootState& state, JobPtr job, int node_id,
                          MicroserviceInstance* from,
@@ -237,13 +280,16 @@ class Dispatcher {
      */
     void failAttemptOrRequest(JobId root, int node_id, JobId job_id,
                               fault::FailReason reason,
-                              const std::string& tier);
+                              std::uint32_t tier_id);
     /** Releases the pooled connection an attempt holds (if any). */
     void releaseAttemptConn(RootState& state, Attempt& attempt);
+    /** @p tier_id kNone charges the error to the front service. */
     void failRequest(JobId root, fault::FailReason reason,
-                     const std::string& tier);
+                     std::uint32_t tier_id);
     void cancelHopEvents(RootState& state);
-    void decrementInflight(const std::string& front_service);
+    void decrementInflight(std::uint32_t front_id);
+    /** Id-indexed fault counters, grown on demand. */
+    TierFaultStats& tierFault(std::uint32_t tier_id);
 
     Simulator& sim_;
     hw::Network& network_;
@@ -254,19 +300,24 @@ class Dispatcher {
     random::RngStream retryRng_;
     JobFactory jobs_;
     BlockRegistry blocks_;
-    std::map<JobId, RootState> roots_;
-    /** Edge-keyed breaker + latency state. */
-    std::map<std::pair<std::string, std::string>, EdgeRuntime> edges_;
+    std::map<JobId, std::unique_ptr<RootState>> roots_;
+    /** Finished RootStates awaiting reuse (capacity retained). */
+    std::vector<std::unique_ptr<RootState>> rootPool_;
+    /** Edge-keyed breaker + latency state, keyed by packed
+     *  (from id << 32 | to id).  Only iterated for order-independent
+     *  sums, so the unordered layout cannot affect determinism. */
+    std::unordered_map<std::uint64_t, EdgeRuntime> edges_;
     /** Cancelled attempt jobs whose late results must be dropped. */
     std::set<JobId> deadJobs_;
-    /** Admission control: active roots per front service. */
-    std::map<std::string, int> inflightByFront_;
-    std::map<std::string, TierFaultStats> tierFaults_;
+    /** Admission control: active roots per front-service id. */
+    std::vector<int> inflightByFront_;
+    /** Fault counters indexed by interned tier id. */
+    std::vector<TierFaultStats> tierFaults_;
     TraceRecorder* tracer_ = nullptr;
     std::function<void(const Job&, SimTime)> onRequestComplete_;
     std::function<void(JobId, int, SimTime, fault::FailReason)>
         onRequestFailed_;
-    std::function<void(const std::string&, double)> tierLatencyHook_;
+    std::function<void(std::uint32_t, double)> tierLatencyHook_;
     std::uint64_t started_ = 0;
     std::uint64_t completed_ = 0;
     std::uint64_t failed_ = 0;

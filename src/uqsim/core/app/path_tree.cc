@@ -209,6 +209,16 @@ PathTree::resolveExecPaths(
     }
 }
 
+void
+PathTree::resolveServiceIds(
+    const std::function<std::uint32_t(const std::string&)>& interner)
+{
+    for (PathVariant& variant : variants_) {
+        for (PathNode& node : variant.nodes)
+            node.serviceId = interner(node.service);
+    }
+}
+
 std::vector<std::string>
 PathTree::referencedServices() const
 {

@@ -18,6 +18,7 @@
  * 3-tier application).
  */
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -50,6 +51,9 @@ struct PathNode {
     int id = 0;
     /** Microservice this node executes on. */
     std::string service;
+    /** Interned id of `service` (resolveServiceIds); the dispatcher
+     *  hot path routes by this id, never by the string. */
+    std::uint32_t serviceId = 0xFFFFFFFFu;
     /** Execution path name within the service; empty = sample. */
     std::string pathName;
     /** Resolved execution path id (resolveExecPaths); -1 = sample. */
@@ -117,6 +121,13 @@ class PathTree {
     void resolveExecPaths(
         const std::function<int(const std::string&, const std::string&)>&
             resolver);
+
+    /**
+     * Resolves each node's service name to an interned id using
+     * @p interner(service), filling PathNode::serviceId.
+     */
+    void resolveServiceIds(
+        const std::function<std::uint32_t(const std::string&)>& interner);
 
   private:
     std::vector<PathVariant> variants_;

@@ -34,10 +34,23 @@ TraceRecorder::sampled(JobId root) const
     return u < samplingRate_;
 }
 
+std::string
+TraceRecorder::serviceName(std::uint32_t service_id) const
+{
+    if (names_ != nullptr && service_id < names_->size())
+        return names_->name(service_id);
+    return "svc#" + std::to_string(service_id);
+}
+
 void
 TraceRecorder::recordStart(const Job& job, SimTime now)
 {
     if (!sampled(job.rootId))
+        return;
+    // Retries or hedges can re-enter the root request; keep the
+    // original trace instead of clobbering its collected spans.
+    const auto it = active_.find(job.rootId);
+    if (it != active_.end())
         return;
     RequestTrace& trace = active_[job.rootId];
     trace.root = job.rootId;
@@ -45,7 +58,7 @@ TraceRecorder::recordStart(const Job& job, SimTime now)
 }
 
 void
-TraceRecorder::recordEnter(const Job& job, const std::string& service,
+TraceRecorder::recordEnter(const Job& job, std::uint32_t service_id,
                            SimTime now)
 {
     const auto it = active_.find(job.rootId);
@@ -53,10 +66,10 @@ TraceRecorder::recordEnter(const Job& job, const std::string& service,
         return;
     TraceSpan span;
     span.job = job.id;
-    span.service = service;
+    span.serviceId = service_id;
     span.pathNode = job.pathNodeId;
     span.enter = now;
-    it->second.spans.push_back(std::move(span));
+    it->second.spans.push_back(span);
 }
 
 void
@@ -68,7 +81,7 @@ TraceRecorder::recordLeave(const Job& job, SimTime now)
     // Close the most recent open span of this job copy.
     auto& spans = it->second.spans;
     for (auto span = spans.rbegin(); span != spans.rend(); ++span) {
-        if (span->job == job.id && span->leave == 0) {
+        if (span->job == job.id && span->leave == kTraceOpen) {
             span->leave = now;
             return;
         }
@@ -89,15 +102,16 @@ TraceRecorder::recordComplete(const Job& job, SimTime now)
 }
 
 std::string
-TraceRecorder::waterfall(const RequestTrace& trace, int width)
+TraceRecorder::waterfall(const RequestTrace& trace, int width) const
 {
     std::ostringstream out;
     const SimTime end =
-        trace.completed != 0 ? trace.completed : trace.started;
+        trace.completed != kTraceOpen ? trace.completed : trace.started;
     SimTime horizon = end;
-    for (const TraceSpan& span : trace.spans)
-        horizon = std::max(horizon,
-                           span.leave != 0 ? span.leave : span.enter);
+    for (const TraceSpan& span : trace.spans) {
+        horizon = std::max(
+            horizon, span.leave != kTraceOpen ? span.leave : span.enter);
+    }
     const double total =
         std::max<double>(1.0,
                          static_cast<double>(horizon - trace.started));
@@ -110,7 +124,7 @@ TraceRecorder::waterfall(const RequestTrace& trace, int width)
     out << line;
     for (const TraceSpan& span : trace.spans) {
         const SimTime leave =
-            span.leave != 0 ? span.leave : horizon;
+            span.leave != kTraceOpen ? span.leave : horizon;
         const double begin_frac =
             static_cast<double>(span.enter - trace.started) / total;
         const double end_frac =
@@ -127,7 +141,7 @@ TraceRecorder::waterfall(const RequestTrace& trace, int width)
         bar[static_cast<std::size_t>(std::min(end_col, width))] = '|';
         std::snprintf(line, sizeof(line),
                       "  %-14s [%2d] %9.1fus %s %9.1fus\n",
-                      span.service.c_str(), span.pathNode,
+                      serviceName(span.serviceId).c_str(), span.pathNode,
                       simTimeToMicros(span.enter - trace.started),
                       bar.c_str(),
                       simTimeToMicros(leave - span.enter));

@@ -12,6 +12,11 @@
  * requests (deterministically, by root id) and keeps the most recent
  * traces; spans can be rendered as an ASCII waterfall for latency
  * debugging.
+ *
+ * Spans store the interned service id, not the name — the recorder
+ * sits on the dispatcher's hot path and must not copy strings per
+ * hop.  Bind a NameInterner (the dispatcher does this in
+ * attachTracer) to render names at inspection time.
  */
 
 #include <cstdint>
@@ -22,24 +27,30 @@
 
 #include "uqsim/core/engine/sim_time.h"
 #include "uqsim/core/service/job.h"
+#include "uqsim/core/service/name_interner.h"
 
 namespace uqsim {
+
+/** Sentinel for "still open / in flight" timestamps.  Valid
+ *  SimTimes are >= 0, so 0 itself stays a legitimate close time. */
+inline constexpr SimTime kTraceOpen = -1;
 
 /** One tier visit of one request. */
 struct TraceSpan {
     JobId job = 0;
-    std::string service;
+    /** Interned service id (render via TraceRecorder::serviceName). */
+    std::uint32_t serviceId = 0xFFFFFFFFu;
     int pathNode = -1;
     SimTime enter = 0;
-    /** 0 while the span is still open. */
-    SimTime leave = 0;
+    /** kTraceOpen while the span is still open. */
+    SimTime leave = kTraceOpen;
 };
 
 /** A sampled request's spans, in enter order. */
 struct RequestTrace {
     JobId root = 0;
     SimTime started = 0;
-    SimTime completed = 0;  ///< 0 while in flight
+    SimTime completed = kTraceOpen;  ///< kTraceOpen while in flight
     std::vector<TraceSpan> spans;
 };
 
@@ -57,10 +68,17 @@ class TraceRecorder {
     /** True when @p root is selected by the sampler. */
     bool sampled(JobId root) const;
 
+    /** Binds the interner used to render span service names.  The
+     *  dispatcher calls this from attachTracer. */
+    void bindNames(const NameInterner* names) { names_ = names; }
+
+    /** Renders a span's service id ("svc#N" when unbound). */
+    std::string serviceName(std::uint32_t service_id) const;
+
     // Hooks driven by the Dispatcher ---------------------------------
 
     void recordStart(const Job& job, SimTime now);
-    void recordEnter(const Job& job, const std::string& service,
+    void recordEnter(const Job& job, std::uint32_t service_id,
                      SimTime now);
     void recordLeave(const Job& job, SimTime now);
     void recordComplete(const Job& job, SimTime now);
@@ -80,12 +98,13 @@ class TraceRecorder {
      *   nginx      [0]      0.0us +---------------------|  210.3us
      *   memcached  [1]     80.1us      +----|             41.2us
      */
-    static std::string waterfall(const RequestTrace& trace,
-                                 int width = 48);
+    std::string waterfall(const RequestTrace& trace,
+                          int width = 48) const;
 
   private:
     double samplingRate_;
     std::size_t capacity_;
+    const NameInterner* names_ = nullptr;
     std::map<JobId, RequestTrace> active_;
     std::deque<RequestTrace> done_;
 };

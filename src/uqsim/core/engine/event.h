@@ -10,101 +10,58 @@
  * change (paper §III-A).  Events carry a firing time and a sequence
  * number assigned by the queue: two events with equal times fire in
  * scheduling order, which makes simulations deterministic.
+ *
+ * Events live in slab-allocated pool slots owned by the EventQueue;
+ * an EventHandle names a slot by (index, generation).  The
+ * generation stamp is bumped every time a slot is released, so a
+ * handle held past its event's execution simply stops matching —
+ * a stale cancel() is a no-op, with no shared_ptr/weak_ptr control
+ * blocks on the hot path.
  */
 
 #include <cstdint>
-#include <functional>
-#include <memory>
-#include <string>
-#include <utility>
 
+#include "uqsim/core/engine/inline_function.h"
 #include "uqsim/core/engine/sim_time.h"
 
 namespace uqsim {
 
-/** Base class for all schedulable events. */
-class Event {
-  public:
-    virtual ~Event() = default;
+class EventQueue;
 
-    /** Invoked by the simulator when the event fires. */
-    virtual void execute() = 0;
-
-    /** Debug label; shown by the trace logger. */
-    virtual std::string label() const { return "event"; }
-
-    /** The time this event is scheduled to fire. */
-    SimTime when() const { return when_; }
-
-    /** Queue insertion order; breaks ties between equal times. */
-    std::uint64_t sequence() const { return sequence_; }
-
-    /** True once cancel() was called; cancelled events do not fire. */
-    bool cancelled() const { return cancelled_; }
-
-    /**
-     * Marks the event as cancelled.  The queue drops it lazily when
-     * it reaches the front, so cancellation is O(1).
-     */
-    void cancel() { cancelled_ = true; }
-
-  private:
-    friend class EventQueue;
-
-    SimTime when_ = 0;
-    std::uint64_t sequence_ = 0;
-    bool cancelled_ = false;
-};
-
-/** Event wrapping a callable; the common case. */
-class CallbackEvent : public Event {
-  public:
-    explicit CallbackEvent(std::function<void()> callback,
-                           std::string label = "callback")
-        : callback_(std::move(callback)), label_(std::move(label))
-    {
-    }
-
-    void execute() override { callback_(); }
-    std::string label() const override { return label_; }
-
-  private:
-    std::function<void()> callback_;
-    std::string label_;
-};
+/**
+ * The event payload: a move-only closure.  112 inline bytes covers
+ * every capture set the simulator schedules (network hops carrying a
+ * completion callback are the largest); bigger callables degrade to
+ * one heap allocation.
+ */
+using EventAction = InlineFunction<void(), 112>;
 
 /**
  * Handle to a scheduled event, used for cancellation.  Holding a
- * handle does not keep the event alive past execution.
+ * handle does not keep the event alive past execution; a handle must
+ * not outlive the queue it came from.
  */
 class EventHandle {
   public:
     EventHandle() = default;
-    explicit EventHandle(std::weak_ptr<Event> event)
-        : event_(std::move(event))
+    EventHandle(EventQueue* queue, std::uint32_t slot,
+                std::uint32_t generation)
+        : queue_(queue), slot_(slot), generation_(generation)
     {
     }
 
-    /** Cancels the event if it has not fired yet; returns success. */
-    bool
-    cancel()
-    {
-        if (std::shared_ptr<Event> event = event_.lock()) {
-            event->cancel();
-            return true;
-        }
-        return false;
-    }
+    /** Cancels the event if it has not fired yet; returns success.
+     *  Defined in event_queue.h. */
+    bool cancel();
 
-    /** True when the event is still pending (not fired, not freed). */
-    bool pending() const
-    {
-        std::shared_ptr<Event> event = event_.lock();
-        return event != nullptr && !event->cancelled();
-    }
+    /** True when the event is still pending (not fired, not freed).
+     *  Defined in event_queue.h. */
+    bool pending() const;
 
   private:
-    std::weak_ptr<Event> event_;
+    EventQueue* queue_ = nullptr;
+    std::uint32_t slot_ = 0;
+    std::uint32_t generation_ = 0;
 };
 
 }  // namespace uqsim

@@ -1,92 +1,107 @@
 #include "uqsim/core/engine/event_queue.h"
 
-#include <algorithm>
-#include <stdexcept>
-
 namespace uqsim {
 
-EventHandle
-EventQueue::schedule(std::shared_ptr<Event> event, SimTime when)
+std::uint32_t
+EventQueue::acquireSlot()
 {
-    if (!event)
-        throw std::invalid_argument("cannot schedule a null event");
-    event->when_ = when;
-    event->sequence_ = nextSequence_++;
-    EventHandle handle{std::weak_ptr<Event>(event)};
-    heap_.push_back(Entry{std::move(event)});
-    std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
-    maybePurge();
-    return handle;
+    if (freeList_.empty()) {
+        const std::uint32_t base =
+            static_cast<std::uint32_t>(slabs_.size() * kSlabSize);
+        slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+        freeList_.reserve(kSlabSize);
+        // Reversed so the lowest index is handed out first.
+        for (std::size_t i = kSlabSize; i-- > 0;) {
+            freeList_.push_back(base +
+                                static_cast<std::uint32_t>(i));
+        }
+    }
+    const std::uint32_t index = freeList_.back();
+    freeList_.pop_back();
+    return index;
 }
 
 void
-EventQueue::maybePurge()
+EventQueue::releaseSlot(std::uint32_t index)
 {
-    if (heap_.size() < purgeCheckSize_)
-        return;
-    std::size_t cancelled = 0;
-    for (const Entry& entry : heap_) {
-        if (entry.event->cancelled())
-            ++cancelled;
-    }
-    if (cancelled * 2 > heap_.size()) {
-        heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
-                                   [](const Entry& entry) {
-                                       return entry.event->cancelled();
-                                   }),
-                    heap_.end());
-        std::make_heap(heap_.begin(), heap_.end(), std::greater<>());
-        ++purgeCount_;
-    }
-    // Re-check only once the heap has grown well past the current
-    // live population, keeping the scan amortized O(1) per schedule.
-    purgeCheckSize_ = std::max<std::size_t>(64, heap_.size() * 2);
-}
-
-std::size_t
-EventQueue::liveSize() const
-{
-    std::size_t live = 0;
-    for (const Entry& entry : heap_) {
-        if (!entry.event->cancelled())
-            ++live;
-    }
-    return live;
+    Slot& s = *slotPtr(index);
+    s.action.reset();
+    s.heapIndex = kFreeIndex;
+    ++s.generation;
+    freeList_.push_back(index);
 }
 
 void
-EventQueue::dropCancelled()
+EventQueue::heapPush(std::uint32_t slot, SimTime when,
+                     std::uint64_t sequence)
 {
-    while (!heap_.empty() && heap_.front().event->cancelled()) {
-        std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-        heap_.pop_back();
-    }
+    heap_.push_back(HeapEntry{when, sequence, slot});
+    siftUp(heap_.size() - 1, heap_.back());
 }
 
-bool
-EventQueue::empty()
+void
+EventQueue::heapRemoveTop()
 {
-    dropCancelled();
-    return heap_.empty();
-}
-
-SimTime
-EventQueue::nextTime()
-{
-    dropCancelled();
-    return heap_.empty() ? kSimTimeMax : heap_.front().event->when();
-}
-
-std::shared_ptr<Event>
-EventQueue::pop()
-{
-    dropCancelled();
-    if (heap_.empty())
-        return nullptr;
-    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
-    std::shared_ptr<Event> event = std::move(heap_.back().event);
+    const HeapEntry last = heap_.back();
     heap_.pop_back();
-    return event;
+    if (!heap_.empty())
+        siftDown(0, last);
+}
+
+void
+EventQueue::heapRemoveAt(std::size_t pos)
+{
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    if (pos == heap_.size())
+        return;
+    // The replacement may belong above or below the vacated
+    // position; try both directions (one is a no-op).
+    siftDown(pos, last);
+    pos = static_cast<std::size_t>(
+        slotPtr(last.slot)->heapIndex);
+    siftUp(pos, heap_[pos]);
+}
+
+void
+EventQueue::siftUp(std::size_t pos, HeapEntry moving)
+{
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) >> 2;
+        const HeapEntry& p = heap_[parent];
+        if (p.before(moving))
+            break;
+        heap_[pos] = p;
+        slotPtr(p.slot)->heapIndex = static_cast<std::int32_t>(pos);
+        pos = parent;
+    }
+    heap_[pos] = moving;
+    slotPtr(moving.slot)->heapIndex = static_cast<std::int32_t>(pos);
+}
+
+void
+EventQueue::siftDown(std::size_t pos, HeapEntry moving)
+{
+    const std::size_t n = heap_.size();
+    while (true) {
+        const std::size_t first = pos * 4 + 1;
+        if (first >= n)
+            break;
+        const std::size_t end = first + 4 < n ? first + 4 : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+            if (heap_[c].before(heap_[best]))
+                best = c;
+        }
+        if (moving.before(heap_[best]))
+            break;
+        heap_[pos] = heap_[best];
+        slotPtr(heap_[pos].slot)->heapIndex =
+            static_cast<std::int32_t>(pos);
+        pos = best;
+    }
+    heap_[pos] = moving;
+    slotPtr(moving.slot)->heapIndex = static_cast<std::int32_t>(pos);
 }
 
 }  // namespace uqsim

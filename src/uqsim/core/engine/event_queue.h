@@ -7,15 +7,20 @@
  *
  * All events are stored in increasing time order; every simulation
  * cycle the queue manager pops the earliest event (paper §III-A).
- * Cancellation is lazy: cancelled events are dropped when they reach
- * the front of the heap.  To keep cancellation-heavy workloads
- * (e.g. client timeouts that almost always get cancelled) from
- * growing the heap unboundedly, schedule() periodically scans the
- * heap and eagerly purges all cancelled entries when they exceed
- * half of it; the scan interval doubles with the heap size, so the
- * purge costs amortized O(1) per scheduled event.
+ *
+ * Structure: event payloads live in fixed-size slots carved from
+ * slab allocations (addresses stable for the queue's lifetime) and
+ * recycled through a free list, so steady-state scheduling touches
+ * no allocator.  The ready order is a 4-ary min-heap of (when,
+ * sequence, slot) entries — comparisons stay within the contiguous
+ * heap array, and the shallower tree beats a binary heap on the
+ * sift-down-heavy pop/cancel mix.  Every slot stores its heap
+ * position, so cancellation removes the entry in O(log n) instead
+ * of the old lazy cancelled-flag purge; a cancelled slot is
+ * recycled immediately.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -25,7 +30,7 @@
 
 namespace uqsim {
 
-/** Stable min-heap of events. */
+/** Pooled min-heap of events with O(log n) cancellation. */
 class EventQueue {
   public:
     EventQueue() = default;
@@ -34,72 +39,221 @@ class EventQueue {
     EventQueue& operator=(const EventQueue&) = delete;
 
     /**
-     * Schedules @p event to fire at absolute time @p when.
+     * Schedules @p action to fire at absolute time @p when.  The
+     * sequence number is assigned in call order; @p label must
+     * outlive the event (string literal or stable member).
      * Returns a handle usable for cancellation.
      */
-    EventHandle schedule(std::shared_ptr<Event> event, SimTime when);
+    template <typename F>
+    EventHandle
+    schedule(SimTime when, F&& action, const char* label = "callback")
+    {
+        const std::uint32_t index = acquireSlot();
+        Slot& s = *slotPtr(index);
+        s.action = EventAction(std::forward<F>(action));
+        s.when = when;
+        s.sequence = nextSequence_++;
+        s.label = label;
+        heapPush(index, when, s.sequence);
+        return EventHandle(this, index, s.generation);
+    }
 
-    /**
-     * True when no live events remain.  Cancelled events at the
-     * front are dropped first; a cancelled event that is not at the
-     * front is always preceded by a live one, so the answer is
-     * exact.
-     */
-    bool empty();
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
 
-    /**
-     * Number of pending heap entries.  May overcount by events that
-     * were cancelled but not yet dropped, but the eager purge bounds
-     * the overcount: at most half the heap plus the entries
-     * cancelled since the last purge check.
-     */
+    /** Number of pending events (cancelled entries are removed
+     *  eagerly, so this is exact). */
     std::size_t size() const { return heap_.size(); }
 
+    /** Exact number of live pending events.  Alias of size(); kept
+     *  for diagnostics parity with the lazy-purge queue. */
+    std::size_t liveSize() const { return heap_.size(); }
+
+    /** Firing time of the earliest event; kSimTimeMax if none. */
+    SimTime
+    nextTime() const
+    {
+        return heap_.empty() ? kSimTimeMax : heap_.front().when;
+    }
+
     /**
-     * Exact number of live (non-cancelled) pending events.  O(n);
-     * intended for diagnostics and tests.
+     * The earliest event, removed from the heap and ready to fire.
+     * Move-only RAII: the slot is recycled when the FiredEvent is
+     * destroyed, after invoke().  Converts to false when the queue
+     * was empty.
      */
-    std::size_t liveSize() const;
+    class FiredEvent {
+      public:
+        FiredEvent() = default;
+        FiredEvent(EventQueue* queue, std::uint32_t slot)
+            : queue_(queue), slot_(slot)
+        {
+        }
 
-    /** Eager purges performed so far (diagnostics). */
-    std::uint64_t purgeCount() const { return purgeCount_; }
+        FiredEvent(FiredEvent&& other) noexcept
+            : queue_(other.queue_), slot_(other.slot_)
+        {
+            other.queue_ = nullptr;
+        }
 
-    /** Firing time of the earliest live event; kSimTimeMax if none. */
-    SimTime nextTime();
+        FiredEvent(const FiredEvent&) = delete;
+        FiredEvent& operator=(const FiredEvent&) = delete;
+        FiredEvent& operator=(FiredEvent&&) = delete;
 
-    /**
-     * Removes and returns the earliest live event, or nullptr when
-     * the queue is empty.
-     */
-    std::shared_ptr<Event> pop();
+        ~FiredEvent()
+        {
+            if (queue_ != nullptr)
+                queue_->releaseSlot(slot_);
+        }
+
+        explicit operator bool() const { return queue_ != nullptr; }
+
+        SimTime when() const { return queue_->slotPtr(slot_)->when; }
+        std::uint64_t
+        sequence() const
+        {
+            return queue_->slotPtr(slot_)->sequence;
+        }
+        const char*
+        label() const
+        {
+            return queue_->slotPtr(slot_)->label;
+        }
+
+        /** Runs the event's action. */
+        void invoke() { queue_->slotPtr(slot_)->action(); }
+
+      private:
+        EventQueue* queue_ = nullptr;
+        std::uint32_t slot_ = 0;
+    };
+
+    /** Removes and returns the earliest event; false-y when empty. */
+    FiredEvent
+    pop()
+    {
+        if (heap_.empty())
+            return FiredEvent();
+        const std::uint32_t top = heap_.front().slot;
+        heapRemoveTop();
+        slotPtr(top)->heapIndex = kExecutingIndex;
+        return FiredEvent(this, top);
+    }
 
     /** Total number of events ever scheduled (diagnostics). */
     std::uint64_t scheduledCount() const { return nextSequence_; }
 
+    /** Pool capacity in slots (diagnostics; high-water mark). */
+    std::size_t
+    poolCapacity() const
+    {
+        return slabs_.size() * kSlabSize;
+    }
+
+    // Used by EventHandle -------------------------------------------
+
+    /**
+     * Cancels slot @p index if @p generation still matches.  An
+     * event that already fired (generation bumped) is a no-op
+     * returning false; the currently-executing event reports true
+     * without effect, mirroring the old cancelled-flag semantics.
+     */
+    bool
+    cancelSlot(std::uint32_t index, std::uint32_t generation)
+    {
+        Slot& s = *slotPtr(index);
+        if (s.generation != generation)
+            return false;
+        if (s.heapIndex == kExecutingIndex)
+            return true;
+        if (s.heapIndex < 0)
+            return false;
+        heapRemoveAt(static_cast<std::size_t>(s.heapIndex));
+        releaseSlot(index);
+        return true;
+    }
+
+    /** True when the slot still names a pending (or currently
+     *  firing) event. */
+    bool
+    slotPending(std::uint32_t index, std::uint32_t generation) const
+    {
+        const Slot& s = *slotPtr(index);
+        return s.generation == generation &&
+               s.heapIndex != kFreeIndex;
+    }
+
   private:
-    struct Entry {
-        std::shared_ptr<Event> event;
+    friend class FiredEvent;
+
+    static constexpr std::size_t kSlabBits = 8;
+    static constexpr std::size_t kSlabSize = std::size_t{1}
+                                             << kSlabBits;
+    static constexpr std::size_t kSlabMask = kSlabSize - 1;
+    static constexpr std::int32_t kFreeIndex = -1;
+    static constexpr std::int32_t kExecutingIndex = -2;
+
+    struct Slot {
+        EventAction action;
+        SimTime when = 0;
+        std::uint64_t sequence = 0;
+        const char* label = "";
+        std::uint32_t generation = 0;
+        std::int32_t heapIndex = kFreeIndex;
+    };
+
+    struct HeapEntry {
+        SimTime when;
+        std::uint64_t sequence;
+        std::uint32_t slot;
 
         bool
-        operator>(const Entry& other) const
+        before(const HeapEntry& other) const
         {
-            const SimTime a = event->when();
-            const SimTime b = other.event->when();
-            if (a != b)
-                return a > b;
-            return event->sequence() > other.event->sequence();
+            if (when != other.when)
+                return when < other.when;
+            return sequence < other.sequence;
         }
     };
 
-    void dropCancelled();
-    void maybePurge();
+    Slot*
+    slotPtr(std::uint32_t index)
+    {
+        return &slabs_[index >> kSlabBits][index & kSlabMask];
+    }
+    const Slot*
+    slotPtr(std::uint32_t index) const
+    {
+        return &slabs_[index >> kSlabBits][index & kSlabMask];
+    }
 
-    std::vector<Entry> heap_;
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t index);
+
+    void heapPush(std::uint32_t slot, SimTime when,
+                  std::uint64_t sequence);
+    void heapRemoveTop();
+    void heapRemoveAt(std::size_t pos);
+    void siftUp(std::size_t pos, HeapEntry moving);
+    void siftDown(std::size_t pos, HeapEntry moving);
+
+    std::vector<std::unique_ptr<Slot[]>> slabs_;
+    std::vector<std::uint32_t> freeList_;
+    std::vector<HeapEntry> heap_;
     std::uint64_t nextSequence_ = 0;
-    /** Heap size that triggers the next cancelled-entry scan. */
-    std::size_t purgeCheckSize_ = 64;
-    std::uint64_t purgeCount_ = 0;
 };
+
+inline bool
+EventHandle::cancel()
+{
+    return queue_ != nullptr && queue_->cancelSlot(slot_, generation_);
+}
+
+inline bool
+EventHandle::pending() const
+{
+    return queue_ != nullptr && queue_->slotPending(slot_, generation_);
+}
 
 }  // namespace uqsim
 

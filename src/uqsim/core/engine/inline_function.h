@@ -1,0 +1,178 @@
+#ifndef UQSIM_CORE_ENGINE_INLINE_FUNCTION_H_
+#define UQSIM_CORE_ENGINE_INLINE_FUNCTION_H_
+
+/**
+ * @file
+ * Move-only type-erased callable with configurable inline storage.
+ *
+ * The event hot path schedules millions of small closures; wrapping
+ * each in a std::function costs a heap allocation whenever the
+ * capture exceeds the (16-byte, libstdc++) small-object buffer.
+ * InlineFunction sizes its buffer per use site so the common capture
+ * sets stay inline, and supports move-only captures (e.g. another
+ * InlineFunction, a unique_ptr), which std::function cannot hold.
+ * Callables larger than the buffer fall back to a single heap
+ * allocation — correct, just not free.
+ */
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace uqsim {
+
+template <typename Signature, std::size_t InlineBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+  public:
+    InlineFunction() = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                  std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+    InlineFunction(F&& fn)  // NOLINT: implicit like std::function
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void*>(storage_))
+                Fn(std::forward<F>(fn));
+            ops_ = &InlineOps<Fn>::ops;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                Fn*(new Fn(std::forward<F>(fn)));
+            ops_ = &HeapOps<Fn>::ops;
+        }
+    }
+
+    InlineFunction(InlineFunction&& other) noexcept
+    {
+        moveFrom(other);
+    }
+
+    InlineFunction&
+    operator=(InlineFunction&& other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFunction(const InlineFunction&) = delete;
+    InlineFunction& operator=(const InlineFunction&) = delete;
+
+    ~InlineFunction() { reset(); }
+
+    explicit operator bool() const { return ops_ != nullptr; }
+
+    R
+    operator()(Args... args)
+    {
+        return ops_->invoke(storage_, std::forward<Args>(args)...);
+    }
+
+    /** Destroys the held callable, leaving the function empty. */
+    void
+    reset()
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(storage_);
+            ops_ = nullptr;
+        }
+    }
+
+    /** True when the callable is stored inline (no heap block). */
+    bool storedInline() const
+    {
+        return ops_ != nullptr && ops_->inlineStored;
+    }
+
+  private:
+    struct Ops {
+        R (*invoke)(void*, Args&&...);
+        void (*relocate)(void* src, void* dst) noexcept;
+        void (*destroy)(void*) noexcept;
+        bool inlineStored;
+    };
+
+    template <typename Fn>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(Fn) <= InlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+    template <typename Fn>
+    struct InlineOps {
+        static R
+        invoke(void* s, Args&&... args)
+        {
+            return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void* src, void* dst) noexcept
+        {
+            ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+            static_cast<Fn*>(src)->~Fn();
+        }
+        static void
+        destroy(void* s) noexcept
+        {
+            static_cast<Fn*>(s)->~Fn();
+        }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy, true};
+    };
+
+    template <typename Fn>
+    struct HeapOps {
+        static Fn*&
+        held(void* s)
+        {
+            return *static_cast<Fn**>(s);
+        }
+        static R
+        invoke(void* s, Args&&... args)
+        {
+            return (*held(s))(std::forward<Args>(args)...);
+        }
+        static void
+        relocate(void* src, void* dst) noexcept
+        {
+            ::new (dst) Fn*(held(src));
+        }
+        static void
+        destroy(void* s) noexcept
+        {
+            delete held(s);
+        }
+        static constexpr Ops ops = {&invoke, &relocate, &destroy,
+                                    false};
+    };
+
+    void
+    moveFrom(InlineFunction& other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(other.storage_, storage_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    static constexpr std::size_t kStorageBytes =
+        InlineBytes < sizeof(void*) ? sizeof(void*) : InlineBytes;
+
+    alignas(std::max_align_t) unsigned char storage_[kStorageBytes];
+    const Ops* ops_ = nullptr;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_INLINE_FUNCTION_H_

@@ -26,33 +26,18 @@ Simulator::makeStream(const std::string& label) const
     return random::RngStream(masterSeed_, label);
 }
 
-EventHandle
-Simulator::scheduleAt(std::shared_ptr<Event> event, SimTime when)
+void
+Simulator::throwSchedulePast(SimTime when) const
 {
-    if (when < now_) {
-        throw std::logic_error(
-            "cannot schedule event in the past: event at " +
-            formatSimTime(when) + ", now " + formatSimTime(now_));
-    }
-    return queue_.schedule(std::move(event), when);
+    throw std::logic_error(
+        "cannot schedule event in the past: event at " +
+        formatSimTime(when) + ", now " + formatSimTime(now_));
 }
 
-EventHandle
-Simulator::scheduleAt(SimTime when, std::function<void()> callback,
-                      std::string label)
+void
+Simulator::throwNegativeDelay()
 {
-    return scheduleAt(std::make_shared<CallbackEvent>(std::move(callback),
-                                                      std::move(label)),
-                      when);
-}
-
-EventHandle
-Simulator::scheduleAfter(SimTime delay, std::function<void()> callback,
-                         std::string label)
-{
-    if (delay < 0)
-        throw std::logic_error("cannot schedule with negative delay");
-    return scheduleAt(now_ + delay, std::move(callback), std::move(label));
+    throw std::logic_error("cannot schedule with negative delay");
 }
 
 void
@@ -88,14 +73,14 @@ Simulator::run(SimTime until, std::uint64_t max_events)
             now_ = until;
             return StopReason::TimeLimit;
         }
-        std::shared_ptr<Event> event = queue_.pop();
-        now_ = event->when();
+        EventQueue::FiredEvent event = queue_.pop();
+        now_ = event.when();
         if (logger_.enabled(LogLevel::Trace))
             logger_.log(LogLevel::Trace, now_, "engine",
-                        "fire " + event->label());
-        digestEvent(static_cast<std::uint64_t>(event->when()),
-                    event->sequence());
-        event->execute();
+                        std::string("fire ") + event.label());
+        digestEvent(static_cast<std::uint64_t>(event.when()),
+                    event.sequence());
+        event.invoke();
         ++executedEvents_;
     }
 }

@@ -14,9 +14,8 @@
  */
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <string>
+#include <utility>
 
 #include "uqsim/core/engine/event.h"
 #include "uqsim/core/engine/event_queue.h"
@@ -54,17 +53,32 @@ class Simulator {
     /** Creates an independently seeded stream for @p label. */
     random::RngStream makeStream(const std::string& label) const;
 
-    /** Schedules a prebuilt event at absolute time @p when. */
-    EventHandle scheduleAt(std::shared_ptr<Event> event, SimTime when);
-
-    /** Schedules a callback at absolute time @p when (>= now). */
-    EventHandle scheduleAt(SimTime when, std::function<void()> callback,
-                           std::string label = "callback");
+    /**
+     * Schedules a callback at absolute time @p when (>= now).
+     * @p label must outlive the event (string literal or stable
+     * member); it is shown by the trace logger.
+     */
+    template <typename F>
+    EventHandle
+    scheduleAt(SimTime when, F&& callback,
+               const char* label = "callback")
+    {
+        if (when < now_)
+            throwSchedulePast(when);
+        return queue_.schedule(when, std::forward<F>(callback), label);
+    }
 
     /** Schedules a callback @p delay after the current time. */
-    EventHandle scheduleAfter(SimTime delay,
-                              std::function<void()> callback,
-                              std::string label = "callback");
+    template <typename F>
+    EventHandle
+    scheduleAfter(SimTime delay, F&& callback,
+                  const char* label = "callback")
+    {
+        if (delay < 0)
+            throwNegativeDelay();
+        return queue_.schedule(now_ + delay,
+                               std::forward<F>(callback), label);
+    }
 
     /**
      * Runs until the queue drains, time exceeds @p until, more than
@@ -96,6 +110,8 @@ class Simulator {
 
   private:
     void digestEvent(std::uint64_t when, std::uint64_t sequence);
+    [[noreturn]] void throwSchedulePast(SimTime when) const;
+    [[noreturn]] static void throwNegativeDelay();
 
     SimTime now_ = 0;
     std::uint64_t masterSeed_;

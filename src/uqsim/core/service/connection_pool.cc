@@ -20,7 +20,7 @@ ConnectionPool::ConnectionPool(std::string name, int size,
 }
 
 void
-ConnectionPool::acquire(std::function<void(ConnectionId)> ready)
+ConnectionPool::acquire(ReadyFn ready)
 {
     if (!free_.empty()) {
         const ConnectionId id = free_.front();

@@ -16,10 +16,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "uqsim/core/engine/inline_function.h"
 #include "uqsim/core/service/job.h"
 
 namespace uqsim {
@@ -36,6 +36,11 @@ class ConnectionIdAllocator {
 /** Fixed-size pool of connections to one downstream instance. */
 class ConnectionPool {
   public:
+    /** Ready callback; sized so the dispatcher's forward-hop capture
+     *  (this + job + node + instances + pool + root) stays inline —
+     *  one pool acquire per request hop must not heap-allocate. */
+    using ReadyFn = InlineFunction<void(ConnectionId), 96>;
+
     /**
      * @param name  diagnostic label, e.g. "nginx.0->memcached.1"
      * @param size  number of connections (> 0)
@@ -54,7 +59,7 @@ class ConnectionPool {
      * Hands a free connection to @p ready, immediately when one is
      * available or once a connection is released otherwise (FIFO).
      */
-    void acquire(std::function<void(ConnectionId)> ready);
+    void acquire(ReadyFn ready);
 
     /** Returns connection @p id to the pool. */
     void release(ConnectionId id);
@@ -64,7 +69,7 @@ class ConnectionPool {
     int size_;
     std::vector<ConnectionId> all_;
     std::deque<ConnectionId> free_;
-    std::deque<std::function<void(ConnectionId)>> waiters_;
+    std::deque<ReadyFn> waiters_;
     std::size_t maxWaiters_ = 0;
 };
 

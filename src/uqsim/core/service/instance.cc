@@ -78,6 +78,8 @@ MicroserviceInstance::MicroserviceInstance(Simulator& sim,
         queues_.push_back(StageQueue::create(stage, &connections_));
         stageLabels_.push_back(name_ + "/" + stage.name);
     }
+    spawnLabel_ = name_ + "/spawn";
+    retireLabel_ = name_ + "/retire";
 
     connections_.onUnblock(
         [this](ConnectionId) { scheduleWork(); });
@@ -146,7 +148,7 @@ MicroserviceInstance::maybeSpawnThread()
             peakThreads_ = std::max(peakThreads_, threads_);
             scheduleWork();
         },
-        name_ + "/spawn");
+        spawnLabel_.c_str());
 }
 
 void
@@ -169,7 +171,7 @@ MicroserviceInstance::maybeRetireThreads()
             }
             maybeRetireThreads();
         },
-        name_ + "/retire");
+        retireLabel_.c_str());
 }
 
 bool
@@ -223,15 +225,26 @@ MicroserviceInstance::startBatch(int stage_id, std::vector<JobPtr> batch)
     ++batches_;
     batchSizes_.add(static_cast<double>(batch.size()));
 
-    auto shared_batch =
-        std::make_shared<std::vector<JobPtr>>(std::move(batch));
+    // Recycle a shared batch record when its completion event has
+    // fully drained (the free list holds the only reference); this
+    // keeps steady-state batch turnover free of shared_ptr
+    // control-block allocations.
+    std::shared_ptr<std::vector<JobPtr>> shared_batch;
+    if (!batchPool_.empty() && batchPool_.back().use_count() == 1) {
+        shared_batch = std::move(batchPool_.back());
+        batchPool_.pop_back();
+        *shared_batch = std::move(batch);
+    } else {
+        shared_batch =
+            std::make_shared<std::vector<JobPtr>>(std::move(batch));
+    }
     activeBatches_.push_back(shared_batch);
     sim_.scheduleAfter(
         duration,
         [this, stage_id, shared_batch]() {
             finishBatch(stage_id, *shared_batch);
         },
-        stageLabels_[static_cast<std::size_t>(stage_id)]);
+        stageLabels_[static_cast<std::size_t>(stage_id)].c_str());
 }
 
 void
@@ -250,8 +263,10 @@ MicroserviceInstance::finishBatch(int stage_id, std::vector<JobPtr>& batch)
         [&batch](const std::shared_ptr<std::vector<JobPtr>>& entry) {
             return entry.get() == &batch;
         });
-    if (it != activeBatches_.end())
+    if (it != activeBatches_.end()) {
+        batchPool_.push_back(std::move(*it));
         activeBatches_.erase(it);
+    }
     for (JobPtr& job : batch)
         advanceJob(std::move(job));
     batch.clear();

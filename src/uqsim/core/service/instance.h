@@ -87,6 +87,11 @@ class MicroserviceInstance {
     const ServiceModel& model() const { return *model_; }
     hw::Machine* machine() { return machine_; }
 
+    /** Deployment-wide dense instance id (deployment order); -1 for
+     *  detached instances.  Keys connection-pool lookups. */
+    int uid() const { return uid_; }
+    void setUid(int uid) { uid_ = uid; }
+
     /** The instance's frequency domain (never null). */
     hw::DvfsDomain* dvfs() { return dvfs_; }
     const hw::DvfsDomain* dvfs() const { return dvfs_; }
@@ -184,6 +189,7 @@ class MicroserviceInstance {
     Simulator& sim_;
     ServiceModelPtr model_;
     std::string name_;
+    int uid_ = -1;
     hw::Machine* machine_;
     hw::DvfsDomain* dvfs_ = nullptr;
     std::unique_ptr<hw::DvfsDomain> ownedDvfs_;
@@ -204,6 +210,8 @@ class MicroserviceInstance {
     random::RngStream rng_;
     /** Precomputed "<instance>/<stage>" event labels (hot path). */
     std::vector<std::string> stageLabels_;
+    std::string spawnLabel_;
+    std::string retireLabel_;
     std::function<void(JobPtr)> onJobDone_;
     std::function<void(JobPtr, fault::FailReason)> onJobFailed_;
     bool scheduling_ = false;
@@ -219,6 +227,9 @@ class MicroserviceInstance {
     /** Batches currently executing; cleared (jobs killed) on crash
      *  while their completion events drain harmlessly. */
     std::vector<std::shared_ptr<std::vector<JobPtr>>> activeBatches_;
+    /** Finished batch records awaiting reuse; an entry is reusable
+     *  once its completion event dropped the last other reference. */
+    std::vector<std::shared_ptr<std::vector<JobPtr>>> batchPool_;
 };
 
 using InstancePtr = std::unique_ptr<MicroserviceInstance>;

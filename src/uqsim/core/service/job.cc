@@ -5,7 +5,7 @@ namespace uqsim {
 JobPtr
 JobFactory::createRoot(SimTime now, std::uint32_t bytes)
 {
-    auto job = std::make_shared<Job>();
+    JobPtr job = std::allocate_shared<Job>(allocator_);
     job->id = nextId_++;
     job->rootId = job->id;
     job->bytes = bytes;
@@ -17,7 +17,7 @@ JobFactory::createRoot(SimTime now, std::uint32_t bytes)
 JobPtr
 JobFactory::createCopy(const Job& parent)
 {
-    auto job = std::make_shared<Job>(parent);
+    JobPtr job = std::allocate_shared<Job>(allocator_, parent);
     job->id = nextId_++;
     job->connectionId = kNoConnection;
     job->stageIndex = -1;

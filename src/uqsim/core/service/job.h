@@ -15,6 +15,7 @@
 #include <memory>
 
 #include "uqsim/core/engine/sim_time.h"
+#include "uqsim/core/service/block_pool.h"
 
 namespace uqsim {
 
@@ -60,10 +61,20 @@ struct Job {
 
 using JobPtr = std::shared_ptr<Job>;
 
-/** Allocates jobs with unique ids. */
+/**
+ * Allocates jobs with unique ids.  Jobs come from a free-list block
+ * pool via allocate_shared — object and control block in one
+ * recycled allocation, so steady-state job churn never touches the
+ * heap.  The pool is shared into every JobPtr's deleter and outlives
+ * the factory if jobs do.
+ */
 class JobFactory {
   public:
-    JobFactory() = default;
+    JobFactory()
+        : pool_(std::make_shared<FixedBlockPool>()),
+          allocator_(pool_)
+    {
+    }
 
     /** Creates a new root job issued at @p now. */
     JobPtr createRoot(SimTime now, std::uint32_t bytes);
@@ -74,8 +85,13 @@ class JobFactory {
     /** Total jobs ever created. */
     JobId created() const { return nextId_ - 1; }
 
+    /** Pool blocks ever carved (diagnostics; bounds live jobs). */
+    std::size_t poolCapacity() const { return pool_->capacity(); }
+
   private:
     JobId nextId_ = 1;
+    std::shared_ptr<FixedBlockPool> pool_;
+    PoolAllocator<Job> allocator_;
 };
 
 }  // namespace uqsim

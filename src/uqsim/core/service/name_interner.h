@@ -1,0 +1,74 @@
+#ifndef UQSIM_CORE_SERVICE_NAME_INTERNER_H_
+#define UQSIM_CORE_SERVICE_NAME_INTERNER_H_
+
+/**
+ * @file
+ * Service-name interning.
+ *
+ * Service and tier names appear on every request hop: instance
+ * selection, edge-policy lookup, per-tier fault counters, trace
+ * spans.  Interning maps each distinct name to a small dense integer
+ * id at configuration-load time so the hot path works with array
+ * indices; strings reappear only at report-render boundaries.
+ *
+ * Ids are assigned in intern order, which is configuration order —
+ * deterministic for a given config, so id-keyed iteration cannot
+ * perturb simulation results.
+ */
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+
+/** Bidirectional name <-> dense-id table. */
+class NameInterner {
+  public:
+    /** Sentinel for "no name". */
+    static constexpr std::uint32_t kNone = 0xFFFFFFFFu;
+
+    /** Returns the id of @p name, interning it if new. */
+    std::uint32_t
+    intern(const std::string& name)
+    {
+        const auto it = ids_.find(name);
+        if (it != ids_.end())
+            return it->second;
+        const auto id = static_cast<std::uint32_t>(names_.size());
+        names_.push_back(name);
+        ids_.emplace(name, id);
+        return id;
+    }
+
+    /** The id of @p name, or kNone when never interned. */
+    std::uint32_t
+    find(const std::string& name) const
+    {
+        const auto it = ids_.find(name);
+        return it == ids_.end() ? kNone : it->second;
+    }
+
+    /** The name behind @p id. */
+    const std::string&
+    name(std::uint32_t id) const
+    {
+        if (id >= names_.size())
+            throw std::out_of_range("unknown interned id " +
+                                    std::to_string(id));
+        return names_[id];
+    }
+
+    /** Number of interned names (ids are 0..size-1). */
+    std::size_t size() const { return names_.size(); }
+
+  private:
+    std::map<std::string, std::uint32_t> ids_;
+    std::vector<std::string> names_;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SERVICE_NAME_INTERNER_H_

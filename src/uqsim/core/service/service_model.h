@@ -9,6 +9,7 @@
  * modular, reusable per-microservice models).
  */
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +75,15 @@ class ServiceModel {
     fromJson(const json::JsonValue& doc);
 
     const std::string& name() const { return name_; }
+
+    /**
+     * Interned id of name() within the owning deployment, assigned
+     * by Deployment::registerModel.  Hot paths (dispatcher routing,
+     * per-tier stats, tracing) use this id instead of the string.
+     */
+    std::uint32_t nameId() const { return nameId_; }
+    void setNameId(std::uint32_t id) { nameId_ = id; }
+
     const std::vector<StageConfig>& stages() const { return stages_; }
     const std::vector<PathConfig>& paths() const { return paths_; }
 
@@ -114,6 +124,7 @@ class ServiceModel {
 
   private:
     std::string name_;
+    std::uint32_t nameId_ = 0xFFFFFFFFu;
     std::vector<StageConfig> stages_;
     std::vector<PathConfig> paths_;
     PathSelector selector_;

@@ -153,11 +153,18 @@ Simulation::finalize()
                 ++measuredFailed_;
         });
     dispatcher_->setTierLatencyHook(
-        [this](const std::string& service, double seconds) {
-            if (inMeasurementWindow())
-                tiers_[service].add(seconds);
-            if (tierListener_)
-                tierListener_(service, seconds);
+        [this](std::uint32_t tier_id, double seconds) {
+            if (inMeasurementWindow()) {
+                if (tiersById_.size() <= tier_id)
+                    tiersById_.resize(tier_id + 1);
+                tiersById_[tier_id].add(seconds);
+            }
+            // Name resolution only when a listener actually wants
+            // the string (keeps the hot path id-only).
+            if (tierListener_) {
+                tierListener_(deployment_->names().name(tier_id),
+                              seconds);
+            }
         });
 
     for (workload::ClientConfig& config : pendingClients_) {
@@ -216,6 +223,19 @@ toLatencyStats(const stats::PercentileRecorder& recorder)
 
 }  // namespace
 
+std::map<std::string, stats::PercentileRecorder>
+Simulation::tierLatencies() const
+{
+    std::map<std::string, stats::PercentileRecorder> rendered;
+    for (std::size_t id = 0; id < tiersById_.size(); ++id) {
+        if (tiersById_[id].count() > 0) {
+            rendered[deployment_->names().name(
+                static_cast<std::uint32_t>(id))] = tiersById_[id];
+        }
+    }
+    return rendered;
+}
+
 RunReport
 Simulation::buildReport(double wall_seconds) const
 {
@@ -247,8 +267,13 @@ Simulation::buildReport(double wall_seconds) const
                 client->timeouts();
         }
     }
-    for (const auto& [tier, recorder] : tiers_)
-        report.tiers[tier] = toLatencyStats(recorder);
+    for (std::size_t id = 0; id < tiersById_.size(); ++id) {
+        if (tiersById_[id].count() > 0) {
+            report.tiers[deployment_->names().name(
+                static_cast<std::uint32_t>(id))] =
+                toLatencyStats(tiersById_[id]);
+        }
+    }
     if (dispatcher_) {
         report.failed = dispatcher_->requestsFailed();
         report.shed = dispatcher_->requestsShed();

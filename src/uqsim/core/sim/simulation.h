@@ -119,12 +119,12 @@ class Simulation {
         return endToEnd_;
     }
 
-    /** Per-tier latencies (seconds) within the measured window. */
-    const std::map<std::string, stats::PercentileRecorder>&
-    tierLatencies() const
-    {
-        return tiers_;
-    }
+    /** Per-tier latencies (seconds) within the measured window,
+     *  rendered to a name-keyed map.  Internally the recorders live
+     *  in a dense id-indexed array (hot path); this is the
+     *  inspection boundary. */
+    std::map<std::string, stats::PercentileRecorder>
+    tierLatencies() const;
 
     /** Builds the report from current statistics (post-run). */
     RunReport buildReport(double wall_seconds = 0.0) const;
@@ -142,7 +142,9 @@ class Simulation {
     std::vector<workload::ClientConfig> pendingClients_;
     std::vector<std::unique_ptr<workload::Client>> clients_;
     stats::PercentileRecorder endToEnd_;
-    std::map<std::string, stats::PercentileRecorder> tiers_;
+    /** Measured-window tier latency recorders indexed by interned
+     *  service id. */
+    std::vector<stats::PercentileRecorder> tiersById_;
     std::uint64_t measuredCompletions_ = 0;
     std::uint64_t measuredGenerated_ = 0;
     std::uint64_t measuredFailed_ = 0;

@@ -21,7 +21,7 @@ IrqService::IrqService(Simulator& sim, std::string name, int cores,
 }
 
 void
-IrqService::process(std::uint32_t bytes, std::function<void()> done)
+IrqService::process(std::uint32_t bytes, Callback done)
 {
     queue_.push_back(Packet{bytes, std::move(done)});
     tryStart();
@@ -46,18 +46,16 @@ IrqService::startService(Packet packet)
         seconds *= dvfs_->slowdown();
     serviceTimes_.add(seconds);
     const SimTime duration = secondsToSimTime(seconds);
-    auto done = std::make_shared<std::function<void()>>(
-        std::move(packet.done));
     sim_.scheduleAfter(
         duration,
-        [this, done]() {
+        [this, done = std::move(packet.done)]() mutable {
             cores_.release(sim_.now());
             ++processed_;
-            if (*done)
-                (*done)();
+            if (done)
+                done();
             tryStart();
         },
-        doneLabel_);
+        doneLabel_.c_str());
 }
 
 double

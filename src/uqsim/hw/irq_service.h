@@ -17,9 +17,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
+#include "uqsim/core/engine/inline_function.h"
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/hw/core_set.h"
 #include "uqsim/hw/dvfs.h"
@@ -29,6 +29,14 @@
 
 namespace uqsim {
 namespace hw {
+
+/**
+ * Completion callback passed through the network/IRQ pipeline.
+ * Move-only with 64 inline bytes: the dispatcher's delivery
+ * closures fit without touching the heap, and callbacks can carry
+ * move-only state (another Callback, a pooled handle).
+ */
+using Callback = InlineFunction<void(), 64>;
 
 /** FIFO multi-server station processing network packets. */
 class IrqService {
@@ -50,7 +58,7 @@ class IrqService {
      * Enqueues a packet of @p bytes; @p done fires when interrupt
      * processing completes.
      */
-    void process(std::uint32_t bytes, std::function<void()> done);
+    void process(std::uint32_t bytes, Callback done);
 
     /** Packets fully processed so far. */
     std::uint64_t processedPackets() const { return processed_; }
@@ -70,7 +78,7 @@ class IrqService {
   private:
     struct Packet {
         std::uint32_t bytes;
-        std::function<void()> done;
+        Callback done;
     };
 
     void tryStart();

@@ -31,8 +31,7 @@ Network::clearDegradation()
 
 void
 Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  std::function<void()> done,
-                  std::function<void()> dropped)
+                  Callback done, Callback dropped)
 {
     ++transfers_;
     // Decide loss and latency at send time: a window that closes
@@ -94,8 +93,7 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
 }
 
 void
-Network::deliver(Machine* to, std::uint32_t bytes,
-                 std::function<void()> done)
+Network::deliver(Machine* to, std::uint32_t bytes, Callback done)
 {
     if (to != nullptr && to->irq() != nullptr) {
         to->irq()->process(bytes, std::move(done));

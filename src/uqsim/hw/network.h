@@ -20,7 +20,6 @@
  */
 
 #include <cstdint>
-#include <functional>
 
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/hw/machine.h"
@@ -51,8 +50,7 @@ class Network {
      * vanishes when no @p dropped is given).
      */
     void transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  std::function<void()> done,
-                  std::function<void()> dropped = {});
+                  Callback done, Callback dropped = {});
 
     /** Opens a degradation window: adds @p extraLatencySeconds to
      *  every transfer and loses cross-machine messages with
@@ -66,8 +64,7 @@ class Network {
     std::uint64_t droppedMessages() const { return dropped_; }
 
   private:
-    void deliver(Machine* to, std::uint32_t bytes,
-                 std::function<void()> done);
+    void deliver(Machine* to, std::uint32_t bytes, Callback done);
 
     Simulator& sim_;
     NetworkConfig config_;

@@ -62,7 +62,18 @@ LatencyHistogram::addN(double value, std::uint64_t count)
 {
     if (count == 0)
         return;
+    // Sanitize before the integer quantization: casting NaN, +inf,
+    // or anything >= 2^64 units to uint64_t is undefined behavior.
+    // NaN counts as 0 (like the negative clamp); huge finite values
+    // and +inf clamp to a ceiling that still quantizes safely.
+    if (std::isnan(value))
+        value = 0.0;
     value = std::max(value, 0.0);
+    const double ceiling = unit_ * 0x1p62;
+    if (value > ceiling) {
+        value = ceiling;
+        clamped_ += count;
+    }
     const std::uint64_t quantized =
         static_cast<std::uint64_t>(value / unit_);
     const std::size_t index = bucketIndex(quantized);
@@ -91,6 +102,7 @@ LatencyHistogram::merge(const LatencyHistogram& other)
     for (std::size_t i = 0; i < other.counts_.size(); ++i)
         counts_[i] += other.counts_[i];
     totalCount_ += other.totalCount_;
+    clamped_ += other.clamped_;
     sum_ += other.sum_;
     if (other.hasValues_) {
         if (!hasValues_) {
@@ -122,13 +134,19 @@ LatencyHistogram::percentile(double p) const
     if (totalCount_ == 0)
         return 0.0;
     const double clamped = std::clamp(p, 0.0, 100.0);
+    if (clamped >= 100.0)
+        return maxValue_;  // exact recorded maximum, not a midpoint
     const double target =
         clamped / 100.0 * static_cast<double>(totalCount_);
     std::uint64_t running = 0;
     for (std::size_t i = 0; i < counts_.size(); ++i) {
         running += counts_[i];
-        if (static_cast<double>(running) >= target && counts_[i] > 0)
-            return bucketMidpoint(i);
+        if (static_cast<double>(running) >= target && counts_[i] > 0) {
+            // A bucket midpoint can overshoot the recorded maximum
+            // (or undershoot the minimum) by up to half a bucket;
+            // clamp so percentiles stay within observed values.
+            return std::clamp(bucketMidpoint(i), minValue_, maxValue_);
+        }
     }
     return maxValue_;
 }
@@ -138,6 +156,7 @@ LatencyHistogram::reset()
 {
     counts_.clear();
     totalCount_ = 0;
+    clamped_ = 0;
     sum_ = 0.0;
     minValue_ = 0.0;
     maxValue_ = 0.0;

@@ -42,6 +42,9 @@ class LatencyHistogram {
     void merge(const LatencyHistogram& other);
 
     std::uint64_t count() const { return totalCount_; }
+    /** Samples clamped to the finite recording ceiling (non-finite
+     *  or astronomically large inputs). */
+    std::uint64_t clampedSamples() const { return clamped_; }
     double mean() const;
     double max() const { return maxValue_; }
     double min() const;
@@ -62,6 +65,7 @@ class LatencyHistogram {
     std::uint64_t subBucketCount_;
     std::vector<std::uint64_t> counts_;
     std::uint64_t totalCount_ = 0;
+    std::uint64_t clamped_ = 0;
     double sum_ = 0.0;
     double maxValue_ = 0.0;
     double minValue_ = 0.0;

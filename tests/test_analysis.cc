@@ -143,9 +143,10 @@ TEST(TraceRecorder, RecordsSpansThroughDispatcher)
     const RequestTrace& trace = recorder.traces().front();
     // 2-tier path: nginx request, memcached, nginx response.
     ASSERT_EQ(trace.spans.size(), 3u);
-    EXPECT_EQ(trace.spans[0].service, "nginx");
-    EXPECT_EQ(trace.spans[1].service, "memcached");
-    EXPECT_EQ(trace.spans[2].service, "nginx");
+    EXPECT_EQ(recorder.serviceName(trace.spans[0].serviceId), "nginx");
+    EXPECT_EQ(recorder.serviceName(trace.spans[1].serviceId),
+              "memcached");
+    EXPECT_EQ(recorder.serviceName(trace.spans[2].serviceId), "nginx");
     EXPECT_GT(trace.completed, trace.started);
     for (const TraceSpan& span : trace.spans) {
         EXPECT_GE(span.enter, trace.started);
@@ -156,7 +157,7 @@ TEST(TraceRecorder, RecordsSpansThroughDispatcher)
     EXPECT_LE(trace.spans[0].enter, trace.spans[1].enter);
     EXPECT_LE(trace.spans[1].enter, trace.spans[2].enter);
     // Waterfall rendering includes every service.
-    const std::string art = TraceRecorder::waterfall(trace);
+    const std::string art = recorder.waterfall(trace);
     EXPECT_NE(art.find("nginx"), std::string::npos);
     EXPECT_NE(art.find("memcached"), std::string::npos);
 }
@@ -173,6 +174,69 @@ TEST(TraceRecorder, CapacityEvictsOldest)
     simulation->dispatcher().attachTracer(&recorder);
     simulation->run();
     EXPECT_EQ(recorder.traces().size(), 10u);
+}
+
+TEST(TraceRecorder, SpanClosingAtTimeZeroIsClosed)
+{
+    // SimTime 0 is a legitimate instant; a span that enters and
+    // leaves at 0 must not read as "still open" (the old sentinel).
+    TraceRecorder recorder(1.0, 4);
+    Job job;
+    job.id = 7;
+    job.rootId = 7;
+    job.pathNodeId = 0;
+    recorder.recordStart(job, 0);
+    recorder.recordEnter(job, 0, 0);
+    recorder.recordLeave(job, 0);
+    // A second enter of the same job copy must open a fresh span,
+    // not re-close the first one.
+    job.pathNodeId = 1;
+    recorder.recordEnter(job, 0, 5);
+    recorder.recordLeave(job, 9);
+    recorder.recordComplete(job, 9);
+    ASSERT_EQ(recorder.traces().size(), 1u);
+    const RequestTrace& trace = recorder.traces().front();
+    ASSERT_EQ(trace.spans.size(), 2u);
+    EXPECT_EQ(trace.spans[0].leave, 0);
+    EXPECT_NE(trace.spans[0].leave, kTraceOpen);
+    EXPECT_EQ(trace.spans[1].leave, 9);
+    EXPECT_EQ(trace.completed, 9);
+}
+
+TEST(TraceRecorder, CompletedAtTimeZeroIsComplete)
+{
+    TraceRecorder recorder(1.0, 4);
+    Job job;
+    job.id = 3;
+    job.rootId = 3;
+    recorder.recordStart(job, 0);
+    recorder.recordComplete(job, 0);
+    ASSERT_EQ(recorder.traces().size(), 1u);
+    EXPECT_EQ(recorder.traces().front().completed, 0);
+    EXPECT_NE(recorder.traces().front().completed, kTraceOpen);
+    EXPECT_EQ(recorder.activeTraces(), 0u);
+}
+
+TEST(TraceRecorder, RecordStartDoesNotClobberActiveTrace)
+{
+    // Retry/hedge machinery can re-enter the root request; the spans
+    // already collected must survive the second recordStart.
+    TraceRecorder recorder(1.0, 4);
+    Job job;
+    job.id = 11;
+    job.rootId = 11;
+    job.pathNodeId = 0;
+    recorder.recordStart(job, 100);
+    recorder.recordEnter(job, 0, 110);
+    recorder.recordLeave(job, 120);
+    recorder.recordStart(job, 130);  // re-entry: must be a no-op
+    recorder.recordComplete(job, 140);
+    ASSERT_EQ(recorder.traces().size(), 1u);
+    const RequestTrace& trace = recorder.traces().front();
+    EXPECT_EQ(trace.started, 100);
+    ASSERT_EQ(trace.spans.size(), 1u);
+    EXPECT_EQ(trace.spans[0].enter, 110);
+    EXPECT_EQ(trace.spans[0].leave, 120);
 }
 
 // ------------------------------------------------- capacity search

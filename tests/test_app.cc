@@ -268,6 +268,34 @@ chainVariant(std::vector<std::string> services)
     return variant;
 }
 
+// --------------------------------------------------------- NameInterner
+
+TEST(NameInterner, AssignsDenseIdsInInternOrder)
+{
+    NameInterner names;
+    EXPECT_EQ(names.size(), 0u);
+    EXPECT_EQ(names.intern("nginx"), 0u);
+    EXPECT_EQ(names.intern("memcached"), 1u);
+    EXPECT_EQ(names.intern("nginx"), 0u);  // idempotent
+    EXPECT_EQ(names.size(), 2u);
+    EXPECT_EQ(names.name(0), "nginx");
+    EXPECT_EQ(names.name(1), "memcached");
+    EXPECT_EQ(names.find("memcached"), 1u);
+    EXPECT_EQ(names.find("mongodb"), NameInterner::kNone);
+    EXPECT_THROW(names.name(2), std::out_of_range);
+    EXPECT_THROW(names.name(NameInterner::kNone), std::out_of_range);
+}
+
+TEST(NameInterner, DeploymentInternsModelsInRegistrationOrder)
+{
+    AppFixture app;
+    app.deployment.registerModel(tinyModel("front", 10.0));
+    app.deployment.registerModel(tinyModel("back", 10.0));
+    EXPECT_EQ(app.deployment.names().find("front"), 0u);
+    EXPECT_EQ(app.deployment.names().find("back"), 1u);
+    EXPECT_EQ(app.deployment.model("back")->nameId(), 1u);
+}
+
 // ------------------------------------------------------------ Deployment
 
 TEST(Deployment, RegisterAndDeploy)
@@ -393,8 +421,8 @@ TEST(Dispatcher, ChainRoutesThroughTiers)
     app.finalize();
     std::map<std::string, int> tier_visits;
     app.dispatcher->setTierLatencyHook(
-        [&](const std::string& service, double) {
-            ++tier_visits[service];
+        [&](std::uint32_t tier_id, double) {
+            ++tier_visits[app.deployment.names().name(tier_id)];
         });
     app.issue(app.deployment.instance("front", 0), 1);
     app.sim.run();
@@ -600,8 +628,8 @@ TEST(Dispatcher, TierLatencyHookReportsSeconds)
     app.finalize();
     double observed = -1.0;
     app.dispatcher->setTierLatencyHook(
-        [&](const std::string& service, double seconds) {
-            EXPECT_EQ(service, "svc");
+        [&](std::uint32_t tier_id, double seconds) {
+            EXPECT_EQ(app.deployment.names().name(tier_id), "svc");
             observed = seconds;
         });
     app.issue(app.deployment.instance("svc", 0), 1);

@@ -1,15 +1,21 @@
 /**
  * @file
  * Unit tests for the DES engine: time, events, queue ordering,
- * cancellation, and the simulator run loop.
+ * cancellation, the slab event pool with generation-stamped handles,
+ * and the simulator run loop.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "uqsim/core/engine/event_queue.h"
+#include "uqsim/core/engine/inline_function.h"
 #include "uqsim/core/engine/simulator.h"
+#include "uqsim/random/rng.h"
 
 namespace uqsim {
 namespace {
@@ -43,21 +49,48 @@ TEST(SimTime, Formatting)
     EXPECT_NE(formatSimTime(2 * kSecond).find("s"), std::string::npos);
 }
 
+// -------------------------------------------------------- InlineFunction
+
+TEST(InlineFunction, HoldsMoveOnlyCallables)
+{
+    auto value = std::make_unique<int>(41);
+    InlineFunction<int(), 64> fn =
+        [v = std::move(value)]() { return *v + 1; };
+    EXPECT_TRUE(static_cast<bool>(fn));
+    EXPECT_TRUE(fn.storedInline());
+    EXPECT_EQ(fn(), 42);
+
+    InlineFunction<int(), 64> moved = std::move(fn);
+    EXPECT_FALSE(static_cast<bool>(fn));
+    EXPECT_EQ(moved(), 42);
+}
+
+TEST(InlineFunction, OversizedCapturesFallBackToHeap)
+{
+    struct Big {
+        char bytes[200] = {};
+    };
+    Big big;
+    big.bytes[0] = 7;
+    InlineFunction<int(), 64> fn =
+        [big]() { return static_cast<int>(big.bytes[0]); };
+    EXPECT_FALSE(fn.storedInline());
+    EXPECT_EQ(fn(), 7);
+}
+
 // ------------------------------------------------------------ EventQueue
 
 TEST(EventQueue, PopsInTimeOrder)
 {
     EventQueue queue;
     std::vector<int> order;
-    auto make = [&](int id) {
-        return std::make_shared<CallbackEvent>(
-            [&order, id]() { order.push_back(id); });
-    };
-    queue.schedule(make(3), 30);
-    queue.schedule(make(1), 10);
-    queue.schedule(make(2), 20);
-    while (!queue.empty())
-        queue.pop()->execute();
+    queue.schedule(30, [&order]() { order.push_back(3); });
+    queue.schedule(10, [&order]() { order.push_back(1); });
+    queue.schedule(20, [&order]() { order.push_back(2); });
+    while (!queue.empty()) {
+        EventQueue::FiredEvent event = queue.pop();
+        event.invoke();
+    }
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -65,13 +98,12 @@ TEST(EventQueue, EqualTimesAreFifo)
 {
     EventQueue queue;
     std::vector<int> order;
-    for (int i = 0; i < 50; ++i) {
-        queue.schedule(std::make_shared<CallbackEvent>(
-                           [&order, i]() { order.push_back(i); }),
-                       100);
+    for (int i = 0; i < 50; ++i)
+        queue.schedule(100, [&order, i]() { order.push_back(i); });
+    while (!queue.empty()) {
+        EventQueue::FiredEvent event = queue.pop();
+        event.invoke();
     }
-    while (!queue.empty())
-        queue.pop()->execute();
     for (int i = 0; i < 50; ++i)
         EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
@@ -80,21 +112,27 @@ TEST(EventQueue, NextTimeReportsEarliest)
 {
     EventQueue queue;
     EXPECT_EQ(queue.nextTime(), kSimTimeMax);
-    queue.schedule(std::make_shared<CallbackEvent>([] {}), 42);
+    queue.schedule(42, [] {});
     EXPECT_EQ(queue.nextTime(), 42);
+}
+
+TEST(EventQueue, PopOnEmptyIsFalsey)
+{
+    EventQueue queue;
+    EXPECT_FALSE(queue.pop());
 }
 
 TEST(EventQueue, CancellationDropsEvent)
 {
     EventQueue queue;
     bool fired = false;
-    EventHandle handle = queue.schedule(
-        std::make_shared<CallbackEvent>([&] { fired = true; }), 10);
+    EventHandle handle =
+        queue.schedule(10, [&] { fired = true; });
     EXPECT_TRUE(handle.pending());
     EXPECT_TRUE(handle.cancel());
     EXPECT_FALSE(handle.pending());
     EXPECT_TRUE(queue.empty());
-    EXPECT_EQ(queue.pop(), nullptr);
+    EXPECT_FALSE(queue.pop());
     EXPECT_FALSE(fired);
 }
 
@@ -102,13 +140,11 @@ TEST(EventQueue, CancelledBehindLiveEvent)
 {
     EventQueue queue;
     bool live_fired = false;
-    queue.schedule(
-        std::make_shared<CallbackEvent>([&] { live_fired = true; }), 5);
-    EventHandle handle =
-        queue.schedule(std::make_shared<CallbackEvent>([] {}), 10);
+    queue.schedule(5, [&] { live_fired = true; });
+    EventHandle handle = queue.schedule(10, [] {});
     handle.cancel();
     EXPECT_FALSE(queue.empty());
-    queue.pop()->execute();
+    queue.pop().invoke();
     EXPECT_TRUE(live_fired);
     EXPECT_TRUE(queue.empty());
 }
@@ -116,76 +152,178 @@ TEST(EventQueue, CancelledBehindLiveEvent)
 TEST(EventQueue, HandleAfterExecutionIsNotPending)
 {
     EventQueue queue;
-    EventHandle handle =
-        queue.schedule(std::make_shared<CallbackEvent>([] {}), 1);
-    queue.pop()->execute();
+    EventHandle handle = queue.schedule(1, [] {});
+    queue.pop().invoke();
     EXPECT_FALSE(handle.pending());
     EXPECT_FALSE(handle.cancel());
 }
 
-TEST(EventQueue, NullEventThrows)
+TEST(EventQueue, DefaultHandleIsInert)
 {
-    EventQueue queue;
-    EXPECT_THROW(queue.schedule(nullptr, 0), std::invalid_argument);
+    EventHandle handle;
+    EXPECT_FALSE(handle.pending());
+    EXPECT_FALSE(handle.cancel());
 }
 
-TEST(EventQueue, EagerPurgeBoundsCancellationHeavyWorkloads)
+TEST(EventQueue, StaleHandleAfterSlotReuseIsNoOp)
+{
+    // Cancel frees the slot; the next schedule reuses it with a
+    // bumped generation.  The stale handle must neither cancel nor
+    // report the new occupant as pending.
+    EventQueue queue;
+    EventHandle first = queue.schedule(10, [] {});
+    ASSERT_TRUE(first.cancel());
+    bool second_fired = false;
+    EventHandle second =
+        queue.schedule(20, [&] { second_fired = true; });
+    EXPECT_FALSE(first.pending());
+    EXPECT_FALSE(first.cancel());
+    EXPECT_TRUE(second.pending());
+    queue.pop().invoke();
+    EXPECT_TRUE(second_fired);
+}
+
+TEST(EventQueue, CancelThenPopKeepsOrdering)
+{
+    // Cancelling interior heap entries (O(log n) removal) must not
+    // disturb the (when, sequence) pop order of the survivors.
+    EventQueue queue;
+    std::vector<int> order;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 20; ++i) {
+        handles.push_back(queue.schedule(
+            static_cast<SimTime>(100 - i * 5),
+            [&order, i]() { order.push_back(i); }));
+    }
+    for (int i = 0; i < 20; i += 2)
+        EXPECT_TRUE(handles[static_cast<std::size_t>(i)].cancel());
+    EXPECT_EQ(queue.size(), 10u);
+    while (!queue.empty())
+        queue.pop().invoke();
+    // Odd ids survive; later ids have earlier times.
+    const std::vector<int> expected = {19, 17, 15, 13, 11,
+                                       9,  7,  5,  3,  1};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, SelfCancelDuringExecutionIsSafe)
+{
+    // An event cancelling its own handle while firing matches the
+    // old cancelled-flag semantics: reports success, no effect, and
+    // the slot is still recycled cleanly afterwards.
+    EventQueue queue;
+    EventHandle handle;
+    int fired = 0;
+    handle = queue.schedule(5, [&]() {
+        ++fired;
+        EXPECT_TRUE(handle.cancel());
+    });
+    queue.pop().invoke();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(handle.pending());
+    // The queue keeps working after the self-cancel.
+    queue.schedule(6, [&]() { ++fired; });
+    queue.pop().invoke();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EagerCancelReclaimsSlots)
 {
     // Timeout-style workload: every event is scheduled far in the
-    // future and cancelled almost immediately, so lazy front-of-heap
-    // dropping alone would never reclaim anything.  The eager purge
-    // must keep the heap within a constant factor of the live
-    // population.
+    // future and cancelled almost immediately.  Cancellation removes
+    // the heap entry eagerly and recycles the slot, so both the heap
+    // and the slab pool stay near the live population instead of
+    // growing with the cancellation churn.
     EventQueue queue;
     std::vector<EventHandle> live;
     for (int i = 0; i < 100000; ++i) {
         EventHandle handle = queue.schedule(
-            std::make_shared<CallbackEvent>([] {}),
-            static_cast<SimTime>(1000000 + i));
+            static_cast<SimTime>(1000000 + i), [] {});
         if (i % 100 == 0)
             live.push_back(handle);  // 1% survive
         else
-            handle.cancel();
+            EXPECT_TRUE(handle.cancel());
     }
-    EXPECT_GT(queue.purgeCount(), 0u);
+    EXPECT_EQ(queue.size(), live.size());
     EXPECT_EQ(queue.liveSize(), live.size());
-    // Without purging the heap would hold all 100000 entries; the
-    // doubling purge schedule bounds it near 2x the live population
-    // plus the post-purge check interval.
-    EXPECT_LT(queue.size(), 10000u);
+    // 1000 live slots; the pool holds them plus at most a slab of
+    // slack, nowhere near the 100000 the purge-based queue flirted
+    // with before its scans kicked in.
+    EXPECT_LT(queue.poolCapacity(), 2048u);
+    for (EventHandle& handle : live)
+        EXPECT_TRUE(handle.pending());
 }
 
-TEST(EventQueue, PurgePreservesOrderAndLiveEvents)
+TEST(EventQueue, RandomScheduleCancelMatchesSortedReference)
+{
+    // 10k random schedule/cancel operations checked against a plain
+    // sorted reference: the 4-ary index-tracked heap must pop the
+    // exact (when, sequence) order the spec demands.
+    struct Ref {
+        SimTime when;
+        std::uint64_t sequence;
+        int id;
+    };
+    random::Rng rng(20260806);
+    EventQueue queue;
+    std::vector<Ref> reference;
+    std::vector<int> fired;
+    std::vector<std::pair<int, EventHandle>> cancellable;
+    std::uint64_t sequence = 0;
+    int next_id = 0;
+    for (int op = 0; op < 10000; ++op) {
+        const bool do_cancel =
+            !cancellable.empty() && rng.nextBounded(100) < 40;
+        if (do_cancel) {
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.nextBounded(
+                    static_cast<std::uint64_t>(cancellable.size())));
+            const int id = cancellable[pick].first;
+            EXPECT_TRUE(cancellable[pick].second.cancel());
+            cancellable.erase(cancellable.begin() +
+                              static_cast<std::ptrdiff_t>(pick));
+            reference.erase(
+                std::find_if(reference.begin(), reference.end(),
+                             [id](const Ref& r) {
+                                 return r.id == id;
+                             }));
+        } else {
+            const SimTime when =
+                static_cast<SimTime>(rng.nextBounded(5000));
+            const int id = next_id++;
+            EventHandle handle = queue.schedule(
+                when, [&fired, id]() { fired.push_back(id); });
+            reference.push_back(Ref{when, sequence, id});
+            // Keep roughly half of the live events cancellable.
+            if (rng.nextBounded(2) == 0)
+                cancellable.emplace_back(id, handle);
+        }
+        ++sequence;
+    }
+    std::sort(reference.begin(), reference.end(),
+              [](const Ref& a, const Ref& b) {
+                  if (a.when != b.when)
+                      return a.when < b.when;
+                  return a.sequence < b.sequence;
+              });
+    ASSERT_EQ(queue.size(), reference.size());
+    while (!queue.empty()) {
+        EventQueue::FiredEvent event = queue.pop();
+        event.invoke();
+    }
+    ASSERT_EQ(fired.size(), reference.size());
+    for (std::size_t i = 0; i < reference.size(); ++i)
+        EXPECT_EQ(fired[i], reference[i].id) << "at pop " << i;
+}
+
+TEST(EventQueue, MoveOnlyActionsAreSupported)
 {
     EventQueue queue;
-    std::vector<int> fired;
-    // Interleave live and immediately-cancelled events at
-    // random-ish times; enough of them to cross several purge
-    // thresholds while the heap is a mix of both kinds.
-    for (int i = 0; i < 5000; ++i) {
-        const SimTime when = static_cast<SimTime>((i * 37) % 9973);
-        if (i % 10 == 0) {
-            const int id = i;
-            queue.schedule(std::make_shared<CallbackEvent>(
-                               [&fired, id]() { fired.push_back(id); }),
-                           when);
-        } else {
-            EventHandle handle = queue.schedule(
-                std::make_shared<CallbackEvent>([] {}), when);
-            handle.cancel();
-        }
-    }
-    SimTime last = 0;
-    std::size_t popped = 0;
-    while (!queue.empty()) {
-        std::shared_ptr<Event> event = queue.pop();
-        EXPECT_GE(event->when(), last);
-        last = event->when();
-        event->execute();
-        ++popped;
-    }
-    EXPECT_EQ(popped, 500u);
-    EXPECT_EQ(fired.size(), 500u);
+    auto payload = std::make_unique<int>(9);
+    int seen = 0;
+    queue.schedule(1, [p = std::move(payload), &seen]() { seen = *p; });
+    queue.pop().invoke();
+    EXPECT_EQ(seen, 9);
 }
 
 // -------------------------------------------------------------- Simulator

@@ -272,8 +272,9 @@ TEST(GracefulDegradation, BoundedQueueKeepsTailFiniteAndCountsRejects)
     // Every rejection is accounted: queue-full drops inside the tier
     // cover all failed requests, one for one.
     EXPECT_GT(instance.rejectedJobs(), 1000u);
-    const auto it = dispatcher.tierFaults().find("svc");
-    ASSERT_NE(it, dispatcher.tierFaults().end());
+    const auto tier_faults = dispatcher.tierFaults();
+    const auto it = tier_faults.find("svc");
+    ASSERT_NE(it, tier_faults.end());
     EXPECT_EQ(it->second.rejected, instance.rejectedJobs());
     EXPECT_EQ(dispatcher.requestsFailed(), instance.rejectedJobs());
     EXPECT_EQ(dispatcher.requestsStarted(),
@@ -304,8 +305,9 @@ TEST(GracefulDegradation, AdmissionControlShedsAtEntryTier)
     // the shed counter accounts for every turned-away request.
     EXPECT_GT(dispatcher.requestsShed(), 1000u);
     EXPECT_EQ(instance.rejectedJobs(), 0u);
-    const auto it = dispatcher.tierFaults().find("svc");
-    ASSERT_NE(it, dispatcher.tierFaults().end());
+    const auto tier_faults = dispatcher.tierFaults();
+    const auto it = tier_faults.find("svc");
+    ASSERT_NE(it, tier_faults.end());
     EXPECT_EQ(it->second.shed, dispatcher.requestsShed());
     EXPECT_EQ(dispatcher.requestsStarted(),
               dispatcher.requestsCompleted() +

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "uqsim/random/rng.h"
 #include "uqsim/stats/confidence.h"
@@ -226,6 +227,58 @@ TEST(LatencyHistogram, InvalidParamsThrow)
     EXPECT_THROW(LatencyHistogram(0.0, 7), std::invalid_argument);
     EXPECT_THROW(LatencyHistogram(1e-6, 0), std::invalid_argument);
     EXPECT_THROW(LatencyHistogram(1e-6, 30), std::invalid_argument);
+}
+
+TEST(LatencyHistogram, PercentileStaysWithinObservedRange)
+{
+    // Bucket midpoints can overshoot the recorded maximum (or
+    // undershoot the minimum); percentiles must clamp to the
+    // observed [min, max] range.
+    LatencyHistogram hist(1e-6, 2);  // coarse buckets: wide midpoints
+    hist.add(1.000e-3);
+    hist.add(1.001e-3);
+    hist.add(1.002e-3);
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 99.99}) {
+        EXPECT_GE(hist.percentile(p), hist.min())
+            << "at percentile " << p;
+        EXPECT_LE(hist.percentile(p), hist.max())
+            << "at percentile " << p;
+    }
+}
+
+TEST(LatencyHistogram, P100ReturnsExactMax)
+{
+    LatencyHistogram hist(1e-6, 7);
+    hist.add(1.0e-3);
+    hist.add(7.7777e-3);
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), hist.max());
+    EXPECT_DOUBLE_EQ(hist.percentile(100.0), 7.7777e-3);
+    // Out-of-range p clamps into [0, 100] first.
+    EXPECT_DOUBLE_EQ(hist.percentile(250.0), 7.7777e-3);
+}
+
+TEST(LatencyHistogram, NonFiniteAndHugeValuesAreClamped)
+{
+    LatencyHistogram hist(1e-6, 7);
+    hist.add(1e-3);
+    hist.add(std::numeric_limits<double>::infinity());
+    hist.addN(std::numeric_limits<double>::max(), 2);
+    hist.add(std::numeric_limits<double>::quiet_NaN());  // counts as 0
+    hist.add(-std::numeric_limits<double>::infinity());  // clamps to 0
+    EXPECT_EQ(hist.count(), 6u);
+    EXPECT_EQ(hist.clampedSamples(), 3u);
+    // The recorded max is the finite ceiling, never inf/NaN.
+    EXPECT_TRUE(std::isfinite(hist.max()));
+    EXPECT_TRUE(std::isfinite(hist.mean()));
+    EXPECT_TRUE(std::isfinite(hist.percentile(99.0)));
+    EXPECT_DOUBLE_EQ(hist.min(), 0.0);
+
+    LatencyHistogram other(1e-6, 7);
+    other.add(std::numeric_limits<double>::infinity());
+    hist.merge(other);
+    EXPECT_EQ(hist.clampedSamples(), 4u);
+    hist.reset();
+    EXPECT_EQ(hist.clampedSamples(), 0u);
 }
 
 // ------------------------------------------------- WindowedTailTracker
