@@ -9,10 +9,25 @@
  * Usage:
  *   load_sweep <app> [lo hi points [duration_s]]
  *             [--jobs N] [--reps R] [--seed S]
+ *             [--journal FILE] [--resume FILE] [--strict]
+ *             [--wall-timeout S] [--stall-timeout S] [--max-events N]
  *
  * where <app> is one of: two_tier, three_tier, lb4, lb8, lb16,
  * fanout4, fanout8, fanout16, thrift, social.  --jobs 0 (default)
  * uses all hardware threads.
+ *
+ * Robustness flags (docs/ARCHITECTURE.md §"Harness failure-handling
+ * contract"): --journal appends every job's fate to a JSONL run
+ * journal; --resume skips jobs an earlier journal already recorded
+ * ok and re-runs only failed/missing ones; --strict restores the
+ * legacy fail-fast behaviour (first error aborts the sweep); the
+ * watchdog flags kill stalled or runaway replications and report
+ * them as timeouts.
+ *
+ * Exit status: 0 all replications ok; 1 usage/config error or (with
+ * --strict) a failed job; 2 the sweep completed but some
+ * replications failed and were salvaged around (see the journal or
+ * stderr for the per-job taxonomy).
  */
 
 #include <algorithm>
@@ -90,7 +105,10 @@ usage(const char* argv0)
 {
     std::fprintf(stderr,
                  "usage: %s <app> [lo hi points [duration_s]] "
-                 "[--jobs N] [--reps R] [--seed S]\n",
+                 "[--jobs N] [--reps R] [--seed S] "
+                 "[--journal FILE] [--resume FILE] [--strict] "
+                 "[--wall-timeout S] [--stall-timeout S] "
+                 "[--max-events N]\n",
                  argv0);
 }
 
@@ -127,11 +145,28 @@ main(int argc, char** argv)
         } else if (arg == "--seed") {
             options.baseSeed =
                 static_cast<std::uint64_t>(std::atol(next_value()));
+        } else if (arg == "--journal") {
+            options.journalPath = next_value();
+        } else if (arg == "--resume") {
+            options.resumePath = next_value();
+        } else if (arg == "--strict") {
+            options.failurePolicy = runner::FailurePolicy::Propagate;
+        } else if (arg == "--wall-timeout") {
+            options.watchdog.wallTimeoutSeconds =
+                std::atof(next_value());
+        } else if (arg == "--stall-timeout") {
+            options.watchdog.stallWindowSeconds =
+                std::atof(next_value());
+        } else if (arg == "--max-events") {
+            options.watchdog.maxEventsPerReplication =
+                static_cast<std::uint64_t>(std::atoll(next_value()));
         } else if (arg.rfind("--", 0) == 0) {
             std::string message =
                 "error: unknown option \"" + arg + "\"";
             const std::string suggestion = json::suggestClosest(
-                arg, {"--jobs", "--reps", "--seed"});
+                arg, {"--jobs", "--reps", "--seed", "--journal",
+                      "--resume", "--strict", "--wall-timeout",
+                      "--stall-timeout", "--max-events"});
             if (!suggestion.empty())
                 message += "; did you mean \"" + suggestion + "\"?";
             std::fprintf(stderr, "%s\n", message.c_str());
@@ -169,6 +204,34 @@ main(int argc, char** argv)
                   << curve.tailBeforeSaturationMs() << " ms ("
                   << sweep_runner.effectiveJobs() << " jobs, "
                   << options.replications << " replication(s))\n";
+        if (sweep_runner.restoredJobs() > 0) {
+            std::cout << sweep_runner.restoredJobs()
+                      << " job(s) restored from " << options.resumePath
+                      << "\n";
+        }
+        if (sweep_runner.failedJobs() > 0) {
+            std::fprintf(stderr,
+                         "warning: %d job(s) failed and were salvaged "
+                         "around:\n",
+                         sweep_runner.failedJobs());
+            for (const runner::ReplicatedCurve& failed_curve : curves) {
+                for (const runner::ReplicatedPoint& point :
+                     failed_curve.points) {
+                    for (const runner::ReplicationResult& rep :
+                         point.replications) {
+                        if (rep.ok())
+                            continue;
+                        std::fprintf(
+                            stderr, "  %s qps=%g rep seed=%llu [%s] %s\n",
+                            failed_curve.label.c_str(), point.offeredQps,
+                            static_cast<unsigned long long>(rep.seed),
+                            runner::failureKindName(rep.failure),
+                            rep.error.c_str());
+                    }
+                }
+            }
+            return 2;
+        }
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;

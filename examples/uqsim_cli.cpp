@@ -7,6 +7,8 @@
  * Usage:
  *   uqsim_cli <config-dir> [--qps N] [--duration S] [--seed N]
  *             [--warmup S] [--csv] [--json] [--reps R] [--jobs N]
+ *             [--journal FILE] [--resume FILE] [--strict]
+ *             [--wall-timeout S] [--stall-timeout S] [--max-events N]
  *
  * Overrides replace the corresponding fields of client.json /
  * options.json without editing the files.  --reps R runs R seed
@@ -14,6 +16,14 @@
  * (0 = all hardware threads) and reports pooled statistics with
  * across-replication confidence intervals.  --json emits the full
  * structured report (including fault counters) instead of text.
+ *
+ * The robustness flags apply to replicated runs (--reps > 1): a
+ * failed replication is classified, journaled (--journal), and
+ * salvaged around unless --strict asks for fail-fast; --resume skips
+ * replications an earlier journal recorded ok; the watchdog limits
+ * kill stalled or runaway replications (reported as timeouts).  Exit
+ * status 2 marks a salvaged run with failures; 1 means no usable
+ * result at all.
  *
  * Unknown flags and unknown JSON keys both fail with exit code 1 and
  * a did-you-mean suggestion; a typoed option must never silently
@@ -36,8 +46,10 @@ using namespace uqsim;
 namespace {
 
 const std::vector<std::string> kKnownFlags = {
-    "--qps",  "--duration", "--seed", "--warmup",
-    "--csv",  "--json",     "--reps", "--jobs",
+    "--qps",     "--duration",     "--seed",         "--warmup",
+    "--csv",     "--json",         "--reps",         "--jobs",
+    "--journal", "--resume",       "--strict",       "--wall-timeout",
+    "--stall-timeout", "--max-events",
 };
 
 void
@@ -46,7 +58,9 @@ usage(const char* argv0)
     std::fprintf(stderr,
                  "usage: %s <config-dir> [--qps N] [--duration S] "
                  "[--seed N] [--warmup S] [--csv] [--json] [--reps R] "
-                 "[--jobs N]\n",
+                 "[--jobs N] [--journal FILE] [--resume FILE] "
+                 "[--strict] [--wall-timeout S] [--stall-timeout S] "
+                 "[--max-events N]\n",
                  argv0);
 }
 
@@ -77,6 +91,9 @@ main(int argc, char** argv)
     long seed = -1;
     bool csv = false, json_out = false;
     int reps = 1, jobs = 0;
+    bool strict = false;
+    std::string journal_path, resume_path;
+    runner::WatchdogLimits watchdog;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
         auto next_value = [&]() -> const char* {
@@ -102,6 +119,19 @@ main(int argc, char** argv)
             reps = std::atoi(next_value());
         } else if (arg == "--jobs") {
             jobs = std::atoi(next_value());
+        } else if (arg == "--journal") {
+            journal_path = next_value();
+        } else if (arg == "--resume") {
+            resume_path = next_value();
+        } else if (arg == "--strict") {
+            strict = true;
+        } else if (arg == "--wall-timeout") {
+            watchdog.wallTimeoutSeconds = std::atof(next_value());
+        } else if (arg == "--stall-timeout") {
+            watchdog.stallWindowSeconds = std::atof(next_value());
+        } else if (arg == "--max-events") {
+            watchdog.maxEventsPerReplication =
+                static_cast<std::uint64_t>(std::atoll(next_value()));
         } else {
             return rejectUnknownFlag(argv[0], arg);
         }
@@ -159,6 +189,12 @@ main(int argc, char** argv)
         options.jobs = jobs;
         options.replications = reps;
         options.baseSeed = bundle.options.seed;
+        options.failurePolicy = strict
+                                    ? runner::FailurePolicy::Propagate
+                                    : runner::FailurePolicy::Isolate;
+        options.journalPath = journal_path;
+        options.resumePath = resume_path;
+        options.watchdog = watchdog;
         const runner::ReplicatedPoint point = runner::runReplicated(
             [&bundle](double, std::uint64_t rep_seed) {
                 ConfigBundle replicated = bundle;
@@ -167,6 +203,19 @@ main(int argc, char** argv)
             },
             qps > 0.0 ? qps : 0.0, options);
         const RunReport merged = point.mergedReport();
+        if (point.merged == 0) {
+            std::fprintf(stderr,
+                         "error: all %d replication(s) failed:\n",
+                         point.planned);
+            for (const runner::ReplicationResult& rep :
+                 point.replications) {
+                std::fprintf(stderr, "  seed=%llu [%s] %s\n",
+                             static_cast<unsigned long long>(rep.seed),
+                             runner::failureKindName(rep.failure),
+                             rep.error.c_str());
+            }
+            return 1;
+        }
         if (json_out) {
             std::cout << merged.toJsonString() << '\n';
         } else if (csv) {
@@ -183,6 +232,22 @@ main(int argc, char** argv)
                       << point.p99Ci.describe() << '\n'
                       << "achieved qps:    "
                       << point.achievedCi.describe() << '\n';
+        }
+        if (point.degraded()) {
+            std::fprintf(stderr,
+                         "warning: %d of %d replication(s) failed; "
+                         "pooled statistics are degraded:\n",
+                         point.planned - point.merged, point.planned);
+            for (const runner::ReplicationResult& rep :
+                 point.replications) {
+                if (rep.ok())
+                    continue;
+                std::fprintf(stderr, "  seed=%llu [%s] %s\n",
+                             static_cast<unsigned long long>(rep.seed),
+                             runner::failureKindName(rep.failure),
+                             rep.error.c_str());
+            }
+            return 2;
         }
     } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());

@@ -127,6 +127,19 @@ class Deployment {
     /** Allocator for ad-hoc (client) connection ids. */
     ConnectionIdAllocator& connectionIds() { return connectionIds_; }
 
+    /**
+     * Visits every lazily-created connection pool (invariant
+     * auditor / diagnostics).  Iteration order is unspecified;
+     * callers must not depend on it for anything order-sensitive.
+     */
+    template <typename Fn>
+    void
+    forEachPool(Fn&& fn) const
+    {
+        for (const auto& [key, pool] : pools_)
+            fn(*pool);
+    }
+
     /** Sets the resilience policy for hops from @p from_service to
      *  @p to_service (graph.json "policies" block). */
     void setEdgePolicy(const std::string& from_service,

@@ -1,0 +1,60 @@
+#include "uqsim/core/engine/audit.h"
+
+#include <cstdlib>
+
+namespace uqsim {
+namespace audit {
+
+namespace {
+
+bool
+readEnvironment()
+{
+    const char* value = std::getenv("UQSIM_AUDIT");
+    return value != nullptr && value[0] != '\0' &&
+           !(value[0] == '0' && value[1] == '\0');
+}
+
+/** -1 unset (use environment), 0 forced off, 1 forced on. */
+int overrideMode = -1;
+
+}  // namespace
+
+bool
+auditModeEnabled()
+{
+    if (overrideMode >= 0)
+        return overrideMode != 0;
+    static const bool fromEnvironment = readEnvironment();
+    return fromEnvironment;
+}
+
+void
+setAuditMode(bool enabled)
+{
+    overrideMode = enabled ? 1 : 0;
+}
+
+std::string
+AuditReport::describe() const
+{
+    std::string out;
+    for (const std::string& violation : violations) {
+        if (!out.empty())
+            out += "; ";
+        out += violation;
+    }
+    return out;
+}
+
+void
+AuditReport::raise(const std::string& context) const
+{
+    if (!clean()) {
+        throw EngineInvariantError("engine invariant violation (" +
+                                   context + "): " + describe());
+    }
+}
+
+}  // namespace audit
+}  // namespace uqsim

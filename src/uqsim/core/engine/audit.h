@@ -1,0 +1,74 @@
+#ifndef UQSIM_CORE_ENGINE_AUDIT_H_
+#define UQSIM_CORE_ENGINE_AUDIT_H_
+
+/**
+ * @file
+ * Engine invariant auditing.
+ *
+ * The auditor is a debug-mode safety net for the pooled hot path:
+ * slab-allocated events, free-listed jobs, recycled dispatcher
+ * state.  Pooling bugs (a slot released twice, a handle surviving
+ * its generation, a job pinned by a forgotten closure) corrupt
+ * results silently instead of crashing, so the auditor re-derives
+ * the bookkeeping from first principles and cross-checks:
+ *
+ *   - event-heap ordering and back-pointer consistency,
+ *   - event-pool accounting (pending + free == capacity),
+ *   - non-decreasing simulation clock,
+ *   - Job / ConnectionPool leak accounting at drain,
+ *   - job conservation across dispatcher hops
+ *     (started == completed + failed + shed + active).
+ *
+ * Enablement: set the UQSIM_AUDIT environment variable (any
+ * non-empty value except "0") or call setAuditMode(true).  When
+ * enabled, Simulation::run() audits after the run and the
+ * SweepRunner audits the engine of every replication that throws
+ * mid-run before salvaging its siblings.  Violations raise
+ * EngineInvariantError, which the harness taxonomy classifies as
+ * `invariant` — distinct from config errors and timeouts.
+ */
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace uqsim {
+
+/** An engine bookkeeping invariant does not hold. */
+class EngineInvariantError : public std::logic_error {
+  public:
+    explicit EngineInvariantError(const std::string& what)
+        : std::logic_error(what)
+    {
+    }
+};
+
+namespace audit {
+
+/**
+ * True when auditing is on: UQSIM_AUDIT is set in the environment
+ * (to anything but "" or "0"), or setAuditMode(true) was called.
+ * The environment is read once and cached.
+ */
+bool auditModeEnabled();
+
+/** Overrides the environment (tests); pass-through thereafter. */
+void setAuditMode(bool enabled);
+
+/** Findings of one audit pass; empty means every invariant held. */
+struct AuditReport {
+    std::vector<std::string> violations;
+
+    bool clean() const { return violations.empty(); }
+
+    /** One violation per line, for error messages. */
+    std::string describe() const;
+
+    /** Throws EngineInvariantError when not clean. */
+    void raise(const std::string& context) const;
+};
+
+}  // namespace audit
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_AUDIT_H_

@@ -1,5 +1,7 @@
 #include "uqsim/core/engine/event_queue.h"
 
+#include <string>
+
 namespace uqsim {
 
 std::uint32_t
@@ -29,6 +31,88 @@ EventQueue::releaseSlot(std::uint32_t index)
     s.heapIndex = kFreeIndex;
     ++s.generation;
     freeList_.push_back(index);
+}
+
+std::vector<std::string>
+EventQueue::auditCheck() const
+{
+    std::vector<std::string> violations;
+
+    // Heap ordering: every entry sorts at or after its parent.
+    for (std::size_t pos = 1; pos < heap_.size(); ++pos) {
+        const std::size_t parent = (pos - 1) >> 2;
+        if (heap_[pos].before(heap_[parent])) {
+            violations.push_back(
+                "heap order violated at position " +
+                std::to_string(pos) + ": child (t=" +
+                std::to_string(heap_[pos].when) + ", seq=" +
+                std::to_string(heap_[pos].sequence) +
+                ") sorts before its parent");
+        }
+    }
+
+    // Back-pointers: a heap entry and its slot must agree.
+    for (std::size_t pos = 0; pos < heap_.size(); ++pos) {
+        const HeapEntry& entry = heap_[pos];
+        if (entry.slot >= poolCapacity()) {
+            violations.push_back("heap entry at position " +
+                                 std::to_string(pos) +
+                                 " names slot " +
+                                 std::to_string(entry.slot) +
+                                 " beyond the pool capacity");
+            continue;
+        }
+        const Slot& s = *slotPtr(entry.slot);
+        if (s.heapIndex != static_cast<std::int32_t>(pos)) {
+            violations.push_back(
+                "slot " + std::to_string(entry.slot) +
+                " back-pointer is " + std::to_string(s.heapIndex) +
+                " but the slot sits at heap position " +
+                std::to_string(pos));
+        }
+        if (s.when != entry.when || s.sequence != entry.sequence) {
+            violations.push_back(
+                "slot " + std::to_string(entry.slot) +
+                " payload (t, seq) disagrees with its heap entry");
+        }
+    }
+
+    // Pool accounting: every carved slot is pending, free, or — only
+    // while an event fires — executing.  auditCheck runs between
+    // events, so an executing slot here is a leaked FiredEvent.
+    std::size_t executing = 0;
+    std::size_t marked_free = 0;
+    for (std::uint32_t index = 0;
+         index < static_cast<std::uint32_t>(poolCapacity()); ++index) {
+        const Slot& s = *slotPtr(index);
+        if (s.heapIndex == kExecutingIndex)
+            ++executing;
+        else if (s.heapIndex == kFreeIndex)
+            ++marked_free;
+    }
+    if (executing > 0) {
+        violations.push_back(
+            std::to_string(executing) +
+            " slot(s) stuck in the executing state (leaked "
+            "FiredEvent)");
+    }
+    if (marked_free != freeList_.size()) {
+        violations.push_back(
+            "free accounting mismatch: " +
+            std::to_string(marked_free) +
+            " slot(s) marked free but the free list holds " +
+            std::to_string(freeList_.size()));
+    }
+    if (heap_.size() + freeList_.size() + executing !=
+        poolCapacity()) {
+        violations.push_back(
+            "pool accounting mismatch: pending " +
+            std::to_string(heap_.size()) + " + free " +
+            std::to_string(freeList_.size()) + " + executing " +
+            std::to_string(executing) + " != capacity " +
+            std::to_string(poolCapacity()));
+    }
+    return violations;
 }
 
 void

@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "uqsim/core/engine/event.h"
@@ -149,6 +150,22 @@ class EventQueue {
     {
         return slabs_.size() * kSlabSize;
     }
+
+    /** Recycled slots currently on the free list (diagnostics). */
+    std::size_t freeSlots() const { return freeList_.size(); }
+
+    /**
+     * Re-derives the queue's bookkeeping and cross-checks it
+     * (engine invariant auditor):
+     *   - 4-ary heap ordering on (when, sequence),
+     *   - slot back-pointer consistency (heap entry <-> slot),
+     *   - pool accounting: pending + free == capacity, with no slot
+     *     stuck in the "executing" state (a leaked FiredEvent).
+     * Returns one message per violation; empty when consistent.
+     * O(capacity); intended for audit mode and tests, not the hot
+     * path.  Must be called between events (no FiredEvent alive).
+     */
+    std::vector<std::string> auditCheck() const;
 
     // Used by EventHandle -------------------------------------------
 

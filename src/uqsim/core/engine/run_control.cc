@@ -1,0 +1,18 @@
+#include "uqsim/core/engine/run_control.h"
+
+namespace uqsim {
+
+const char*
+abortReasonName(AbortReason reason)
+{
+    switch (reason) {
+      case AbortReason::None: return "none";
+      case AbortReason::Stall: return "stall";
+      case AbortReason::WallTimeout: return "wall-timeout";
+      case AbortReason::EventBudget: return "event-budget";
+      case AbortReason::External: return "external";
+    }
+    return "?";
+}
+
+}  // namespace uqsim

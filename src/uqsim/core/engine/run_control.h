@@ -1,0 +1,143 @@
+#ifndef UQSIM_CORE_ENGINE_RUN_CONTROL_H_
+#define UQSIM_CORE_ENGINE_RUN_CONTROL_H_
+
+/**
+ * @file
+ * Cooperative run control: the channel between a running Simulator
+ * and an external supervisor (the SweepRunner's stall watchdog).
+ *
+ * A Simulator given a RunControl publishes progress watermarks
+ * (events executed, current sim time) every few thousand events and
+ * polls the abort flag at the same cadence.  A supervisor thread
+ * samples the watermarks to detect stalls and runaway runs, and
+ * requests termination by setting the abort flag; the simulator then
+ * raises SimulationAbortError *between* events, so RAII cleanup of
+ * the in-flight event has already run and the engine's pooled
+ * storage stays consistent (the harness verifies this with the
+ * invariant auditor before salvaging sibling replications).
+ *
+ * All cross-thread traffic goes through relaxed atomics: watermarks
+ * are monotone counters used only for progress detection, and the
+ * abort flag is a level-triggered request, so no ordering beyond
+ * atomicity is required.  A truly blocked event callback (e.g. one
+ * performing host I/O that never returns) cannot be killed
+ * cooperatively; the watchdog detects that case too — the event
+ * watermark freezes — but termination waits until the callback
+ * returns.  Process-level isolation is out of scope (documented in
+ * docs/ARCHITECTURE.md §"Harness failure-handling contract").
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace uqsim {
+
+/** Why a supervised run was aborted. */
+enum class AbortReason : int {
+    None = 0,
+    /** Progress watermarks stopped advancing for the stall window. */
+    Stall,
+    /** The wall-clock budget for the replication was exceeded. */
+    WallTimeout,
+    /** The executed-event budget was exceeded. */
+    EventBudget,
+    /** An external caller requested the abort. */
+    External,
+};
+
+const char* abortReasonName(AbortReason reason);
+
+/**
+ * Thrown by Simulator::run() when a supervisor aborts the run.  The
+ * harness classifies it as a timeout/stall failure, never as an
+ * internal error.
+ */
+class SimulationAbortError : public std::runtime_error {
+  public:
+    SimulationAbortError(AbortReason reason, const std::string& detail)
+        : std::runtime_error("simulation aborted (" +
+                             std::string(abortReasonName(reason)) +
+                             "): " + detail),
+          reason_(reason)
+    {
+    }
+
+    AbortReason reason() const { return reason_; }
+
+  private:
+    AbortReason reason_;
+};
+
+/**
+ * Shared progress/abort mailbox.  One per supervised replication;
+ * the worker thread's Simulator writes watermarks and reads the
+ * abort request, the watchdog thread does the reverse.
+ */
+class RunControl {
+  public:
+    RunControl() = default;
+
+    RunControl(const RunControl&) = delete;
+    RunControl& operator=(const RunControl&) = delete;
+
+    // -- worker (Simulator) side --------------------------------------
+
+    /** Publishes progress; called every control-poll interval. */
+    void
+    publish(std::uint64_t events, std::int64_t sim_time)
+    {
+        events_.store(events, std::memory_order_relaxed);
+        simTime_.store(sim_time, std::memory_order_relaxed);
+    }
+
+    /** Pending abort reason; AbortReason::None when none requested. */
+    AbortReason
+    abortRequested() const
+    {
+        return static_cast<AbortReason>(
+            abort_.load(std::memory_order_relaxed));
+    }
+
+    /** Event budget the simulator enforces inline; 0 = unlimited.
+     *  Checked at poll granularity, so enforcement is deterministic
+     *  for a given event stream. */
+    std::uint64_t maxEvents() const { return maxEvents_; }
+    void setMaxEvents(std::uint64_t budget) { maxEvents_ = budget; }
+
+    // -- supervisor (watchdog) side -----------------------------------
+
+    std::uint64_t
+    eventWatermark() const
+    {
+        return events_.load(std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    simTimeWatermark() const
+    {
+        return simTime_.load(std::memory_order_relaxed);
+    }
+
+    /** Requests termination; the first reason wins. */
+    void
+    requestAbort(AbortReason reason)
+    {
+        int expected = static_cast<int>(AbortReason::None);
+        abort_.compare_exchange_strong(expected,
+                                       static_cast<int>(reason),
+                                       std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> events_{0};
+    std::atomic<std::int64_t> simTime_{0};
+    std::atomic<int> abort_{static_cast<int>(AbortReason::None)};
+    /** Written before the run starts, read only by the worker. */
+    std::uint64_t maxEvents_ = 0;
+};
+
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_ENGINE_RUN_CONTROL_H_

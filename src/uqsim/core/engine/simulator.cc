@@ -57,21 +57,63 @@ Simulator::digestEvent(std::uint64_t when, std::uint64_t sequence)
     traceDigest_ = h;
 }
 
+void
+Simulator::pollControl()
+{
+    control_->publish(executedEvents_,
+                      static_cast<std::int64_t>(now_));
+    const AbortReason requested = control_->abortRequested();
+    if (requested != AbortReason::None) {
+        throw SimulationAbortError(
+            requested, "at t=" + formatSimTime(now_) + " after " +
+                           std::to_string(executedEvents_) +
+                           " events");
+    }
+    if (control_->maxEvents() != 0 &&
+        executedEvents_ >= control_->maxEvents()) {
+        control_->requestAbort(AbortReason::EventBudget);
+        throw SimulationAbortError(
+            AbortReason::EventBudget,
+            "executed " + std::to_string(executedEvents_) +
+                " events, budget " +
+                std::to_string(control_->maxEvents()));
+    }
+}
+
+audit::AuditReport
+Simulator::auditEngine() const
+{
+    audit::AuditReport report;
+    report.violations = queue_.auditCheck();
+    return report;
+}
+
 StopReason
 Simulator::run(SimTime until, std::uint64_t max_events)
 {
     stopRequested_ = false;
+    const bool auditing = audit::auditModeEnabled();
     while (true) {
         if (stopRequested_)
             return StopReason::Stopped;
         if (max_events != 0 && executedEvents_ >= max_events)
             return StopReason::EventLimit;
+        if (control_ != nullptr &&
+            executedEvents_ % kControlPollEvents == 0) {
+            pollControl();
+        }
         const SimTime next = queue_.nextTime();
         if (next == kSimTimeMax)
             return StopReason::Drained;
         if (next > until) {
             now_ = until;
             return StopReason::TimeLimit;
+        }
+        if (auditing && next < now_) {
+            throw EngineInvariantError(
+                "clock would run backwards: next event at " +
+                formatSimTime(next) + ", now " +
+                formatSimTime(now_));
         }
         EventQueue::FiredEvent event = queue_.pop();
         now_ = event.when();

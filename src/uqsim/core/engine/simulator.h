@@ -17,9 +17,11 @@
 #include <string>
 #include <utility>
 
+#include "uqsim/core/engine/audit.h"
 #include "uqsim/core/engine/event.h"
 #include "uqsim/core/engine/event_queue.h"
 #include "uqsim/core/engine/logger.h"
+#include "uqsim/core/engine/run_control.h"
 #include "uqsim/core/engine/sim_time.h"
 #include "uqsim/random/rng.h"
 
@@ -108,15 +110,42 @@ class Simulator {
     EventQueue& queue() { return queue_; }
     Logger& logger() { return logger_; }
 
+    /**
+     * Attaches a supervisor mailbox (nullptr detaches).  While
+     * attached, run() publishes progress watermarks every
+     * kControlPollEvents events and honors abort requests / the
+     * control's event budget by throwing SimulationAbortError
+     * between events.  The budget check happens at poll granularity,
+     * so it is deterministic for a given event stream.
+     */
+    void setRunControl(RunControl* control) { control_ = control; }
+    RunControl* runControl() const { return control_; }
+
+    /**
+     * Audits engine invariants now: event-heap ordering, slot
+     * back-pointers, and pool accounting (see
+     * EventQueue::auditCheck).  Cheap relative to a run; called by
+     * the simulation-level auditor and the harness abort path.
+     */
+    audit::AuditReport auditEngine() const;
+
+    /** Events between control polls / audit clock checks. */
+    static constexpr std::uint64_t kControlPollEvents = 1024;
+
   private:
     void digestEvent(std::uint64_t when, std::uint64_t sequence);
     [[noreturn]] void throwSchedulePast(SimTime when) const;
     [[noreturn]] static void throwNegativeDelay();
 
+    /** Publishes watermarks and honors aborts; throws
+     *  SimulationAbortError when the supervisor asked to stop. */
+    void pollControl();
+
     SimTime now_ = 0;
     std::uint64_t masterSeed_;
     EventQueue queue_;
     Logger logger_;
+    RunControl* control_ = nullptr;
     bool stopRequested_ = false;
     std::uint64_t executedEvents_ = 0;
     std::uint64_t traceDigest_ = 0xCBF29CE484222325ULL;  // FNV offset

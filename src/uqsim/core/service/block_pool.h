@@ -59,6 +59,14 @@ class FixedBlockPool {
     /** Blocks ever carved (diagnostics; live + free). */
     std::size_t capacity() const { return capacity_; }
 
+    /** Blocks currently on the free list (diagnostics). */
+    std::size_t freeBlocks() const { return free_.size(); }
+
+    /** Blocks currently handed out — the live object population.
+     *  The invariant auditor checks this drops to zero when a
+     *  drained simulation cannot be holding any objects. */
+    std::size_t liveBlocks() const { return capacity_ - free_.size(); }
+
   private:
     static constexpr std::size_t kBlocksPerSlab = 256;
 

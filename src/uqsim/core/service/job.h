@@ -88,6 +88,11 @@ class JobFactory {
     /** Pool blocks ever carved (diagnostics; bounds live jobs). */
     std::size_t poolCapacity() const { return pool_->capacity(); }
 
+    /** Jobs currently alive (allocated and not yet destroyed).
+     *  Exact: every job occupies exactly one pool block, object and
+     *  control block fused by allocate_shared. */
+    std::size_t liveJobs() const { return pool_->liveBlocks(); }
+
   private:
     JobId nextId_ = 1;
     std::shared_ptr<FixedBlockPool> pool_;

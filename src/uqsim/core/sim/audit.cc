@@ -1,0 +1,116 @@
+#include "uqsim/core/sim/audit.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/sim/simulation.h"
+
+namespace uqsim {
+namespace audit {
+
+AuditReport
+auditSimulation(Simulation& simulation, bool at_drain)
+{
+    AuditReport report = simulation.sim().auditEngine();
+    Dispatcher& dispatcher = simulation.dispatcher();
+
+    // Job conservation across dispatcher hops: every request that
+    // entered the dispatcher is accounted for exactly once.
+    const std::uint64_t started = dispatcher.requestsStarted();
+    const std::uint64_t settled = dispatcher.requestsCompleted() +
+                                  dispatcher.requestsFailed() +
+                                  dispatcher.requestsShed();
+    const std::uint64_t active =
+        static_cast<std::uint64_t>(dispatcher.activeRequests());
+    if (started != settled + active) {
+        report.violations.push_back(
+            "job conservation violated: started " +
+            std::to_string(started) + " != completed+failed+shed " +
+            std::to_string(settled) + " + active " +
+            std::to_string(active));
+    }
+
+    // Force-released state at completion points to a path-walking
+    // bug even though the dispatcher papered over it.
+    if (dispatcher.leakedBlocks() > 0) {
+        report.violations.push_back(
+            std::to_string(dispatcher.leakedBlocks()) +
+            " block(s) force-released at request completion");
+    }
+    if (dispatcher.leakedHops() > 0) {
+        report.violations.push_back(
+            std::to_string(dispatcher.leakedHops()) +
+            " connection hop(s) force-released at request "
+            "completion");
+    }
+
+    // Connection pools: structural sanity always, full-occupancy
+    // accounting only at drain.  The deployment hands pools out in
+    // unspecified (hash) order; sort by name so audit findings are
+    // deterministic.
+    std::vector<const ConnectionPool*> pools;
+    simulation.deployment().forEachPool(
+        [&](const ConnectionPool& pool) { pools.push_back(&pool); });
+    std::sort(pools.begin(), pools.end(),
+              [](const ConnectionPool* a, const ConnectionPool* b) {
+                  return a->name() < b->name();
+              });
+    for (const ConnectionPool* pool_ptr : pools) {
+        const ConnectionPool& pool = *pool_ptr;
+        if (pool.available() > pool.size()) {
+            report.violations.push_back(
+                "pool " + pool.name() + " holds " +
+                std::to_string(pool.available()) +
+                " free connections but owns only " +
+                std::to_string(pool.size()) + " (double release)");
+        }
+        if (pool.available() > 0 && pool.waiters() > 0) {
+            report.violations.push_back(
+                "pool " + pool.name() + " has " +
+                std::to_string(pool.waiters()) +
+                " waiter(s) despite " +
+                std::to_string(pool.available()) +
+                " free connection(s)");
+        }
+        if (at_drain) {
+            if (pool.available() != pool.size()) {
+                report.violations.push_back(
+                    "pool " + pool.name() + " leaked " +
+                    std::to_string(pool.size() - pool.available()) +
+                    " connection(s) at drain");
+            }
+            if (pool.waiters() > 0) {
+                report.violations.push_back(
+                    "pool " + pool.name() + " stranded " +
+                    std::to_string(pool.waiters()) +
+                    " waiter(s) at drain");
+            }
+        }
+    }
+
+    if (at_drain) {
+        if (!simulation.sim().queue().empty()) {
+            report.violations.push_back(
+                "drain audit requested but " +
+                std::to_string(simulation.sim().queue().size()) +
+                " event(s) are still pending");
+        }
+        if (active > 0) {
+            report.violations.push_back(
+                std::to_string(active) +
+                " request(s) active with a drained event queue "
+                "(pool-waiter deadlock)");
+        }
+        const std::size_t live = dispatcher.jobs().liveJobs();
+        if (live > 0) {
+            report.violations.push_back(
+                std::to_string(live) +
+                " pooled job(s) alive at drain (leaked JobPtr)");
+        }
+    }
+    return report;
+}
+
+}  // namespace audit
+}  // namespace uqsim

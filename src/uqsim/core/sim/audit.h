@@ -1,0 +1,50 @@
+#ifndef UQSIM_CORE_SIM_AUDIT_H_
+#define UQSIM_CORE_SIM_AUDIT_H_
+
+/**
+ * @file
+ * Simulation-level invariant auditor.
+ *
+ * Extends the engine-level checks (uqsim/core/engine/audit.h) with
+ * whole-system accounting that only the facade can see:
+ *
+ *   - job conservation across dispatcher hops: every started
+ *     request is completed, failed, shed, or still active;
+ *   - dispatcher force-release counters (leakedBlocks / leakedHops)
+ *     stay zero;
+ *   - connection-pool sanity: never more free connections than the
+ *     pool owns (double release), never waiters while connections
+ *     are free;
+ *   - at drain (the event queue emptied): no active requests, no
+ *     live pooled jobs, every connection back in its pool, no
+ *     stranded pool waiters.  A drained queue with active requests
+ *     is a waiter deadlock — exactly the class of hang the auditor
+ *     exists to name.
+ *
+ * When audit mode is on (UQSIM_AUDIT / audit::setAuditMode),
+ * Simulation::run() runs this audit after every run and throws
+ * EngineInvariantError on violations; the SweepRunner also audits
+ * the engine of a replication that throws mid-run before salvaging
+ * its siblings (docs/ARCHITECTURE.md §"Harness failure-handling
+ * contract").
+ */
+
+#include "uqsim/core/engine/audit.h"
+
+namespace uqsim {
+
+class Simulation;
+
+namespace audit {
+
+/**
+ * Audits @p simulation.  @p at_drain asserts the stronger
+ * quiescent-state invariants (zero live jobs, full pools); pass
+ * true only when the event queue drained.
+ */
+AuditReport auditSimulation(Simulation& simulation, bool at_drain);
+
+}  // namespace audit
+}  // namespace uqsim
+
+#endif  // UQSIM_CORE_SIM_AUDIT_H_

@@ -63,6 +63,11 @@ RunReport::toString() const
             << " hedges, " << stats.shed << " shed, " << stats.rejected
             << " rejected, " << stats.crashKills << " crash kills\n";
     }
+    if (replicationsPlanned > 0) {
+        out << "  replications: " << replicationsMerged << "/"
+            << replicationsPlanned << " merged"
+            << (degraded ? " (DEGRADED)" : "") << "\n";
+    }
     return out.str();
 }
 
@@ -127,6 +132,11 @@ RunReport::toJson() const
     obj["tier_faults"] = std::move(faults_doc);
     obj["events"] = events;
     obj["wall_seconds"] = wallSeconds;
+    if (replicationsPlanned > 0) {
+        obj["replications_planned"] = replicationsPlanned;
+        obj["replications_merged"] = replicationsMerged;
+        obj["degraded"] = degraded;
+    }
     return doc;
 }
 

@@ -86,6 +86,18 @@ struct RunReport {
     /** Wall-clock seconds the run took (host time). */
     double wallSeconds = 0.0;
 
+    // Replication provenance (set by the harness on pooled reports;
+    // 0/0/false on a plain single-run report).
+    /** Replications the harness planned for this point. */
+    int replicationsPlanned = 0;
+    /** Replications actually merged into this report. */
+    int replicationsMerged = 0;
+    /** True when failures or journal-restored replications left this
+     *  report short of the planned data: counts cover only the
+     *  merged replications and percentiles may be approximated (see
+     *  runner::ReplicatedPoint::mergedReport). */
+    bool degraded = false;
+
     /** Multi-line human-readable rendering. */
     std::string toString() const;
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "uqsim/core/sim/audit.h"
+
 namespace uqsim {
 
 Simulation::Simulation(const SimulationOptions& options)
@@ -198,11 +200,17 @@ Simulation::run()
         throw std::logic_error("run() called twice");
     ran_ = true;
     const auto wall_start = std::chrono::steady_clock::now();
-    sim_.run(secondsToSimTime(options_.durationSeconds),
-             options_.maxEvents);
+    const StopReason reason =
+        sim_.run(secondsToSimTime(options_.durationSeconds),
+                 options_.maxEvents);
     const auto wall_end = std::chrono::steady_clock::now();
     const double wall =
         std::chrono::duration<double>(wall_end - wall_start).count();
+    if (audit::auditModeEnabled()) {
+        audit::auditSimulation(*this, reason == StopReason::Drained)
+            .raise(std::string("post-run, stop reason ") +
+                   stopReasonName(reason));
+    }
     return buildReport(wall);
 }
 

@@ -83,8 +83,25 @@ class Simulation {
     /**
      * Runs to the configured duration and returns the report.
      * May be called once.
+     *
+     * In audit mode (UQSIM_AUDIT / audit::setAuditMode) the
+     * invariant auditor runs after the simulation and throws
+     * EngineInvariantError on violations; when the run drained the
+     * event queue the stronger quiescent-state checks (job /
+     * connection-pool leak accounting) apply too.
      */
     RunReport run();
+
+    /**
+     * Attaches a supervisor mailbox to the engine (nullptr
+     * detaches); see Simulator::setRunControl.  The SweepRunner's
+     * stall watchdog uses this to sample progress watermarks and
+     * abort stalled replications.
+     */
+    void setRunControl(RunControl* control)
+    {
+        sim_.setRunControl(control);
+    }
 
     /** Additional listener for end-to-end completions (seconds),
      *  invoked for every completion including warm-up. */

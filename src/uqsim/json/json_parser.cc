@@ -124,6 +124,26 @@ class Parser {
         }
     }
 
+    /** RAII nesting-depth guard: parseObject/parseArray recurse
+     *  through parseValue, so a hostile document of kMaxDepth+1
+     *  brackets would otherwise overflow the C++ stack instead of
+     *  failing cleanly. */
+    class DepthGuard {
+      public:
+        explicit DepthGuard(Parser& parser) : parser_(parser)
+        {
+            if (++parser_.depth_ > kMaxParseDepth) {
+                parser_.fail(
+                    "JSON nesting exceeds the maximum depth of " +
+                    std::to_string(kMaxParseDepth));
+            }
+        }
+        ~DepthGuard() { --parser_.depth_; }
+
+      private:
+        Parser& parser_;
+    };
+
     JsonValue
     parseKeyword(std::string_view keyword, JsonValue value)
     {
@@ -139,6 +159,7 @@ class Parser {
     JsonValue
     parseObject()
     {
+        DepthGuard depth(*this);
         expect('{');
         JsonObject object;
         skipWhitespace();
@@ -172,6 +193,7 @@ class Parser {
     JsonValue
     parseArray()
     {
+        DepthGuard depth(*this);
         expect('[');
         JsonArray array;
         skipWhitespace();
@@ -353,6 +375,8 @@ class Parser {
     std::size_t pos_ = 0;
     int line_ = 1;
     int column_ = 1;
+    /** Current container nesting depth (objects + arrays). */
+    int depth_ = 0;
 };
 
 }  // namespace

@@ -19,6 +19,14 @@
 namespace uqsim {
 namespace json {
 
+/**
+ * Maximum container nesting (objects + arrays) the parser accepts.
+ * Deeper documents fail with a JsonParseError at the offending
+ * bracket instead of overflowing the C++ call stack — the parser is
+ * recursive-descent, so depth maps directly to stack frames.
+ */
+inline constexpr int kMaxParseDepth = 256;
+
 /** Parse error carrying the 1-based line and column of the failure. */
 class JsonParseError : public JsonError {
   public:

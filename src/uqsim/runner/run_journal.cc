@@ -1,0 +1,220 @@
+#include "uqsim/runner/run_journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "uqsim/json/json_parser.h"
+#include "uqsim/json/json_writer.h"
+
+namespace uqsim {
+namespace runner {
+
+namespace {
+
+/** Unit separator: cannot appear in a JSON string's parsed value
+ *  by accident in sweep labels used as identifiers. */
+constexpr char kKeySeparator = '\x1f';
+
+std::string
+toHex(std::uint64_t value)
+{
+    char buffer[19];
+    std::snprintf(buffer, sizeof buffer, "0x%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+std::uint64_t
+fromHex(const std::string& text)
+{
+    if (text.empty())
+        throw json::JsonError("empty hex field in journal entry");
+    char* end = nullptr;
+    const unsigned long long value =
+        std::strtoull(text.c_str(), &end, 16);
+    if (end != text.c_str() + text.size())
+        throw json::JsonError("malformed hex field in journal entry: " +
+                              text);
+    return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::string
+JournalEntry::key(const std::string& sweep, std::size_t point,
+                  int replication)
+{
+    return sweep + kKeySeparator + std::to_string(point) +
+           kKeySeparator + std::to_string(replication);
+}
+
+std::string
+JournalEntry::key() const
+{
+    return key(sweep, point, replication);
+}
+
+json::JsonValue
+JournalEntry::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    json::JsonObject& object = doc.asObject();
+    object["sweep"] = sweep;
+    object["point"] = static_cast<std::int64_t>(point);
+    object["replication"] = replication;
+    object["qps"] = qps;
+    object["seed"] = toHex(seed);
+    object["status"] = failureKindName(status);
+    if (!error.empty())
+        object["error"] = error;
+    if (ok()) {
+        object["trace_digest"] = toHex(traceDigest);
+        object["achieved_qps"] = achievedQps;
+        object["mean_ms"] = meanMs;
+        object["p50_ms"] = p50Ms;
+        object["p95_ms"] = p95Ms;
+        object["p99_ms"] = p99Ms;
+        object["max_ms"] = maxMs;
+        object["completed"] = completed;
+        object["generated"] = generated;
+        object["events"] = events;
+    }
+    return doc;
+}
+
+JournalEntry
+JournalEntry::fromJson(const json::JsonValue& doc)
+{
+    JournalEntry entry;
+    entry.sweep = doc.at("sweep").asString();
+    entry.point =
+        static_cast<std::size_t>(doc.at("point").asInt());
+    entry.replication = static_cast<int>(doc.at("replication").asInt());
+    entry.qps = doc.at("qps").asDouble();
+    entry.seed = fromHex(doc.at("seed").asString());
+    entry.status = failureKindFromName(doc.at("status").asString());
+    entry.error = doc.getOr("error", "");
+    if (entry.ok()) {
+        entry.traceDigest = fromHex(doc.at("trace_digest").asString());
+        entry.achievedQps = doc.getOr("achieved_qps", 0.0);
+        entry.meanMs = doc.getOr("mean_ms", 0.0);
+        entry.p50Ms = doc.getOr("p50_ms", 0.0);
+        entry.p95Ms = doc.getOr("p95_ms", 0.0);
+        entry.p99Ms = doc.getOr("p99_ms", 0.0);
+        entry.maxMs = doc.getOr("max_ms", 0.0);
+        entry.completed = static_cast<std::uint64_t>(
+            doc.getOr("completed", std::int64_t{0}));
+        entry.generated = static_cast<std::uint64_t>(
+            doc.getOr("generated", std::int64_t{0}));
+        entry.events = static_cast<std::uint64_t>(
+            doc.getOr("events", std::int64_t{0}));
+    }
+    return entry;
+}
+
+struct JournalWriter::Stream {
+    std::ofstream out;
+};
+
+JournalWriter::JournalWriter(const std::string& path)
+    : path_(path), stream_(std::make_shared<Stream>())
+{
+    // Detect a fresh (absent or empty) journal before opening for
+    // append, so resumed runs do not write a second header.
+    bool fresh = true;
+    {
+        std::ifstream existing(path, std::ios::binary);
+        if (existing && existing.peek() != std::ifstream::traits_type::eof())
+            fresh = false;
+    }
+    stream_->out.open(path, std::ios::app | std::ios::binary);
+    if (!stream_->out) {
+        throw std::runtime_error("cannot open run journal for append: " +
+                                 path);
+    }
+    if (fresh) {
+        json::JsonValue header = json::JsonValue::makeObject();
+        header.asObject()["schema"] = kJournalSchema;
+        stream_->out << json::write(header) << '\n';
+        stream_->out.flush();
+    }
+}
+
+void
+JournalWriter::append(const JournalEntry& entry)
+{
+    const std::string line = json::write(entry.toJson());
+    std::lock_guard<std::mutex> lock(mutex_);
+    stream_->out << line << '\n';
+    // One replication's fate per line, durable immediately: the
+    // journal must survive the harness dying right after this job.
+    stream_->out.flush();
+    if (!stream_->out) {
+        throw std::runtime_error("failed writing run journal: " +
+                                 path_);
+    }
+}
+
+const JournalEntry*
+JournalIndex::find(const std::string& sweep, std::size_t point,
+                   int replication) const
+{
+    const auto it =
+        entries.find(JournalEntry::key(sweep, point, replication));
+    return it == entries.end() ? nullptr : &it->second;
+}
+
+JournalIndex
+JournalIndex::load(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot read run journal: " + path);
+
+    JournalIndex index;
+    std::string line;
+    bool saw_header = false;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        json::JsonValue doc;
+        try {
+            doc = json::parse(line);
+        } catch (const json::JsonError&) {
+            // A crash mid-append leaves at most a truncated trailing
+            // line; tolerate (and count) anything unparsable rather
+            // than losing the whole journal.
+            ++index.skippedLines;
+            continue;
+        }
+        if (!saw_header) {
+            const json::JsonValue* schema = doc.find("schema");
+            if (schema == nullptr || !schema->isString() ||
+                schema->asString() != kJournalSchema) {
+                throw std::runtime_error(
+                    path + ": not a " + std::string(kJournalSchema) +
+                    " journal (bad or missing header line)");
+            }
+            saw_header = true;
+            continue;
+        }
+        try {
+            JournalEntry entry = JournalEntry::fromJson(doc);
+            // Last write wins: a resumed run's re-run entry
+            // supersedes the original failure.
+            index.entries[entry.key()] = std::move(entry);
+        } catch (const std::exception&) {
+            ++index.skippedLines;
+        }
+    }
+    if (!saw_header) {
+        throw std::runtime_error(path +
+                                 ": empty or headerless run journal");
+    }
+    return index;
+}
+
+}  // namespace runner
+}  // namespace uqsim

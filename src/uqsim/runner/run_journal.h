@@ -1,0 +1,127 @@
+#ifndef UQSIM_RUNNER_RUN_JOURNAL_H_
+#define UQSIM_RUNNER_RUN_JOURNAL_H_
+
+/**
+ * @file
+ * Append-only run journal (JSONL) for crash-resumable sweeps.
+ *
+ * Every finished grid job — succeeded or failed — appends one JSON
+ * line recording its identity (sweep label, point index,
+ * replication, load, seed), its status in the harness error
+ * taxonomy, and for successes a stat digest: the event-trace digest
+ * plus the headline metrics.  Lines are flushed as they are
+ * written, so a journal survives a crashed or killed harness with
+ * at worst one truncated trailing line, which the reader tolerates.
+ *
+ * Resume (`--resume <journal>`): the reader indexes the journal by
+ * (sweep, point, replication) — last write wins, so re-runs append
+ * corrections — and the SweepRunner skips jobs whose journaled
+ * entry is ok with a matching (qps, seed), restoring their stat
+ * digests instead of re-simulating.  Failed or missing jobs re-run
+ * with their original seeds, so a resumed grid is deterministically
+ * identical to a clean one wherever results exist.
+ *
+ * File format: docs/FORMATS.md §"run journal (JSONL)".  The journal
+ * is a log, not a deterministic artifact — concurrent workers
+ * append in completion order.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "uqsim/json/json_value.h"
+#include "uqsim/runner/failure.h"
+
+namespace uqsim {
+namespace runner {
+
+/** Schema tag of the journal header line. */
+inline constexpr const char* kJournalSchema = "uqsim-run-journal-v1";
+
+/** One journal line: the fate of one (sweep, point, replication). */
+struct JournalEntry {
+    std::string sweep;
+    std::size_t point = 0;
+    int replication = 0;
+    double qps = 0.0;
+    std::uint64_t seed = 0;
+
+    FailureKind status = FailureKind::None;
+    /** Error message for failed entries; empty when ok. */
+    std::string error;
+
+    // Stat digest (meaningful for ok entries only).
+    std::uint64_t traceDigest = 0;
+    double achievedQps = 0.0;
+    double meanMs = 0.0;
+    double p50Ms = 0.0;
+    double p95Ms = 0.0;
+    double p99Ms = 0.0;
+    double maxMs = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t generated = 0;
+    std::uint64_t events = 0;
+
+    bool ok() const { return status == FailureKind::None; }
+
+    /** Identity within a grid; the journal index key. */
+    std::string key() const;
+    static std::string key(const std::string& sweep, std::size_t point,
+                           int replication);
+
+    json::JsonValue toJson() const;
+    /** @throws json::JsonError when required fields are missing. */
+    static JournalEntry fromJson(const json::JsonValue& doc);
+};
+
+/**
+ * Appends entries to a journal file, creating it (with the schema
+ * header line) when absent or empty.  Thread-safe: workers append
+ * from the pool as jobs finish; every line is flushed immediately.
+ */
+class JournalWriter {
+  public:
+    /** @throws std::runtime_error when the file cannot be opened. */
+    explicit JournalWriter(const std::string& path);
+
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+
+    void append(const JournalEntry& entry);
+
+    const std::string& path() const { return path_; }
+
+  private:
+    std::string path_;
+    std::mutex mutex_;
+    /** pImpl-free: keep <fstream> out of this header. */
+    struct Stream;
+    std::shared_ptr<Stream> stream_;
+};
+
+/** In-memory index of a journal, keyed by job identity. */
+struct JournalIndex {
+    /** Last write wins: a re-run's entry supersedes the failure. */
+    std::map<std::string, JournalEntry> entries;
+    /** Unparsable lines skipped by the reader (e.g. a line
+     *  truncated by a crash mid-write). */
+    std::size_t skippedLines = 0;
+
+    const JournalEntry* find(const std::string& sweep,
+                             std::size_t point, int replication) const;
+
+    /**
+     * Reads and indexes @p path.
+     * @throws std::runtime_error when the file cannot be read or
+     *         does not start with a uqsim-run-journal header.
+     */
+    static JournalIndex load(const std::string& path);
+};
+
+}  // namespace runner
+}  // namespace uqsim
+
+#endif  // UQSIM_RUNNER_RUN_JOURNAL_H_

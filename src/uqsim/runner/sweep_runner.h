@@ -21,6 +21,17 @@
  * single-threaded in replication order after the pool drains, so
  * floating-point merge order is fixed.
  *
+ * Robustness contract (docs/ARCHITECTURE.md §"Harness
+ * failure-handling contract"): under the default Isolate policy a
+ * worker failure never tears down the pool.  The failure is caught,
+ * classified into the harness error taxonomy (runner/failure.h),
+ * journaled, and the surviving replications of every point are
+ * salvaged — their aggregates flagged degraded when short of the
+ * planned replication count.  A run journal (runner/run_journal.h)
+ * plus `resumePath` re-runs only failed/missing jobs with their
+ * original seeds; the stall watchdog (runner/watchdog.h) converts
+ * livelocked or runaway replications into classified timeouts.
+ *
  * The factory is invoked concurrently from pool threads and must be
  * thread-safe: it should only read shared immutable parameters and
  * build a fresh Simulation from them.
@@ -35,6 +46,8 @@
 #include "uqsim/core/sim/report.h"
 #include "uqsim/core/sim/simulation.h"
 #include "uqsim/core/sim/sweep.h"
+#include "uqsim/runner/failure.h"
+#include "uqsim/runner/watchdog.h"
 #include "uqsim/stats/confidence.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/summary.h"
@@ -50,6 +63,22 @@ namespace runner {
 using ReplicatedFactory = std::function<std::unique_ptr<Simulation>(
     double qps, std::uint64_t seed)>;
 
+/** What the runner does when a grid job fails. */
+enum class FailurePolicy {
+    /**
+     * Catch, classify, journal, and salvage: the pool keeps
+     * draining, surviving replications aggregate normally, and
+     * affected points are flagged degraded.  The default.
+     */
+    Isolate,
+    /**
+     * Legacy strict mode: after the pool drains, rethrow the first
+     * failure in grid order.  Failures are still journaled first,
+     * so even a strict run can be resumed.
+     */
+    Propagate,
+};
+
 /** Runner knobs. */
 struct RunnerOptions {
     /** Worker threads; 0 means hardware concurrency. */
@@ -60,6 +89,17 @@ struct RunnerOptions {
     std::uint64_t baseSeed = 1;
     /** Confidence level for across-replication intervals. */
     double confidence = 0.95;
+    /** Failure isolation policy (see FailurePolicy). */
+    FailurePolicy failurePolicy = FailurePolicy::Isolate;
+    /** Stall watchdog / budget limits (all 0 = unsupervised). */
+    WatchdogLimits watchdog;
+    /** Append the fate of every job to this JSONL journal
+     *  (empty = no journal). */
+    std::string journalPath;
+    /** Resume from this journal: jobs recorded ok with matching
+     *  (qps, seed) are restored instead of re-simulated
+     *  (empty = run everything). */
+    std::string resumePath;
 };
 
 /**
@@ -76,16 +116,40 @@ struct ReplicationResult {
     /** Event-trace digest of the run (Simulator::traceDigest). */
     std::uint64_t traceDigest = 0;
     RunReport report;
+    /** FailureKind::None when the replication completed. */
+    FailureKind failure = FailureKind::None;
+    /** Classified error message; empty when ok. */
+    std::string error;
+    /** True when the result was restored from a resume journal's
+     *  stat digest instead of re-simulated: the headline metrics
+     *  and digest are exact, the full latency sample stream is
+     *  not available for pooling. */
+    bool restored = false;
+
+    bool ok() const { return failure == FailureKind::None; }
 };
 
 /** One load point with all its replications and their aggregates. */
 struct ReplicatedPoint {
     double offeredQps = 0.0;
-    /** Per-replication results, in replication order. */
+    /** Per-replication results, in replication order — including
+     *  failed ones (check ReplicationResult::ok()). */
     std::vector<ReplicationResult> replications;
 
+    /** Replications the grid planned for this point. */
+    int planned = 0;
+    /** Replications that completed (fresh or restored) and were
+     *  merged into the aggregates below. */
+    int merged = 0;
+    /** Of `merged`, how many were restored from a journal. */
+    int restoredCount = 0;
+
+    /** True when failures left this point short of planned data:
+     *  its CIs rest on fewer observations than requested. */
+    bool degraded() const { return merged < planned; }
+
     /** Across-replication distributions of the headline metrics
-     *  (one observation per replication; latency in ms). */
+     *  (one observation per merged replication; latency in ms). */
     stats::Summary achievedQps;
     stats::Summary meanMs;
     stats::Summary p50Ms;
@@ -93,19 +157,24 @@ struct ReplicatedPoint {
     stats::Summary p99Ms;
 
     /** Student-t confidence intervals on the across-replication
-     *  means; valid() is false with fewer than 2 replications. */
+     *  means; valid() is false with fewer than 2 merged
+     *  replications. */
     stats::ConfidenceInterval meanCi;
     stats::ConfidenceInterval p99Ci;
     stats::ConfidenceInterval achievedCi;
 
-    /** All end-to-end latencies (seconds) of all replications,
-     *  pooled with PercentileRecorder::merge in replication order. */
+    /** All end-to-end latencies (seconds) of the fresh (non-
+     *  restored) merged replications, pooled with
+     *  PercentileRecorder::merge in replication order. */
     stats::PercentileRecorder pooled;
 
     /**
      * Report of the pooled point: across-replication mean throughput
      * and exact percentiles of the pooled latency stream; counts and
-     * events are summed over replications.
+     * events are summed over merged replications.  When restored
+     * replications left the pool partial, the end-to-end percentiles
+     * fall back to the across-replication means of the per-run
+     * percentiles and the report is marked degraded.
      */
     RunReport mergedReport() const;
 };
@@ -114,6 +183,9 @@ struct ReplicatedPoint {
 struct ReplicatedCurve {
     std::string label;
     std::vector<ReplicatedPoint> points;
+
+    /** Failed replications summed over all points. */
+    int failedReplications() const;
 
     /**
      * Collapses each point to its pooled report, yielding the
@@ -135,13 +207,23 @@ class SweepRunner {
 
     /**
      * Executes all queued jobs and returns the curves in addSweep
-     * order.  May be called once.  The first job exception (in grid
-     * order) is rethrown after the pool drains.
+     * order.  May be called once.
+     *
+     * Isolate policy: always returns; inspect the per-replication
+     * results / degraded flags for failures.  Propagate policy: the
+     * first job exception (in grid order) is rethrown after the
+     * pool drains.
      */
     std::vector<ReplicatedCurve> run();
 
     /** Resolved worker count (options.jobs, or the hardware). */
     int effectiveJobs() const;
+
+    /** After run(): jobs skipped because the resume journal already
+     *  recorded them ok. */
+    int restoredJobs() const { return restoredJobs_; }
+    /** After run(): jobs that failed (by taxonomy, all kinds). */
+    int failedJobs() const { return failedJobs_; }
 
     const RunnerOptions& options() const { return options_; }
 
@@ -155,6 +237,8 @@ class SweepRunner {
     RunnerOptions options_;
     std::vector<SweepSpec> sweeps_;
     bool ran_ = false;
+    int restoredJobs_ = 0;
+    int failedJobs_ = 0;
 };
 
 /**
@@ -169,6 +253,7 @@ ReplicatedPoint runReplicated(const ReplicatedFactory& factory,
  * Text table of replicated curves: one row per load with
  * "mean ± hw" / "p99 ± hw" columns per curve (half-widths at the
  * runner's confidence level; "-" when fewer than 2 replications).
+ * Degraded points are marked with a trailing '!'.
  */
 std::string
 formatReplicatedTable(const std::vector<ReplicatedCurve>& curves);

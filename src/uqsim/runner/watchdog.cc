@@ -1,0 +1,106 @@
+#include "uqsim/runner/watchdog.h"
+
+#include <algorithm>
+
+namespace uqsim {
+namespace runner {
+
+StallWatchdog::StallWatchdog(WatchdogLimits limits) : limits_(limits)
+{
+}
+
+StallWatchdog::~StallWatchdog()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+StallWatchdog::watch(RunControl* control)
+{
+    if (control == nullptr || !limits_.watchdogNeeded())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    WatchedRun run;
+    run.control = control;
+    run.started = Clock::now();
+    run.lastEvents = control->eventWatermark();
+    run.lastSimTime = control->simTimeWatermark();
+    run.lastProgress = run.started;
+    runs_.push_back(run);
+    if (!started_) {
+        started_ = true;
+        thread_ = std::thread([this]() { threadMain(); });
+    }
+}
+
+void
+StallWatchdog::unwatch(RunControl* control)
+{
+    if (control == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    runs_.erase(std::remove_if(runs_.begin(), runs_.end(),
+                               [control](const WatchedRun& run) {
+                                   return run.control == control;
+                               }),
+                runs_.end());
+}
+
+void
+StallWatchdog::sample(WatchedRun& run, Clock::time_point now)
+{
+    const std::uint64_t events = run.control->eventWatermark();
+    const std::int64_t sim_time = run.control->simTimeWatermark();
+    const auto age =
+        std::chrono::duration<double>(now - run.started).count();
+    if (limits_.wallTimeoutSeconds > 0.0 &&
+        age >= limits_.wallTimeoutSeconds) {
+        run.control->requestAbort(AbortReason::WallTimeout);
+        return;
+    }
+    // Progress means simulated time moved.  Events firing with a
+    // frozen clock is a zero-delay livelock; no events at all is a
+    // blocked or wedged worker.  Either way the stall window
+    // applies.  (The event watermark is still tracked so diagnostic
+    // readers can tell the two apart.)
+    if (sim_time != run.lastSimTime) {
+        run.lastSimTime = sim_time;
+        run.lastEvents = events;
+        run.lastProgress = now;
+        return;
+    }
+    run.lastEvents = events;
+    const auto stalled =
+        std::chrono::duration<double>(now - run.lastProgress).count();
+    if (limits_.stallWindowSeconds > 0.0 &&
+        stalled >= limits_.stallWindowSeconds) {
+        run.control->requestAbort(AbortReason::Stall);
+    }
+}
+
+void
+StallWatchdog::threadMain()
+{
+    const auto poll = std::chrono::duration<double>(
+        std::max(limits_.pollIntervalSeconds, 1e-3));
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!shutdown_) {
+        wake_.wait_for(lock,
+                       std::chrono::duration_cast<
+                           std::chrono::milliseconds>(poll));
+        if (shutdown_)
+            return;
+        const Clock::time_point now = Clock::now();
+        for (WatchedRun& run : runs_)
+            sample(run, now);
+    }
+}
+
+}  // namespace runner
+}  // namespace uqsim

@@ -1,0 +1,132 @@
+#ifndef UQSIM_RUNNER_WATCHDOG_H_
+#define UQSIM_RUNNER_WATCHDOG_H_
+
+/**
+ * @file
+ * Stall watchdog for supervised sweep replications.
+ *
+ * One background thread samples the RunControl progress watermarks
+ * of every active replication on a fixed poll interval and requests
+ * a cooperative abort when:
+ *
+ *   - the wall-clock budget for the replication is exhausted
+ *     (WallTimeout), or
+ *   - the sim-time watermark has not advanced within the stall
+ *     window while events keep firing — a zero-delay event livelock
+ *     — or no events fire at all (Stall).
+ *
+ * The abort is honored by the Simulator between events (see
+ * run_control.h), so a killed replication's engine state stays
+ * consistent and the harness reports it as a timeout instead of
+ * hanging ctest/CI.  The event budget (--max-events) is enforced
+ * inline by the Simulator itself, deterministically; the watchdog
+ * only covers the wall-clock-based limits.
+ *
+ * Lifetime: watch() before Simulation::run(), unwatch() in all exit
+ * paths (the WatchGuard RAII helper does both).  The watchdog
+ * thread only starts when at least one limit is configured.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "uqsim/core/engine/run_control.h"
+
+namespace uqsim {
+namespace runner {
+
+/** Watchdog / budget knobs (0 disables each limit). */
+struct WatchdogLimits {
+    /** Kill a replication after this much wall time (seconds). */
+    double wallTimeoutSeconds = 0.0;
+    /** Kill a replication whose sim-time watermark is frozen for
+     *  this long (seconds of wall time). */
+    double stallWindowSeconds = 0.0;
+    /** Event budget per replication, enforced inline by the
+     *  Simulator at control-poll granularity (deterministic). */
+    std::uint64_t maxEventsPerReplication = 0;
+    /** Watchdog sampling period (seconds). */
+    double pollIntervalSeconds = 0.05;
+
+    /** True when the watchdog thread has anything to do. */
+    bool
+    watchdogNeeded() const
+    {
+        return wallTimeoutSeconds > 0.0 || stallWindowSeconds > 0.0;
+    }
+};
+
+/** Samples RunControls and aborts stalled / over-budget runs. */
+class StallWatchdog {
+  public:
+    explicit StallWatchdog(WatchdogLimits limits);
+    ~StallWatchdog();
+
+    StallWatchdog(const StallWatchdog&) = delete;
+    StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+    /** Registers @p control for supervision (starts the thread
+     *  lazily on first watch). */
+    void watch(RunControl* control);
+
+    /** Stops supervising @p control; safe if never watched. */
+    void unwatch(RunControl* control);
+
+    const WatchdogLimits& limits() const { return limits_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct WatchedRun {
+        RunControl* control = nullptr;
+        Clock::time_point started;
+        /** Last observed watermarks and when sim time last moved. */
+        std::uint64_t lastEvents = 0;
+        std::int64_t lastSimTime = 0;
+        Clock::time_point lastProgress;
+    };
+
+    void threadMain();
+    void sample(WatchedRun& run, Clock::time_point now);
+
+    WatchdogLimits limits_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::vector<WatchedRun> runs_;
+    bool shutdown_ = false;
+    bool started_ = false;
+    std::thread thread_;
+};
+
+/** RAII watch()/unwatch() around one replication. */
+class WatchGuard {
+  public:
+    WatchGuard(StallWatchdog* watchdog, RunControl* control)
+        : watchdog_(watchdog), control_(control)
+    {
+        if (watchdog_ != nullptr)
+            watchdog_->watch(control_);
+    }
+
+    ~WatchGuard()
+    {
+        if (watchdog_ != nullptr)
+            watchdog_->unwatch(control_);
+    }
+
+    WatchGuard(const WatchGuard&) = delete;
+    WatchGuard& operator=(const WatchGuard&) = delete;
+
+  private:
+    StallWatchdog* watchdog_;
+    RunControl* control_;
+};
+
+}  // namespace runner
+}  // namespace uqsim
+
+#endif  // UQSIM_RUNNER_WATCHDOG_H_

@@ -453,5 +453,97 @@ TEST(Logger, LevelFiltering)
     EXPECT_FALSE(logger.enabled(LogLevel::Trace));
 }
 
+TEST(EngineAudit, QueueAuditIsCleanThroughScheduleCancelPop)
+{
+    EventQueue queue;
+    EXPECT_TRUE(queue.auditCheck().empty());
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 100; ++i)
+        handles.push_back(queue.schedule(100 - i, [] {}, "e"));
+    EXPECT_TRUE(queue.auditCheck().empty());
+    for (int i = 0; i < 100; i += 3)
+        handles[static_cast<std::size_t>(i)].cancel();
+    EXPECT_TRUE(queue.auditCheck().empty());
+    while (!queue.empty()) {
+        EventQueue::FiredEvent event = queue.pop();
+        event.invoke();
+    }
+    const std::vector<std::string> findings = queue.auditCheck();
+    EXPECT_TRUE(findings.empty());
+    EXPECT_EQ(queue.freeSlots(), queue.poolCapacity());
+}
+
+TEST(EngineAudit, LeakedFiredEventIsDetected)
+{
+    // auditCheck is documented "between events": holding a FiredEvent
+    // across the check is exactly the leak it exists to catch.
+    EventQueue queue;
+    queue.schedule(1, [] {}, "leak");
+    {
+        EventQueue::FiredEvent held = queue.pop();
+        const std::vector<std::string> findings = queue.auditCheck();
+        ASSERT_FALSE(findings.empty());
+        bool mentions_leak = false;
+        for (const std::string& finding : findings)
+            mentions_leak |=
+                finding.find("FiredEvent") != std::string::npos;
+        EXPECT_TRUE(mentions_leak);
+        held.invoke();
+    }
+    // The RAII release restores clean accounting.
+    EXPECT_TRUE(queue.auditCheck().empty());
+}
+
+TEST(EngineAudit, SimulatorAuditAndControlPolling)
+{
+    Simulator sim;
+    RunControl control;
+    sim.setRunControl(&control);
+    int fired = 0;
+    for (int i = 0; i < 3000; ++i)
+        sim.scheduleAt(i, [&fired] { ++fired; }, "tick");
+    sim.run();
+    EXPECT_EQ(fired, 3000);
+    EXPECT_TRUE(sim.auditEngine().clean());
+    // The control saw progress watermarks published along the way.
+    EXPECT_GT(control.eventWatermark(), 0u);
+}
+
+TEST(EngineAudit, EventBudgetAbortsBetweenEvents)
+{
+    Simulator sim;
+    RunControl control;
+    control.setMaxEvents(Simulator::kControlPollEvents);
+    sim.setRunControl(&control);
+    int fired = 0;
+    for (int i = 0; i < 5000; ++i)
+        sim.scheduleAt(i, [&fired] { ++fired; }, "tick");
+    EXPECT_THROW(sim.run(), SimulationAbortError);
+    // The abort happened between events at poll granularity, so the
+    // engine's pooled storage is still consistent.
+    EXPECT_TRUE(sim.auditEngine().clean());
+    EXPECT_EQ(static_cast<std::uint64_t>(fired),
+              Simulator::kControlPollEvents);
+    EXPECT_EQ(control.abortRequested(), AbortReason::EventBudget);
+}
+
+TEST(EngineAudit, ExternalAbortIsHonored)
+{
+    Simulator sim;
+    RunControl control;
+    sim.setRunControl(&control);
+    for (int i = 0; i < 5000; ++i)
+        sim.scheduleAt(i, [] {}, "tick");
+    control.requestAbort(AbortReason::External);
+    try {
+        sim.run();
+        FAIL() << "expected SimulationAbortError";
+    } catch (const SimulationAbortError& error) {
+        EXPECT_EQ(error.reason(), AbortReason::External);
+        EXPECT_NE(std::string(error.what()).find("external"),
+                  std::string::npos);
+    }
+}
+
 }  // namespace
 }  // namespace uqsim

@@ -256,6 +256,46 @@ TEST(JsonParser, RejectsControlCharactersInStrings)
     EXPECT_THROW(parse("\"a\nb\""), JsonParseError);
 }
 
+TEST(JsonParser, NestingAtTheDepthLimitParses)
+{
+    std::string doc;
+    for (int i = 0; i < kMaxParseDepth; ++i)
+        doc += '[';
+    for (int i = 0; i < kMaxParseDepth; ++i)
+        doc += ']';
+    EXPECT_NO_THROW(parse(doc));
+}
+
+TEST(JsonParser, NestingBeyondTheDepthLimitFailsWithPosition)
+{
+    // A pathological document one level past the limit must fail
+    // with a positioned parse error, not overflow the call stack.
+    std::string doc;
+    for (int i = 0; i < kMaxParseDepth + 1; ++i)
+        doc += '[';
+    for (int i = 0; i < kMaxParseDepth + 1; ++i)
+        doc += ']';
+    try {
+        parse(doc);
+        FAIL() << "expected JsonParseError";
+    } catch (const JsonParseError& error) {
+        EXPECT_NE(std::string(error.what()).find("depth"),
+                  std::string::npos);
+        EXPECT_EQ(error.line(), 1);
+        // The offending bracket is the (limit+1)-th '['.
+        EXPECT_EQ(error.column(), kMaxParseDepth + 1);
+    }
+
+    // Objects hit the same guard.
+    std::string objects;
+    for (int i = 0; i < kMaxParseDepth + 1; ++i)
+        objects += "{\"k\":";
+    objects += "1";
+    for (int i = 0; i < kMaxParseDepth + 1; ++i)
+        objects += '}';
+    EXPECT_THROW(parse(objects), JsonParseError);
+}
+
 TEST(JsonParser, ParseFileMissingThrows)
 {
     EXPECT_THROW(parseFile("/nonexistent/file.json"), JsonError);

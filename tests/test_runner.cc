@@ -148,10 +148,11 @@ TEST(SweepRunner, AggregatesAcrossReplications)
               point.replications[1].traceDigest);
 }
 
-TEST(SweepRunner, FactoryExceptionsPropagate)
+TEST(SweepRunner, FactoryExceptionsPropagateInStrictMode)
 {
     runner::RunnerOptions options;
     options.jobs = 2;
+    options.failurePolicy = runner::FailurePolicy::Propagate;
     runner::SweepRunner sweep_runner(options);
     sweep_runner.addSweep("bad", {1000.0, 2000.0},
                           [](double qps, std::uint64_t) ->
@@ -165,9 +166,40 @@ TEST(SweepRunner, FactoryExceptionsPropagate)
     EXPECT_THROW(sweep_runner.run(), std::runtime_error);
 }
 
+TEST(SweepRunner, FactoryExceptionsAreIsolatedByDefault)
+{
+    // The default policy salvages: the healthy point keeps its
+    // results, the throwing point is classified, nothing leaks out
+    // of run(), and the pool drains (run() returning proves all
+    // workers joined).
+    runner::RunnerOptions options;
+    options.jobs = 2;
+    runner::SweepRunner sweep_runner(options);
+    sweep_runner.addSweep("bad", {1000.0, 2000.0},
+                          [](double qps, std::uint64_t) ->
+                          std::unique_ptr<Simulation> {
+                              if (qps > 1500.0)
+                                  throw std::runtime_error("boom");
+                              return Simulation::fromBundle(
+                                  models::thriftEchoBundle(
+                                      thriftParams(qps, 1)));
+                          });
+    const std::vector<runner::ReplicatedCurve> curves =
+        sweep_runner.run();
+    ASSERT_EQ(curves[0].points.size(), 2u);
+    EXPECT_TRUE(curves[0].points[0].replications[0].ok());
+    EXPECT_GT(curves[0].points[0].pooled.count(), 0u);
+    const runner::ReplicationResult& failed =
+        curves[0].points[1].replications[0];
+    EXPECT_EQ(failed.failure, runner::FailureKind::InternalError);
+    EXPECT_EQ(sweep_runner.failedJobs(), 1);
+}
+
 TEST(SweepRunner, UnfinalizedSimulationIsAnError)
 {
-    runner::SweepRunner sweep_runner;
+    runner::RunnerOptions options;
+    options.failurePolicy = runner::FailurePolicy::Propagate;
+    runner::SweepRunner sweep_runner(options);
     sweep_runner.addSweep("null", {1000.0},
                           [](double, std::uint64_t) {
                               return std::unique_ptr<Simulation>();
