@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Example: schedule-space exploration of a resilience policy.
+ *
+ * Builds a 2-tier front->leaf application protected by a
+ * timeout+retry policy, with a scripted leaf crash window, then
+ * explores the schedules the deterministic engine never visits on
+ * its own: fault-window onset jitter, retry/hedge timer nudges, and
+ * same-timestamp event reorderings.  Every schedule is checked
+ * against three invariants (goodput recovers after the nominal
+ * window, breakers re-close, no job leaks); the first violating
+ * schedule is written as a replayable file.
+ *
+ * Usage:
+ *   explore_resilience [--config DIR] [--schedules N]
+ *                      [--jitter-choices N] [--jitter-step-s S]
+ *                      [--nudge-choices N] [--nudge-step-s S]
+ *                      [--tie-choices N] [--depth-first]
+ *                      [--journal FILE] [--schedule-out FILE]
+ *                      [--recover-after-s T] [--grace-s G]
+ *                      [--min-completions N]
+ *   explore_resilience --replay FILE [--config DIR]
+ *
+ * Exit codes: 0 = all schedules clean (or replay reproduced the
+ * recorded digest), 3 = a violation was found, 4 = replay digest
+ * mismatch, 2 = bad usage or configuration.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "uqsim/explore/explorer.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/stage_presets.h"
+
+using namespace uqsim;
+
+namespace {
+
+/** 2-tier retry scenario with a scripted leaf crash window
+ *  (0.40 s - 0.50 s).  Mirrors configs the paper's fault studies
+ *  use; self-contained so the example runs without files. */
+ConfigBundle
+retryStormBundle(std::uint64_t seed)
+{
+    ConfigBundle bundle;
+    bundle.options.seed = seed;
+    bundle.options.warmupSeconds = 0.1;
+    bundle.options.durationSeconds = 1.0;
+    bundle.machines = json::parse(
+        R"({"wire_latency_us": 5.0, "loopback_latency_us": 1.0,)"
+        R"( "machines": [)"
+        R"( {"name": "front", "cores": 4, "irq_cores": 0},)"
+        R"( {"name": "leaf0", "cores": 2, "irq_cores": 0}]})");
+    {
+        json::JsonValue front = json::JsonValue::makeObject();
+        front.asObject()["service_name"] = "front";
+        front.asObject()["execution_model"] = "simple";
+        json::JsonArray stages;
+        stages.push_back(
+            models::processingStage(0, "proc", models::detUs(5.0)));
+        front.asObject()["stages"] =
+            json::JsonValue(std::move(stages));
+        json::JsonArray paths;
+        paths.push_back(models::pathJson(0, "serve", {0}));
+        front.asObject()["paths"] = json::JsonValue(std::move(paths));
+        bundle.services.push_back(std::move(front));
+    }
+    {
+        json::JsonValue leaf = json::JsonValue::makeObject();
+        leaf.asObject()["service_name"] = "leaf";
+        leaf.asObject()["execution_model"] = "simple";
+        json::JsonArray stages;
+        stages.push_back(
+            models::processingStage(0, "proc", models::expUs(100.0)));
+        leaf.asObject()["stages"] = json::JsonValue(std::move(stages));
+        json::JsonArray paths;
+        paths.push_back(models::pathJson(0, "serve", {0}));
+        leaf.asObject()["paths"] = json::JsonValue(std::move(paths));
+        bundle.services.push_back(std::move(leaf));
+    }
+    bundle.graph = json::parse(
+        R"({"services": [)"
+        R"( {"service": "front", "connection_pools": {"leaf": 64},)"
+        R"(  "policies": {"leaf": {"timeout_s": 0.002, "retries": 2,)"
+        R"(   "backoff_base_s": 0.0002}},)"
+        R"(  "instances": [{"machine": "front", "threads": 4}]},)"
+        R"( {"service": "leaf",)"
+        R"(  "instances": [{"machine": "leaf0", "threads": 2}]}]})");
+    bundle.paths = json::parse(
+        R"({"paths": [{"probability": 1.0, "nodes":)"
+        R"( [{"node_id": 0, "service": "front", "path": "serve",)"
+        R"(   "children": [1]},)"
+        R"(  {"node_id": 1, "service": "leaf", "path": "serve",)"
+        R"(   "children": [2]},)"
+        R"(  {"node_id": 2, "service": "front", "path": "serve",)"
+        R"(   "children": []}]}]})");
+    bundle.client = json::parse(
+        R"({"front_service": "front", "connections": 64,)"
+        R"( "arrival": "poisson", "load": {"type": "constant",)"
+        R"( "qps": 500.0}, "request_bytes": {"type": "deterministic",)"
+        R"( "value": 128.0}})");
+    bundle.faults = json::parse(
+        R"({"faults": [{"type": "crash", "instance": "leaf.0",)"
+        R"( "at_s": 0.4, "recover_s": 0.5}]})");
+    return bundle;
+}
+
+int
+usageError(const char* message)
+{
+    std::fprintf(stderr, "error: %s\n", message);
+    std::fprintf(stderr,
+                 "usage: explore_resilience [--config DIR] "
+                 "[--schedules N] [--jitter-choices N] "
+                 "[--jitter-step-s S] [--nudge-choices N] "
+                 "[--nudge-step-s S] [--tie-choices N] "
+                 "[--depth-first] [--journal FILE] "
+                 "[--schedule-out FILE] [--recover-after-s T] "
+                 "[--grace-s G] [--min-completions N]\n"
+                 "       explore_resilience --replay FILE "
+                 "[--config DIR]\n");
+    return 2;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string configDir;
+    std::string replayPath;
+    explore::ExploreOptions options;
+    options.maxSchedules = 64;
+    options.limits.faultJitterChoices = 2;
+    options.limits.faultJitterStepSeconds = 0.1;
+    options.scheduleOutPath = "violation.schedule.json";
+    double recoverAfterSeconds = 0.5;
+    double graceSeconds = 0.05;
+    std::uint64_t minCompletions = 5;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc)
+                return nullptr;
+            return argv[++i];
+        };
+        const char* value = nullptr;
+        if (arg == "--depth-first") {
+            options.depthFirst = true;
+        } else if ((value = next()) == nullptr) {
+            return usageError(("missing value for " + arg).c_str());
+        } else if (arg == "--config") {
+            configDir = value;
+        } else if (arg == "--replay") {
+            replayPath = value;
+        } else if (arg == "--schedules") {
+            options.maxSchedules =
+                static_cast<std::size_t>(std::stoul(value));
+        } else if (arg == "--jitter-choices") {
+            options.limits.faultJitterChoices = std::stoi(value);
+        } else if (arg == "--jitter-step-s") {
+            options.limits.faultJitterStepSeconds = std::stod(value);
+        } else if (arg == "--nudge-choices") {
+            options.limits.timerNudgeChoices = std::stoi(value);
+        } else if (arg == "--nudge-step-s") {
+            options.limits.timerNudgeStepSeconds = std::stod(value);
+        } else if (arg == "--tie-choices") {
+            options.limits.maxTieChoices = std::stoi(value);
+        } else if (arg == "--journal") {
+            options.journalPath = value;
+        } else if (arg == "--schedule-out") {
+            options.scheduleOutPath = value;
+        } else if (arg == "--recover-after-s") {
+            recoverAfterSeconds = std::stod(value);
+        } else if (arg == "--grace-s") {
+            graceSeconds = std::stod(value);
+        } else if (arg == "--min-completions") {
+            minCompletions = std::stoull(value);
+        } else {
+            return usageError(("unknown flag " + arg).c_str());
+        }
+    }
+
+    try {
+        const ConfigBundle bundle =
+            configDir.empty() ? retryStormBundle(11)
+                              : ConfigBundle::fromDirectory(configDir);
+
+        if (!replayPath.empty()) {
+            const explore::Schedule schedule =
+                explore::Schedule::load(replayPath);
+            explore::ExploreOptions replayOptions;
+            replayOptions.limits = schedule.limits;
+            explore::Explorer explorer(
+                explore::bundleFactory(bundle), replayOptions);
+            const explore::ScheduleOutcome outcome =
+                explorer.replay(schedule);
+            std::printf("replayed %zu decision(s): digest %s, "
+                        "recorded %s\n",
+                        schedule.choices.size(),
+                        explore::digestToHex(outcome.digest).c_str(),
+                        explore::digestToHex(schedule.expectedDigest)
+                            .c_str());
+            if (!outcome.error.empty())
+                std::printf("replay error: %s\n",
+                            outcome.error.c_str());
+            if (outcome.digest != schedule.expectedDigest) {
+                std::printf("DIGEST MISMATCH — schedule is stale "
+                            "for this configuration\n");
+                return 4;
+            }
+            std::printf("reproduced the recorded run "
+                        "bit-identically\n");
+            return 0;
+        }
+
+        explore::Explorer explorer(explore::bundleFactory(bundle),
+                                   options);
+        explorer.addInvariant(explore::goodputRecovers(
+            recoverAfterSeconds, graceSeconds, minCompletions));
+        explorer.addInvariant(explore::breakerRecloses());
+        explorer.addInvariant(explore::noJobLeaked());
+
+        const explore::ExploreResult result = explorer.explore();
+        std::printf("explored %zu schedule(s): %zu violation(s), "
+                    "%zu alternative(s) pruned, %zu left in "
+                    "frontier\n",
+                    result.schedulesRun, result.violations,
+                    result.prunedAlternatives, result.frontierLeft);
+        std::printf("default-schedule digest %s\n",
+                    explore::digestToHex(result.defaultDigest)
+                        .c_str());
+        const explore::ScheduleOutcome* violation =
+            result.firstViolation();
+        if (violation == nullptr) {
+            std::printf("all invariants held on every explored "
+                        "schedule\n");
+            return 0;
+        }
+        std::printf("violation on schedule %zu: %s\n",
+                    violation->index, violation->violation.c_str());
+        for (const explore::Decision& d : violation->decisions) {
+            std::printf("  %s@%s -> option %d of %d\n",
+                        choiceKindName(d.kind), d.label.c_str(),
+                        d.chosen, d.options);
+        }
+        if (!options.scheduleOutPath.empty()) {
+            std::printf("replayable schedule written to %s\n",
+                        options.scheduleOutPath.c_str());
+        }
+        return 3;
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+}

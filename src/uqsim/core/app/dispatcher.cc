@@ -103,6 +103,35 @@ Dispatcher::breakerTrips() const
     return trips;
 }
 
+std::size_t
+Dispatcher::openBreakers() const
+{
+    std::size_t open = 0;
+    for (const auto& [edge, runtime] : edges_) {
+        if (runtime.breaker &&
+            runtime.breaker->state() !=
+                fault::CircuitBreaker::State::Closed) {
+            ++open;
+        }
+    }
+    return open;
+}
+
+SimTime
+Dispatcher::timerNudge(const char* label)
+{
+    Chooser* chooser = sim_.chooser();
+    if (chooser == nullptr)
+        return 0;
+    const int cap = chooser->maxChoices(ChoiceKind::TimerNudge);
+    if (cap <= 1)
+        return 0;
+    const int pick =
+        chooser->choose(ChoiceKind::TimerNudge, cap, label);
+    return static_cast<SimTime>(pick) *
+           chooser->jitterStep(ChoiceKind::TimerNudge);
+}
+
 TierFaultStats&
 Dispatcher::tierFault(std::uint32_t tier_id)
 {
@@ -553,7 +582,7 @@ Dispatcher::startManagedHop(RootState& state, JobPtr job, int node_id,
         const SimTime delay = resolveHedgeDelay(edge, policy);
         if (delay > 0) {
             hs.hedgeEvent = sim_.scheduleAfter(
-                delay,
+                delay + timerNudge("timer/hedge"),
                 [this, root, node_id]() { onHedgeTimer(root, node_id); },
                 "dispatch/hedge");
         }
@@ -597,7 +626,8 @@ Dispatcher::launchAttempt(JobId root, int node_id, JobPtr job)
     if (hs.policy->retriesEnabled()) {
         hs.timeoutEvent.cancel();
         hs.timeoutEvent = sim_.scheduleAfter(
-            secondsToSimTime(hs.policy->timeoutSeconds),
+            secondsToSimTime(hs.policy->timeoutSeconds) +
+                timerNudge("timer/timeout"),
             [this, root, node_id]() { onHopTimeout(root, node_id); },
             "dispatch/timeout");
     }
@@ -698,8 +728,9 @@ Dispatcher::scheduleResend(JobId root, int node_id)
     if (backoff <= 0.0) {
         fire();
     } else {
-        hs.resendEvent = sim_.scheduleAfter(secondsToSimTime(backoff),
-                                            fire, "dispatch/retry");
+        hs.resendEvent = sim_.scheduleAfter(
+            secondsToSimTime(backoff) + timerNudge("timer/retry"),
+            fire, "dispatch/retry");
     }
 }
 
@@ -726,7 +757,7 @@ Dispatcher::onHedgeTimer(JobId root, int node_id)
         const SimTime delay = resolveHedgeDelay(edge, *hs.policy);
         if (delay > 0) {
             hs.hedgeEvent = sim_.scheduleAfter(
-                delay,
+                delay + timerNudge("timer/hedge"),
                 [this, root, node_id]() { onHedgeTimer(root, node_id); },
                 "dispatch/hedge");
         }

@@ -138,6 +138,9 @@ class Dispatcher {
     std::uint64_t hedgesSent() const { return hedgesSent_; }
     /** Circuit-breaker trips summed over all edges. */
     std::uint64_t breakerTrips() const;
+    /** Breakers currently not Closed (Open or HalfOpen); the
+     *  breaker-recloses invariant checks this is zero post-run. */
+    std::size_t openBreakers() const;
     std::size_t activeRequests() const { return roots_.size(); }
 
     /**
@@ -268,6 +271,14 @@ class Dispatcher {
     void onHedgeTimer(JobId root, int node_id);
     SimTime resolveHedgeDelay(EdgeRuntime& edge,
                               const fault::EdgePolicy& policy);
+    /**
+     * Extra delay for one resilience timer (timeout / hedge /
+     * retry-backoff), decided by the simulator's attached Chooser
+     * (TimerNudge choice points).  Zero with no chooser, with the
+     * kind disabled, or when the chooser answers 0, so the default
+     * schedule is unchanged.
+     */
+    SimTime timerNudge(const char* label);
     /** Job-level failure reported by an instance (crash, refusal,
      *  bounded-queue rejection). */
     void onJobFailed(JobPtr job, MicroserviceInstance& inst,

@@ -1,0 +1,30 @@
+#include "uqsim/core/engine/choice.h"
+
+#include <stdexcept>
+
+namespace uqsim {
+
+const char*
+choiceKindName(ChoiceKind kind)
+{
+    switch (kind) {
+      case ChoiceKind::EventTie: return "event_tie";
+      case ChoiceKind::FaultJitter: return "fault_jitter";
+      case ChoiceKind::TimerNudge: return "timer_nudge";
+    }
+    return "?";
+}
+
+ChoiceKind
+choiceKindFromName(const std::string& name)
+{
+    if (name == "event_tie")
+        return ChoiceKind::EventTie;
+    if (name == "fault_jitter")
+        return ChoiceKind::FaultJitter;
+    if (name == "timer_nudge")
+        return ChoiceKind::TimerNudge;
+    throw std::invalid_argument("unknown choice kind: " + name);
+}
+
+}  // namespace uqsim

@@ -115,6 +115,89 @@ EventQueue::auditCheck() const
     return violations;
 }
 
+std::size_t
+EventQueue::tieGroupSize(std::size_t cap) const
+{
+    if (heap_.empty() || cap == 0)
+        return 0;
+    const SimTime front = heap_.front().when;
+    std::size_t count = 0;
+    for (const HeapEntry& entry : heap_) {
+        if (entry.when == front && ++count >= cap)
+            break;
+    }
+    return count;
+}
+
+EventQueue::FiredEvent
+EventQueue::popTie(std::size_t k)
+{
+    if (heap_.empty())
+        return FiredEvent();
+    if (k == 0)
+        return pop();
+    const SimTime front = heap_.front().when;
+    // Select the (k+1)-th smallest sequence among the tie group.
+    // The tie group is small (bounded by the explorer's branching
+    // cap in practice), so a linear selection is fine.
+    std::uint64_t chosen_seq = 0;
+    std::size_t chosen_pos = heap_.size();
+    std::uint64_t floor_seq = 0;  // sequences <= floor already taken
+    bool have_floor = false;
+    for (std::size_t round = 0; round <= k; ++round) {
+        chosen_pos = heap_.size();
+        for (std::size_t pos = 0; pos < heap_.size(); ++pos) {
+            const HeapEntry& entry = heap_[pos];
+            if (entry.when != front)
+                continue;
+            if (have_floor && entry.sequence <= floor_seq)
+                continue;
+            if (chosen_pos == heap_.size() ||
+                entry.sequence < chosen_seq) {
+                chosen_seq = entry.sequence;
+                chosen_pos = pos;
+            }
+        }
+        if (chosen_pos == heap_.size())
+            return FiredEvent();  // k beyond the tie group
+        floor_seq = chosen_seq;
+        have_floor = true;
+    }
+    const std::uint32_t slot = heap_[chosen_pos].slot;
+    heapRemoveAt(chosen_pos);
+    slotPtr(slot)->heapIndex = kExecutingIndex;
+    return FiredEvent(this, slot);
+}
+
+std::uint64_t
+EventQueue::pendingStateHash() const
+{
+    constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+    constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+    std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+    for (const HeapEntry& entry : heap_) {
+        const Slot& s = *slotPtr(entry.slot);
+        // Hash the label by content: literal addresses are not
+        // stable enough to compare fingerprints across schedules.
+        std::uint64_t label = kFnvOffset;
+        for (const char* p = s.label; *p != '\0'; ++p) {
+            label = (label ^ static_cast<unsigned char>(*p)) *
+                    kFnvPrime;
+        }
+        std::uint64_t x =
+            static_cast<std::uint64_t>(entry.when) ^ label;
+        // splitmix64-style finalizer, then a commutative fold so
+        // heap layout (and pop order history) cannot matter.
+        x ^= x >> 30;
+        x *= 0xBF58476D1CE4E5B9ULL;
+        x ^= x >> 27;
+        x *= 0x94D049BB133111EBULL;
+        x ^= x >> 31;
+        h += x;
+    }
+    return h;
+}
+
 void
 EventQueue::heapPush(std::uint32_t slot, SimTime when,
                      std::uint64_t sequence)

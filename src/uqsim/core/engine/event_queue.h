@@ -141,6 +141,30 @@ class EventQueue {
         return FiredEvent(this, top);
     }
 
+    // Exploration support (not on the default hot path) --------------
+
+    /**
+     * Number of events tied at the earliest timestamp, capped at
+     * @p cap.  O(pending) scan; only the schedule explorer calls it.
+     */
+    std::size_t tieGroupSize(std::size_t cap) const;
+
+    /**
+     * Removes and returns the event with the (k+1)-th smallest
+     * sequence number among those tied at the earliest timestamp.
+     * popTie(0) is exactly pop(); @p k must be < tieGroupSize.
+     */
+    FiredEvent popTie(std::size_t k);
+
+    /**
+     * Order-insensitive fingerprint of the pending-event multiset:
+     * a commutative fold over (when, label) of every pending event,
+     * deliberately excluding sequence numbers and slot indices so
+     * that equivalent states reached through different histories
+     * hash equally.  Used by the explorer's revisit pruning; O(n).
+     */
+    std::uint64_t pendingStateHash() const;
+
     /** Total number of events ever scheduled (diagnostics). */
     std::uint64_t scheduledCount() const { return nextSequence_; }
 

@@ -80,6 +80,37 @@ Simulator::pollControl()
     }
 }
 
+std::uint64_t
+Simulator::stateFingerprint() const
+{
+    std::uint64_t x = static_cast<std::uint64_t>(now_) ^
+                      queue_.pendingStateHash();
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return x;
+}
+
+EventQueue::FiredEvent
+Simulator::popChosen()
+{
+    const int cap = chooser_->maxChoices(ChoiceKind::EventTie);
+    if (cap > 1) {
+        const std::size_t group =
+            queue_.tieGroupSize(static_cast<std::size_t>(cap));
+        if (group > 1) {
+            const int pick =
+                chooser_->choose(ChoiceKind::EventTie,
+                                 static_cast<int>(group),
+                                 "event-tie");
+            return queue_.popTie(static_cast<std::size_t>(pick));
+        }
+    }
+    return queue_.pop();
+}
+
 audit::AuditReport
 Simulator::auditEngine() const
 {
@@ -115,7 +146,8 @@ Simulator::run(SimTime until, std::uint64_t max_events)
                 formatSimTime(next) + ", now " +
                 formatSimTime(now_));
         }
-        EventQueue::FiredEvent event = queue_.pop();
+        EventQueue::FiredEvent event =
+            chooser_ == nullptr ? queue_.pop() : popChosen();
         now_ = event.when();
         if (logger_.enabled(LogLevel::Trace))
             logger_.log(LogLevel::Trace, now_, "engine",

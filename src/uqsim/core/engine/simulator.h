@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "uqsim/core/engine/audit.h"
+#include "uqsim/core/engine/choice.h"
 #include "uqsim/core/engine/event.h"
 #include "uqsim/core/engine/event_queue.h"
 #include "uqsim/core/engine/logger.h"
@@ -129,6 +130,34 @@ class Simulator {
      */
     audit::AuditReport auditEngine() const;
 
+    /**
+     * Attaches a schedule chooser (nullptr detaches).  While
+     * attached, same-timestamp event pops become choice points (see
+     * choice.h), and the fault scheduler / dispatcher consult the
+     * chooser for onset-jitter and timer-nudge decisions.  With no
+     * chooser the run loop pays one predictable branch per event and
+     * behaves bit-identically to pre-explorer builds.  Attach before
+     * Simulation::finalize() so fault-plan choice points are seen.
+     */
+    void
+    setChooser(Chooser* chooser)
+    {
+        chooser_ = chooser;
+        if (chooser_ != nullptr)
+            chooser_->attach(*this);
+    }
+    Chooser* chooser() const { return chooser_; }
+
+    /**
+     * Approximate state fingerprint for the explorer's revisit
+     * pruning: the clock combined with the order-insensitive hash of
+     * the pending-event multiset.  Two equal fingerprints *probably*
+     * name equivalent states (the fingerprint ignores component
+     * state, so the explorer treats collisions as prune hints, not
+     * proofs).
+     */
+    std::uint64_t stateFingerprint() const;
+
     /** Events between control polls / audit clock checks. */
     static constexpr std::uint64_t kControlPollEvents = 1024;
 
@@ -141,11 +170,16 @@ class Simulator {
      *  SimulationAbortError when the supervisor asked to stop. */
     void pollControl();
 
+    /** Pops the next event through the attached chooser: a tie at
+     *  the earliest timestamp becomes an EventTie choice point. */
+    EventQueue::FiredEvent popChosen();
+
     SimTime now_ = 0;
     std::uint64_t masterSeed_;
     EventQueue queue_;
     Logger logger_;
     RunControl* control_ = nullptr;
+    Chooser* chooser_ = nullptr;
     bool stopRequested_ = false;
     std::uint64_t executedEvents_ = 0;
     std::uint64_t traceDigest_ = 0xCBF29CE484222325ULL;  // FNV offset

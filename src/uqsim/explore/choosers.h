@@ -1,0 +1,153 @@
+#ifndef UQSIM_EXPLORE_CHOOSERS_H_
+#define UQSIM_EXPLORE_CHOOSERS_H_
+
+/**
+ * @file
+ * The two Chooser implementations the explorer drives runs with.
+ *
+ * RecordingChooser plays a fixed decision prefix and then answers
+ * "default" (option 0) for every later choice point, recording the
+ * full decision sequence plus a state fingerprint at each decision —
+ * the raw material for the explorer's frontier expansion and revisit
+ * pruning.  ReplayChooser strictly follows a saved Schedule and
+ * counts divergences instead of crashing, so a stale schedule file
+ * fails loudly (digest mismatch + divergence count) rather than
+ * undefined-behaviorally.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "uqsim/core/engine/choice.h"
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/explore/schedule.h"
+
+namespace uqsim {
+namespace explore {
+
+/** Plays a prefix, defaults after it, records everything. */
+class RecordingChooser : public Chooser {
+  public:
+    RecordingChooser(const ExploreLimits& limits,
+                     std::vector<int> prefix)
+        : limits_(limits), prefix_(std::move(prefix))
+    {
+    }
+
+    void attach(Simulator& sim) override { sim_ = &sim; }
+
+    int
+    choose(ChoiceKind kind, int options, const char* label) override
+    {
+        if (decisions_.size() >= limits_.maxDecisions) {
+            // Beyond the recorded-decision budget the run silently
+            // takes defaults; count so diagnostics can report how
+            // much of the space the cap hid.
+            ++truncatedDecisions_;
+            return 0;
+        }
+        int pick = 0;
+        if (decisions_.size() < prefix_.size()) {
+            pick = prefix_[decisions_.size()];
+            if (pick >= options)
+                pick = options - 1;  // tie group shrank; stay valid
+        }
+        fingerprints_.push_back(sim_ != nullptr
+                                    ? sim_->stateFingerprint()
+                                    : 0);
+        decisions_.push_back(
+            Decision{kind, options, pick, label});
+        return pick;
+    }
+
+    int
+    maxChoices(ChoiceKind kind) const override
+    {
+        return limits_.choicesFor(kind);
+    }
+
+    SimTime
+    jitterStep(ChoiceKind kind) const override
+    {
+        return limits_.stepFor(kind);
+    }
+
+    /** Decisions taken, in order (prefix replays included). */
+    const std::vector<Decision>& decisions() const
+    {
+        return decisions_;
+    }
+    /** Simulator state fingerprint *before* each decision; aligned
+     *  with decisions(). */
+    const std::vector<std::uint64_t>& fingerprints() const
+    {
+        return fingerprints_;
+    }
+    /** Choice points that fell past maxDecisions. */
+    std::uint64_t truncatedDecisions() const
+    {
+        return truncatedDecisions_;
+    }
+
+  private:
+    ExploreLimits limits_;
+    std::vector<int> prefix_;
+    Simulator* sim_ = nullptr;
+    std::vector<Decision> decisions_;
+    std::vector<std::uint64_t> fingerprints_;
+    std::uint64_t truncatedDecisions_ = 0;
+};
+
+/** Strictly follows a saved schedule; defaults past its end. */
+class ReplayChooser : public Chooser {
+  public:
+    explicit ReplayChooser(const Schedule& schedule)
+        : schedule_(schedule)
+    {
+    }
+
+    void attach(Simulator& sim) override { (void)sim; }
+
+    int
+    choose(ChoiceKind kind, int options, const char* label) override
+    {
+        (void)label;
+        const std::size_t index = next_++;
+        if (index >= schedule_.choices.size())
+            return 0;  // recorded run also defaulted past its record
+        const Decision& d = schedule_.choices[index];
+        if (d.kind != kind || d.chosen >= options) {
+            ++divergences_;
+            return 0;
+        }
+        return d.chosen;
+    }
+
+    int
+    maxChoices(ChoiceKind kind) const override
+    {
+        return schedule_.limits.choicesFor(kind);
+    }
+
+    SimTime
+    jitterStep(ChoiceKind kind) const override
+    {
+        return schedule_.limits.stepFor(kind);
+    }
+
+    /** Choice points consumed so far. */
+    std::size_t consumed() const { return next_; }
+    /** Decisions that did not match the run (kind or range); a
+     *  faithful replay has zero. */
+    std::size_t divergences() const { return divergences_; }
+
+  private:
+    const Schedule& schedule_;
+    std::size_t next_ = 0;
+    std::size_t divergences_ = 0;
+};
+
+}  // namespace explore
+}  // namespace uqsim
+
+#endif  // UQSIM_EXPLORE_CHOOSERS_H_

@@ -1,0 +1,79 @@
+#include "uqsim/explore/invariant.h"
+
+#include <string>
+
+namespace uqsim {
+namespace explore {
+
+Invariant
+goodputRecovers(double afterSeconds, double graceSeconds,
+                std::uint64_t minCompletions)
+{
+    Invariant inv;
+    inv.name = "goodput-recovers";
+    inv.check = [afterSeconds, graceSeconds,
+                 minCompletions](const InvariantContext& ctx) {
+        const double deadline = afterSeconds + graceSeconds;
+        std::uint64_t recovered = 0;
+        for (const double t : ctx.completionSeconds) {
+            if (t > afterSeconds && t <= deadline)
+                ++recovered;
+        }
+        if (recovered >= minCompletions)
+            return std::string();
+        return std::to_string(recovered) +
+               " completion(s) in recovery window (" +
+               std::to_string(afterSeconds) + "s, " +
+               std::to_string(deadline) + "s], need " +
+               std::to_string(minCompletions);
+    };
+    return inv;
+}
+
+Invariant
+breakerRecloses()
+{
+    Invariant inv;
+    inv.name = "breaker-recloses";
+    inv.check = [](const InvariantContext& ctx) {
+        const std::size_t open = ctx.sim.dispatcher().openBreakers();
+        if (open == 0)
+            return std::string();
+        return std::to_string(open) +
+               " circuit breaker(s) still open after the run";
+    };
+    return inv;
+}
+
+Invariant
+noJobLeaked()
+{
+    Invariant inv;
+    inv.name = "no-job-leaked";
+    inv.check = [](const InvariantContext& ctx) {
+        Dispatcher& d = ctx.sim.dispatcher();
+        if (d.leakedBlocks() != 0 || d.leakedHops() != 0) {
+            return std::to_string(d.leakedBlocks()) +
+                   " leaked block(s), " +
+                   std::to_string(d.leakedHops()) +
+                   " leaked hop(s)";
+        }
+        // Requests still in flight when the duration limit lands are
+        // not leaks — they are counted on the active side of the
+        // conservation ledger.
+        const std::uint64_t accounted =
+            d.requestsCompleted() + d.requestsFailed() +
+            d.requestsShed() + d.activeRequests();
+        if (d.requestsStarted() != accounted) {
+            return "job conservation broken: started " +
+                   std::to_string(d.requestsStarted()) +
+                   " != completed+failed+shed+active " +
+                   std::to_string(accounted);
+        }
+        return std::string();
+    };
+    return inv;
+}
+
+}  // namespace explore
+}  // namespace uqsim

@@ -1,0 +1,72 @@
+#ifndef UQSIM_EXPLORE_INVARIANT_H_
+#define UQSIM_EXPLORE_INVARIANT_H_
+
+/**
+ * @file
+ * User-declared invariants checked after every explored schedule.
+ *
+ * An invariant inspects the finished run (report, dispatcher
+ * counters, completion timeline) and returns an empty string when
+ * satisfied or a human-readable violation message when not.  The
+ * explorer stops the offending schedule's classification at the
+ * first violated invariant and emits the schedule as a replayable
+ * file.
+ *
+ * Builtins cover the resilience properties the paper's fault studies
+ * care about: goodput recovers after the fault window closes, every
+ * circuit breaker re-closes, and no job or pooled resource leaks.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/sim/report.h"
+#include "uqsim/core/sim/simulation.h"
+
+namespace uqsim {
+namespace explore {
+
+/** Everything an invariant may inspect about one finished run. */
+struct InvariantContext {
+    const RunReport& report;
+    /** The finished simulation (dispatcher counters, latencies). */
+    Simulation& sim;
+    /** Sim-time (seconds) of every completion, warm-up included,
+     *  in completion order. */
+    const std::vector<double>& completionSeconds;
+};
+
+/** Returns "" when satisfied, a violation message otherwise. */
+using InvariantFn = std::function<std::string(const InvariantContext&)>;
+
+/** Named run property asserted over every explored schedule. */
+struct Invariant {
+    std::string name;
+    InvariantFn check;
+};
+
+// Builtins ----------------------------------------------------------
+
+/**
+ * Goodput recovers after a fault window: at least @p minCompletions
+ * requests complete within (@p afterSeconds, @p afterSeconds +
+ * @p graceSeconds].  Violated when mitigation (retry storms, stuck
+ * breakers) keeps the service down past the window.
+ */
+Invariant goodputRecovers(double afterSeconds, double graceSeconds,
+                          std::uint64_t minCompletions);
+
+/** Every circuit breaker is Closed again by the end of the run. */
+Invariant breakerRecloses();
+
+/** No leaked block or hop survives the run, and the request
+ *  counters conserve jobs
+ *  (started == completed + failed + shed + active). */
+Invariant noJobLeaked();
+
+}  // namespace explore
+}  // namespace uqsim
+
+#endif  // UQSIM_EXPLORE_INVARIANT_H_

@@ -1,0 +1,180 @@
+#include "uqsim/explore/schedule.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "uqsim/json/json_parser.h"
+#include "uqsim/json/json_writer.h"
+
+namespace uqsim {
+namespace explore {
+
+int
+ExploreLimits::choicesFor(ChoiceKind kind) const
+{
+    switch (kind) {
+      case ChoiceKind::EventTie: return maxTieChoices;
+      case ChoiceKind::FaultJitter: return faultJitterChoices;
+      case ChoiceKind::TimerNudge: return timerNudgeChoices;
+    }
+    return 1;
+}
+
+SimTime
+ExploreLimits::stepFor(ChoiceKind kind) const
+{
+    switch (kind) {
+      case ChoiceKind::EventTie:
+        return 0;
+      case ChoiceKind::FaultJitter:
+        return secondsToSimTime(faultJitterStepSeconds);
+      case ChoiceKind::TimerNudge:
+        return secondsToSimTime(timerNudgeStepSeconds);
+    }
+    return 0;
+}
+
+json::JsonValue
+ExploreLimits::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    json::JsonObject& obj = doc.asObject();
+    obj["max_tie_choices"] = maxTieChoices;
+    obj["fault_jitter_choices"] = faultJitterChoices;
+    obj["fault_jitter_step_s"] = faultJitterStepSeconds;
+    obj["timer_nudge_choices"] = timerNudgeChoices;
+    obj["timer_nudge_step_s"] = timerNudgeStepSeconds;
+    obj["max_decisions"] = static_cast<std::int64_t>(maxDecisions);
+    return doc;
+}
+
+ExploreLimits
+ExploreLimits::fromJson(const json::JsonValue& doc)
+{
+    ExploreLimits limits;
+    limits.maxTieChoices = doc.getOr("max_tie_choices", 1);
+    limits.faultJitterChoices = doc.getOr("fault_jitter_choices", 1);
+    limits.faultJitterStepSeconds =
+        doc.getOr("fault_jitter_step_s", 0.0);
+    limits.timerNudgeChoices = doc.getOr("timer_nudge_choices", 1);
+    limits.timerNudgeStepSeconds =
+        doc.getOr("timer_nudge_step_s", 0.0);
+    limits.maxDecisions = static_cast<std::size_t>(
+        doc.getOr("max_decisions", std::int64_t{64}));
+    return limits;
+}
+
+json::JsonValue
+Schedule::toJson() const
+{
+    json::JsonValue doc = json::JsonValue::makeObject();
+    json::JsonObject& obj = doc.asObject();
+    obj["schema"] = kScheduleSchema;
+    obj["limits"] = limits.toJson();
+    json::JsonArray decisions;
+    decisions.reserve(choices.size());
+    for (const Decision& d : choices) {
+        json::JsonValue entry = json::JsonValue::makeObject();
+        json::JsonObject& e = entry.asObject();
+        e["kind"] = choiceKindName(d.kind);
+        e["options"] = d.options;
+        e["chosen"] = d.chosen;
+        e["label"] = d.label;
+        decisions.push_back(std::move(entry));
+    }
+    obj["choices"] = json::JsonValue(std::move(decisions));
+    obj["expected_digest"] = digestToHex(expectedDigest);
+    if (!violation.empty())
+        obj["violation"] = violation;
+    return doc;
+}
+
+Schedule
+Schedule::fromJson(const json::JsonValue& doc)
+{
+    const std::string schema = doc.getOr("schema", "");
+    if (schema != kScheduleSchema) {
+        throw json::JsonError("schedule file schema is \"" + schema +
+                              "\", expected \"" + kScheduleSchema +
+                              "\"");
+    }
+    Schedule schedule;
+    schedule.limits = ExploreLimits::fromJson(doc.at("limits"));
+    for (const json::JsonValue& entry : doc.at("choices").asArray()) {
+        Decision d;
+        d.kind = choiceKindFromName(entry.at("kind").asString());
+        d.options = static_cast<int>(entry.at("options").asInt());
+        d.chosen = static_cast<int>(entry.at("chosen").asInt());
+        d.label = entry.getOr("label", "");
+        if (d.chosen < 0 || d.chosen >= d.options) {
+            throw json::JsonError(
+                "schedule decision chose option " +
+                std::to_string(d.chosen) + " of " +
+                std::to_string(d.options));
+        }
+        schedule.choices.push_back(std::move(d));
+    }
+    schedule.expectedDigest =
+        digestFromHex(doc.getOr("expected_digest", "0"));
+    schedule.violation = doc.getOr("violation", "");
+    return schedule;
+}
+
+void
+Schedule::save(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        throw std::runtime_error("cannot write schedule file: " +
+                                 path);
+    out << json::writePretty(toJson()) << "\n";
+    if (!out)
+        throw std::runtime_error("failed writing schedule file: " +
+                                 path);
+}
+
+Schedule
+Schedule::load(const std::string& path)
+{
+    return fromJson(json::parseFile(path));
+}
+
+std::string
+digestToHex(std::uint64_t digest)
+{
+    static const char* kDigits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<std::size_t>(i)] =
+            kDigits[digest & 0xF];
+        digest >>= 4;
+    }
+    return hex;
+}
+
+std::uint64_t
+digestFromHex(const std::string& hex)
+{
+    if (hex.empty() || hex.size() > 16)
+        throw std::invalid_argument("bad digest hex: \"" + hex +
+                                    "\"");
+    std::uint64_t value = 0;
+    for (const char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9')
+            digit = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            digit = c - 'a' + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = c - 'A' + 10;
+        else
+            throw std::invalid_argument("bad digest hex: \"" + hex +
+                                        "\"");
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    return value;
+}
+
+}  // namespace explore
+}  // namespace uqsim

@@ -1,0 +1,103 @@
+#ifndef UQSIM_EXPLORE_SCHEDULE_H_
+#define UQSIM_EXPLORE_SCHEDULE_H_
+
+/**
+ * @file
+ * Replayable schedule files.
+ *
+ * A schedule is the complete decision record of one explored run: the
+ * exploration limits that were in force (branching caps and jitter
+ * step sizes — replay must use the same limits or the decision points
+ * would not line up) plus the ordered list of decisions taken.  Given
+ * the same configuration bundle, replaying a schedule reproduces the
+ * run bit-identically; `expectedDigest` carries the original run's
+ * trace digest so replays can prove it.
+ *
+ * File format: JSON, schema "uqsim-schedule-v1"; see docs/FORMATS.md
+ * §"schedule file".  The 64-bit digest is stored as a hex string
+ * because JSON numbers are doubles and would silently lose low bits.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/choice.h"
+#include "uqsim/core/engine/sim_time.h"
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace explore {
+
+/** Schema tag of schedule files. */
+inline constexpr const char* kScheduleSchema = "uqsim-schedule-v1";
+
+/**
+ * Branching caps and step sizes for the three choice-point kinds.
+ * A count <= 1 disables that kind entirely; the defaults disable
+ * everything, so callers opt in to exactly the nondeterminism they
+ * want perturbed.
+ */
+struct ExploreLimits {
+    /** Max events considered per same-timestamp tie (EventTie). */
+    int maxTieChoices = 1;
+    /** Discrete fault-window onsets explored (FaultJitter). */
+    int faultJitterChoices = 1;
+    /** Onset shift per FaultJitter step (seconds). */
+    double faultJitterStepSeconds = 0.0;
+    /** Discrete resilience-timer nudges explored (TimerNudge). */
+    int timerNudgeChoices = 1;
+    /** Delay added per TimerNudge step (seconds). */
+    double timerNudgeStepSeconds = 0.0;
+    /** Decisions recorded per run; later choice points silently take
+     *  the default (they are counted, not explored). */
+    std::size_t maxDecisions = 64;
+
+    int choicesFor(ChoiceKind kind) const;
+    SimTime stepFor(ChoiceKind kind) const;
+
+    json::JsonValue toJson() const;
+    /** @throws json::JsonError on missing/mistyped fields. */
+    static ExploreLimits fromJson(const json::JsonValue& doc);
+};
+
+/** One decision: which option a choice point took. */
+struct Decision {
+    ChoiceKind kind = ChoiceKind::EventTie;
+    /** Options that were available (EventTie tie-group size; the
+     *  configured choice count for the jitter kinds). */
+    int options = 0;
+    int chosen = 0;
+    /** Site label ("event-tie", "fault-window/crash", ...). */
+    std::string label;
+};
+
+/** A replayable run: limits + decisions + expected outcome. */
+struct Schedule {
+    ExploreLimits limits;
+    std::vector<Decision> choices;
+    /** Trace digest of the recorded run (0 = unknown). */
+    std::uint64_t expectedDigest = 0;
+    /** Invariant violation that made this schedule interesting;
+     *  empty for a clean run. */
+    std::string violation;
+
+    json::JsonValue toJson() const;
+    /** @throws json::JsonError on schema mismatch or bad fields. */
+    static Schedule fromJson(const json::JsonValue& doc);
+
+    /** @throws std::runtime_error when the file cannot be written. */
+    void save(const std::string& path) const;
+    /** @throws std::runtime_error / json::JsonError on bad files. */
+    static Schedule load(const std::string& path);
+};
+
+/** 64-bit digest <-> fixed-width lowercase hex ("%016x"). */
+std::string digestToHex(std::uint64_t digest);
+/** @throws std::invalid_argument on non-hex input. */
+std::uint64_t digestFromHex(const std::string& hex);
+
+}  // namespace explore
+}  // namespace uqsim
+
+#endif  // UQSIM_EXPLORE_SCHEDULE_H_

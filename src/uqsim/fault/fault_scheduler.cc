@@ -40,26 +40,49 @@ FaultScheduler::resolveTargets(const FaultSpec& spec) const
     return {&deployment_.instance(service, index)};
 }
 
+SimTime
+FaultScheduler::windowShift(const char* label)
+{
+    Chooser* chooser = sim_.chooser();
+    if (chooser == nullptr)
+        return 0;
+    const int cap = chooser->maxChoices(ChoiceKind::FaultJitter);
+    if (cap <= 1)
+        return 0;
+    const int pick =
+        chooser->choose(ChoiceKind::FaultJitter, cap, label);
+    return static_cast<SimTime>(pick) *
+           chooser->jitterStep(ChoiceKind::FaultJitter);
+}
+
 void
 FaultScheduler::start(double horizonSeconds)
 {
     horizon_ = secondsToSimTime(horizonSeconds);
     for (const FaultSpec& spec : plan_.faults) {
+        // One onset-jitter choice per fault spec: every target of the
+        // spec shifts together, keeping the branching factor tied to
+        // the plan size rather than the deployment size.
         switch (spec.kind) {
-          case FaultSpec::Kind::Crash:
+          case FaultSpec::Kind::Crash: {
+            const SimTime shift = windowShift("fault-window/crash");
             for (MicroserviceInstance* target : resolveTargets(spec)) {
                 if (spec.stochastic())
-                    scheduleStochasticCrash(*target, spec);
+                    scheduleStochasticCrash(*target, spec, shift);
                 else
-                    scheduleScriptedCrash(*target, spec);
+                    scheduleScriptedCrash(*target, spec, shift);
             }
             break;
-          case FaultSpec::Kind::Slow:
+          }
+          case FaultSpec::Kind::Slow: {
+            const SimTime shift = windowShift("fault-window/slow");
             for (MicroserviceInstance* target : resolveTargets(spec))
-                scheduleSlowWindow(*target, spec);
+                scheduleSlowWindow(*target, spec, shift);
             break;
+          }
           case FaultSpec::Kind::Network:
-            scheduleNetworkWindow(spec);
+            scheduleNetworkWindow(spec,
+                                  windowShift("fault-window/net"));
             break;
         }
     }
@@ -67,39 +90,43 @@ FaultScheduler::start(double horizonSeconds)
 
 void
 FaultScheduler::scheduleScriptedCrash(MicroserviceInstance& target,
-                                      const FaultSpec& spec)
+                                      const FaultSpec& spec,
+                                      SimTime shift)
 {
     sim_.scheduleAt(
-        secondsToSimTime(spec.atSeconds),
+        secondsToSimTime(spec.atSeconds) + shift,
         [this, &target]() { crash(target); }, "fault/crash");
     if (spec.recoverSeconds > 0.0) {
         sim_.scheduleAt(
-            secondsToSimTime(spec.recoverSeconds),
+            secondsToSimTime(spec.recoverSeconds) + shift,
             [&target]() { target.recover(); }, "fault/recover");
     }
 }
 
 void
 FaultScheduler::scheduleStochasticCrash(MicroserviceInstance& target,
-                                        const FaultSpec& spec)
+                                        const FaultSpec& spec,
+                                        SimTime shift)
 {
     streams_.push_back(std::make_unique<random::RngStream>(
         sim_.masterSeed(), "fault/" + target.name()));
     random::Rng& rng = *streams_.back();
-    scheduleNextStochasticFailure(target, spec, rng);
+    scheduleNextStochasticFailure(target, spec, rng, shift);
 }
 
 void
 FaultScheduler::scheduleNextStochasticFailure(
     MicroserviceInstance& target, const FaultSpec& spec,
-    random::Rng& rng)
+    random::Rng& rng, SimTime shift)
 {
     // Draw the whole (up, down) pair now so the stream's consumption
     // is a pure function of the failure count, then chain the next
-    // draw off the recovery event.
+    // draw off the recovery event.  The jitter shift delays only the
+    // first failure of the timeline; the chain after it is relative,
+    // so the whole timeline slides together.
     const SimTime up = sampleExponential(rng, spec.mtbfSeconds);
     const SimTime down = sampleExponential(rng, spec.mttrSeconds);
-    const SimTime failAt = sim_.now() + up;
+    const SimTime failAt = sim_.now() + up + shift;
     if (failAt >= horizon_)
         return;
     sim_.scheduleAt(
@@ -108,34 +135,36 @@ FaultScheduler::scheduleNextStochasticFailure(
         failAt + down,
         [this, &target, &spec, &rng]() {
             target.recover();
-            scheduleNextStochasticFailure(target, spec, rng);
+            scheduleNextStochasticFailure(target, spec, rng, 0);
         },
         "fault/recover");
 }
 
 void
 FaultScheduler::scheduleSlowWindow(MicroserviceInstance& target,
-                                   const FaultSpec& spec)
+                                   const FaultSpec& spec,
+                                   SimTime shift)
 {
     sim_.scheduleAt(
-        secondsToSimTime(spec.startSeconds),
+        secondsToSimTime(spec.startSeconds) + shift,
         [&target, factor = spec.factor]() {
             target.setSlowFactor(factor);
         },
         "fault/slow");
     if (spec.endSeconds > 0.0) {
         sim_.scheduleAt(
-            secondsToSimTime(spec.endSeconds),
+            secondsToSimTime(spec.endSeconds) + shift,
             [&target]() { target.setSlowFactor(1.0); },
             "fault/slow-end");
     }
 }
 
 void
-FaultScheduler::scheduleNetworkWindow(const FaultSpec& spec)
+FaultScheduler::scheduleNetworkWindow(const FaultSpec& spec,
+                                      SimTime shift)
 {
     sim_.scheduleAt(
-        secondsToSimTime(spec.startSeconds),
+        secondsToSimTime(spec.startSeconds) + shift,
         [this, extra = spec.extraLatencySeconds,
          loss = spec.lossProbability]() {
             network_.setDegradation(extra, loss);
@@ -143,7 +172,7 @@ FaultScheduler::scheduleNetworkWindow(const FaultSpec& spec)
         "fault/net");
     if (spec.endSeconds > 0.0) {
         sim_.scheduleAt(
-            secondsToSimTime(spec.endSeconds),
+            secondsToSimTime(spec.endSeconds) + shift,
             [this]() { network_.clearDegradation(); },
             "fault/net-end");
     }

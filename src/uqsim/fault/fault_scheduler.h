@@ -52,16 +52,27 @@ class FaultScheduler {
     std::vector<MicroserviceInstance*>
     resolveTargets(const FaultSpec& spec) const;
 
+    /**
+     * Onset shift for one fault window, decided by the simulator's
+     * attached Chooser (choice.h).  Zero with no chooser, with the
+     * FaultJitter kind disabled, or when the chooser answers 0 — so
+     * default runs and all-default schedules are unshifted.  The
+     * shift moves the *whole* window (onset and close together),
+     * preserving its duration.
+     */
+    SimTime windowShift(const char* label);
+
     void scheduleScriptedCrash(MicroserviceInstance& target,
-                               const FaultSpec& spec);
+                               const FaultSpec& spec, SimTime shift);
     void scheduleStochasticCrash(MicroserviceInstance& target,
-                                 const FaultSpec& spec);
+                                 const FaultSpec& spec, SimTime shift);
     void scheduleNextStochasticFailure(MicroserviceInstance& target,
                                        const FaultSpec& spec,
-                                       random::Rng& rng);
+                                       random::Rng& rng,
+                                       SimTime shift);
     void scheduleSlowWindow(MicroserviceInstance& target,
-                            const FaultSpec& spec);
-    void scheduleNetworkWindow(const FaultSpec& spec);
+                            const FaultSpec& spec, SimTime shift);
+    void scheduleNetworkWindow(const FaultSpec& spec, SimTime shift);
 
     void crash(MicroserviceInstance& target);
 

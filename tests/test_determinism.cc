@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "uqsim/core/engine/audit.h"
 #include "uqsim/models/applications.h"
 #include "uqsim/runner/sweep_runner.h"
 
@@ -124,17 +125,16 @@ runGrid(int jobs)
     return sweep_runner.run();
 }
 
-TEST(Determinism, RunnerResultsIndependentOfThreadCount)
+void
+expectIdenticalGrids(const std::vector<runner::ReplicatedCurve>& serial,
+                     const std::vector<runner::ReplicatedCurve>& other)
 {
-    const std::vector<runner::ReplicatedCurve> serial = runGrid(1);
-    const std::vector<runner::ReplicatedCurve> parallel = runGrid(4);
-
-    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), other.size());
     for (std::size_t c = 0; c < serial.size(); ++c) {
-        ASSERT_EQ(serial[c].points.size(), parallel[c].points.size());
+        ASSERT_EQ(serial[c].points.size(), other[c].points.size());
         for (std::size_t p = 0; p < serial[c].points.size(); ++p) {
             const runner::ReplicatedPoint& lhs = serial[c].points[p];
-            const runner::ReplicatedPoint& rhs = parallel[c].points[p];
+            const runner::ReplicatedPoint& rhs = other[c].points[p];
             ASSERT_EQ(lhs.replications.size(), rhs.replications.size());
             for (std::size_t r = 0; r < lhs.replications.size(); ++r) {
                 EXPECT_EQ(lhs.replications[r].seed,
@@ -153,6 +153,35 @@ TEST(Determinism, RunnerResultsIndependentOfThreadCount)
             EXPECT_EQ(lhs.pooled.p99(), rhs.pooled.p99());
         }
     }
+}
+
+TEST(Determinism, RunnerResultsIndependentOfThreadCount)
+{
+    // One serial reference, compared against every parallel width the
+    // sweep harness advertises as equivalent (--jobs 2 and 8 cover
+    // both under- and over-subscription of the grid).
+    const std::vector<runner::ReplicatedCurve> serial = runGrid(1);
+    expectIdenticalGrids(serial, runGrid(2));
+    expectIdenticalGrids(serial, runGrid(8));
+}
+
+TEST(Determinism, AuditModeDoesNotPerturbTheTrace)
+{
+    // The engine auditor observes the run (heap scans, invariant
+    // walks) but must never change it: digests and reports with
+    // UQSIM_AUDIT on are bit-identical to the default.
+    const bool saved = audit::auditModeEnabled();
+    audit::setAuditMode(false);
+    const RunOutcome plain = runTwoTier(20000.0, 42);
+    audit::setAuditMode(true);
+    const RunOutcome audited = runTwoTier(20000.0, 42);
+    audit::setAuditMode(saved);
+
+    EXPECT_EQ(plain.digest, audited.digest);
+    expectIdenticalReports(plain.report, audited.report);
+    ASSERT_EQ(plain.latencies.size(), audited.latencies.size());
+    for (std::size_t i = 0; i < plain.latencies.size(); ++i)
+        ASSERT_EQ(plain.latencies[i], audited.latencies[i]);
 }
 
 TEST(Determinism, ReplicationSeedsAreDistinctAndStable)

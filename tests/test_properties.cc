@@ -16,9 +16,12 @@
 
 #include "uqsim/random/distribution_factory.h"
 
+#include "uqsim/core/app/dispatcher.h"
 #include "uqsim/core/sim/simulation.h"
 #include "uqsim/core/service/stage_queue.h"
+#include "uqsim/json/json_parser.h"
 #include "uqsim/models/applications.h"
+#include "uqsim/models/stage_presets.h"
 #include "uqsim/random/histogram_distribution.h"
 
 namespace uqsim {
@@ -259,6 +262,181 @@ TEST(HistogramFile, ErrorsAreDescriptive)
     EXPECT_THROW(random::HistogramDistribution::fromFile(path),
                  std::runtime_error);
     std::remove(path.c_str());
+}
+
+// ----------------------------------- resilience accounting properties
+
+using json::JsonArray;
+using json::JsonValue;
+
+/** One point in the (seed x policy) metamorphic grid. */
+struct ResilienceCase {
+    const char* name;
+    std::uint64_t seed;
+    /** Edge policy JSON for front->leaf ("" = none). */
+    const char* policy;
+    /** Retry budget declared by the policy (0 when none). */
+    std::uint64_t retryBudget;
+    /** Hedge budget declared by the policy (0 when none). */
+    std::uint64_t hedgeBudget;
+};
+
+/** Front tier fanning to three leaf replicas, one degraded 20x for
+ *  the whole run, under the case's resilience policy. */
+ConfigBundle
+resilienceBundle(const ResilienceCase& tc)
+{
+    ConfigBundle bundle;
+    bundle.options.seed = tc.seed;
+    bundle.options.warmupSeconds = 0.1;
+    bundle.options.durationSeconds = 0.8;
+    bundle.machines = json::parse(
+        R"({"wire_latency_us": 5.0, "loopback_latency_us": 1.0,)"
+        R"( "machines": [{"name": "front", "cores": 4, "irq_cores": 0},)"
+        R"( {"name": "leaf0", "cores": 2, "irq_cores": 0},)"
+        R"( {"name": "leaf1", "cores": 2, "irq_cores": 0},)"
+        R"( {"name": "leaf2", "cores": 2, "irq_cores": 0}]})");
+    {
+        JsonValue front = JsonValue::makeObject();
+        front.asObject()["service_name"] = "front";
+        front.asObject()["execution_model"] = "simple";
+        JsonArray stages;
+        stages.push_back(
+            models::processingStage(0, "proc", models::detUs(5.0)));
+        front.asObject()["stages"] = JsonValue(std::move(stages));
+        JsonArray paths;
+        paths.push_back(models::pathJson(0, "serve", {0}));
+        front.asObject()["paths"] = JsonValue(std::move(paths));
+        bundle.services.push_back(std::move(front));
+        JsonValue leaf = JsonValue::makeObject();
+        leaf.asObject()["service_name"] = "leaf";
+        leaf.asObject()["execution_model"] = "simple";
+        JsonArray leafStages;
+        leafStages.push_back(
+            models::processingStage(0, "proc", models::expUs(100.0)));
+        leaf.asObject()["stages"] = JsonValue(std::move(leafStages));
+        JsonArray leafPaths;
+        leafPaths.push_back(models::pathJson(0, "serve", {0}));
+        leaf.asObject()["paths"] = JsonValue(std::move(leafPaths));
+        bundle.services.push_back(std::move(leaf));
+    }
+    std::string graph =
+        R"({"services": [{"service": "front", "connection_pools":)"
+        R"( {"leaf": 64},)";
+    if (tc.policy[0] != '\0')
+        graph += R"( "policies": {"leaf": )" +
+                 std::string(tc.policy) + "},";
+    graph +=
+        R"( "instances": [{"machine": "front", "threads": 4}]},)"
+        R"( {"service": "leaf", "lb_policy": "round_robin",)"
+        R"( "instances": [{"machine": "leaf0", "threads": 2},)"
+        R"( {"machine": "leaf1", "threads": 2},)"
+        R"( {"machine": "leaf2", "threads": 2}]}]})";
+    bundle.graph = json::parse(graph);
+    bundle.paths = json::parse(
+        R"({"paths": [{"probability": 1.0, "nodes":)"
+        R"( [{"node_id": 0, "service": "front", "path": "serve",)"
+        R"( "children": [1]},)"
+        R"( {"node_id": 1, "service": "leaf", "path": "serve",)"
+        R"( "children": [2]},)"
+        R"( {"node_id": 2, "service": "front", "path": "serve",)"
+        R"( "children": []}]}]})");
+    bundle.client = json::parse(
+        R"({"front_service": "front", "connections": 64,)"
+        R"( "arrival": "poisson", "load": {"type": "constant",)"
+        R"( "qps": 600.0}, "request_bytes": {"type": "deterministic",)"
+        R"( "value": 128.0}})");
+    bundle.faults = json::parse(
+        R"({"faults": [{"type": "slow", "instance": "leaf.0",)"
+        R"( "start_s": 0.05, "end_s": 10.0, "factor": 20.0}]})");
+    return bundle;
+}
+
+class ResilienceAccountingTest
+    : public ::testing::TestWithParam<ResilienceCase> {};
+
+TEST_P(ResilienceAccountingTest, CountersStayWithinDeclaredBudgets)
+{
+    const ResilienceCase& tc = GetParam();
+    auto simulation = Simulation::fromBundle(resilienceBundle(tc));
+    const RunReport report = simulation->run();
+    Dispatcher& dispatcher = simulation->dispatcher();
+    const std::uint64_t started = dispatcher.requestsStarted();
+    ASSERT_GT(started, 0u);
+
+    // Mitigation never exceeds its declared budget: each request may
+    // issue at most `retries` resends and `hedge_max` hedges.
+    EXPECT_LE(dispatcher.retriesSent(), tc.retryBudget * started);
+    EXPECT_LE(dispatcher.hedgesSent(), tc.hedgeBudget * started);
+    if (tc.retryBudget == 0)
+        EXPECT_EQ(dispatcher.retriesSent(), 0u);
+    if (tc.hedgeBudget == 0)
+        EXPECT_EQ(dispatcher.hedgesSent(), 0u);
+
+    // Availability is a fraction of terminal outcomes.
+    EXPECT_GE(report.availability, 0.0);
+    EXPECT_LE(report.availability, 1.0);
+
+    // Goodput never exceeds throughput: completions are a subset of
+    // started requests, terminal outcomes never exceed admissions.
+    EXPECT_LE(dispatcher.requestsCompleted(), started);
+    EXPECT_LE(dispatcher.requestsCompleted() +
+                  dispatcher.requestsFailed() +
+                  dispatcher.requestsShed(),
+              started);
+    EXPECT_LE(report.completed, report.generated);
+
+    // Conservation ledger: every admitted request is in exactly one
+    // terminal (or still-active) bucket, and nothing leaks.
+    EXPECT_EQ(started, dispatcher.requestsCompleted() +
+                           dispatcher.requestsFailed() +
+                           dispatcher.requestsShed() +
+                           dispatcher.activeRequests());
+    EXPECT_EQ(dispatcher.leakedHops(), 0u);
+    EXPECT_EQ(dispatcher.leakedBlocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndPolicies, ResilienceAccountingTest,
+    ::testing::Values(
+        ResilienceCase{"none_s3", 3, "", 0, 0},
+        ResilienceCase{"none_s29", 29, "", 0, 0},
+        ResilienceCase{"retry_s3", 3,
+                       R"({"timeout_s": 0.002, "retries": 2,)"
+                       R"( "backoff_base_s": 0.0002, "jitter": 0.2})",
+                       2, 0},
+        ResilienceCase{"retry_s11", 11,
+                       R"({"timeout_s": 0.002, "retries": 2,)"
+                       R"( "backoff_base_s": 0.0002, "jitter": 0.2})",
+                       2, 0},
+        ResilienceCase{"hedge_s11", 11,
+                       R"({"timeout_s": 0.02, "retries": 1,)"
+                       R"( "hedge_delay_s": 0.001, "hedge_max": 1})",
+                       1, 1},
+        ResilienceCase{"hedge_s29", 29,
+                       R"({"timeout_s": 0.02, "retries": 1,)"
+                       R"( "hedge_delay_s": 0.001, "hedge_max": 1})",
+                       1, 1}),
+    [](const ::testing::TestParamInfo<ResilienceCase>& info) {
+        return info.param.name;
+    });
+
+TEST(ResilienceAccounting, ReportCountersMatchDispatcherLedger)
+{
+    // The externally visible report is a faithful view of the
+    // dispatcher ledger, whatever the policy did during the run.
+    ResilienceCase tc{"retry", 11,
+                      R"({"timeout_s": 0.002, "retries": 2,)"
+                      R"( "backoff_base_s": 0.0002})",
+                      2, 0};
+    auto simulation = Simulation::fromBundle(resilienceBundle(tc));
+    const RunReport report = simulation->run();
+    Dispatcher& dispatcher = simulation->dispatcher();
+    EXPECT_EQ(report.retries, dispatcher.retriesSent());
+    EXPECT_EQ(report.hedges, dispatcher.hedgesSent());
+    EXPECT_EQ(report.failed, dispatcher.requestsFailed());
+    EXPECT_EQ(report.shed, dispatcher.requestsShed());
+    EXPECT_EQ(report.breakerTrips, dispatcher.breakerTrips());
 }
 
 // --------------------------------------------------- multiple clients
