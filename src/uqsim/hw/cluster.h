@@ -4,7 +4,9 @@
 /**
  * @file
  * The cluster: all machines plus the network connecting them.  Built
- * programmatically or from the `machines.json` input (Table I):
+ * programmatically or from the `machines.json` input (Table I).
+ *
+ * Schema v1 (legacy; loads unchanged via ConstantModel):
  *
  *   {
  *     "wire_latency_us": 20,
@@ -15,6 +17,12 @@
  *        "irq_per_packet_us": 2.0, "irq_per_byte_ns": 0.0}
  *     ]
  *   }
+ *
+ * Schema v2 ("schema_version": 2) adds a "network" section that
+ * selects the wire model and, for the flow model, either a
+ * generated "topology" section (fat tree) or explicit
+ * "links"/"routes"/"machines" sections.  Full schema:
+ * docs/FORMATS.md.
  */
 
 #include <map>
@@ -33,15 +41,23 @@ namespace hw {
 /** All machines and the network. */
 class Cluster {
   public:
-    /** Builds an empty cluster with default network parameters. */
+    /** Builds an empty cluster around @p model; nullptr selects a
+     *  default ConstantModel. */
     explicit Cluster(Simulator& sim,
-                     const NetworkConfig& network = NetworkConfig{});
+                     std::unique_ptr<NetworkModel> model = nullptr);
 
-    /** Builds a cluster from a parsed machines.json document. */
+    /** Deprecated shim (docs/FORMATS.md): a ConstantModel cluster
+     *  from the free-floating latency pair. */
+    Cluster(Simulator& sim, const NetworkConfig& network);
+
+    /** Builds a cluster from a parsed machines.json document
+     *  (schema v1 or v2, see file comment). */
     static std::unique_ptr<Cluster> fromJson(Simulator& sim,
                                              const json::JsonValue& doc);
 
-    /** Adds one machine; the name must be unique. */
+    /** Adds one machine; the name must be unique.  Assigns the
+     *  machine's net id (insertion order) and notifies the network
+     *  model. */
     Machine& addMachine(const MachineConfig& config);
 
     /** Looks a machine up by name; throws when absent. */
@@ -66,7 +82,8 @@ class Cluster {
     std::vector<Machine*> order_;
 };
 
-/** Parses one machine object from machines.json. */
+/** Parses one machine object from machines.json; rejects unknown
+ *  keys with a did-you-mean suggestion. */
 MachineConfig machineConfigFromJson(const json::JsonValue& doc);
 
 }  // namespace hw

@@ -1,0 +1,332 @@
+#include "uqsim/hw/flow_model.h"
+
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "uqsim/hw/machine.h"
+
+namespace uqsim {
+namespace hw {
+
+std::vector<double>
+maxMinFairShares(const std::vector<double>& capacities,
+                 const std::vector<std::vector<int>>& paths)
+{
+    std::vector<double> rates(paths.size(), 0.0);
+    std::vector<double> capLeft = capacities;
+    std::vector<int> flowsOn(capacities.size(), 0);
+    std::vector<bool> fixed(paths.size(), false);
+    std::size_t unfixed = 0;
+    for (std::size_t f = 0; f < paths.size(); ++f) {
+        if (paths[f].empty()) {
+            fixed[f] = true;  // consumes no link; rate stays 0
+            continue;
+        }
+        ++unfixed;
+        for (int l : paths[f])
+            ++flowsOn[static_cast<std::size_t>(l)];
+    }
+    // Progressive filling: the tightest link's equal split is a rate
+    // no crossing flow can exceed, so those flows are fixed at it;
+    // remove them and repeat.  Ties break toward the lowest link
+    // index, keeping the arithmetic order deterministic.
+    while (unfixed > 0) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bestLink = capacities.size();
+        for (std::size_t l = 0; l < capacities.size(); ++l) {
+            if (flowsOn[l] <= 0)
+                continue;
+            const double share = capLeft[l] / flowsOn[l];
+            if (share < best) {
+                best = share;
+                bestLink = l;
+            }
+        }
+        if (bestLink == capacities.size())
+            break;
+        for (std::size_t f = 0; f < paths.size(); ++f) {
+            if (fixed[f])
+                continue;
+            bool crosses = false;
+            for (int l : paths[f]) {
+                if (static_cast<std::size_t>(l) == bestLink) {
+                    crosses = true;
+                    break;
+                }
+            }
+            if (!crosses)
+                continue;
+            fixed[f] = true;
+            --unfixed;
+            rates[f] = best;
+            for (int l : paths[f]) {
+                const auto li = static_cast<std::size_t>(l);
+                capLeft[li] -= best;
+                if (capLeft[li] < 0.0)
+                    capLeft[li] = 0.0;
+                --flowsOn[li];
+            }
+        }
+    }
+    return rates;
+}
+
+FlowModel::FlowModel() : FlowModel(Config{})
+{
+}
+
+FlowModel::FlowModel(const Config& config) : config_(config)
+{
+}
+
+std::unique_ptr<FlowModel>
+FlowModel::make()
+{
+    return make(Config{});
+}
+
+std::unique_ptr<FlowModel>
+FlowModel::make(const Config& config)
+{
+    return std::make_unique<FlowModel>(config);
+}
+
+int
+FlowModel::addLink(const LinkSpec& spec)
+{
+    if (spec.bytesPerSecond <= 0.0) {
+        throw std::invalid_argument("flow model link \"" + spec.name +
+                                    "\": capacity must be > 0");
+    }
+    if (linkIds_.count(spec.name) != 0) {
+        throw std::invalid_argument("duplicate flow model link: " +
+                                    spec.name);
+    }
+    const int id = static_cast<int>(links_.size());
+    links_.push_back(spec);
+    linkIds_.emplace(spec.name, id);
+    return id;
+}
+
+int
+FlowModel::linkId(const std::string& name) const
+{
+    auto it = linkIds_.find(name);
+    return it == linkIds_.end() ? -1 : it->second;
+}
+
+void
+FlowModel::setRoute(int fromId, int toId, std::vector<int> path)
+{
+    for (int l : path) {
+        if (l < 0 || static_cast<std::size_t>(l) >= links_.size())
+            throw std::out_of_range("flow model route uses unknown "
+                                    "link id " +
+                                    std::to_string(l));
+    }
+    routes_[{fromId, toId}] = std::move(path);
+}
+
+bool
+FlowModel::hasRoute(int fromId, int toId) const
+{
+    return routes_.count({fromId, toId}) != 0;
+}
+
+const std::vector<int>&
+FlowModel::route(int fromId, int toId) const
+{
+    auto it = routes_.find({fromId, toId});
+    if (it == routes_.end()) {
+        throw std::out_of_range(
+            "flow model: no route " + std::to_string(fromId) + " -> " +
+            std::to_string(toId));
+    }
+    return it->second;
+}
+
+void
+FlowModel::bind(Simulator& sim)
+{
+    sim_ = &sim;
+    lastUpdate_ = sim.now();
+}
+
+void
+FlowModel::onMachineAdded(const Machine& machine)
+{
+    const auto id = static_cast<std::size_t>(machine.netId());
+    if (machineNames_.size() <= id)
+        machineNames_.resize(id + 1);
+    machineNames_[id] = machine.name();
+}
+
+const std::vector<int>&
+FlowModel::routeOrThrow(const Machine& from, const Machine& to) const
+{
+    auto it = routes_.find({from.netId(), to.netId()});
+    if (it == routes_.end()) {
+        throw std::logic_error("flow network model: no route from \"" +
+                               from.name() + "\" to \"" + to.name() +
+                               "\"");
+    }
+    return it->second;
+}
+
+void
+FlowModel::transit(const Machine* from, const Machine* to,
+                   std::uint32_t bytes, double extraLatencySeconds,
+                   Callback done, const char* label)
+{
+    if (from == nullptr || to == nullptr) {
+        // External legs (load generator) pay a constant latency and
+        // never contend for fabric bandwidth.
+        sim_->scheduleAfter(
+            secondsToSimTime(config_.externalLatency +
+                             extraLatencySeconds),
+            std::move(done), label);
+        return;
+    }
+    const std::vector<int>& path = routeOrThrow(*from, *to);
+    double latency = extraLatencySeconds;
+    for (int l : path)
+        latency += links_[static_cast<std::size_t>(l)].latencySeconds;
+    if (bytes == 0 || path.empty()) {
+        sim_->scheduleAfter(secondsToSimTime(latency), std::move(done),
+                            label);
+        return;
+    }
+    const std::uint64_t id = nextFlowId_++;
+    Flow& flow = flows_[id];
+    flow.path = &path;
+    flow.remainingBytes = static_cast<double>(bytes);
+    flow.tailLatency = latency;
+    flow.done = std::move(done);
+    flow.label = label;
+    ++started_;
+    reshare();
+}
+
+void
+FlowModel::loopback(const Machine* machine, std::uint32_t bytes,
+                    double extraLatencySeconds, Callback done,
+                    const char* label)
+{
+    (void)machine;
+    (void)bytes;
+    sim_->scheduleAfter(
+        secondsToSimTime(config_.loopbackLatency + extraLatencySeconds),
+        std::move(done), label);
+}
+
+void
+FlowModel::reshare()
+{
+    const SimTime now = sim_->now();
+    if (now > lastUpdate_) {
+        const double dt = simTimeToSeconds(now - lastUpdate_);
+        for (auto& [id, flow] : flows_) {
+            flow.remainingBytes -= flow.rate * dt;
+            if (flow.remainingBytes < 0.0)
+                flow.remainingBytes = 0.0;
+        }
+    }
+    lastUpdate_ = now;
+    ++reshares_;
+
+    // Progressive filling over the active flows, in flow-id order.
+    capLeft_.resize(links_.size());
+    flowsOn_.assign(links_.size(), 0);
+    for (std::size_t l = 0; l < links_.size(); ++l)
+        capLeft_[l] = links_[l].bytesPerSecond;
+    active_.clear();
+    for (auto& [id, flow] : flows_) {
+        active_.push_back(&flow);
+        for (int l : *flow.path)
+            ++flowsOn_[static_cast<std::size_t>(l)];
+    }
+    std::vector<double> oldRates;
+    oldRates.reserve(active_.size());
+    for (Flow* flow : active_) {
+        oldRates.push_back(flow->rate);
+        flow->rate = -1.0;
+    }
+    std::size_t unfixed = active_.size();
+    while (unfixed > 0) {
+        double best = std::numeric_limits<double>::infinity();
+        std::size_t bestLink = links_.size();
+        for (std::size_t l = 0; l < links_.size(); ++l) {
+            if (flowsOn_[l] <= 0)
+                continue;
+            const double share = capLeft_[l] / flowsOn_[l];
+            if (share < best) {
+                best = share;
+                bestLink = l;
+            }
+        }
+        if (bestLink == links_.size())
+            break;
+        for (Flow* flow : active_) {
+            if (flow->rate >= 0.0)
+                continue;
+            bool crosses = false;
+            for (int l : *flow->path) {
+                if (static_cast<std::size_t>(l) == bestLink) {
+                    crosses = true;
+                    break;
+                }
+            }
+            if (!crosses)
+                continue;
+            flow->rate = best;
+            --unfixed;
+            for (int l : *flow->path) {
+                const auto li = static_cast<std::size_t>(l);
+                capLeft_[li] -= best;
+                if (capLeft_[li] < 0.0)
+                    capLeft_[li] = 0.0;
+                --flowsOn_[li];
+            }
+        }
+    }
+
+    // Reschedule completions.  A flow whose rate did not change
+    // keeps its pending event: the remaining bytes shrank exactly in
+    // step with the old schedule, so the old finish time still
+    // holds (and skipping the reschedule avoids rounding drift).
+    std::size_t index = 0;
+    for (auto it = flows_.begin(); it != flows_.end(); ++it) {
+        Flow& flow = it->second;
+        const double oldRate = oldRates[index++];
+        if (flow.rate == oldRate && flow.completion.pending())
+            continue;
+        flow.completion.cancel();
+        const SimTime remaining =
+            flow.rate > 0.0
+                ? secondsToSimTime(flow.remainingBytes / flow.rate)
+                : 0;
+        const std::uint64_t fid = it->first;
+        flow.completion = sim_->scheduleAfter(
+            remaining, [this, fid]() { finishFlow(fid); }, "net/flow");
+    }
+}
+
+void
+FlowModel::finishFlow(std::uint64_t id)
+{
+    auto it = flows_.find(id);
+    if (it == flows_.end())
+        return;
+    Flow flow = std::move(it->second);
+    flows_.erase(it);
+    ++finished_;
+    // Release the flow's share first, then pay the propagation tail:
+    // the remaining flows speed up the moment the last byte leaves.
+    reshare();
+    sim_->scheduleAfter(secondsToSimTime(flow.tailLatency),
+                        std::move(flow.done), flow.label);
+}
+
+}  // namespace hw
+}  // namespace uqsim

@@ -1,0 +1,165 @@
+#ifndef UQSIM_HW_FLOW_MODEL_H_
+#define UQSIM_HW_FLOW_MODEL_H_
+
+/**
+ * @file
+ * Flow-level network model: named links with capacity and latency,
+ * routed machine→machine paths, and max-min fair bandwidth sharing.
+ *
+ * Each cross-machine message becomes a *flow* that occupies every
+ * link on its route for the duration of its transmission.  Rates are
+ * the max-min fair allocation (progressive filling) over all active
+ * flows; the allocation is recomputed incrementally whenever a flow
+ * starts or finishes, and each flow's completion event is
+ * rescheduled only when its rate actually changed.  Delivery fires
+ * one path latency after the last byte leaves the sender.
+ *
+ * Everything advances through engine events ("net/flow" transmission
+ * completions), so the determinism contract and the explorer's
+ * same-timestamp choice points apply unchanged.  Flow bookkeeping
+ * iterates in flow-id order (a std::map), never in hash order, to
+ * keep floating-point accumulation bit-reproducible.
+ */
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "uqsim/core/engine/event.h"
+#include "uqsim/hw/network_model.h"
+
+namespace uqsim {
+namespace hw {
+
+/**
+ * Max-min fair allocation by progressive filling, exposed for unit
+ * testing against closed-form cases.  @p capacities holds link
+ * capacities (bytes/s); @p paths holds, per flow, the link indices
+ * it crosses.  Returns one rate per flow.  Flows with empty paths
+ * get an unbounded rate of 0 (they consume no link).
+ */
+std::vector<double> maxMinFairShares(
+    const std::vector<double>& capacities,
+    const std::vector<std::vector<int>>& paths);
+
+/** Bandwidth-sharing flow model; see file comment. */
+class FlowModel final : public NetworkModel {
+  public:
+    struct Config {
+        /** Latency for same-machine (loopback) messages (seconds). */
+        double loopbackLatency = 5e-6;
+        /** Constant latency for legs that enter or leave the
+         *  cluster (nullptr endpoints, e.g. the load generator);
+         *  such legs do not consume fabric bandwidth. */
+        double externalLatency = 20e-6;
+    };
+
+    /** One directional link. */
+    struct LinkSpec {
+        std::string name;
+        /** Capacity in bytes per second; must be > 0. */
+        double bytesPerSecond = 0.0;
+        /** Propagation latency contributed to every route that
+         *  crosses this link (seconds). */
+        double latencySeconds = 0.0;
+    };
+
+    FlowModel();
+    explicit FlowModel(const Config& config);
+
+    static std::unique_ptr<FlowModel> make();
+    static std::unique_ptr<FlowModel> make(const Config& config);
+
+    const Config& config() const { return config_; }
+
+    // ------------------------------------------ fabric construction
+    // Links and routes must be installed before the simulation runs;
+    // route storage is referenced by in-flight flows and must not be
+    // mutated afterwards.
+
+    /** Adds a directional link; the name must be unique.  Returns
+     *  the link id used in routes. */
+    int addLink(const LinkSpec& spec);
+
+    /** Link id for @p name, or -1 when absent. */
+    int linkId(const std::string& name) const;
+
+    std::size_t linkCount() const { return links_.size(); }
+    const LinkSpec& link(int id) const { return links_.at(id); }
+
+    /**
+     * Installs the directional route between two machines,
+     * identified by their cluster-assigned net ids
+     * (Machine::netId()).  @p path lists link ids in traversal
+     * order; it may be empty (zero-latency direct path).
+     */
+    void setRoute(int fromId, int toId, std::vector<int> path);
+
+    bool hasRoute(int fromId, int toId) const;
+    const std::vector<int>& route(int fromId, int toId) const;
+
+    // ------------------------------------------------- NetworkModel
+
+    const char* modelName() const override { return "flow"; }
+    void bind(Simulator& sim) override;
+    void onMachineAdded(const Machine& machine) override;
+    void transit(const Machine* from, const Machine* to,
+                 std::uint32_t bytes, double extraLatencySeconds,
+                 Callback done, const char* label) override;
+    void loopback(const Machine* machine, std::uint32_t bytes,
+                  double extraLatencySeconds, Callback done,
+                  const char* label) override;
+
+    // ------------------------------------------------ observability
+
+    std::uint64_t flowsStarted() const { return started_; }
+    std::uint64_t flowsFinished() const { return finished_; }
+    std::size_t activeFlowCount() const { return flows_.size(); }
+    /** Number of fair-share recomputations (flow starts+finishes). */
+    std::uint64_t reshareCount() const { return reshares_; }
+
+  private:
+    struct Flow {
+        const std::vector<int>* path = nullptr;
+        double remainingBytes = 0.0;
+        double rate = 0.0;
+        /** Propagation latency + fault-window extra, paid after the
+         *  last byte is transmitted. */
+        double tailLatency = 0.0;
+        Callback done;
+        const char* label = "net/flow";
+        EventHandle completion;
+    };
+
+    const std::vector<int>& routeOrThrow(const Machine& from,
+                                         const Machine& to) const;
+    /** Advances in-flight flows to now, recomputes the max-min
+     *  allocation, and reschedules completions whose rate changed. */
+    void reshare();
+    void finishFlow(std::uint64_t id);
+
+    Config config_;
+    Simulator* sim_ = nullptr;
+    std::vector<LinkSpec> links_;
+    std::map<std::string, int> linkIds_;
+    std::map<std::pair<int, int>, std::vector<int>> routes_;
+    std::vector<std::string> machineNames_;
+
+    std::map<std::uint64_t, Flow> flows_;
+    std::uint64_t nextFlowId_ = 0;
+    SimTime lastUpdate_ = 0;
+    std::uint64_t started_ = 0;
+    std::uint64_t finished_ = 0;
+    std::uint64_t reshares_ = 0;
+
+    // Scratch reused across reshare() calls.
+    std::vector<double> capLeft_;
+    std::vector<int> flowsOn_;
+    std::vector<Flow*> active_;
+};
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_FLOW_MODEL_H_

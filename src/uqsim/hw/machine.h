@@ -46,6 +46,13 @@ class Machine {
     Machine& operator=(const Machine&) = delete;
 
     const std::string& name() const { return name_; }
+
+    /** Dense id in cluster insertion order, used by routed network
+     *  models to key routing tables; -1 until the machine joins a
+     *  cluster.  Assigned by Cluster::addMachine. */
+    int netId() const { return netId_; }
+    void setNetId(int id) { netId_ = id; }
+
     int totalCores() const { return totalCores_; }
     int allocatedCores() const { return allocatedCores_; }
     int freeCores() const { return totalCores_ - allocatedCores_; }
@@ -75,6 +82,7 @@ class Machine {
   private:
     Simulator& sim_;
     std::string name_;
+    int netId_ = -1;
     int totalCores_;
     int allocatedCores_ = 0;
     DvfsDomain dvfs_;

@@ -5,10 +5,16 @@
 namespace uqsim {
 namespace hw {
 
-Network::Network(Simulator& sim, const NetworkConfig& config)
+Network::Network(Simulator& sim, std::unique_ptr<NetworkModel> model)
     : sim_(sim),
-      config_(config),
+      model_(model ? std::move(model) : ConstantModel::make()),
       faultRng_(sim.masterSeed(), "network/faults")
+{
+    model_->bind(sim_);
+}
+
+Network::Network(Simulator& sim, const NetworkConfig& config)
+    : Network(sim, ConstantModel::make(config))
 {
 }
 
@@ -43,10 +49,8 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
         // Loopback: single pass through the local IRQ service.  The
         // kernel loopback path cannot lose messages, but a degraded
         // host still adds latency.
-        const SimTime wire =
-            secondsToSimTime(config_.loopbackLatency + extra);
-        sim_.scheduleAfter(
-            wire,
+        model_->loopback(
+            from, bytes, extra,
             [this, to, bytes, cb = std::move(done)]() mutable {
                 deliver(to, bytes, std::move(cb));
             },
@@ -57,11 +61,10 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
         ++dropped_;
         // The sender still pays TX IRQ work and the message occupies
         // the wire before vanishing.
-        const SimTime wire =
-            secondsToSimTime(config_.wireLatency + extra);
-        auto after_tx = [this, wire, cb = std::move(dropped)]() mutable {
-            sim_.scheduleAfter(
-                wire,
+        auto after_tx = [this, from, to, bytes, extra,
+                         cb = std::move(dropped)]() mutable {
+            model_->transit(
+                from, to, bytes, extra,
                 [cb2 = std::move(cb)]() mutable {
                     if (cb2)
                         cb2();
@@ -75,16 +78,15 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
         }
         return;
     }
-    const SimTime wire = secondsToSimTime(config_.wireLatency + extra);
-    auto after_tx =
-        [this, to, bytes, wire, cb = std::move(done)]() mutable {
-            sim_.scheduleAfter(
-                wire,
-                [this, to, bytes, cb2 = std::move(cb)]() mutable {
-                    deliver(to, bytes, std::move(cb2));
-                },
-                "net/wire");
-        };
+    auto after_tx = [this, from, to, bytes, extra,
+                     cb = std::move(done)]() mutable {
+        model_->transit(
+            from, to, bytes, extra,
+            [this, to, bytes, cb2 = std::move(cb)]() mutable {
+                deliver(to, bytes, std::move(cb2));
+            },
+            "net/wire");
+    };
     if (from != nullptr && from->irq() != nullptr) {
         from->irq()->process(bytes, std::move(after_tx));
     } else {

@@ -3,13 +3,21 @@
 
 /**
  * @file
- * Cross-machine message transport.
+ * Cross-machine message transport façade.
  *
  * A transfer from machine A to machine B passes through A's IRQ
- * service (TX interrupt handling), a constant wire latency, and B's
- * IRQ service (RX).  Transfers within the same machine take the
- * loopback path: a smaller constant latency and a single pass
- * through the local IRQ service (kernel loopback work).
+ * service (TX interrupt handling), an in-flight wire leg simulated
+ * by a pluggable NetworkModel, and B's IRQ service (RX).  Transfers
+ * within the same machine take the loopback path: a smaller latency
+ * and a single pass through the local IRQ service (kernel loopback
+ * work).
+ *
+ * The façade owns everything that is model-independent — IRQ
+ * hand-off, fault/degradation windows, and counters — and delegates
+ * latency/ordering to the model (network_model.h): ConstantModel
+ * reproduces the paper's single constant hop bit-identically;
+ * FlowModel (flow_model.h) adds routed links with max-min fair
+ * bandwidth sharing.
  *
  * A FaultScheduler may open a degradation window: every transfer
  * then pays extra wire latency, and cross-machine messages are lost
@@ -20,25 +28,31 @@
  */
 
 #include <cstdint>
+#include <memory>
 
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/hw/machine.h"
+#include "uqsim/hw/network_model.h"
 #include "uqsim/random/rng.h"
 
 namespace uqsim {
 namespace hw {
 
-/** Network parameters. */
-struct NetworkConfig {
-    /** One-way wire latency between distinct machines (seconds). */
-    double wireLatency = 20e-6;
-    /** Latency for same-machine (loopback) messages (seconds). */
-    double loopbackLatency = 5e-6;
-};
+/**
+ * Deprecated (one release, see docs/FORMATS.md): construct the
+ * model explicitly via ConstantModel::Config / ConstantModel::make()
+ * instead of a free-floating latency pair.
+ */
+using NetworkConfig = ConstantModel::Config;
 
 /** Message transport between machines. */
 class Network {
   public:
+    /** Takes ownership of @p model; nullptr selects a default
+     *  ConstantModel. */
+    Network(Simulator& sim, std::unique_ptr<NetworkModel> model);
+
+    /** Deprecated shim: a ConstantModel built from @p config. */
     Network(Simulator& sim, const NetworkConfig& config);
 
     /**
@@ -60,6 +74,9 @@ class Network {
     void clearDegradation();
     bool degraded() const { return degraded_; }
 
+    NetworkModel& model() { return *model_; }
+    const NetworkModel& model() const { return *model_; }
+
     std::uint64_t transferCount() const { return transfers_; }
     std::uint64_t droppedMessages() const { return dropped_; }
 
@@ -67,7 +84,7 @@ class Network {
     void deliver(Machine* to, std::uint32_t bytes, Callback done);
 
     Simulator& sim_;
-    NetworkConfig config_;
+    std::unique_ptr<NetworkModel> model_;
     std::uint64_t transfers_ = 0;
     bool degraded_ = false;
     double extraLatency_ = 0.0;

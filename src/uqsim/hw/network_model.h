@@ -1,0 +1,120 @@
+#ifndef UQSIM_HW_NETWORK_MODEL_H_
+#define UQSIM_HW_NETWORK_MODEL_H_
+
+/**
+ * @file
+ * Pluggable wire-level network models.
+ *
+ * The transport façade (hw::Network) owns everything a message hop
+ * shares regardless of how the wire behaves: IRQ hand-off on both
+ * ends, fault/degradation windows, and counters.  What happens *on*
+ * the wire — how long a message is in flight and how concurrent
+ * messages interact — is delegated to a NetworkModel:
+ *
+ *  - ConstantModel: every cross-machine hop pays one constant
+ *    latency (the paper's model).  Bit-identical to the historical
+ *    hw::Network behaviour: same event labels, same schedule order,
+ *    same trace digests.
+ *  - FlowModel (flow_model.h): routed links with capacities and
+ *    max-min fair bandwidth sharing, for incast/oversubscription
+ *    studies at cluster scale.
+ *
+ * Models simulate latency exclusively through engine events, so the
+ * determinism contract (docs/ARCHITECTURE.md) and the explorer's
+ * choice points apply to every model.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "uqsim/core/engine/simulator.h"
+#include "uqsim/hw/irq_service.h"
+
+namespace uqsim {
+namespace hw {
+
+class Machine;
+
+/** Wire-level latency/ordering model; see file comment. */
+class NetworkModel {
+  public:
+    virtual ~NetworkModel() = default;
+
+    /** Short model name for logs and reports. */
+    virtual const char* modelName() const = 0;
+
+    /**
+     * Binds the model to the simulator whose event queue carries its
+     * wire events.  Called once, by the Network façade constructor,
+     * before any traffic.
+     */
+    virtual void bind(Simulator& sim) = 0;
+
+    /**
+     * Notification that @p machine joined the cluster.  Routed
+     * models use it to size tables and record names for
+     * diagnostics; the default ignores it.
+     */
+    virtual void onMachineAdded(const Machine& machine);
+
+    /**
+     * Simulates the in-flight (wire) leg of a cross-machine message
+     * and invokes @p done exactly once, via engine events, when the
+     * last byte arrives.  Either endpoint may be nullptr ("outside
+     * the cluster", e.g. the load generator).  @p extraLatencySeconds
+     * is the fault-window penalty decided by the façade at send
+     * time.  @p label names the scheduled event in traces.
+     */
+    virtual void transit(const Machine* from, const Machine* to,
+                         std::uint32_t bytes,
+                         double extraLatencySeconds, Callback done,
+                         const char* label) = 0;
+
+    /** Same-machine (kernel loopback) leg; cannot lose messages. */
+    virtual void loopback(const Machine* machine, std::uint32_t bytes,
+                          double extraLatencySeconds, Callback done,
+                          const char* label) = 0;
+};
+
+/**
+ * Constant-latency model: one wire latency between distinct
+ * machines, a smaller one for loopback, no bandwidth interaction.
+ */
+class ConstantModel final : public NetworkModel {
+  public:
+    /** Model parameters; the factory-style replacement for the
+     *  deprecated free-floating hw::NetworkConfig (docs/FORMATS.md). */
+    struct Config {
+        /** One-way wire latency between distinct machines (seconds). */
+        double wireLatency = 20e-6;
+        /** Latency for same-machine (loopback) messages (seconds). */
+        double loopbackLatency = 5e-6;
+    };
+
+    ConstantModel();
+    explicit ConstantModel(const Config& config);
+
+    /** Factory, for symmetry with FlowModel::make(). */
+    static std::unique_ptr<ConstantModel> make();
+    static std::unique_ptr<ConstantModel> make(const Config& config);
+
+    const Config& config() const { return config_; }
+
+    const char* modelName() const override { return "constant"; }
+    void bind(Simulator& sim) override;
+    void transit(const Machine* from, const Machine* to,
+                 std::uint32_t bytes, double extraLatencySeconds,
+                 Callback done, const char* label) override;
+    void loopback(const Machine* machine, std::uint32_t bytes,
+                  double extraLatencySeconds, Callback done,
+                  const char* label) override;
+
+  private:
+    Config config_;
+    Simulator* sim_ = nullptr;
+};
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_NETWORK_MODEL_H_

@@ -1,0 +1,191 @@
+#include "uqsim/hw/topology.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "uqsim/hw/cluster.h"
+
+namespace uqsim {
+namespace hw {
+
+const std::vector<int>&
+Topology::route(int from, int to) const
+{
+    if (from < 0 || from >= hostCount || to < 0 || to >= hostCount) {
+        throw std::out_of_range("topology route host out of range: " +
+                                std::to_string(from) + " -> " +
+                                std::to_string(to));
+    }
+    return routes[static_cast<std::size_t>(from) *
+                      static_cast<std::size_t>(hostCount) +
+                  static_cast<std::size_t>(to)];
+}
+
+std::unique_ptr<FlowModel>
+Topology::makeModel(const FlowModel::Config& config) const
+{
+    auto model = FlowModel::make(config);
+    for (const FlowModel::LinkSpec& spec : links)
+        model->addLink(spec);
+    for (int from = 0; from < hostCount; ++from) {
+        for (int to = 0; to < hostCount; ++to) {
+            if (from == to)
+                continue;
+            model->setRoute(from, to, route(from, to));
+        }
+    }
+    return model;
+}
+
+void
+Topology::populateCluster(Cluster& cluster,
+                          MachineConfig prototype) const
+{
+    if (cluster.machineCount() != 0) {
+        throw std::logic_error(
+            "Topology::populateCluster requires an empty cluster so "
+            "host indices line up with machine net ids");
+    }
+    for (const std::string& name : hostNames) {
+        prototype.name = name;
+        cluster.addMachine(prototype);
+    }
+}
+
+Topology
+TopologyBuilder::fatTree(const FatTreeConfig& config)
+{
+    const int k = config.arity;
+    if (k < 2 || k % 2 != 0) {
+        throw std::invalid_argument(
+            "fat-tree arity must be even and >= 2, got " +
+            std::to_string(k));
+    }
+    const int half = k / 2;
+    int hostsPerEdge = config.hostsPerEdge;
+    if (hostsPerEdge <= 0) {
+        if (config.oversubscription <= 0.0) {
+            throw std::invalid_argument(
+                "fat-tree oversubscription must be > 0");
+        }
+        hostsPerEdge = static_cast<int>(
+            static_cast<double>(half) * config.oversubscription + 0.5);
+        if (hostsPerEdge < 1)
+            hostsPerEdge = 1;
+    }
+    if (config.hostGbps <= 0.0 || config.fabricGbps <= 0.0)
+        throw std::invalid_argument("fat-tree link speeds must be > 0");
+
+    Topology topo;
+    topo.arity = k;
+    topo.hostsPerEdge = hostsPerEdge;
+    topo.edgeCount = k * half;
+    topo.aggCount = k * half;
+    topo.coreCount = half * half;
+    topo.hostCount = topo.edgeCount * hostsPerEdge;
+
+    const double hostBps = gbpsToBytesPerSecond(config.hostGbps);
+    const double fabricBps = gbpsToBytesPerSecond(config.fabricGbps);
+    const double latency = config.linkLatencySeconds;
+    auto addLink = [&topo, latency](std::string name, double bps) {
+        topo.links.push_back(
+            FlowModel::LinkSpec{std::move(name), bps, latency});
+        return static_cast<int>(topo.links.size()) - 1;
+    };
+
+    // Host NIC links: "h7:up" carries host 7 -> edge switch traffic.
+    std::vector<int> hostUp(topo.hostCount);
+    std::vector<int> hostDown(topo.hostCount);
+    topo.hostNames.reserve(topo.hostCount);
+    for (int h = 0; h < topo.hostCount; ++h) {
+        topo.hostNames.push_back(config.hostPrefix +
+                                 std::to_string(h));
+        hostUp[h] = addLink(topo.hostNames.back() + ":up", hostBps);
+        hostDown[h] =
+            addLink(topo.hostNames.back() + ":down", hostBps);
+    }
+
+    // Edge <-> aggregation, per pod: edge e and agg a are the pod's
+    // local switch indices in [0, k/2).
+    const auto eaIndex = [half](int pod, int edge, int agg) {
+        return static_cast<std::size_t>((pod * half + edge) * half +
+                                        agg);
+    };
+    std::vector<int> eaUp(static_cast<std::size_t>(k) * half * half);
+    std::vector<int> eaDown(eaUp.size());
+    for (int pod = 0; pod < k; ++pod) {
+        for (int edge = 0; edge < half; ++edge) {
+            for (int agg = 0; agg < half; ++agg) {
+                const std::string base =
+                    "pod" + std::to_string(pod) + ":edge" +
+                    std::to_string(edge) + ":agg" +
+                    std::to_string(agg);
+                eaUp[eaIndex(pod, edge, agg)] =
+                    addLink(base + ":up", fabricBps);
+                eaDown[eaIndex(pod, edge, agg)] =
+                    addLink(base + ":down", fabricBps);
+            }
+        }
+    }
+
+    // Aggregation <-> core: agg a in every pod connects to the core
+    // group [a*(k/2), (a+1)*(k/2)); j is the offset in that group.
+    const auto acIndex = [half](int pod, int agg, int j) {
+        return static_cast<std::size_t>((pod * half + agg) * half + j);
+    };
+    std::vector<int> acUp(static_cast<std::size_t>(k) * half * half);
+    std::vector<int> acDown(acUp.size());
+    for (int pod = 0; pod < k; ++pod) {
+        for (int agg = 0; agg < half; ++agg) {
+            for (int j = 0; j < half; ++j) {
+                const int core = agg * half + j;
+                const std::string base =
+                    "pod" + std::to_string(pod) + ":agg" +
+                    std::to_string(agg) + ":core" +
+                    std::to_string(core);
+                acUp[acIndex(pod, agg, j)] =
+                    addLink(base + ":up", fabricBps);
+                acDown[acIndex(pod, agg, j)] =
+                    addLink(base + ":down", fabricBps);
+            }
+        }
+    }
+
+    // All-pairs destination-based routes (see file comment).
+    const int hostsPerPod = half * hostsPerEdge;
+    topo.routes.resize(static_cast<std::size_t>(topo.hostCount) *
+                       static_cast<std::size_t>(topo.hostCount));
+    for (int s = 0; s < topo.hostCount; ++s) {
+        const int sEdge = s / hostsPerEdge;
+        const int sPod = s / hostsPerPod;
+        const int sEdgeLocal = sEdge % half;
+        for (int d = 0; d < topo.hostCount; ++d) {
+            if (s == d)
+                continue;
+            const int dEdge = d / hostsPerEdge;
+            const int dPod = d / hostsPerPod;
+            const int dEdgeLocal = dEdge % half;
+            std::vector<int>& path =
+                topo.routes[static_cast<std::size_t>(s) *
+                                static_cast<std::size_t>(
+                                    topo.hostCount) +
+                            static_cast<std::size_t>(d)];
+            path.push_back(hostUp[s]);
+            if (sEdge != dEdge) {
+                const int agg = d % half;
+                path.push_back(eaUp[eaIndex(sPod, sEdgeLocal, agg)]);
+                if (sPod != dPod) {
+                    const int j = (d / half) % half;
+                    path.push_back(acUp[acIndex(sPod, agg, j)]);
+                    path.push_back(acDown[acIndex(dPod, agg, j)]);
+                }
+                path.push_back(eaDown[eaIndex(dPod, dEdgeLocal, agg)]);
+            }
+            path.push_back(hostDown[d]);
+        }
+    }
+    return topo;
+}
+
+}  // namespace hw
+}  // namespace uqsim

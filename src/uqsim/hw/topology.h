@@ -1,0 +1,106 @@
+#ifndef UQSIM_HW_TOPOLOGY_H_
+#define UQSIM_HW_TOPOLOGY_H_
+
+/**
+ * @file
+ * Datacenter topology generator.
+ *
+ * Builds k-ary fat-tree (folded Clos) fabrics as FlowModel link sets
+ * plus routing tables, so `machines.json`-scale clusters can be
+ * *generated* instead of hand-written: k pods, each with k/2 edge
+ * and k/2 aggregation switches, (k/2)^2 core switches, and a
+ * configurable number of hosts per edge switch.  An oversubscription
+ * ratio r puts (k/2)*r hosts under each edge switch: r=1 is the
+ * classic rearrangeably non-blocking fat tree, r>1 models the
+ * under-provisioned edge uplinks real clusters have (and is what
+ * makes incast interesting).
+ *
+ * Routing is deterministic and destination-based (no ECMP
+ * randomness, preserving the determinism contract): traffic to host
+ * d always climbs toward aggregation switch d mod k/2 and core
+ * offset (d / (k/2)) mod k/2, which spreads destinations across the
+ * fabric like ECMP hashing does while keeping every route a pure
+ * function of (source, destination).
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "uqsim/hw/flow_model.h"
+#include "uqsim/hw/machine.h"
+
+namespace uqsim {
+namespace hw {
+
+class Cluster;
+
+/** Fat-tree generation parameters. */
+struct FatTreeConfig {
+    /** Switch arity k; must be even and >= 2. */
+    int arity = 4;
+    /** Hosts per edge switch = (k/2) * oversubscription (rounded,
+     *  min 1).  Ignored when hostsPerEdge is set explicitly. */
+    double oversubscription = 1.0;
+    /** Explicit hosts per edge switch; 0 derives it from the
+     *  oversubscription ratio. */
+    int hostsPerEdge = 0;
+    /** Host NIC speed (gigabits per second). */
+    double hostGbps = 10.0;
+    /** Fabric (edge-agg and agg-core) link speed (Gb/s). */
+    double fabricGbps = 10.0;
+    /** Per-link propagation latency (seconds). */
+    double linkLatencySeconds = 1e-6;
+    /** Host machine names are prefix + host index ("h0", "h1", …). */
+    std::string hostPrefix = "h";
+};
+
+/** A generated fabric: links, host names, and all-pairs routes. */
+struct Topology {
+    int arity = 0;
+    int hostsPerEdge = 0;
+    int hostCount = 0;
+    int edgeCount = 0;
+    int aggCount = 0;
+    int coreCount = 0;
+
+    /** Directional links in creation order (host NICs first). */
+    std::vector<FlowModel::LinkSpec> links;
+    std::vector<std::string> hostNames;
+
+    /** Route between two host indices (link ids in traversal
+     *  order); empty for from == to. */
+    const std::vector<int>& route(int from, int to) const;
+
+    /** Builds a FlowModel with every link and route installed.
+     *  Host index i must become machine net id i — add machines via
+     *  populateCluster() (or in hostNames order) and nothing else. */
+    std::unique_ptr<FlowModel> makeModel(
+        const FlowModel::Config& config = FlowModel::Config{}) const;
+
+    /** Adds one machine per host to @p cluster from @p prototype,
+     *  overriding the name with hostNames[i].  The cluster must be
+     *  empty so host indices line up with machine net ids. */
+    void populateCluster(Cluster& cluster,
+                         MachineConfig prototype) const;
+
+    /** All-pairs routes, indexed from * hostCount + to. */
+    std::vector<std::vector<int>> routes;
+};
+
+class TopologyBuilder {
+  public:
+    static Topology fatTree(const FatTreeConfig& config);
+};
+
+/** 10 Gb/s -> 1.25e9 bytes/s. */
+constexpr double
+gbpsToBytesPerSecond(double gbps)
+{
+    return gbps * 1e9 / 8.0;
+}
+
+}  // namespace hw
+}  // namespace uqsim
+
+#endif  // UQSIM_HW_TOPOLOGY_H_

@@ -486,6 +486,117 @@ fanoutBundle(const FanoutParams& params)
     return bundle;
 }
 
+// ------------------------------------------------- fat-tree fan-out
+
+ConfigBundle
+fanoutFatTreeBundle(const FanoutFatTreeParams& params)
+{
+    if (params.fanout <= 0)
+        throw std::invalid_argument("fanout must be > 0");
+    // Mirror the generator's sizing (hw::TopologyBuilder::fatTree)
+    // to place the proxy and leaves on distinct generated hosts.
+    const int half = params.arity / 2;
+    int hosts_per_edge =
+        static_cast<int>(half * params.oversubscription + 0.5);
+    if (hosts_per_edge < 1)
+        hosts_per_edge = 1;
+    const int hosts = params.arity * half * hosts_per_edge;
+    if (params.fanout + 1 > hosts) {
+        throw std::invalid_argument(
+            "fat-tree fan-out: need fanout + 1 <= " +
+            std::to_string(hosts) + " generated hosts");
+    }
+    ConfigBundle bundle;
+    bundle.options = makeOptions(params.run);
+
+    NginxOptions proxy;
+    proxy.serviceName = "nginx_fanout";
+    proxy.workers = params.proxyWorkers;
+    proxy.realProxyNoise = params.run.realProxyNoise;
+    NginxOptions web;
+    web.serviceName = "nginx_web";
+    web.workers = 1;
+    web.realProxyNoise = params.run.realProxyNoise;
+    bundle.services.push_back(nginxProxyJson(proxy));
+    bundle.services.push_back(nginxWebserverJson(web));
+
+    // machines.json schema v2: the cluster is generated from the
+    // topology section, uniform hosts "h0", "h1", ....
+    {
+        JsonValue host_proto = JsonValue::makeObject();
+        host_proto.asObject()["cores"] = params.proxyWorkers + 4;
+        host_proto.asObject()["irq_cores"] = 4;
+        host_proto.asObject()["irq_per_packet_us"] = kIrqPerPacketUs;
+        JsonValue topology = JsonValue::makeObject();
+        topology.asObject()["type"] = "fat_tree";
+        topology.asObject()["arity"] = params.arity;
+        topology.asObject()["oversubscription"] =
+            params.oversubscription;
+        topology.asObject()["host_gbps"] = params.hostGbps;
+        topology.asObject()["fabric_gbps"] = params.fabricGbps;
+        topology.asObject()["link_latency_us"] = params.linkLatencyUs;
+        topology.asObject()["hosts"] = std::move(host_proto);
+        JsonValue network = JsonValue::makeObject();
+        network.asObject()["model"] = "flow";
+        network.asObject()["loopback_latency_us"] = 5.0;
+        network.asObject()["external_latency_us"] = 20.0;
+        JsonValue doc = JsonValue::makeObject();
+        doc.asObject()["schema_version"] = 2;
+        doc.asObject()["network"] = std::move(network);
+        doc.asObject()["topology"] = std::move(topology);
+        bundle.machines = std::move(doc);
+    }
+
+    // Proxy on h0; leaf i on h(1+i), so every leaf response crosses
+    // the fabric and converges on h0's edge down-link.
+    JsonArray deploys;
+    {
+        JsonArray instances;
+        instances.push_back(instanceJson("h0", params.proxyWorkers));
+        deploys.push_back(serviceDeployJson(
+            "nginx_fanout", std::move(instances), {{"nginx_web", 16}}));
+    }
+    {
+        JsonArray instances;
+        for (int i = 0; i < params.fanout; ++i)
+            instances.push_back(
+                instanceJson("h" + std::to_string(1 + i), 1));
+        deploys.push_back(
+            serviceDeployJson("nginx_web", std::move(instances)));
+    }
+    bundle.graph = graphJson(std::move(deploys));
+
+    JsonArray nodes;
+    NodeOpts block;
+    block.blockOnEnter = true;
+    std::vector<int> leaves;
+    for (int i = 0; i < params.fanout; ++i)
+        leaves.push_back(1 + i);
+    nodes.push_back(
+        nodeJson(0, "nginx_fanout", "proxy_forward", leaves, block));
+    const int join_id = params.fanout + 1;
+    for (int i = 0; i < params.fanout; ++i) {
+        NodeOpts pin;
+        pin.instance = i;
+        nodes.push_back(nodeJson(1 + i, "nginx_web", "serve",
+                                 {join_id}, pin));
+    }
+    NodeOpts respond;
+    respond.unblockService = "nginx_fanout";
+    respond.requestBytes = params.responseBytes;
+    nodes.push_back(nodeJson(join_id, "nginx_fanout", "proxy_response",
+                             {}, respond));
+    JsonArray variants;
+    variants.push_back(variantJson(1.0, std::move(nodes)));
+    bundle.paths = pathDocJson(std::move(variants));
+
+    bundle.client =
+        clientJson("nginx_fanout", params.run.clientConnections,
+                   constantLoadJson(params.run.qps),
+                   requestBytesSpec());
+    return bundle;
+}
+
 // -------------------------------------------------------- Thrift echo
 
 ConfigBundle

@@ -69,6 +69,31 @@ struct FanoutParams {
     int responseBytes = 612;
 };
 
+/**
+ * Fan-out case study deployed on a *generated* fat-tree cluster
+ * (machines.json schema v2, flow network model; hw/topology.h).
+ * With a large responseBytes every leaf's reply converges on the
+ * proxy host's edge down-link — the incast scenario the constant
+ * model cannot express.
+ */
+struct FanoutFatTreeParams {
+    RunParams run;
+    /** Leaves contacted per request, each pinned to its own host;
+     *  needs fanout + 1 <= generated host count. */
+    int fanout = 16;
+    int proxyWorkers = 8;
+    /** Bytes each leaf sends back to the proxy (incast payload). */
+    int responseBytes = 64 * 1024;
+    /** Fat-tree shape: hosts = arity * (arity/2)^2 *
+     *  oversubscription (64 for the 4-ary, 4x oversubscribed
+     *  default). */
+    int arity = 4;
+    double oversubscription = 4.0;
+    double hostGbps = 10.0;
+    double fabricGbps = 10.0;
+    double linkLatencyUs = 1.0;
+};
+
 /** Thrift hello-world parameters (Fig. 12a). */
 struct ThriftEchoParams {
     RunParams run;
@@ -124,6 +149,7 @@ ConfigBundle twoTierBundle(const TwoTierParams& params);
 ConfigBundle threeTierBundle(const ThreeTierParams& params);
 ConfigBundle loadBalancerBundle(const LoadBalancerParams& params);
 ConfigBundle fanoutBundle(const FanoutParams& params);
+ConfigBundle fanoutFatTreeBundle(const FanoutFatTreeParams& params);
 ConfigBundle thriftEchoBundle(const ThriftEchoParams& params);
 ConfigBundle socialNetworkBundle(const SocialNetworkParams& params);
 ConfigBundle tailAtScaleBundle(const TailAtScaleParams& params);
