@@ -11,8 +11,19 @@
  * window, breakers re-close, no job leaks); the first violating
  * schedule is written as a replayable file.
  *
+ * Two built-in scenarios (--scenario, default "crash"):
+ *   crash — scripted leaf crash window (0.40 s - 0.50 s); the
+ *           explorer perturbs window onset and timer order.
+ *   link  — scripted link_down on the front->leaf primary link with
+ *           two backup routes of very different quality; the
+ *           explorer also branches on the deterministic failover
+ *           choice (RouteFailover), finding the backup pick whose
+ *           latency sits beyond the retry timeout and triggers a
+ *           retry storm.
+ *
  * Usage:
- *   explore_resilience [--config DIR] [--schedules N]
+ *   explore_resilience [--scenario crash|link] [--config DIR]
+ *                      [--schedules N]
  *                      [--jitter-choices N] [--jitter-step-s S]
  *                      [--nudge-choices N] [--nudge-step-s S]
  *                      [--tie-choices N] [--depth-first]
@@ -108,12 +119,67 @@ retryStormBundle(std::uint64_t seed)
     return bundle;
 }
 
+/**
+ * The same 2-tier application on an explicit flow fabric: the
+ * front->leaf primary link dies for 0.40 s - 0.50 s and failover
+ * must pick between two backup routes installed as repeated
+ * routes[] entries.  The first backup (100 us) keeps requests well
+ * inside the 2 ms retry timeout; the second (5 ms) puts *every*
+ * request past it, so that failover choice turns the outage into a
+ * retry storm.  The engine's default deterministically takes the
+ * first survivor; the explorer's RouteFailover choice point visits
+ * the other.
+ */
+ConfigBundle
+linkStormBundle(std::uint64_t seed)
+{
+    ConfigBundle bundle = retryStormBundle(seed);
+    bundle.machines = json::parse(
+        R"({"schema_version": 2,)"
+        R"( "network": {"model": "flow", "loopback_latency_us": 1.0},)"
+        R"( "links": [)"
+        R"( {"name": "fl", "gbps": 10.0, "latency_us": 5.0},)"
+        R"( {"name": "lf", "gbps": 10.0, "latency_us": 5.0},)"
+        R"( {"name": "fl_b1", "gbps": 10.0, "latency_us": 100.0},)"
+        R"( {"name": "fl_b2", "gbps": 10.0, "latency_us": 5000.0}],)"
+        R"( "routes": [)"
+        R"( {"from": "front", "to": "leaf0", "links": ["fl"]},)"
+        R"( {"from": "leaf0", "to": "front", "links": ["lf"]},)"
+        R"( {"from": "front", "to": "leaf0", "links": ["fl_b1"]},)"
+        R"( {"from": "front", "to": "leaf0", "links": ["fl_b2"]}],)"
+        R"( "machines": [)"
+        R"( {"name": "front", "cores": 4, "irq_cores": 0},)"
+        R"( {"name": "leaf0", "cores": 2, "irq_cores": 0}]})");
+    bundle.faults = json::parse(
+        R"({"faults": [{"type": "link_down", "link": "fl",)"
+        R"( "start_s": 0.4, "end_s": 0.5}]})");
+    return bundle;
+}
+
+/** The retry-storm detector for the link scenario: a sane failover
+ *  keeps retries near the handful caused by dropped in-flight
+ *  messages; a backup past the timeout multiplies every windowed
+ *  request by the retry budget. */
+explore::Invariant
+retriesBounded(std::uint64_t cap)
+{
+    return {"retries_bounded",
+            [cap](const explore::InvariantContext& context) {
+                if (context.report.retries <= cap)
+                    return std::string();
+                return "retry storm: " +
+                       std::to_string(context.report.retries) +
+                       " retries > cap " + std::to_string(cap);
+            }};
+}
+
 int
 usageError(const char* message)
 {
     std::fprintf(stderr, "error: %s\n", message);
     std::fprintf(stderr,
-                 "usage: explore_resilience [--config DIR] "
+                 "usage: explore_resilience [--scenario crash|link] "
+                 "[--config DIR] "
                  "[--schedules N] [--jitter-choices N] "
                  "[--jitter-step-s S] [--nudge-choices N] "
                  "[--nudge-step-s S] [--tie-choices N] "
@@ -121,7 +187,7 @@ usageError(const char* message)
                  "[--schedule-out FILE] [--recover-after-s T] "
                  "[--grace-s G] [--min-completions N]\n"
                  "       explore_resilience --replay FILE "
-                 "[--config DIR]\n");
+                 "[--scenario crash|link] [--config DIR]\n");
     return 2;
 }
 
@@ -132,6 +198,7 @@ main(int argc, char** argv)
 {
     std::string configDir;
     std::string replayPath;
+    std::string scenario = "crash";
     explore::ExploreOptions options;
     options.maxSchedules = 64;
     options.limits.faultJitterChoices = 2;
@@ -153,6 +220,8 @@ main(int argc, char** argv)
             options.depthFirst = true;
         } else if ((value = next()) == nullptr) {
             return usageError(("missing value for " + arg).c_str());
+        } else if (arg == "--scenario") {
+            scenario = value;
         } else if (arg == "--config") {
             configDir = value;
         } else if (arg == "--replay") {
@@ -185,10 +254,19 @@ main(int argc, char** argv)
         }
     }
 
+    if (scenario != "crash" && scenario != "link")
+        return usageError(("unknown scenario " + scenario).c_str());
+    if (scenario == "link") {
+        // The failover decision is the choice point this scenario is
+        // about; let the explorer branch on it.
+        options.limits.routeFailoverChoices = 2;
+    }
+
     try {
         const ConfigBundle bundle =
-            configDir.empty() ? retryStormBundle(11)
-                              : ConfigBundle::fromDirectory(configDir);
+            !configDir.empty() ? ConfigBundle::fromDirectory(configDir)
+            : scenario == "link" ? linkStormBundle(11)
+                                 : retryStormBundle(11);
 
         if (!replayPath.empty()) {
             const explore::Schedule schedule =
@@ -224,6 +302,8 @@ main(int argc, char** argv)
             recoverAfterSeconds, graceSeconds, minCompletions));
         explorer.addInvariant(explore::breakerRecloses());
         explorer.addInvariant(explore::noJobLeaked());
+        if (scenario == "link")
+            explorer.addInvariant(retriesBounded(50));
 
         const explore::ExploreResult result = explorer.explore();
         std::printf("explored %zu schedule(s): %zu violation(s), "

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Example: zone partition and uplink failure on a generated fat tree.
+ *
+ * Runs the request fan-out case study on a generated 64-host k-ary
+ * fat tree (machines.json schema v2, flow network model) under two
+ * topology faults:
+ *
+ *   1. a *zone partition*: pod 0 (where the proxy lives) loses
+ *      reachability to pod 1 for a window, so every fan-out request
+ *      touching a pod-1 leaf gets an unreachable verdict, and
+ *   2. an *uplink failure*: the pod0:edge0:agg0:up link — half of
+ *      the proxy's cross-edge uplink capacity — goes down for a
+ *      second window.
+ *
+ * The scenario runs twice, with and without generated backup routes
+ * (topology "backup_routes"): with failover the uplink window is
+ * absorbed (transfers reroute via the sibling aggregation switch at
+ * the same hop count), while the partition window is not — no
+ * surviving route can cross a partition, which is exactly the
+ * difference between a link fault and a zone fault.  Without
+ * failover both windows collapse availability.
+ *
+ * Usage: partition [--arity K] [--oversub R] [--fanout N] [--qps Q]
+ *
+ * Defaults: 4-ary fat tree with 4x oversubscription (64 hosts),
+ * fan-out 24 (leaves span pods 0 and 1), 400 QPS.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "uqsim/core/sim/simulation.h"
+#include "uqsim/json/json_parser.h"
+#include "uqsim/models/applications.h"
+
+using namespace uqsim;
+
+namespace {
+
+struct Scenario {
+    int arity = 4;
+    double oversub = 4.0;
+    int fanout = 24;
+    double qps = 400.0;
+};
+
+/** Partition pod 0 from pod 1 (0.4 s - 0.6 s), then fail the
+ *  proxy's agg0 uplink (0.9 s - 1.1 s). */
+json::JsonValue
+faultsJson(const Scenario& s)
+{
+    const int half = s.arity / 2;
+    const int hostsPerEdge =
+        static_cast<int>(half * s.oversub + 0.5);
+    const int hostsPerPod = half * hostsPerEdge;
+    std::ostringstream out;
+    out << R"({"faults": [{"type": "partition", "groups": [[)";
+    for (int h = 0; h < hostsPerPod; ++h)
+        out << (h ? ", " : "") << "\"h" << h << "\"";
+    out << "], [";
+    for (int h = hostsPerPod; h < 2 * hostsPerPod; ++h)
+        out << (h > hostsPerPod ? ", " : "") << "\"h" << h << "\"";
+    out << R"(]], "start_s": 0.4, "end_s": 0.6},)"
+        << R"( {"type": "link_down", "link": "pod0:edge0:agg0:up",)"
+        << R"(  "start_s": 0.9, "end_s": 1.1}]})";
+    return json::parse(out.str());
+}
+
+ConfigBundle
+makeBundle(const Scenario& s, bool withFailover)
+{
+    models::FanoutFatTreeParams params;
+    params.run.qps = s.qps;
+    params.run.seed = 21;
+    params.run.warmupSeconds = 0.2;
+    params.run.durationSeconds = 1.5;
+    params.run.clientConnections = 64;
+    params.fanout = s.fanout;
+    params.arity = s.arity;
+    params.oversubscription = s.oversub;
+    ConfigBundle bundle = models::fanoutFatTreeBundle(params);
+    bundle.machines.asObject()["topology"]
+        .asObject()["backup_routes"] = withFailover;
+    bundle.faults = faultsJson(s);
+    return bundle;
+}
+
+void
+runOne(const Scenario& s, bool withFailover)
+{
+    auto simulation = Simulation::fromBundle(makeBundle(s, withFailover));
+    const RunReport report = simulation->run();
+    std::printf("---- %s\n", withFailover
+                                 ? "with failover (backup routes)"
+                                 : "no failover (backup_routes off)");
+    std::printf("  availability  %6.2f %%   (completed %llu, "
+                "failed %llu)\n",
+                report.availability * 100.0,
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.failed));
+    std::printf("  goodput       %8.1f QPS of %.1f offered\n",
+                report.achievedQps, report.offeredQps);
+    std::printf("  p99           %8.2f ms   (p50 %.2f ms)\n",
+                report.endToEnd.p99Ms, report.endToEnd.p50Ms);
+    std::printf("  failovers     %8llu\n",
+                static_cast<unsigned long long>(report.failovers));
+    std::printf("  unreachable   %8llu\n",
+                static_cast<unsigned long long>(report.unreachable));
+    for (const auto& entry : report.linkFaults) {
+        std::printf("  link %-22s down %.2f s, dropped %llu "
+                    "in-flight\n",
+                    entry.first.c_str(), entry.second.downSeconds,
+                    static_cast<unsigned long long>(
+                        entry.second.drops));
+    }
+    std::printf("  trace digest  %016llx\n\n",
+                static_cast<unsigned long long>(
+                    simulation->sim().traceDigest()));
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Scenario s;
+    for (int i = 1; i < argc; ++i) {
+        const auto next = [&](const char* flag) -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (std::strcmp(argv[i], "--arity") == 0) {
+            s.arity = std::atoi(next("--arity"));
+        } else if (std::strcmp(argv[i], "--oversub") == 0) {
+            s.oversub = std::atof(next("--oversub"));
+        } else if (std::strcmp(argv[i], "--fanout") == 0) {
+            s.fanout = std::atoi(next("--fanout"));
+        } else if (std::strcmp(argv[i], "--qps") == 0) {
+            s.qps = std::atof(next("--qps"));
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--arity K] [--oversub R] "
+                         "[--fanout N] [--qps Q]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    const int half = s.arity / 2;
+    const int hostsPerEdge =
+        static_cast<int>(half * s.oversub + 0.5);
+    std::printf("fat tree k=%d, oversub %.1f -> %d hosts; fan-out "
+                "%d; partition pod0|pod1 0.4-0.6 s; "
+                "pod0:edge0:agg0:up down 0.9-1.1 s\n\n",
+                s.arity, s.oversub,
+                s.arity * half * hostsPerEdge, s.fanout);
+    try {
+        runOne(s, true);
+        runOne(s, false);
+    } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 2;
+    }
+    return 0;
+}

@@ -57,6 +57,11 @@ class Deployment {
     Deployment(const Deployment&) = delete;
     Deployment& operator=(const Deployment&) = delete;
 
+    /** The cluster instances are deployed onto (used by the fault
+     *  scheduler to resolve machine names for partition groups). */
+    hw::Cluster& cluster() { return cluster_; }
+    const hw::Cluster& cluster() const { return cluster_; }
+
     /** Registers a service model before deploying instances.  The
      *  model's name is interned and its nameId assigned. */
     void registerModel(ServiceModelPtr model);

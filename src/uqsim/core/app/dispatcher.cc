@@ -20,7 +20,16 @@ anyFaults(const TierFaultStats& stats)
     return stats.errors != 0 || stats.timeouts != 0 ||
            stats.hopTimeouts != 0 || stats.retries != 0 ||
            stats.hedges != 0 || stats.shed != 0 || stats.rejected != 0 ||
-           stats.crashKills != 0;
+           stats.crashKills != 0 || stats.unreachable != 0;
+}
+
+/** Job-level failure reason matching a wire-level drop verdict. */
+fault::FailReason
+dropFailReason(hw::DropReason reason)
+{
+    return reason == hw::DropReason::Unreachable
+               ? fault::FailReason::Unreachable
+               : fault::FailReason::NetworkLoss;
 }
 
 }  // namespace
@@ -209,10 +218,9 @@ Dispatcher::startRequest(JobPtr job, MicroserviceInstance& front,
                       [this, job, node_id, target]() mutable {
                           deliver(std::move(job), node_id, *target);
                       },
-                      [this, root_id]() {
-                          failRequest(root_id,
-                                      fault::FailReason::NetworkLoss,
-                                      NameInterner::kNone);
+                      [this, root_id](hw::DropReason reason) {
+                          onEdgeDrop(root_id, reason,
+                                     NameInterner::kNone);
                       });
 }
 
@@ -304,13 +312,12 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
                 hop.pool->release(hop.conn);
                 deliver(std::move(job), node_id, *t);
             },
-            [this, root = job->rootId, hop]() {
+            [this, root = job->rootId, hop](hw::DropReason reason) {
                 // Response lost in transit; the connection still
                 // frees (it was past the pool when the hop record
                 // was erased above).
                 hop.pool->release(hop.conn);
-                failRequest(root, fault::FailReason::NetworkLoss,
-                            NameInterner::kNone);
+                onEdgeDrop(root, reason, NameInterner::kNone);
             });
         return;
     }
@@ -329,14 +336,14 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
             }
             st->hops.push_back(ForwardHop{from, t, conn, pool});
             job->connectionId = conn;
-            network_.transfer(from->machine(), t->machine(), job->bytes,
-                              [this, job, node_id, t]() mutable {
-                                  deliver(std::move(job), node_id, *t);
-                              },
-                              [this, job, node_id]() mutable {
-                                  onTransferDropped(std::move(job),
-                                                    node_id);
-                              });
+            network_.transfer(
+                from->machine(), t->machine(), job->bytes,
+                [this, job, node_id, t]() mutable {
+                    deliver(std::move(job), node_id, *t);
+                },
+                [this, job, node_id](hw::DropReason reason) mutable {
+                    onTransferDropped(std::move(job), node_id, reason);
+                });
         });
         return;
     }
@@ -346,10 +353,9 @@ Dispatcher::routeToNode(JobPtr job, int node_id,
                       [this, job, node_id, t = &target]() mutable {
                           deliver(std::move(job), node_id, *t);
                       },
-                      [this, root = job->rootId]() {
-                          failRequest(root,
-                                      fault::FailReason::NetworkLoss,
-                                      NameInterner::kNone);
+                      [this, root = job->rootId](hw::DropReason reason) {
+                          onEdgeDrop(root, reason,
+                                     NameInterner::kNone);
                       });
 }
 
@@ -487,10 +493,9 @@ Dispatcher::finishRequest(JobPtr job, MicroserviceInstance& last)
                       [this, job]() mutable {
                           completeAtClient(std::move(job));
                       },
-                      [this, root_id]() {
-                          failRequest(root_id,
-                                      fault::FailReason::NetworkLoss,
-                                      NameInterner::kNone);
+                      [this, root_id](hw::DropReason reason) {
+                          onEdgeDrop(root_id, reason,
+                                     NameInterner::kNone);
                       });
 }
 
@@ -656,14 +661,14 @@ Dispatcher::launchAttempt(JobId root, int node_id, JobPtr job)
         }
         st->hops.push_back(ForwardHop{from, t, conn, pool});
         job->connectionId = conn;
-        network_.transfer(from->machine(), t->machine(), job->bytes,
-                          [this, job, node_id, t]() mutable {
-                              deliver(std::move(job), node_id, *t);
-                          },
-                          [this, job, node_id]() mutable {
-                              onTransferDropped(std::move(job),
-                                                node_id);
-                          });
+        network_.transfer(
+            from->machine(), t->machine(), job->bytes,
+            [this, job, node_id, t]() mutable {
+                deliver(std::move(job), node_id, *t);
+            },
+            [this, job, node_id](hw::DropReason reason) mutable {
+                onTransferDropped(std::move(job), node_id, reason);
+            });
     });
 }
 
@@ -783,7 +788,8 @@ Dispatcher::onJobFailed(JobPtr job, MicroserviceInstance& inst,
 }
 
 void
-Dispatcher::onTransferDropped(JobPtr job, int node_id)
+Dispatcher::onTransferDropped(JobPtr job, int node_id,
+                              hw::DropReason reason)
 {
     if (deadJobs_.erase(job->id) > 0)
         return;
@@ -791,8 +797,26 @@ Dispatcher::onTransferDropped(JobPtr job, int node_id)
     if (state == nullptr)
         return;
     const PathNode& node = tree_.node(state->variant, node_id);
+    if (reason == hw::DropReason::Unreachable)
+        ++tierFault(node.serviceId).unreachable;
     failAttemptOrRequest(job->rootId, node_id, job->id,
-                         fault::FailReason::NetworkLoss, node.serviceId);
+                         dropFailReason(reason), node.serviceId);
+}
+
+void
+Dispatcher::onEdgeDrop(JobId root, hw::DropReason reason,
+                       std::uint32_t tier_id)
+{
+    if (reason == hw::DropReason::Unreachable) {
+        const RootState* state = findRoot(root);
+        const std::uint32_t resolved =
+            tier_id != NameInterner::kNone ? tier_id
+            : state != nullptr            ? state->frontId
+                                          : NameInterner::kNone;
+        if (resolved != NameInterner::kNone)
+            ++tierFault(resolved).unreachable;
+    }
+    failRequest(root, dropFailReason(reason), tier_id);
 }
 
 void

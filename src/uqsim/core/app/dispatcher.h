@@ -283,8 +283,15 @@ class Dispatcher {
      *  bounded-queue rejection). */
     void onJobFailed(JobPtr job, MicroserviceInstance& inst,
                      fault::FailReason reason);
-    /** Message lost in transit toward @p node_id. */
-    void onTransferDropped(JobPtr job, int node_id);
+    /** Message dropped in transit toward a managed hop: consumes a
+     *  retry before failing the request. */
+    void onTransferDropped(JobPtr job, int node_id,
+                           hw::DropReason reason);
+    /** Message dropped on an unmanaged edge (client legs, pooled
+     *  response legs): fails the whole request, counting an
+     *  unreachable verdict against the resolved tier. */
+    void onEdgeDrop(JobId root, hw::DropReason reason,
+                    std::uint32_t tier_id);
     /**
      * Routes one attempt failure: consumes a retry, lets surviving
      * racer attempts run, or fails the whole request.

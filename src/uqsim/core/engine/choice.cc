@@ -11,6 +11,7 @@ choiceKindName(ChoiceKind kind)
       case ChoiceKind::EventTie: return "event_tie";
       case ChoiceKind::FaultJitter: return "fault_jitter";
       case ChoiceKind::TimerNudge: return "timer_nudge";
+      case ChoiceKind::RouteFailover: return "route_failover";
     }
     return "?";
 }
@@ -24,6 +25,8 @@ choiceKindFromName(const std::string& name)
         return ChoiceKind::FaultJitter;
     if (name == "timer_nudge")
         return ChoiceKind::TimerNudge;
+    if (name == "route_failover")
+        return ChoiceKind::RouteFailover;
     throw std::invalid_argument("unknown choice kind: " + name);
 }
 

@@ -51,10 +51,15 @@ enum class ChoiceKind {
     /** Resilience timer nudge: a retry timeout, hedge, or backoff
      *  resend timer fires chosen * jitterStep later than nominal. */
     TimerNudge,
+    /** Which surviving backup route a failed-over transfer takes.
+     *  Option k = the (k+1)-th surviving candidate in installation
+     *  order; option 0 is the deterministic default (first
+     *  survivor).  Only fires when >= 2 candidates survive. */
+    RouteFailover,
 };
 
 /** Stable lowercase name ("event_tie", "fault_jitter",
- *  "timer_nudge"); used in schedule files. */
+ *  "timer_nudge", "route_failover"); used in schedule files. */
 const char* choiceKindName(ChoiceKind kind);
 
 /** Inverse of choiceKindName; throws std::invalid_argument on an

@@ -48,12 +48,18 @@ RunReport::toString() const
             << " samples)\n";
     }
     if (failed > 0 || shed > 0 || crashes > 0 || netDropped > 0 ||
-        breakerTrips > 0) {
+        breakerTrips > 0 || failovers > 0 || unreachable > 0 ||
+        linkDrops > 0) {
         out << "  faults: " << failed << " failed, " << shed
             << " shed, " << retries << " retries, " << hedges
             << " hedges, " << breakerTrips << " breaker trips, "
             << crashes << " crashes, " << netDropped
             << " messages dropped\n";
+        if (failovers > 0 || unreachable > 0 || linkDrops > 0) {
+            out << "  network: " << failovers << " failovers, "
+                << unreachable << " unreachable, " << linkDrops
+                << " link drops\n";
+        }
         out << "  availability: " << availability << "\n";
     }
     for (const auto& [tier, stats] : tierFaults) {
@@ -61,7 +67,12 @@ RunReport::toString() const
             << " errors, " << stats.timeouts << " timeouts, "
             << stats.retries << " retries, " << stats.hedges
             << " hedges, " << stats.shed << " shed, " << stats.rejected
-            << " rejected, " << stats.crashKills << " crash kills\n";
+            << " rejected, " << stats.crashKills << " crash kills, "
+            << stats.unreachable << " unreachable\n";
+    }
+    for (const auto& [link, stats] : linkFaults) {
+        out << "  link " << link << ": down " << stats.downSeconds
+            << " s, " << stats.drops << " drops\n";
     }
     if (replicationsPlanned > 0) {
         out << "  replications: " << replicationsMerged << "/"
@@ -105,6 +116,9 @@ RunReport::toJson() const
     obj["breaker_trips"] = breakerTrips;
     obj["net_dropped"] = netDropped;
     obj["crashes"] = crashes;
+    obj["failovers"] = failovers;
+    obj["unreachable"] = unreachable;
+    obj["link_drops"] = linkDrops;
     obj["availability"] = availability;
     obj["timeout_rate"] = rate(timeouts, generated);
     obj["error_rate"] = rate(failed + shed, generated);
@@ -125,11 +139,23 @@ RunReport::toJson() const
         tier_obj["shed"] = stats.shed;
         tier_obj["rejected"] = stats.rejected;
         tier_obj["crash_kills"] = stats.crashKills;
+        tier_obj["unreachable"] = stats.unreachable;
         tier_obj["error_rate"] = rate(stats.errors, generated);
         tier_obj["timeout_rate"] = rate(stats.timeouts, generated);
         faults_doc.asObject()[tier] = std::move(entry);
     }
     obj["tier_faults"] = std::move(faults_doc);
+    if (!linkFaults.empty()) {
+        json::JsonValue links_doc = json::JsonValue::makeObject();
+        for (const auto& [link, stats] : linkFaults) {
+            json::JsonValue entry = json::JsonValue::makeObject();
+            auto& link_obj = entry.asObject();
+            link_obj["down_seconds"] = stats.downSeconds;
+            link_obj["drops"] = stats.drops;
+            links_doc.asObject()[link] = std::move(entry);
+        }
+        obj["link_faults"] = std::move(links_doc);
+    }
     obj["events"] = events;
     obj["wall_seconds"] = wallSeconds;
     if (replicationsPlanned > 0) {

@@ -45,6 +45,17 @@ struct TierFaultStats {
     std::uint64_t rejected = 0;
     /** Jobs killed by instance crashes in this tier. */
     std::uint64_t crashKills = 0;
+    /** Messages toward this tier that got an unreachable verdict
+     *  (no surviving route or network partition). */
+    std::uint64_t unreachable = 0;
+};
+
+/** Fault summary of one fabric link (FlowModel runs only). */
+struct LinkFaultStats {
+    /** Seconds the link spent down during the run. */
+    double downSeconds = 0.0;
+    /** In-flight messages dropped when the link died. */
+    std::uint64_t drops = 0;
 };
 
 /** Summary of one simulation run (measurement window only). */
@@ -71,6 +82,12 @@ struct RunReport {
     std::uint64_t netDropped = 0;
     /** Instance crashes injected. */
     std::uint64_t crashes = 0;
+    /** Transfers rerouted over a backup path (FlowModel). */
+    std::uint64_t failovers = 0;
+    /** Transfers with an unreachable verdict (FlowModel). */
+    std::uint64_t unreachable = 0;
+    /** In-flight messages dropped by link failures (FlowModel). */
+    std::uint64_t linkDrops = 0;
     /** completed / (completed + failed + shed); 1.0 fault-free. */
     double availability = 1.0;
 
@@ -81,6 +98,9 @@ struct RunReport {
     /** Per-tier failure counters (service name keyed; empty when
      *  nothing failed). */
     std::map<std::string, TierFaultStats> tierFaults;
+    /** Per-link downtime/drop counters (link name keyed; empty
+     *  unless a topology fault touched the link). */
+    std::map<std::string, LinkFaultStats> linkFaults;
     /** Events executed over the whole run (engine effort). */
     std::uint64_t events = 0;
     /** Wall-clock seconds the run took (host time). */

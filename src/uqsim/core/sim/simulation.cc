@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "uqsim/core/sim/audit.h"
+#include "uqsim/hw/flow_model.h"
 
 namespace uqsim {
 
@@ -297,6 +298,7 @@ Simulation::buildReport(double wall_seconds) const
             merged.shed += stats.shed;
             merged.rejected += stats.rejected;
             merged.crashKills += stats.crashKills;
+            merged.unreachable += stats.unreachable;
         }
         const std::uint64_t served = dispatcher_->requestsCompleted();
         const std::uint64_t denom =
@@ -310,6 +312,17 @@ Simulation::buildReport(double wall_seconds) const
     report.netDropped = cluster_->network().droppedMessages();
     if (faultScheduler_)
         report.crashes = faultScheduler_->crashesInjected();
+    if (const auto* flow = dynamic_cast<const hw::FlowModel*>(
+            &cluster_->network().model())) {
+        report.failovers = flow->failovers();
+        report.unreachable = flow->unreachableMessages();
+        report.linkDrops = flow->linkDropsTotal();
+        for (const auto& summary : flow->linkFaultSummaries()) {
+            LinkFaultStats& link = report.linkFaults[summary.name];
+            link.downSeconds = summary.downSeconds;
+            link.drops = summary.drops;
+        }
+    }
     report.events = sim_.executedEvents();
     report.wallSeconds = wall_seconds;
     return report;

@@ -17,6 +17,7 @@ ExploreLimits::choicesFor(ChoiceKind kind) const
       case ChoiceKind::EventTie: return maxTieChoices;
       case ChoiceKind::FaultJitter: return faultJitterChoices;
       case ChoiceKind::TimerNudge: return timerNudgeChoices;
+      case ChoiceKind::RouteFailover: return routeFailoverChoices;
     }
     return 1;
 }
@@ -31,6 +32,8 @@ ExploreLimits::stepFor(ChoiceKind kind) const
         return secondsToSimTime(faultJitterStepSeconds);
       case ChoiceKind::TimerNudge:
         return secondsToSimTime(timerNudgeStepSeconds);
+      case ChoiceKind::RouteFailover:
+        return 0;  // picks a path, not a time shift
     }
     return 0;
 }
@@ -45,6 +48,7 @@ ExploreLimits::toJson() const
     obj["fault_jitter_step_s"] = faultJitterStepSeconds;
     obj["timer_nudge_choices"] = timerNudgeChoices;
     obj["timer_nudge_step_s"] = timerNudgeStepSeconds;
+    obj["route_failover_choices"] = routeFailoverChoices;
     obj["max_decisions"] = static_cast<std::int64_t>(maxDecisions);
     return doc;
 }
@@ -60,6 +64,8 @@ ExploreLimits::fromJson(const json::JsonValue& doc)
     limits.timerNudgeChoices = doc.getOr("timer_nudge_choices", 1);
     limits.timerNudgeStepSeconds =
         doc.getOr("timer_nudge_step_s", 0.0);
+    limits.routeFailoverChoices =
+        doc.getOr("route_failover_choices", 1);
     limits.maxDecisions = static_cast<std::size_t>(
         doc.getOr("max_decisions", std::int64_t{64}));
     return limits;

@@ -33,7 +33,7 @@ namespace explore {
 inline constexpr const char* kScheduleSchema = "uqsim-schedule-v1";
 
 /**
- * Branching caps and step sizes for the three choice-point kinds.
+ * Branching caps and step sizes for the choice-point kinds.
  * A count <= 1 disables that kind entirely; the defaults disable
  * everything, so callers opt in to exactly the nondeterminism they
  * want perturbed.
@@ -49,6 +49,10 @@ struct ExploreLimits {
     int timerNudgeChoices = 1;
     /** Delay added per TimerNudge step (seconds). */
     double timerNudgeStepSeconds = 0.0;
+    /** Surviving backup routes considered per failover
+     *  (RouteFailover); capped further by how many actually
+     *  survive. */
+    int routeFailoverChoices = 1;
     /** Decisions recorded per run; later choice points silently take
      *  the default (they are counted, not explored). */
     std::size_t maxDecisions = 64;

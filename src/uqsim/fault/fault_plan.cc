@@ -16,12 +16,31 @@ kindFromString(const std::string& name)
         return FaultSpec::Kind::Slow;
     if (name == "network")
         return FaultSpec::Kind::Network;
+    if (name == "link_down")
+        return FaultSpec::Kind::LinkDown;
+    if (name == "link_degraded")
+        return FaultSpec::Kind::LinkDegraded;
+    if (name == "switch_down")
+        return FaultSpec::Kind::SwitchDown;
+    if (name == "partition")
+        return FaultSpec::Kind::Partition;
     std::string message = "unknown fault type \"" + name + "\"";
-    const std::string suggestion =
-        json::suggestClosest(name, {"crash", "slow", "network"});
+    const std::string suggestion = json::suggestClosest(
+        name, {"crash", "slow", "network", "link_down",
+               "link_degraded", "switch_down", "partition"});
     if (!suggestion.empty())
         message += "; did you mean \"" + suggestion + "\"?";
     throw json::JsonError(message);
+}
+
+/** Shared window validation for the scripted topology kinds. */
+void
+requireWindow(const FaultSpec& spec, const char* kind)
+{
+    if (spec.endSeconds <= spec.startSeconds) {
+        throw json::JsonError(std::string(kind) +
+                              " fault end_s must exceed start_s");
+    }
 }
 
 }  // namespace
@@ -96,6 +115,83 @@ FaultSpec::fromJson(const json::JsonValue& doc)
             throw json::JsonError(
                 "network fault end_s must exceed start_s");
         break;
+      case Kind::LinkDown:
+        json::requireKnownKeys(doc,
+                               {"type", "link", "start_s", "end_s",
+                                "mtbf_s", "mttr_s"},
+                               "link_down fault");
+        spec.link = doc.getOr("link", std::string());
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        spec.mtbfSeconds = doc.getOr("mtbf_s", 0.0);
+        spec.mttrSeconds = doc.getOr("mttr_s", 0.0);
+        if (spec.link.empty())
+            throw json::JsonError("link_down fault needs \"link\"");
+        if (spec.stochastic()) {
+            if (spec.mttrSeconds <= 0.0)
+                throw json::JsonError(
+                    "stochastic link_down fault needs mttr_s > 0");
+        } else {
+            requireWindow(spec, "link_down");
+        }
+        break;
+      case Kind::LinkDegraded:
+        json::requireKnownKeys(doc,
+                               {"type", "link", "start_s", "end_s",
+                                "capacity_factor", "latency_factor"},
+                               "link_degraded fault");
+        spec.link = doc.getOr("link", std::string());
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        spec.capacityFactor = doc.getOr("capacity_factor", 1.0);
+        spec.latencyFactor = doc.getOr("latency_factor", 1.0);
+        if (spec.link.empty())
+            throw json::JsonError(
+                "link_degraded fault needs \"link\"");
+        if (!(spec.capacityFactor > 0.0) || spec.capacityFactor > 1.0)
+            throw json::JsonError(
+                "link_degraded capacity_factor must be in (0, 1]");
+        if (spec.latencyFactor < 1.0)
+            throw json::JsonError(
+                "link_degraded latency_factor must be >= 1");
+        requireWindow(spec, "link_degraded");
+        break;
+      case Kind::SwitchDown:
+        json::requireKnownKeys(doc,
+                               {"type", "switch", "start_s", "end_s"},
+                               "switch_down fault");
+        spec.switchName = doc.getOr("switch", std::string());
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        if (spec.switchName.empty())
+            throw json::JsonError(
+                "switch_down fault needs \"switch\"");
+        requireWindow(spec, "switch_down");
+        break;
+      case Kind::Partition: {
+        json::requireKnownKeys(doc,
+                               {"type", "groups", "start_s", "end_s"},
+                               "partition fault");
+        spec.startSeconds = doc.getOr("start_s", 0.0);
+        spec.endSeconds = doc.getOr("end_s", 0.0);
+        const json::JsonValue* groups = doc.find("groups");
+        if (groups != nullptr) {
+            for (const json::JsonValue& group : groups->asArray()) {
+                std::vector<std::string> hosts;
+                for (const json::JsonValue& host : group.asArray())
+                    hosts.push_back(host.asString());
+                if (hosts.empty())
+                    throw json::JsonError(
+                        "partition fault groups must be non-empty");
+                spec.groups.push_back(std::move(hosts));
+            }
+        }
+        if (spec.groups.size() < 2)
+            throw json::JsonError(
+                "partition fault needs at least two groups");
+        requireWindow(spec, "partition");
+        break;
+      }
     }
     return spec;
 }

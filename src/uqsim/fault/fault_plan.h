@@ -12,6 +12,13 @@
  * inflate processing time by a factor over a window; network faults
  * add latency and message-loss probability cluster-wide over a
  * window.
+ *
+ * Topology-granular kinds (FlowModel runs only; docs/FORMATS.md):
+ * link_down fails one named fabric link over a window (scripted or
+ * stochastic, seed-split per link as "fault/link/<name>");
+ * link_degraded scales a link's capacity/latency over a window;
+ * switch_down fails every link of a registered fat-tree switch; and
+ * partition makes named host groups mutually unreachable.
  */
 
 #include <string>
@@ -24,7 +31,15 @@ namespace fault {
 
 /** One fault timeline entry. */
 struct FaultSpec {
-    enum class Kind { Crash, Slow, Network };
+    enum class Kind {
+        Crash,
+        Slow,
+        Network,
+        LinkDown,
+        LinkDegraded,
+        SwitchDown,
+        Partition,
+    };
 
     Kind kind = Kind::Crash;
 
@@ -54,7 +69,26 @@ struct FaultSpec {
     double extraLatencySeconds = 0.0;
     double lossProbability = 0.0;
 
+    // Topology faults (FlowModel).
+    /** Fabric link name (link_down / link_degraded). */
+    std::string link;
+    /** Registered switch name (switch_down). */
+    std::string switchName;
+    /** Host-name groups that lose mutual reachability (partition). */
+    std::vector<std::vector<std::string>> groups;
+    /** link_degraded capacity multiplier, in (0, 1]. */
+    double capacityFactor = 1.0;
+    /** link_degraded latency multiplier, >= 1. */
+    double latencyFactor = 1.0;
+
     bool stochastic() const { return mtbfSeconds > 0.0; }
+
+    /** True for the kinds that need a FlowModel fabric. */
+    bool topologyFault() const
+    {
+        return kind == Kind::LinkDown || kind == Kind::LinkDegraded ||
+               kind == Kind::SwitchDown || kind == Kind::Partition;
+    }
 
     static FaultSpec fromJson(const json::JsonValue& doc);
 };

@@ -12,6 +12,13 @@
  * windows toggle the instance's processing-time factor, and network
  * windows toggle cluster-wide degradation in hw::Network.
  *
+ * Topology kinds (link_down, link_degraded, switch_down, partition)
+ * drive per-link and partition state on the cluster's FlowModel;
+ * planning one against a ConstantModel run is a configuration error
+ * reported at start().  Stochastic link timelines draw from
+ * "fault/link/<name>" streams; partition groups name machines, which
+ * are resolved (and validated) against the cluster at start().
+ *
  * Determinism: each stochastic timeline draws only from its own
  * stream, so adding a fault never perturbs service-time or client
  * arrival sampling, and an empty plan schedules nothing at all.
@@ -24,6 +31,7 @@
 #include "uqsim/core/app/deployment.h"
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/fault/fault_plan.h"
+#include "uqsim/hw/flow_model.h"
 #include "uqsim/hw/network.h"
 #include "uqsim/random/rng.h"
 
@@ -58,9 +66,21 @@ class FaultScheduler {
      * FaultJitter kind disabled, or when the chooser answers 0 — so
      * default runs and all-default schedules are unshifted.  The
      * shift moves the *whole* window (onset and close together),
-     * preserving its duration.
+     * preserving its duration — a shifted window can therefore never
+     * close before it opens.  @p windowEndSeconds is the window's
+     * last scripted event: the shift is clamped so that event never
+     * lands past the start() horizon (a window already at or past
+     * the horizon is not shifted at all).
      */
-    SimTime windowShift(const char* label);
+    SimTime windowShift(const char* label, double windowEndSeconds);
+
+    /** The cluster's FlowModel; throws std::runtime_error naming
+     *  @p kind when the run uses a model without link state. */
+    hw::FlowModel& requireFlowModel(const char* kind) const;
+    /** Link id for @p name; unknown names throw with a did-you-mean
+     *  suggestion over the fabric's link names. */
+    int resolveLinkId(hw::FlowModel& flow,
+                      const std::string& name) const;
 
     void scheduleScriptedCrash(MicroserviceInstance& target,
                                const FaultSpec& spec, SimTime shift);
@@ -73,6 +93,16 @@ class FaultScheduler {
     void scheduleSlowWindow(MicroserviceInstance& target,
                             const FaultSpec& spec, SimTime shift);
     void scheduleNetworkWindow(const FaultSpec& spec, SimTime shift);
+    void scheduleLinkWindow(const FaultSpec& spec, SimTime shift);
+    void scheduleStochasticLink(hw::FlowModel& flow, int linkId,
+                                const FaultSpec& spec, SimTime shift);
+    void scheduleNextLinkFailure(hw::FlowModel& flow, int linkId,
+                                 const FaultSpec& spec,
+                                 random::Rng& rng, SimTime shift);
+    void scheduleLinkDegradedWindow(const FaultSpec& spec,
+                                    SimTime shift);
+    void scheduleSwitchWindow(const FaultSpec& spec, SimTime shift);
+    void schedulePartitionWindow(const FaultSpec& spec, SimTime shift);
 
     void crash(MicroserviceInstance& target);
 

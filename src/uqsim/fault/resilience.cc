@@ -25,6 +25,8 @@ failReasonName(FailReason reason)
         return "hop_timeout";
       case FailReason::BreakerOpen:
         return "breaker_open";
+      case FailReason::Unreachable:
+        return "unreachable";
     }
     return "unknown";
 }

@@ -46,6 +46,9 @@ enum class FailReason {
     HopTimeout,
     /** Circuit breaker was open; the hop failed fast. */
     BreakerOpen,
+    /** No surviving network route (every candidate path crosses a
+     *  dead link, or a partition separates the endpoints). */
+    Unreachable,
 };
 
 const char* failReasonName(FailReason reason);

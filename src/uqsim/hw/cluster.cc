@@ -1,5 +1,6 @@
 #include "uqsim/hw/cluster.h"
 
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -69,9 +70,10 @@ fromJsonV1(Simulator& sim, const JsonValue& doc)
 FlowModel::Config
 flowConfigFromJson(const JsonValue& net)
 {
-    json::requireKnownKeys(
-        net, {"model", "loopback_latency_us", "external_latency_us"},
-        "machines.json network (flow model)");
+    json::requireKnownKeys(net,
+                           {"model", "loopback_latency_us",
+                            "external_latency_us", "on_link_down"},
+                           "machines.json network (flow model)");
     FlowModel::Config config;
     config.loopbackLatency =
         net.getOr("loopback_latency_us", config.loopbackLatency * 1e6) *
@@ -79,6 +81,16 @@ flowConfigFromJson(const JsonValue& net)
     config.externalLatency =
         net.getOr("external_latency_us", config.externalLatency * 1e6) *
         1e-6;
+    const std::string policy = net.getOr("on_link_down", "drop");
+    if (policy == "drop") {
+        config.onLinkDown = FlowModel::InFlightPolicy::Drop;
+    } else if (policy == "stall") {
+        config.onLinkDown = FlowModel::InFlightPolicy::Stall;
+    } else {
+        throw JsonError(
+            "machines.json network: unknown on_link_down \"" + policy +
+            "\" (expected \"drop\" or \"stall\")");
+    }
     return config;
 }
 
@@ -88,7 +100,8 @@ topologyFromJson(const JsonValue& doc, MachineConfig& prototype)
     json::requireKnownKeys(doc,
                            {"type", "arity", "oversubscription",
                             "hosts_per_edge", "host_gbps",
-                            "fabric_gbps", "link_latency_us", "hosts"},
+                            "fabric_gbps", "link_latency_us",
+                            "backup_routes", "hosts"},
                            "machines.json topology");
     const std::string type = doc.getOr("type", "fat_tree");
     if (type != "fat_tree") {
@@ -106,6 +119,8 @@ topologyFromJson(const JsonValue& doc, MachineConfig& prototype)
     config.linkLatencySeconds =
         doc.getOr("link_latency_us", config.linkLatencySeconds * 1e6) *
         1e-6;
+    config.backupRoutes =
+        doc.getOr("backup_routes", config.backupRoutes);
     if (const JsonValue* hosts = doc.find("hosts")) {
         json::requireKnownKeys(*hosts,
                                {"prefix", "cores", "irq_cores",
@@ -151,6 +166,16 @@ flowFabricFromJson(const JsonValue& doc,
         }
         return it->second;
     };
+    // A repeated (from, to) pair adds a *backup* candidate in file
+    // order; the first entry stays the primary route.
+    std::set<std::pair<int, int>> routed;
+    auto install = [&model, &routed](int from, int to,
+                                     std::vector<int> path) {
+        if (routed.insert({from, to}).second)
+            model->setRoute(from, to, std::move(path));
+        else
+            model->addBackupRoute(from, to, std::move(path));
+    };
     for (const JsonValue& route : doc.at("routes").asArray()) {
         json::requireKnownKeys(route,
                                {"from", "to", "links", "symmetric"},
@@ -170,9 +195,9 @@ flowFabricFromJson(const JsonValue& doc,
         if (route.getOr("symmetric", false)) {
             // The same duplex links carry the reverse direction.
             std::vector<int> reversed(path.rbegin(), path.rend());
-            model->setRoute(to, from, std::move(reversed));
+            install(to, from, std::move(reversed));
         }
-        model->setRoute(from, to, std::move(path));
+        install(from, to, std::move(path));
     }
     return model;
 }

@@ -1,9 +1,11 @@
 #include "uqsim/hw/flow_model.h"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 #include <utility>
 
+#include "uqsim/core/engine/choice.h"
 #include "uqsim/hw/machine.h"
 
 namespace uqsim {
@@ -105,6 +107,7 @@ FlowModel::addLink(const LinkSpec& spec)
     }
     const int id = static_cast<int>(links_.size());
     links_.push_back(spec);
+    linkStates_.emplace_back();
     linkIds_.emplace(spec.name, id);
     return id;
 }
@@ -125,7 +128,27 @@ FlowModel::setRoute(int fromId, int toId, std::vector<int> path)
                                     "link id " +
                                     std::to_string(l));
     }
-    routes_[{fromId, toId}] = std::move(path);
+    auto& candidates = routes_[{fromId, toId}];
+    candidates.clear();
+    candidates.push_back(std::move(path));
+}
+
+void
+FlowModel::addBackupRoute(int fromId, int toId, std::vector<int> path)
+{
+    auto it = routes_.find({fromId, toId});
+    if (it == routes_.end()) {
+        throw std::logic_error(
+            "flow model: backup route requires a primary route " +
+            std::to_string(fromId) + " -> " + std::to_string(toId));
+    }
+    for (int l : path) {
+        if (l < 0 || static_cast<std::size_t>(l) >= links_.size())
+            throw std::out_of_range("flow model route uses unknown "
+                                    "link id " +
+                                    std::to_string(l));
+    }
+    it->second.push_back(std::move(path));
 }
 
 bool
@@ -137,6 +160,12 @@ FlowModel::hasRoute(int fromId, int toId) const
 const std::vector<int>&
 FlowModel::route(int fromId, int toId) const
 {
+    return routeCandidates(fromId, toId).front();
+}
+
+const std::vector<std::vector<int>>&
+FlowModel::routeCandidates(int fromId, int toId) const
+{
     auto it = routes_.find({fromId, toId});
     if (it == routes_.end()) {
         throw std::out_of_range(
@@ -144,6 +173,183 @@ FlowModel::route(int fromId, int toId) const
             std::to_string(toId));
     }
     return it->second;
+}
+
+void
+FlowModel::registerSwitch(const std::string& name,
+                          std::vector<int> linkIds)
+{
+    if (switches_.count(name) != 0) {
+        throw std::invalid_argument("duplicate flow model switch: " +
+                                    name);
+    }
+    for (int l : linkIds) {
+        if (l < 0 || static_cast<std::size_t>(l) >= links_.size())
+            throw std::out_of_range("flow model switch \"" + name +
+                                    "\" uses unknown link id " +
+                                    std::to_string(l));
+    }
+    switches_.emplace(name, std::move(linkIds));
+    switchNames_.push_back(name);
+}
+
+bool
+FlowModel::hasSwitch(const std::string& name) const
+{
+    return switches_.count(name) != 0;
+}
+
+const std::vector<int>&
+FlowModel::switchLinks(const std::string& name) const
+{
+    return switches_.at(name);
+}
+
+void
+FlowModel::setLinkDown(int id)
+{
+    LinkState& state = linkStates_.at(static_cast<std::size_t>(id));
+    if (++state.downCount > 1)
+        return;  // nested outage (e.g. switch_down over link_down)
+    ++downLinkCount_;
+    failoverPicks_.clear();  // new outage epoch: re-decide failovers
+    state.downSince = sim_ != nullptr ? sim_->now() : 0;
+    if (config_.onLinkDown == InFlightPolicy::Drop) {
+        // Collect first: dropMessage schedules events and the drop
+        // callbacks must not observe a half-mutated flow table.
+        std::vector<std::uint64_t> doomed;
+        for (const auto& [fid, flow] : flows_) {
+            for (int l : *flow.path) {
+                if (l == id) {
+                    doomed.push_back(fid);
+                    break;
+                }
+            }
+        }
+        for (std::uint64_t fid : doomed) {
+            auto it = flows_.find(fid);
+            Flow flow = std::move(it->second);
+            flows_.erase(it);
+            flow.completion.cancel();
+            ++state.drops;
+            ++linkDrops_;
+            dropMessage(std::move(flow.dropped), DropReason::LinkDown,
+                        "net/link-drop");
+        }
+    }
+    // Stall policy needs no flow surgery: the dead link's capacity is
+    // zero, so progressive filling pins every crossing flow at rate 0
+    // and reshare() leaves them without a completion event.
+    reshare();
+}
+
+void
+FlowModel::setLinkUp(int id)
+{
+    LinkState& state = linkStates_.at(static_cast<std::size_t>(id));
+    if (state.downCount <= 0) {
+        throw std::logic_error("flow model: setLinkUp on a link that "
+                               "is not down: " +
+                               links_[static_cast<std::size_t>(id)]
+                                   .name);
+    }
+    if (--state.downCount > 0)
+        return;
+    --downLinkCount_;
+    failoverPicks_.clear();  // repaired: routes revert to primaries
+    if (sim_ != nullptr) {
+        state.downSecondsTotal +=
+            simTimeToSeconds(sim_->now() - state.downSince);
+    }
+    reshare();
+}
+
+void
+FlowModel::setLinkDegradation(int id, double capacityFactor,
+                              double latencyFactor)
+{
+    if (!(capacityFactor > 0.0) || capacityFactor > 1.0) {
+        throw std::invalid_argument(
+            "flow model: capacity factor must be in (0, 1]");
+    }
+    if (latencyFactor < 1.0) {
+        throw std::invalid_argument(
+            "flow model: latency factor must be >= 1");
+    }
+    LinkState& state = linkStates_.at(static_cast<std::size_t>(id));
+    state.capacityFactor = capacityFactor;
+    state.latencyFactor = latencyFactor;
+    reshare();
+}
+
+void
+FlowModel::clearLinkDegradation(int id)
+{
+    LinkState& state = linkStates_.at(static_cast<std::size_t>(id));
+    state.capacityFactor = 1.0;
+    state.latencyFactor = 1.0;
+    reshare();
+}
+
+bool
+FlowModel::linkUp(int id) const
+{
+    return linkStates_.at(static_cast<std::size_t>(id)).downCount == 0;
+}
+
+void
+FlowModel::setPartition(const std::vector<std::vector<int>>& groups)
+{
+    partitionOf_.assign(machineNames_.size(), -1);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        for (int id : groups[g]) {
+            const auto idx = static_cast<std::size_t>(id);
+            if (id < 0 || idx >= partitionOf_.size()) {
+                throw std::out_of_range(
+                    "flow model: partition group references unknown "
+                    "machine net id " +
+                    std::to_string(id));
+            }
+            partitionOf_[idx] = static_cast<int>(g);
+        }
+    }
+    partitionActive_ = true;
+}
+
+void
+FlowModel::clearPartition()
+{
+    partitionActive_ = false;
+    partitionOf_.clear();
+}
+
+bool
+FlowModel::crossesPartition(int fromId, int toId) const
+{
+    const auto fi = static_cast<std::size_t>(fromId);
+    const auto ti = static_cast<std::size_t>(toId);
+    if (fi >= partitionOf_.size() || ti >= partitionOf_.size())
+        return false;
+    const int fromGroup = partitionOf_[fi];
+    const int toGroup = partitionOf_[ti];
+    return fromGroup >= 0 && toGroup >= 0 && fromGroup != toGroup;
+}
+
+bool
+FlowModel::reachable(int fromId, int toId) const
+{
+    if (partitionActive_ && crossesPartition(fromId, toId))
+        return false;
+    auto it = routes_.find({fromId, toId});
+    if (it == routes_.end())
+        return false;
+    if (downLinkCount_ == 0)
+        return true;
+    for (const auto& candidate : it->second) {
+        if (pathUp(candidate))
+            return true;
+    }
+    return false;
 }
 
 void
@@ -162,7 +368,7 @@ FlowModel::onMachineAdded(const Machine& machine)
     machineNames_[id] = machine.name();
 }
 
-const std::vector<int>&
+const std::vector<std::vector<int>>&
 FlowModel::routeOrThrow(const Machine& from, const Machine& to) const
 {
     auto it = routes_.find({from.netId(), to.netId()});
@@ -174,10 +380,80 @@ FlowModel::routeOrThrow(const Machine& from, const Machine& to) const
     return it->second;
 }
 
+bool
+FlowModel::pathUp(const std::vector<int>& path) const
+{
+    for (int l : path) {
+        if (linkStates_[static_cast<std::size_t>(l)].downCount > 0)
+            return false;
+    }
+    return true;
+}
+
+const std::vector<int>*
+FlowModel::pickSurvivingPath(
+    const std::vector<std::vector<int>>& candidates)
+{
+    survivorScratch_.clear();
+    for (const auto& candidate : candidates) {
+        if (pathUp(candidate))
+            survivorScratch_.push_back(&candidate);
+    }
+    if (survivorScratch_.empty())
+        return nullptr;
+    std::size_t pick = 0;
+    Chooser* chooser = sim_->chooser();
+    if (survivorScratch_.size() >= 2 && chooser != nullptr) {
+        const int cap = chooser->maxChoices(ChoiceKind::RouteFailover);
+        const int options = static_cast<int>(
+            std::min<std::size_t>(survivorScratch_.size(),
+                                  static_cast<std::size_t>(
+                                      cap > 0 ? cap : 0)));
+        if (options >= 2) {
+            pick = static_cast<std::size_t>(
+                chooser->choose(ChoiceKind::RouteFailover, options,
+                                "net/failover"));
+        }
+    }
+    return survivorScratch_[pick];
+}
+
+double
+FlowModel::pathLatencySeconds(const std::vector<int>& path) const
+{
+    double latency = 0.0;
+    for (int l : path) {
+        const auto li = static_cast<std::size_t>(l);
+        // latencyFactor is exactly 1.0 outside degradation windows,
+        // and x * 1.0 is IEEE-exact, so fault-free digests are
+        // untouched by this multiply.
+        latency += links_[li].latencySeconds *
+                   linkStates_[li].latencyFactor;
+    }
+    return latency;
+}
+
+void
+FlowModel::dropMessage(DropCallback dropped, DropReason reason,
+                       const char* label)
+{
+    if (reason == DropReason::Unreachable)
+        ++unreachable_;
+    if (!dropped)
+        return;  // fire-and-forget send; nothing to notify
+    // Deliver the verdict through the event queue so callers never
+    // see their callback re-entered from inside transit().
+    sim_->scheduleAfter(
+        0,
+        [cb = std::move(dropped), reason]() mutable { cb(reason); },
+        label);
+}
+
 void
 FlowModel::transit(const Machine* from, const Machine* to,
                    std::uint32_t bytes, double extraLatencySeconds,
-                   Callback done, const char* label)
+                   Callback done, DropCallback dropped,
+                   const char* label)
 {
     if (from == nullptr || to == nullptr) {
         // External legs (load generator) pay a constant latency and
@@ -188,21 +464,45 @@ FlowModel::transit(const Machine* from, const Machine* to,
             std::move(done), label);
         return;
     }
-    const std::vector<int>& path = routeOrThrow(*from, *to);
-    double latency = extraLatencySeconds;
-    for (int l : path)
-        latency += links_[static_cast<std::size_t>(l)].latencySeconds;
-    if (bytes == 0 || path.empty()) {
+    if (partitionActive_ &&
+        crossesPartition(from->netId(), to->netId())) {
+        dropMessage(std::move(dropped), DropReason::Unreachable,
+                    "net/unreachable");
+        return;
+    }
+    const std::vector<std::vector<int>>& candidates =
+        routeOrThrow(*from, *to);
+    const std::vector<int>* path = &candidates.front();
+    if (downLinkCount_ > 0 && !pathUp(*path)) {
+        const std::pair<int, int> key{from->netId(), to->netId()};
+        const auto cached = failoverPicks_.find(key);
+        if (cached != failoverPicks_.end()) {
+            path = cached->second;
+        } else {
+            path = pickSurvivingPath(candidates);
+            failoverPicks_.emplace(key, path);
+        }
+        if (path == nullptr) {
+            dropMessage(std::move(dropped), DropReason::Unreachable,
+                        "net/unreachable");
+            return;
+        }
+        ++failovers_;
+    }
+    const double latency =
+        extraLatencySeconds + pathLatencySeconds(*path);
+    if (bytes == 0 || path->empty()) {
         sim_->scheduleAfter(secondsToSimTime(latency), std::move(done),
                             label);
         return;
     }
     const std::uint64_t id = nextFlowId_++;
     Flow& flow = flows_[id];
-    flow.path = &path;
+    flow.path = path;
     flow.remainingBytes = static_cast<double>(bytes);
     flow.tailLatency = latency;
     flow.done = std::move(done);
+    flow.dropped = std::move(dropped);
     flow.label = label;
     ++started_;
     reshare();
@@ -236,10 +536,20 @@ FlowModel::reshare()
     ++reshares_;
 
     // Progressive filling over the active flows, in flow-id order.
+    // A downed link contributes zero capacity (its flows stall at
+    // rate 0 under the Stall policy; under Drop they were already
+    // removed); a degraded link its capacity scaled down.  Both
+    // factors are exactly 1.0 / count 0 outside fault windows, so the
+    // fault-free arithmetic is bit-identical.
     capLeft_.resize(links_.size());
     flowsOn_.assign(links_.size(), 0);
-    for (std::size_t l = 0; l < links_.size(); ++l)
-        capLeft_[l] = links_[l].bytesPerSecond;
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+        const LinkState& state = linkStates_[l];
+        capLeft_[l] = state.downCount > 0
+                          ? 0.0
+                          : links_[l].bytesPerSecond *
+                                state.capacityFactor;
+    }
     active_.clear();
     for (auto& [id, flow] : flows_) {
         active_.push_back(&flow);
@@ -290,6 +600,14 @@ FlowModel::reshare()
             }
         }
     }
+    // Flows left unfixed cross only zero-capacity (downed) links:
+    // pin them at rate 0 so they stall explicitly.
+    if (unfixed > 0) {
+        for (Flow* flow : active_) {
+            if (flow->rate < 0.0)
+                flow->rate = 0.0;
+        }
+    }
 
     // Reschedule completions.  A flow whose rate did not change
     // keeps its pending event: the remaining bytes shrank exactly in
@@ -302,6 +620,11 @@ FlowModel::reshare()
         if (flow.rate == oldRate && flow.completion.pending())
             continue;
         flow.completion.cancel();
+        if (flow.rate <= 0.0 && flow.remainingBytes > 0.0) {
+            // Stalled across a dead link: no completion event until a
+            // repair reshare gives it a positive rate again.
+            continue;
+        }
         const SimTime remaining =
             flow.rate > 0.0
                 ? secondsToSimTime(flow.remainingBytes / flow.rate)
@@ -326,6 +649,45 @@ FlowModel::finishFlow(std::uint64_t id)
     reshare();
     sim_->scheduleAfter(secondsToSimTime(flow.tailLatency),
                         std::move(flow.done), flow.label);
+}
+
+double
+FlowModel::linkDownSeconds(int id) const
+{
+    const LinkState& state =
+        linkStates_.at(static_cast<std::size_t>(id));
+    double total = state.downSecondsTotal;
+    if (state.downCount > 0 && sim_ != nullptr)
+        total += simTimeToSeconds(sim_->now() - state.downSince);
+    return total;
+}
+
+std::vector<FlowModel::LinkFaultSummary>
+FlowModel::linkFaultSummaries() const
+{
+    std::vector<LinkFaultSummary> out;
+    for (std::size_t l = 0; l < links_.size(); ++l) {
+        const double down = linkDownSeconds(static_cast<int>(l));
+        const std::uint64_t drops = linkStates_[l].drops;
+        if (down <= 0.0 && drops == 0)
+            continue;
+        LinkFaultSummary summary;
+        summary.name = links_[l].name;
+        summary.downSeconds = down;
+        summary.drops = drops;
+        out.push_back(std::move(summary));
+    }
+    return out;
+}
+
+std::vector<double>
+FlowModel::activeFlowRates() const
+{
+    std::vector<double> rates;
+    rates.reserve(flows_.size());
+    for (const auto& [id, flow] : flows_)
+        rates.push_back(flow.rate);
+    return rates;
 }
 
 }  // namespace hw

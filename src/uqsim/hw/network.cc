@@ -37,7 +37,7 @@ Network::clearDegradation()
 
 void
 Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  Callback done, Callback dropped)
+                  Callback done, DropCallback dropped)
 {
     ++transfers_;
     // Decide loss and latency at send time: a window that closes
@@ -60,14 +60,23 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
     if (lost) {
         ++dropped_;
         // The sender still pays TX IRQ work and the message occupies
-        // the wire before vanishing.
+        // the wire before vanishing.  The wire leg itself may also
+        // fail (dead link, unreachable); the model guarantees exactly
+        // one of done/dropped fires, so one shared callback serves
+        // both outcomes with the reason that actually happened.
+        auto shared =
+            std::make_shared<DropCallback>(std::move(dropped));
         auto after_tx = [this, from, to, bytes, extra,
-                         cb = std::move(dropped)]() mutable {
+                         shared]() mutable {
             model_->transit(
                 from, to, bytes, extra,
-                [cb2 = std::move(cb)]() mutable {
-                    if (cb2)
-                        cb2();
+                [shared]() {
+                    if (*shared)
+                        (*shared)(DropReason::FaultLoss);
+                },
+                [shared](DropReason reason) {
+                    if (*shared)
+                        (*shared)(reason);
                 },
                 "net/drop");
         };
@@ -79,13 +88,14 @@ Network::transfer(Machine* from, Machine* to, std::uint32_t bytes,
         return;
     }
     auto after_tx = [this, from, to, bytes, extra,
-                     cb = std::move(done)]() mutable {
+                     cb = std::move(done),
+                     drop = std::move(dropped)]() mutable {
         model_->transit(
             from, to, bytes, extra,
             [this, to, bytes, cb2 = std::move(cb)]() mutable {
                 deliver(to, bytes, std::move(cb2));
             },
-            "net/wire");
+            std::move(drop), "net/wire");
     };
     if (from != nullptr && from->irq() != nullptr) {
         from->irq()->process(bytes, std::move(after_tx));

@@ -59,12 +59,14 @@ class Network {
      * Moves a message of @p bytes from @p from to @p to, then calls
      * @p done.  Either endpoint may be nullptr, meaning "outside the
      * cluster" (e.g. the client); that leg then only pays wire
-     * latency.  When the message is lost in a degradation window,
-     * @p dropped fires instead of @p done (or the message silently
-     * vanishes when no @p dropped is given).
+     * latency.  When the message is lost — a degradation-window coin
+     * flip here in the façade, or a model-level verdict (dead link,
+     * no surviving route, partition) — @p dropped fires exactly once
+     * instead of @p done, carrying the DropReason (or the message
+     * silently vanishes when no @p dropped is given).
      */
     void transfer(Machine* from, Machine* to, std::uint32_t bytes,
-                  Callback done, Callback dropped = {});
+                  Callback done, DropCallback dropped = {});
 
     /** Opens a degradation window: adds @p extraLatencySeconds to
      *  every transfer and loses cross-machine messages with

@@ -7,6 +7,20 @@
 namespace uqsim {
 namespace hw {
 
+const char*
+dropReasonName(DropReason reason)
+{
+    switch (reason) {
+      case DropReason::FaultLoss:
+        return "fault_loss";
+      case DropReason::LinkDown:
+        return "link_down";
+      case DropReason::Unreachable:
+        return "unreachable";
+    }
+    return "unknown";
+}
+
 void
 NetworkModel::onMachineAdded(const Machine& machine)
 {
@@ -43,11 +57,12 @@ void
 ConstantModel::transit(const Machine* from, const Machine* to,
                        std::uint32_t bytes,
                        double extraLatencySeconds, Callback done,
-                       const char* label)
+                       DropCallback dropped, const char* label)
 {
     (void)from;
     (void)to;
     (void)bytes;
+    (void)dropped;  // a constant wire cannot drop
     const SimTime wire =
         secondsToSimTime(config_.wireLatency + extraLatencySeconds);
     sim_->scheduleAfter(wire, std::move(done), label);

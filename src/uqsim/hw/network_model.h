@@ -35,6 +35,27 @@ namespace hw {
 
 class Machine;
 
+/** Why the wire leg of a message never delivered. */
+enum class DropReason {
+    /** Lost to a cluster-wide degradation window (façade coin
+     *  flip). */
+    FaultLoss,
+    /** In-flight flow crossed a link that went down (FlowModel
+     *  in-flight policy "drop"). */
+    LinkDown,
+    /** No surviving route — every candidate path has a dead link,
+     *  or a partition separates the endpoints. */
+    Unreachable,
+};
+
+/** Stable lowercase name ("fault_loss", "link_down",
+ *  "unreachable"). */
+const char* dropReasonName(DropReason reason);
+
+/** Invoked exactly once, instead of the delivery callback, when the
+ *  wire leg drops a message. */
+using DropCallback = InlineFunction<void(DropReason), 64>;
+
 /** Wire-level latency/ordering model; see file comment. */
 class NetworkModel {
   public:
@@ -64,11 +85,17 @@ class NetworkModel {
      * the cluster", e.g. the load generator).  @p extraLatencySeconds
      * is the fault-window penalty decided by the façade at send
      * time.  @p label names the scheduled event in traces.
+     *
+     * When the model itself cannot deliver the message — no
+     * surviving route, a partition, or an in-flight link failure
+     * with the drop policy — @p dropped fires exactly once instead
+     * of @p done (or the message silently vanishes when @p dropped
+     * is empty).  ConstantModel never drops.
      */
     virtual void transit(const Machine* from, const Machine* to,
                          std::uint32_t bytes,
                          double extraLatencySeconds, Callback done,
-                         const char* label) = 0;
+                         DropCallback dropped, const char* label) = 0;
 
     /** Same-machine (kernel loopback) leg; cannot lose messages. */
     virtual void loopback(const Machine* machine, std::uint32_t bytes,
@@ -104,7 +131,8 @@ class ConstantModel final : public NetworkModel {
     void bind(Simulator& sim) override;
     void transit(const Machine* from, const Machine* to,
                  std::uint32_t bytes, double extraLatencySeconds,
-                 Callback done, const char* label) override;
+                 Callback done, DropCallback dropped,
+                 const char* label) override;
     void loopback(const Machine* machine, std::uint32_t bytes,
                   double extraLatencySeconds, Callback done,
                   const char* label) override;

@@ -21,6 +21,22 @@ Topology::route(int from, int to) const
                   static_cast<std::size_t>(to)];
 }
 
+const std::vector<std::vector<int>>&
+Topology::backupRoutes(int from, int to) const
+{
+    static const std::vector<std::vector<int>> kNoBackups;
+    if (from < 0 || from >= hostCount || to < 0 || to >= hostCount) {
+        throw std::out_of_range(
+            "topology backup route host out of range: " +
+            std::to_string(from) + " -> " + std::to_string(to));
+    }
+    if (backups.empty())
+        return kNoBackups;
+    return backups[static_cast<std::size_t>(from) *
+                       static_cast<std::size_t>(hostCount) +
+                   static_cast<std::size_t>(to)];
+}
+
 std::unique_ptr<FlowModel>
 Topology::makeModel(const FlowModel::Config& config) const
 {
@@ -32,8 +48,12 @@ Topology::makeModel(const FlowModel::Config& config) const
             if (from == to)
                 continue;
             model->setRoute(from, to, route(from, to));
+            for (const std::vector<int>& alt : backupRoutes(from, to))
+                model->addBackupRoute(from, to, alt);
         }
     }
+    for (const SwitchSpec& sw : switches)
+        model->registerSwitch(sw.name, sw.linkIds);
     return model;
 }
 
@@ -151,10 +171,64 @@ TopologyBuilder::fatTree(const FatTreeConfig& config)
         }
     }
 
-    // All-pairs destination-based routes (see file comment).
+    // Switch registry: every link incident to a switch, so
+    // switch_down faults can fail them as a unit.  Creation order is
+    // edges, then aggregations, then cores.
+    for (int pod = 0; pod < k; ++pod) {
+        for (int edge = 0; edge < half; ++edge) {
+            Topology::SwitchSpec sw;
+            sw.name = "pod" + std::to_string(pod) + ":edge" +
+                      std::to_string(edge);
+            const int edgeIdx = pod * half + edge;
+            for (int h = edgeIdx * hostsPerEdge;
+                 h < (edgeIdx + 1) * hostsPerEdge; ++h) {
+                sw.linkIds.push_back(hostUp[h]);
+                sw.linkIds.push_back(hostDown[h]);
+            }
+            for (int agg = 0; agg < half; ++agg) {
+                sw.linkIds.push_back(eaUp[eaIndex(pod, edge, agg)]);
+                sw.linkIds.push_back(eaDown[eaIndex(pod, edge, agg)]);
+            }
+            topo.switches.push_back(std::move(sw));
+        }
+    }
+    for (int pod = 0; pod < k; ++pod) {
+        for (int agg = 0; agg < half; ++agg) {
+            Topology::SwitchSpec sw;
+            sw.name = "pod" + std::to_string(pod) + ":agg" +
+                      std::to_string(agg);
+            for (int edge = 0; edge < half; ++edge) {
+                sw.linkIds.push_back(eaUp[eaIndex(pod, edge, agg)]);
+                sw.linkIds.push_back(eaDown[eaIndex(pod, edge, agg)]);
+            }
+            for (int j = 0; j < half; ++j) {
+                sw.linkIds.push_back(acUp[acIndex(pod, agg, j)]);
+                sw.linkIds.push_back(acDown[acIndex(pod, agg, j)]);
+            }
+            topo.switches.push_back(std::move(sw));
+        }
+    }
+    for (int core = 0; core < topo.coreCount; ++core) {
+        Topology::SwitchSpec sw;
+        sw.name = "core" + std::to_string(core);
+        const int agg = core / half;
+        const int j = core % half;
+        for (int pod = 0; pod < k; ++pod) {
+            sw.linkIds.push_back(acUp[acIndex(pod, agg, j)]);
+            sw.linkIds.push_back(acDown[acIndex(pod, agg, j)]);
+        }
+        topo.switches.push_back(std::move(sw));
+    }
+
+    // All-pairs destination-based routes (see file comment), plus —
+    // when enabled — backup candidates through every other
+    // (aggregation, core) choice, rotating from the primary so the
+    // failover order is a pure function of (source, destination).
     const int hostsPerPod = half * hostsPerEdge;
     topo.routes.resize(static_cast<std::size_t>(topo.hostCount) *
                        static_cast<std::size_t>(topo.hostCount));
+    if (config.backupRoutes)
+        topo.backups.resize(topo.routes.size());
     for (int s = 0; s < topo.hostCount; ++s) {
         const int sEdge = s / hostsPerEdge;
         const int sPod = s / hostsPerPod;
@@ -165,11 +239,11 @@ TopologyBuilder::fatTree(const FatTreeConfig& config)
             const int dEdge = d / hostsPerEdge;
             const int dPod = d / hostsPerPod;
             const int dEdgeLocal = dEdge % half;
-            std::vector<int>& path =
-                topo.routes[static_cast<std::size_t>(s) *
-                                static_cast<std::size_t>(
-                                    topo.hostCount) +
-                            static_cast<std::size_t>(d)];
+            const std::size_t pair =
+                static_cast<std::size_t>(s) *
+                    static_cast<std::size_t>(topo.hostCount) +
+                static_cast<std::size_t>(d);
+            std::vector<int>& path = topo.routes[pair];
             path.push_back(hostUp[s]);
             if (sEdge != dEdge) {
                 const int agg = d % half;
@@ -182,6 +256,44 @@ TopologyBuilder::fatTree(const FatTreeConfig& config)
                 path.push_back(eaDown[eaIndex(dPod, dEdgeLocal, agg)]);
             }
             path.push_back(hostDown[d]);
+
+            if (!config.backupRoutes || sEdge == dEdge)
+                continue;
+            std::vector<std::vector<int>>& alts = topo.backups[pair];
+            if (sPod == dPod) {
+                // Same pod: any other aggregation switch works.
+                for (int o = 1; o < half; ++o) {
+                    const int agg = (d % half + o) % half;
+                    std::vector<int> alt;
+                    alt.push_back(hostUp[s]);
+                    alt.push_back(
+                        eaUp[eaIndex(sPod, sEdgeLocal, agg)]);
+                    alt.push_back(
+                        eaDown[eaIndex(dPod, dEdgeLocal, agg)]);
+                    alt.push_back(hostDown[d]);
+                    alts.push_back(std::move(alt));
+                }
+            } else {
+                // Cross pod: every other (aggregation, core offset)
+                // pair, rotating from the primary's.
+                const int primary =
+                    (d % half) * half + (d / half) % half;
+                for (int o = 1; o < half * half; ++o) {
+                    const int pick = (primary + o) % (half * half);
+                    const int agg = pick / half;
+                    const int j = pick % half;
+                    std::vector<int> alt;
+                    alt.push_back(hostUp[s]);
+                    alt.push_back(
+                        eaUp[eaIndex(sPod, sEdgeLocal, agg)]);
+                    alt.push_back(acUp[acIndex(sPod, agg, j)]);
+                    alt.push_back(acDown[acIndex(dPod, agg, j)]);
+                    alt.push_back(
+                        eaDown[eaIndex(dPod, dEdgeLocal, agg)]);
+                    alt.push_back(hostDown[d]);
+                    alts.push_back(std::move(alt));
+                }
+            }
         }
     }
     return topo;

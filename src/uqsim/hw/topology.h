@@ -21,6 +21,16 @@
  * offset (d / (k/2)) mod k/2, which spreads destinations across the
  * fabric like ECMP hashing does while keeping every route a pure
  * function of (source, destination).
+ *
+ * For fault tolerance the builder also emits, per host pair, the
+ * *backup* candidate paths through every other (aggregation, core)
+ * choice in a fixed rotation order starting just after the primary —
+ * so failover is deterministic — plus a switch registry mapping each
+ * switch name ("pod0:edge1", "pod2:agg0", "core3") to the links that
+ * die with it (switch_down faults).  Edge switches are single-homed:
+ * taking one down legitimately disconnects its hosts, while any
+ * aggregation or core switch loss leaves all pairs connected via the
+ * backups.
  */
 
 #include <memory>
@@ -53,6 +63,10 @@ struct FatTreeConfig {
     double linkLatencySeconds = 1e-6;
     /** Host machine names are prefix + host index ("h0", "h1", …). */
     std::string hostPrefix = "h";
+    /** Also generate backup candidate paths per host pair (used by
+     *  FlowModel failover); disable to model a fabric with no
+     *  rerouting. */
+    bool backupRoutes = true;
 };
 
 /** A generated fabric: links, host names, and all-pairs routes. */
@@ -68,13 +82,28 @@ struct Topology {
     std::vector<FlowModel::LinkSpec> links;
     std::vector<std::string> hostNames;
 
+    /** One named switch and the link ids incident to it. */
+    struct SwitchSpec {
+        std::string name;
+        std::vector<int> linkIds;
+    };
+    /** Edge, aggregation, and core switches in creation order. */
+    std::vector<SwitchSpec> switches;
+
     /** Route between two host indices (link ids in traversal
      *  order); empty for from == to. */
     const std::vector<int>& route(int from, int to) const;
 
-    /** Builds a FlowModel with every link and route installed.
-     *  Host index i must become machine net id i — add machines via
-     *  populateCluster() (or in hostNames order) and nothing else. */
+    /** Backup candidates for a pair, in failover order (primary
+     *  excluded); empty when backupRoutes was disabled or the pair
+     *  shares an edge switch. */
+    const std::vector<std::vector<int>>& backupRoutes(int from,
+                                                      int to) const;
+
+    /** Builds a FlowModel with every link, route, backup candidate,
+     *  and switch installed.  Host index i must become machine net
+     *  id i — add machines via populateCluster() (or in hostNames
+     *  order) and nothing else. */
     std::unique_ptr<FlowModel> makeModel(
         const FlowModel::Config& config = FlowModel::Config{}) const;
 
@@ -86,6 +115,9 @@ struct Topology {
 
     /** All-pairs routes, indexed from * hostCount + to. */
     std::vector<std::vector<int>> routes;
+    /** All-pairs backup candidates, same indexing; empty when
+     *  backupRoutes generation was disabled. */
+    std::vector<std::vector<std::vector<int>>> backups;
 };
 
 class TopologyBuilder {

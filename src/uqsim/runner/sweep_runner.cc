@@ -62,6 +62,9 @@ ReplicatedPoint::mergedReport() const
         report.breakerTrips += rep.report.breakerTrips;
         report.netDropped += rep.report.netDropped;
         report.crashes += rep.report.crashes;
+        report.failovers += rep.report.failovers;
+        report.unreachable += rep.report.unreachable;
+        report.linkDrops += rep.report.linkDrops;
         for (const auto& [tier, stats] : rep.report.tierFaults) {
             TierFaultStats& merged_tier = report.tierFaults[tier];
             merged_tier.errors += stats.errors;
@@ -72,6 +75,12 @@ ReplicatedPoint::mergedReport() const
             merged_tier.shed += stats.shed;
             merged_tier.rejected += stats.rejected;
             merged_tier.crashKills += stats.crashKills;
+            merged_tier.unreachable += stats.unreachable;
+        }
+        for (const auto& [link, stats] : rep.report.linkFaults) {
+            LinkFaultStats& merged_link = report.linkFaults[link];
+            merged_link.downSeconds += stats.downSeconds;
+            merged_link.drops += stats.drops;
         }
         report.events += rep.report.events;
         report.wallSeconds += rep.report.wallSeconds;
