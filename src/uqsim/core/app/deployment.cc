@@ -21,13 +21,16 @@ instanceConfigFromJson(const json::JsonValue& doc)
 {
     json::requireKnownKeys(doc,
                            {"machine", "threads", "cores",
-                            "disk_channels", "own_dvfs", "scheduling",
-                            "queue_capacity"},
+                            "disk_channels", "disk", "own_dvfs",
+                            "scheduling", "queue_capacity"},
                            "graph.json instance");
     InstanceConfig config;
     config.threads = doc.getOr("threads", 0);
     config.cores = doc.getOr("cores", 0);
-    config.diskChannels = doc.getOr("disk_channels", 0);
+    // -1 = inherit the model default; an explicit 0 disables the
+    // legacy channel model (see InstanceConfig::diskChannels).
+    config.diskChannels = doc.getOr("disk_channels", -1);
+    config.disk = doc.getOr("disk", "");
     config.ownDvfsDomain = doc.getOr("own_dvfs", false);
     config.queueCapacity = doc.getOr("queue_capacity", 0);
     const std::string policy = doc.getOr("scheduling", "drain");

@@ -128,8 +128,20 @@ PathTree::fromJson(const json::JsonValue& doc)
         return variant;
     };
     if (const json::JsonValue* variants = doc.find("paths")) {
-        for (const json::JsonValue& spec : variants->asArray())
-            tree.addVariant(parse_variant(spec));
+        // Validate the probability sum once over the whole document,
+        // not incrementally per variant: a zero-probability variant
+        // listed first (e.g. a cold-start sweep point) is legal as
+        // long as the document's total is positive.
+        for (const json::JsonValue& spec : variants->asArray()) {
+            PathVariant variant = parse_variant(spec);
+            if (variant.probability < 0.0) {
+                throw std::invalid_argument(
+                    "variant probability must be >= 0");
+            }
+            variant.finalize();
+            tree.variants_.push_back(std::move(variant));
+        }
+        tree.rebuildCumulative();
     } else {
         tree.addVariant(parse_variant(doc));
     }

@@ -59,17 +59,42 @@ MicroserviceInstance::MicroserviceInstance(Simulator& sim,
         dvfs_ = ownedDvfs_.get();
     }
 
-    const int disk_channels = config.diskChannels > 0
-                                  ? config.diskChannels
-                                  : model_->defaultDiskChannels();
-    if (disk_channels > 0) {
-        disk_ = std::make_unique<hw::CoreSet>(disk_channels,
-                                              name_ + "/disk");
-    } else if (model_->usesDisk()) {
-        throw std::invalid_argument(
-            "service \"" + model_->name() +
-            "\" has disk stages but instance \"" + name_ +
-            "\" has no disk channels");
+    // Disk stages bind to a machine-attached shared-bandwidth disk
+    // when one exists; otherwise they fall back to the legacy
+    // per-instance channel model.  -1 inherits the model's default
+    // channel count, while an explicit 0 disables channels (and
+    // trips the validation below for disk-using models).
+    if (!config.disk.empty()) {
+        if (machine_ == nullptr) {
+            throw std::invalid_argument(
+                "instance \"" + name_ +
+                "\" names disk \"" + config.disk +
+                "\" but runs detached from any machine");
+        }
+        machineDisk_ = machine_->disk(config.disk);
+        if (machineDisk_ == nullptr) {
+            throw std::invalid_argument(
+                "instance \"" + name_ + "\": machine \"" +
+                machine_->name() + "\" has no disk \"" + config.disk +
+                "\"");
+        }
+    } else if (machine_ != nullptr && model_->usesDisk()) {
+        machineDisk_ = machine_->defaultDisk();
+    }
+    if (machineDisk_ == nullptr) {
+        const int disk_channels = config.diskChannels >= 0
+                                      ? config.diskChannels
+                                      : model_->defaultDiskChannels();
+        if (disk_channels > 0) {
+            disk_ = std::make_unique<hw::CoreSet>(disk_channels,
+                                                  name_ + "/disk");
+        } else if (model_->usesDisk()) {
+            throw std::invalid_argument(
+                "service \"" + model_->name() +
+                "\" has disk stages but instance \"" + name_ +
+                "\" has no disk channels and its machine attaches "
+                "no disks");
+        }
     }
 
     queues_.reserve(model_->stages().size());
@@ -188,14 +213,25 @@ MicroserviceInstance::tryStartWork()
         if (!queue.hasEligible())
             continue;
         const StageConfig& stage = model_->stage(stage_id);
-        hw::CoreSet* resource = stage.resource == StageResource::Cpu
-                                    ? cpuCores_
-                                    : disk_.get();
-        if (resource == nullptr || !resource->tryAcquire(sim_.now()))
-            continue;
+        // Shared-disk stages occupy no channel semaphore: the worker
+        // blocks off-CPU while the operation contends for bandwidth
+        // inside hw::Disk (queue depth included).
+        const bool shared_disk =
+            stage.resource == StageResource::Disk &&
+            machineDisk_ != nullptr;
+        hw::CoreSet* resource = nullptr;
+        if (!shared_disk) {
+            resource = stage.resource == StageResource::Cpu
+                           ? cpuCores_
+                           : disk_.get();
+            if (resource == nullptr ||
+                !resource->tryAcquire(sim_.now()))
+                continue;
+        }
         std::vector<JobPtr> batch = queue.popBatch();
         if (batch.empty()) {
-            resource->release(sim_.now());
+            if (resource != nullptr)
+                resource->release(sim_.now());
             continue;
         }
         --idleThreads_;
@@ -239,6 +275,25 @@ MicroserviceInstance::startBatch(int stage_id, std::vector<JobPtr> batch)
             std::make_shared<std::vector<JobPtr>>(std::move(batch));
     }
     activeBatches_.push_back(shared_batch);
+    if (stage.resource == StageResource::Disk &&
+        machineDisk_ != nullptr) {
+        // A sized operation against the shared disk: the sampled
+        // duration rides on top of the bandwidth term as the access
+        // latency, and the batch completes when the last byte moves.
+        const std::uint64_t jobs = shared_batch->size();
+        const std::uint64_t io_bytes =
+            stage.ioBytes > 0 ? stage.ioBytes * jobs : bytes;
+        machineDisk_->submit(
+            stage.diskDirection == DiskDirection::Read
+                ? hw::Disk::OpKind::Read
+                : hw::Disk::OpKind::Write,
+            io_bytes, simTimeToSeconds(duration),
+            [this, stage_id, shared_batch]() {
+                finishBatch(stage_id, *shared_batch);
+            },
+            stageLabels_[static_cast<std::size_t>(stage_id)].c_str());
+        return;
+    }
     sim_.scheduleAfter(
         duration,
         [this, stage_id, shared_batch]() {
@@ -251,10 +306,13 @@ void
 MicroserviceInstance::finishBatch(int stage_id, std::vector<JobPtr>& batch)
 {
     const StageConfig& stage = model_->stage(stage_id);
-    hw::CoreSet* resource = stage.resource == StageResource::Cpu
-                                ? cpuCores_
-                                : disk_.get();
-    resource->release(sim_.now());
+    if (stage.resource != StageResource::Disk ||
+        machineDisk_ == nullptr) {
+        hw::CoreSet* resource = stage.resource == StageResource::Cpu
+                                    ? cpuCores_
+                                    : disk_.get();
+        resource->release(sim_.now());
+    }
     ++idleThreads_;
     // Deregister; a crash may already have cleared the registry (and
     // the batch), in which case this completes empty.
@@ -349,6 +407,16 @@ double
 MicroserviceInstance::cpuUtilization() const
 {
     return cpuCores_->utilization(sim_.now());
+}
+
+double
+MicroserviceInstance::diskUtilization() const
+{
+    if (machineDisk_ != nullptr)
+        return machineDisk_->utilization(sim_.now());
+    if (disk_)
+        return disk_->utilization(sim_.now());
+    return 0.0;
 }
 
 }  // namespace uqsim

@@ -53,8 +53,16 @@ struct InstanceConfig {
     int threads = 0;
     /** Dedicated CPU cores; 0 means one per thread. */
     int cores = 0;
-    /** Disk channels; 0 uses the model default. */
-    int diskChannels = 0;
+    /** Disk channels for the legacy per-instance channel model.
+     *  -1 inherits the model default; an explicit 0 disables disk
+     *  channels (and is an error when the model has disk stages and
+     *  the machine attaches no disk).  Ignored when disk stages bind
+     *  to a machine-attached hw::Disk. */
+    int diskChannels = -1;
+    /** Machine disk to bind disk stages to, by name.  Empty binds
+     *  the machine's default (first) disk when the model has disk
+     *  stages and the machine has any. */
+    std::string disk;
     /** Give the instance its own DVFS domain (per-tier power
      *  control) instead of sharing the machine's. */
     bool ownDvfsDomain = false;
@@ -174,6 +182,15 @@ class MicroserviceInstance {
     /** CPU core utilization so far. */
     double cpuUtilization() const;
 
+    /** Disk utilization on its own axis (never folded into the CPU
+     *  number): the bound machine disk's busy fraction, or the
+     *  legacy channel set's occupancy; 0 without disk stages. */
+    double diskUtilization() const;
+
+    /** The machine disk this instance's disk stages contend on, or
+     *  nullptr under the legacy channel model. */
+    hw::Disk* machineDisk() { return machineDisk_; }
+
     /** Observed batch-size statistics (batching effectiveness). */
     const stats::Summary& batchSizeStats() const { return batchSizes_; }
 
@@ -196,6 +213,7 @@ class MicroserviceInstance {
     hw::CoreSet* cpuCores_ = nullptr;
     std::unique_ptr<hw::CoreSet> ownedCpu_;
     std::unique_ptr<hw::CoreSet> disk_;
+    hw::Disk* machineDisk_ = nullptr;
     int threads_;
     int idleThreads_;
     int baseThreads_;

@@ -75,7 +75,12 @@ ServiceTimeModel::sample(random::Rng& rng, int batch_jobs,
     double base_seconds;
     double scale = 1.0;
     bool scaled_base = true;
-    if (dvfs != nullptr) {
+    // Frequency-insensitive stages (disk I/O: freq_exponent 0, no
+    // per-frequency table) never consult the domain.  The bypass is
+    // digest-safe: the scaled path would multiply by exactly
+    // pow(x, 0.0) == 1.0, and x * 1.0 is IEEE-exact, while the RNG
+    // draws one base sample either way.
+    if (dvfs != nullptr && !frequencyInsensitive()) {
         const auto it = perFrequency_.find(mhzKey(dvfs->frequency()));
         if (it != perFrequency_.end()) {
             base_seconds = it->second->sample(rng);

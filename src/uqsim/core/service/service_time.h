@@ -75,6 +75,19 @@ class ServiceTimeModel {
     double freqExponent() const { return freqExponent_; }
     const random::DistributionPtr& base() const { return base_; }
 
+    /**
+     * True when sampling cannot depend on the frequency domain:
+     * freq_exponent is 0 (the scale is pow(x, 0) == 1, exactly) and
+     * no per-frequency distribution is registered.  Disk stages are
+     * configured this way — their time is I/O-bound — and sample()
+     * bypasses the DVFS-aware path for them, which is bit-identical
+     * to scaling by 1.0 but makes the contract assertable.
+     */
+    bool frequencyInsensitive() const
+    {
+        return freqExponent_ == 0.0 && perFrequency_.empty();
+    }
+
   private:
     random::DistributionPtr base_;
     double perJob_ = 0.0;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "uqsim/json/validation.h"
+
 namespace uqsim {
 
 QueueType
@@ -48,9 +50,36 @@ stageResourceName(StageResource resource)
     return "?";
 }
 
+DiskDirection
+diskDirectionFromString(const std::string& name)
+{
+    if (name == "read")
+        return DiskDirection::Read;
+    if (name == "write")
+        return DiskDirection::Write;
+    throw std::invalid_argument("unknown rw direction: \"" + name +
+                                "\" (expected \"read\" or \"write\")");
+}
+
+const char*
+diskDirectionName(DiskDirection direction)
+{
+    switch (direction) {
+      case DiskDirection::Read: return "read";
+      case DiskDirection::Write: return "write";
+    }
+    return "?";
+}
+
 StageConfig
 StageConfig::fromJson(const json::JsonValue& doc)
 {
+    json::requireKnownKeys(doc,
+                           {"stage_name", "stage_id", "queue_type",
+                            "batching", "queue_parameter",
+                            "service_time", "resource", "io_bytes",
+                            "rw"},
+                           "service.json stages[]");
     StageConfig config;
     config.name = doc.at("stage_name").asString();
     config.id = static_cast<int>(doc.at("stage_id").asInt());
@@ -80,6 +109,19 @@ StageConfig::fromJson(const json::JsonValue& doc)
         config.time = ServiceTimeModel::fromJson(*time);
     config.resource =
         stageResourceFromString(doc.getOr("resource", "cpu"));
+    const std::int64_t ioBytes = doc.getOr("io_bytes",
+                                           std::int64_t{0});
+    if (ioBytes < 0)
+        throw json::JsonError("io_bytes must be >= 0");
+    config.ioBytes = static_cast<std::uint64_t>(ioBytes);
+    config.diskDirection =
+        diskDirectionFromString(doc.getOr("rw", "read"));
+    if (config.resource != StageResource::Disk &&
+        (config.ioBytes != 0 || doc.find("rw") != nullptr)) {
+        throw json::JsonError(
+            "stage \"" + config.name +
+            "\": io_bytes/rw require \"resource\": \"disk\"");
+    }
     return config;
 }
 

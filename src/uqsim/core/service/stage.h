@@ -12,6 +12,7 @@
  * model, and the hardware resource they occupy (CPU or disk).
  */
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,15 @@ enum class StageResource {
 StageResource stageResourceFromString(const std::string& name);
 const char* stageResourceName(StageResource resource);
 
+/** Direction of a disk stage's I/O ("rw" in service.json). */
+enum class DiskDirection {
+    Read,
+    Write,
+};
+
+DiskDirection diskDirectionFromString(const std::string& name);
+const char* diskDirectionName(DiskDirection direction);
+
 /** Static configuration of one stage. */
 struct StageConfig {
     int id = 0;
@@ -60,6 +70,16 @@ struct StageConfig {
     ServiceTimeModel time;
     /** Resource occupied during execution. */
     StageResource resource = StageResource::Cpu;
+    /**
+     * Bytes moved per job by a disk stage ("io_bytes").  When the
+     * instance's machine has an attached hw::Disk, each batch
+     * becomes a sized operation contending for shared bandwidth;
+     * 0 falls back to the batch's payload bytes.  Ignored for CPU
+     * stages and for the legacy per-instance channel model.
+     */
+    std::uint64_t ioBytes = 0;
+    /** Disk I/O direction ("rw": "read" or "write"). */
+    DiskDirection diskDirection = DiskDirection::Read;
 
     /**
      * Parses one entry of the "stages" array in service.json.  The

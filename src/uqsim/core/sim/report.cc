@@ -74,6 +74,13 @@ RunReport::toString() const
         out << "  link " << link << ": down " << stats.downSeconds
             << " s, " << stats.drops << " drops\n";
     }
+    for (const auto& [disk, stats] : disks) {
+        out << "  disk " << disk << ": util " << stats.utilization
+            << ", " << stats.reads << " reads, " << stats.writes
+            << " writes, " << stats.bytesRead << " B read, "
+            << stats.bytesWritten << " B written, " << stats.queuedOps
+            << " queued (peak " << stats.peakQueueDepth << ")\n";
+    }
     if (replicationsPlanned > 0) {
         out << "  replications: " << replicationsMerged << "/"
             << replicationsPlanned << " merged"
@@ -155,6 +162,23 @@ RunReport::toJson() const
             links_doc.asObject()[link] = std::move(entry);
         }
         obj["link_faults"] = std::move(links_doc);
+    }
+    if (!disks.empty()) {
+        json::JsonValue disks_doc = json::JsonValue::makeObject();
+        for (const auto& [disk, stats] : disks) {
+            json::JsonValue entry = json::JsonValue::makeObject();
+            auto& disk_obj = entry.asObject();
+            disk_obj["busy_seconds"] = stats.busySeconds;
+            disk_obj["utilization"] = stats.utilization;
+            disk_obj["reads"] = stats.reads;
+            disk_obj["writes"] = stats.writes;
+            disk_obj["bytes_read"] = stats.bytesRead;
+            disk_obj["bytes_written"] = stats.bytesWritten;
+            disk_obj["queued_ops"] = stats.queuedOps;
+            disk_obj["peak_queue_depth"] = stats.peakQueueDepth;
+            disks_doc.asObject()[disk] = std::move(entry);
+        }
+        obj["disks"] = std::move(disks_doc);
     }
     obj["events"] = events;
     obj["wall_seconds"] = wallSeconds;

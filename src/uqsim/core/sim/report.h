@@ -58,6 +58,22 @@ struct LinkFaultStats {
     std::uint64_t drops = 0;
 };
 
+/** Counters of one machine-attached shared-bandwidth disk. */
+struct DiskStats {
+    /** Wall-clock seconds with at least one operation in service. */
+    double busySeconds = 0.0;
+    /** busySeconds over the simulated duration. */
+    double utilization = 0.0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    /** Operations that waited for a queue-depth slot. */
+    std::uint64_t queuedOps = 0;
+    /** High-water mark of the waiting FIFO. */
+    std::uint64_t peakQueueDepth = 0;
+};
+
 /** Summary of one simulation run (measurement window only). */
 struct RunReport {
     /** Offered load at the end of warm-up (requests/second). */
@@ -101,6 +117,9 @@ struct RunReport {
     /** Per-link downtime/drop counters (link name keyed; empty
      *  unless a topology fault touched the link). */
     std::map<std::string, LinkFaultStats> linkFaults;
+    /** Per-disk storage counters ("machine/disk" keyed; empty when
+     *  no machine attaches a disk). */
+    std::map<std::string, DiskStats> disks;
     /** Events executed over the whole run (engine effort). */
     std::uint64_t events = 0;
     /** Wall-clock seconds the run took (host time). */

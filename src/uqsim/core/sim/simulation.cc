@@ -323,6 +323,19 @@ Simulation::buildReport(double wall_seconds) const
             link.drops = summary.drops;
         }
     }
+    for (const hw::Machine* machine : cluster_->machines()) {
+        for (const auto& disk : machine->disks()) {
+            DiskStats& stats = report.disks[disk->label()];
+            stats.busySeconds = disk->busySeconds(sim_.now());
+            stats.utilization = disk->utilization(sim_.now());
+            stats.reads = disk->readsCompleted();
+            stats.writes = disk->writesCompleted();
+            stats.bytesRead = disk->bytesRead();
+            stats.bytesWritten = disk->bytesWritten();
+            stats.queuedOps = disk->queuedOps();
+            stats.peakQueueDepth = disk->peakQueueDepth();
+        }
+    }
     report.events = sim_.executedEvents();
     report.wallSeconds = wall_seconds;
     return report;

@@ -34,6 +34,24 @@ applyMachineFields(const JsonValue& doc, MachineConfig& config)
         doc.getOr("irq_per_packet_us", config.irqPerPacket * 1e6) * 1e-6;
     config.irqPerByte =
         doc.getOr("irq_per_byte_ns", config.irqPerByte * 1e9) * 1e-9;
+    if (const JsonValue* disks = doc.find("disks")) {
+        config.disks.clear();
+        for (const JsonValue& disk : disks->asArray()) {
+            json::requireKnownKeys(
+                disk,
+                {"name", "read_mbps", "write_mbps", "queue_depth"},
+                "machines.json disks[]");
+            Disk::Config spec;
+            spec.name = disk.getOr("name", spec.name);
+            // MB/s, decimal: 1 MB/s = 1e6 bytes/s.
+            spec.readBytesPerSecond =
+                disk.at("read_mbps").asDouble() * 1e6;
+            spec.writeBytesPerSecond =
+                disk.getOr("write_mbps", 0.0) * 1e6;
+            spec.queueDepth = disk.getOr("queue_depth", 0);
+            config.disks.push_back(std::move(spec));
+        }
+    }
 }
 
 ConstantModel::Config
@@ -125,7 +143,7 @@ topologyFromJson(const JsonValue& doc, MachineConfig& prototype)
         json::requireKnownKeys(*hosts,
                                {"prefix", "cores", "irq_cores",
                                 "dvfs_ghz", "irq_per_packet_us",
-                                "irq_per_byte_ns"},
+                                "irq_per_byte_ns", "disks"},
                                "machines.json topology.hosts");
         config.hostPrefix = hosts->getOr("prefix", config.hostPrefix);
         applyMachineFields(*hosts, prototype);
@@ -290,7 +308,8 @@ machineConfigFromJson(const json::JsonValue& doc)
 {
     json::requireKnownKeys(doc,
                            {"name", "cores", "irq_cores", "dvfs_ghz",
-                            "irq_per_packet_us", "irq_per_byte_ns"},
+                            "irq_per_packet_us", "irq_per_byte_ns",
+                            "disks"},
                            "machines.json machines[]");
     MachineConfig config;
     config.name = doc.at("name").asString();

@@ -27,6 +27,30 @@ Machine::Machine(Simulator& sim, const MachineConfig& config)
                 config.irqPerPacket),
             config.irqPerByte, &dvfs_);
     }
+    for (const Disk::Config& disk : config.disks) {
+        if (this->disk(disk.name) != nullptr) {
+            throw std::invalid_argument("duplicate disk \"" +
+                                        disk.name + "\" on machine " +
+                                        name_);
+        }
+        disks_.push_back(std::make_unique<Disk>(sim_, name_, disk));
+    }
+}
+
+Disk*
+Machine::disk(const std::string& name)
+{
+    for (const auto& disk : disks_) {
+        if (disk->name() == name)
+            return disk.get();
+    }
+    return nullptr;
+}
+
+Disk*
+Machine::defaultDisk()
+{
+    return disks_.empty() ? nullptr : disks_.front().get();
 }
 
 DvfsDomain&

@@ -15,6 +15,7 @@
 
 #include "uqsim/core/engine/simulator.h"
 #include "uqsim/hw/core_set.h"
+#include "uqsim/hw/disk.h"
 #include "uqsim/hw/dvfs.h"
 #include "uqsim/hw/irq_service.h"
 #include "uqsim/random/distribution.h"
@@ -35,6 +36,10 @@ struct MachineConfig {
     double irqPerPacket = 2e-6;
     /** Additional interrupt processing per payload byte (seconds). */
     double irqPerByte = 0.0;
+    /** Attached shared-bandwidth disks (names unique per machine);
+     *  empty = no storage tier, disk stages fall back to the legacy
+     *  per-instance channel model. */
+    std::vector<Disk::Config> disks;
 };
 
 /** One server. */
@@ -71,6 +76,17 @@ class Machine {
     /** The network processing service, or nullptr when irqCores=0. */
     IrqService* irq() { return irq_.get(); }
 
+    /** The named disk, or nullptr when absent. */
+    Disk* disk(const std::string& name);
+    /** The first configured disk, or nullptr when the machine has
+     *  none (instances with unnamed disk stages bind to it). */
+    Disk* defaultDisk();
+    /** Attached disks in configuration order. */
+    const std::vector<std::unique_ptr<Disk>>& disks() const
+    {
+        return disks_;
+    }
+
     /**
      * Allocates @p count dedicated cores.  The returned CoreSet is
      * owned by the machine and lives as long as it.
@@ -89,6 +105,7 @@ class Machine {
     std::vector<std::unique_ptr<DvfsDomain>> extraDomains_;
     std::unique_ptr<IrqService> irq_;
     std::vector<std::unique_ptr<CoreSet>> allocations_;
+    std::vector<std::unique_ptr<Disk>> disks_;
 };
 
 }  // namespace hw

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "uqsim/json/json_writer.h"
+#include "uqsim/models/cache_tier.h"
 #include "uqsim/models/memcached.h"
 #include "uqsim/models/mongodb.h"
 #include "uqsim/models/nginx.h"
@@ -182,6 +183,24 @@ makeOptions(const RunParams& run)
     options.warmupSeconds = run.warmupSeconds;
     options.durationSeconds = run.durationSeconds;
     return options;
+}
+
+/** Attaches a shared-bandwidth disk (machines.json "disks" array)
+ *  to an existing machine document. */
+void
+attachDisk(JsonValue& machine, const char* disk_name,
+           double read_mbps, double write_mbps, int queue_depth)
+{
+    JsonValue disk = JsonValue::makeObject();
+    disk.asObject()["name"] = disk_name;
+    disk.asObject()["read_mbps"] = read_mbps;
+    if (write_mbps > 0.0)
+        disk.asObject()["write_mbps"] = write_mbps;
+    if (queue_depth > 0)
+        disk.asObject()["queue_depth"] = queue_depth;
+    JsonArray disks;
+    disks.push_back(std::move(disk));
+    machine.asObject()["disks"] = JsonValue(std::move(disks));
 }
 
 }  // namespace
@@ -688,6 +707,10 @@ socialNetworkBundle(const SocialNetworkParams& params)
     mongo.serviceName = "post_mongo";
     mongo.memoryHitProbability = 0.7;
     mongo.diskChannels = 4;
+    // Opt-in storage tier: sized reads against a machine-attached
+    // shared disk instead of independent channel latencies.
+    if (params.postDiskMBps > 0.0)
+        mongo.diskIoBytes = params.postIoBytes;
     mongo.realProxyNoise = noise;
     bundle.services.push_back(mongoServiceJson(mongo));
 
@@ -695,7 +718,13 @@ socialNetworkBundle(const SocialNetworkParams& params)
     machines.push_back(
         machineJson("front_server", params.frontendThreads + 4, 4));
     machines.push_back(machineJson("user_server", 12, 2));
-    machines.push_back(machineJson("post_server", 12, 2));
+    JsonValue post_machine = machineJson("post_server", 12, 2);
+    if (params.postDiskMBps > 0.0) {
+        attachDisk(post_machine, "post_disk", params.postDiskMBps,
+                   params.postDiskWriteMBps,
+                   params.postDiskQueueDepth);
+    }
+    machines.push_back(std::move(post_machine));
     machines.push_back(machineJson("media_server", 12, 2));
     bundle.machines = machinesJson(std::move(machines));
 
@@ -805,6 +834,105 @@ socialNetworkBundle(const SocialNetworkParams& params)
         clientJson("thrift_front", params.run.clientConnections,
                    constantLoadJson(params.run.qps),
                    requestBytesSpec());
+    return bundle;
+}
+
+// ----------------------------------------------------- cache stampede
+
+ConfigBundle
+cacheStampedeBundle(const CacheStampedeParams& params)
+{
+    if (params.writeFraction < 0.0 || params.writeFraction > 1.0)
+        throw std::invalid_argument(
+            "writeFraction must be in [0, 1]");
+    ConfigBundle bundle;
+    bundle.options = makeOptions(params.run);
+    const bool noise = params.run.realProxyNoise;
+
+    // TTL discounting turns the profiled hit rate into the rate the
+    // cache actually sees at this load (the invalidation-driven
+    // stampede input).
+    const double hit =
+        effectiveHitRate(params.hitRate, params.run.qps,
+                         params.keyCount, params.ttlSeconds);
+
+    CacheTierOptions cache;
+    cache.serviceName = "cache";
+    cache.threads = params.cacheThreads;
+    cache.hitProbability = hit;
+    cache.realProxyNoise = noise;
+    BackingStoreOptions store;
+    store.serviceName = "store";
+    store.threads = params.storeThreads;
+    store.diskMeanMs = params.diskAccessMs;
+    store.readBytes = params.readBytes;
+    store.writeBytes = params.writeBytes;
+    store.realProxyNoise = noise;
+    bundle.services.push_back(cacheTierServiceJson(cache));
+    bundle.services.push_back(backingStoreServiceJson(store));
+
+    JsonArray machines;
+    machines.push_back(
+        machineJson("cache_server", params.cacheThreads + 4, 2));
+    JsonValue store_machine =
+        machineJson("store_server", params.storeThreads + 4, 2);
+    attachDisk(store_machine, "store_disk", params.diskReadMBps,
+               params.diskWriteMBps, params.diskQueueDepth);
+    machines.push_back(std::move(store_machine));
+    bundle.machines = machinesJson(std::move(machines));
+
+    JsonArray deploys;
+    {
+        JsonArray instances;
+        instances.push_back(
+            instanceJson("cache_server", params.cacheThreads));
+        // A wide pool: under a stampede the store holds tens of
+        // concurrent disk reads, and the point of the scenario is to
+        // saturate the *disk*, not the connection pool in front of
+        // it.
+        deploys.push_back(serviceDeployJson(
+            "cache", std::move(instances),
+            {{"store", 16 * params.cacheThreads}}));
+    }
+    {
+        // No disk_channels: the store's disk stages land on the
+        // machine-attached shared-bandwidth disk.
+        JsonArray instances;
+        instances.push_back(
+            instanceJson("store_server", params.storeThreads));
+        deploys.push_back(
+            serviceDeployJson("store", std::move(instances)));
+    }
+    bundle.graph = graphJson(std::move(deploys));
+
+    // Every node pins its execution path; the hit/miss/write split
+    // lives entirely in the variant probabilities so sweeping the
+    // hit rate moves load between the cache and the store.
+    const double w = params.writeFraction;
+
+    JsonArray hit_nodes;
+    hit_nodes.push_back(nodeJson(0, "cache", "cache_hit", {}));
+
+    JsonArray miss_nodes;
+    miss_nodes.push_back(nodeJson(0, "cache", "cache_miss", {1}));
+    miss_nodes.push_back(nodeJson(1, "store", "store_read", {2}));
+    miss_nodes.push_back(nodeJson(2, "cache", "cache_fill", {}));
+
+    JsonArray write_nodes;
+    write_nodes.push_back(nodeJson(0, "cache", "cache_fill", {1}));
+    write_nodes.push_back(nodeJson(1, "store", "store_write", {}));
+
+    JsonArray variants;
+    variants.push_back(
+        variantJson(hit * (1.0 - w), std::move(hit_nodes)));
+    variants.push_back(
+        variantJson((1.0 - hit) * (1.0 - w), std::move(miss_nodes)));
+    variants.push_back(variantJson(w, std::move(write_nodes)));
+    bundle.paths = pathDocJson(std::move(variants));
+
+    bundle.client = clientJson("cache", params.run.clientConnections,
+                               constantLoadJson(params.run.qps),
+                               requestBytesSpec());
     return bundle;
 }
 

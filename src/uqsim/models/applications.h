@@ -109,6 +109,21 @@ struct SocialNetworkParams {
     double mediaProbability = 0.25;
     /** Probability the post lookup misses the cache. */
     double postMissProbability = 0.2;
+    /**
+     * Storage tier (opt-in): attach a shared-bandwidth disk of this
+     * read bandwidth (MB/s) to the post-storage machine and have
+     * missing post lookups read postIoBytes from it, so concurrent
+     * misses contend instead of sampling independent latencies.
+     * 0 (the default) keeps the legacy disk-channel model and the
+     * bundle byte-identical.
+     */
+    double postDiskMBps = 0.0;
+    /** Write bandwidth (MB/s); 0 mirrors postDiskMBps. */
+    double postDiskWriteMBps = 0.0;
+    /** Disk queue depth; 0 = unbounded. */
+    int postDiskQueueDepth = 0;
+    /** Bytes read from disk per missing post query. */
+    std::uint64_t postIoBytes = 65536;
 };
 
 /** Tail-at-scale parameters (Fig. 14, paper §V-A). */
@@ -122,6 +137,41 @@ struct TailAtScaleParams {
     double leafMeanSeconds = 1e-3;
     /** Slow-server service time multiplier. */
     double slowFactor = 10.0;
+};
+
+/**
+ * Cache-stampede case study: client -> cache tier -> disk-backed
+ * store.  Reads hit the cache with effectiveHitRate(hitRate, qps,
+ * keyCount, ttlSeconds); misses fetch from the store (whose disk
+ * reads contend for shared bandwidth) and fill the cache; writes go
+ * write-through (cache fill + store write).  Sweeping hitRate (or
+ * shrinking ttlSeconds) collapses the hit rate and saturates the
+ * backing disk — the stampede/cold-start/storage-saturation family
+ * on one bundle.
+ */
+struct CacheStampedeParams {
+    RunParams run;
+    int cacheThreads = 4;
+    int storeThreads = 4;
+    /** Profiled cache hit rate before TTL discounting. */
+    double hitRate = 0.9;
+    /** TTL discount inputs (see effectiveHitRate); ttlSeconds 0
+     *  disables the discount. */
+    double ttlSeconds = 0.0;
+    double keyCount = 0.0;
+    /** Fraction of requests that are writes (write-through). */
+    double writeFraction = 0.1;
+    /** Bytes per store disk read / write. */
+    std::uint64_t readBytes = 65536;
+    std::uint64_t writeBytes = 65536;
+    /** Store disk: bandwidth (MB/s) and queue depth. */
+    double diskReadMBps = 200.0;
+    double diskWriteMBps = 0.0;  // 0 mirrors read
+    int diskQueueDepth = 32;
+    /** Mean per-access latency (ms, log-normal) on top of the
+     *  bandwidth term.  Kept small so contention for bandwidth —
+     *  not a constant seek cost — dominates the saturated regime. */
+    double diskAccessMs = 0.5;
 };
 
 /** Power-management deployment parameters (paper §V-B). */
@@ -152,6 +202,7 @@ ConfigBundle fanoutBundle(const FanoutParams& params);
 ConfigBundle fanoutFatTreeBundle(const FanoutFatTreeParams& params);
 ConfigBundle thriftEchoBundle(const ThriftEchoParams& params);
 ConfigBundle socialNetworkBundle(const SocialNetworkParams& params);
+ConfigBundle cacheStampedeBundle(const CacheStampedeParams& params);
 ConfigBundle tailAtScaleBundle(const TailAtScaleParams& params);
 ConfigBundle powerTwoTierBundle(const PowerTwoTierParams& params);
 

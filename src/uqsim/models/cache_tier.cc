@@ -1,0 +1,107 @@
+#include "uqsim/models/cache_tier.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "uqsim/models/memcached.h"
+#include "uqsim/models/stage_presets.h"
+
+namespace uqsim {
+namespace models {
+
+using json::JsonArray;
+using json::JsonValue;
+
+JsonValue
+cacheTierServiceJson(const CacheTierOptions& options)
+{
+    if (options.hitProbability < 0.0 || options.hitProbability > 1.0) {
+        throw std::invalid_argument(
+            "cache tier hit probability must be in [0, 1]");
+    }
+    // The cache is the memcached listing (stages 0-4: epoll,
+    // socket_read, read processing, write processing, socket_send)
+    // plus a miss-bookkeeping stage and a hit/miss/fill path split.
+    MemcachedOptions base;
+    base.serviceName = options.serviceName;
+    base.threads = options.threads;
+    base.readUs = options.hitUs;
+    base.writeUs = options.fillUs;
+    base.realProxyNoise = options.realProxyNoise;
+    JsonValue doc = memcachedServiceJson(base);
+
+    const double miss_us =
+        options.missUs > 0.0 ? options.missUs : kNginxMissHandlingUs;
+    JsonValue miss_dist = expUs(miss_us);
+    if (options.realProxyNoise)
+        miss_dist = withNoise(std::move(miss_dist));
+    doc.asObject().at("stages").asArray().push_back(
+        processingStage(5, "cache_miss", std::move(miss_dist)));
+
+    const double hit = options.hitProbability;
+    JsonArray paths;
+    paths.push_back(pathJson(0, "cache_hit", {0, 1, 2, 4}, hit));
+    paths.push_back(
+        pathJson(1, "cache_miss", {0, 1, 5, 4}, 1.0 - hit));
+    // Probability 0: reachable only by explicit path-tree pinning
+    // (the fill leg after a miss, and write-through writes).
+    paths.push_back(pathJson(2, "cache_fill", {0, 1, 3, 4}, 0.0));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+JsonValue
+backingStoreServiceJson(const BackingStoreOptions& options)
+{
+    const double cpu_us =
+        options.queryCpuUs > 0.0 ? options.queryCpuUs
+                                 : kMongoQueryCpuUs;
+    const double disk_mean_ms =
+        options.diskMeanMs > 0.0 ? options.diskMeanMs
+                                 : kMongoDiskMeanMs;
+    JsonValue cpu_dist = expUs(cpu_us);
+    if (options.realProxyNoise)
+        cpu_dist = withNoise(std::move(cpu_dist));
+
+    JsonValue doc = JsonValue::makeObject();
+    doc.asObject()["service_name"] = options.serviceName;
+    doc.asObject()["execution_model"] = "multi_threaded";
+    doc.asObject()["threads"] = options.threads;
+
+    JsonArray stages;
+    stages.push_back(epollStage(0));
+    stages.push_back(socketReadStage(1));
+    stages.push_back(
+        processingStage(2, "query_processing", std::move(cpu_dist)));
+    stages.push_back(diskStage(
+        3, "disk_read", lognormalUs(disk_mean_ms * 1e3, kMongoDiskCv),
+        options.readBytes, "read"));
+    stages.push_back(diskStage(
+        4, "disk_write", lognormalUs(disk_mean_ms * 1e3, kMongoDiskCv),
+        options.writeBytes, "write"));
+    stages.push_back(socketSendStage(5));
+    doc.asObject()["stages"] = JsonValue(std::move(stages));
+
+    JsonArray paths;
+    paths.push_back(pathJson(0, "store_read", {0, 1, 2, 3, 5}, 0.5));
+    paths.push_back(pathJson(1, "store_write", {0, 1, 2, 4, 5}, 0.5));
+    doc.asObject()["paths"] = JsonValue(std::move(paths));
+    return doc;
+}
+
+double
+effectiveHitRate(double hitProbability, double qps, double keyCount,
+                 double ttlSeconds)
+{
+    if (ttlSeconds <= 0.0 || keyCount <= 0.0 || qps <= 0.0)
+        return hitProbability;
+    // Stationary Poisson re-reference: a key is re-read at rate
+    // qps / keyCount, so the previous fill survived the TTL with
+    // probability 1 - exp(-rate * ttl).
+    const double survival =
+        1.0 - std::exp(-(qps / keyCount) * ttlSeconds);
+    return hitProbability * survival;
+}
+
+}  // namespace models
+}  // namespace uqsim

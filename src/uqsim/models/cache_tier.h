@@ -1,0 +1,94 @@
+#ifndef UQSIM_MODELS_CACHE_TIER_H_
+#define UQSIM_MODELS_CACHE_TIER_H_
+
+/**
+ * @file
+ * Cache-tier service model: a memcached-style cache whose execution
+ * paths split hit from miss, plus a disk-backed store the miss and
+ * fill paths land on.
+ *
+ * The cache service extends the paper's memcached listing with a
+ * cache_miss path (lookup fails, the caller must fetch from the
+ * backing store and fill) and a pinned-only cache_fill path
+ * (probability 0 — reachable only via explicit path-tree pinning,
+ * which is how the application graph models the fill leg of a miss
+ * and the write-through leg of a write).  The backing store is a
+ * query service whose read and write stages issue sized operations
+ * against a machine-attached shared-bandwidth disk (hw::Disk), so
+ * concurrent misses contend for real bandwidth instead of sampling
+ * independent latencies.
+ *
+ * The profiled hit rate is an input; TTL/invalidation-driven miss
+ * bursts are modeled in closed form by effectiveHitRate(), which
+ * discounts the profiled rate by the probability that a key's last
+ * refresh survived its TTL under Poisson re-reference.  Together
+ * these wire cache-stampede (hit rate collapses, the store
+ * saturates), cold-start (hit rate 0), and storage-saturation
+ * scenarios end to end.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "uqsim/json/json_value.h"
+
+namespace uqsim {
+namespace models {
+
+/** Options for the cache service (hit/miss/fill path split). */
+struct CacheTierOptions {
+    std::string serviceName = "cache";
+    int threads = 4;
+    /** Probability that a read hits the cache.  Misses take the
+     *  cache_miss path; the graph then forwards to the backing
+     *  store and returns through the pinned cache_fill path. */
+    double hitProbability = 0.9;
+    /** Mean hit lookup / miss bookkeeping / fill-store processing
+     *  time (µs, exponential); 0 = preset defaults. */
+    double hitUs = 0.0;
+    double missUs = 0.0;
+    double fillUs = 0.0;
+    bool realProxyNoise = false;
+};
+
+/** Options for the disk-backed store behind the cache. */
+struct BackingStoreOptions {
+    std::string serviceName = "store";
+    int threads = 4;
+    /** Mean query CPU time before touching the disk (µs). */
+    double queryCpuUs = 0.0;  // 0 = preset default
+    /** Mean per-access disk latency (ms, log-normal); rides on top
+     *  of the bandwidth term.  0 = preset default. */
+    double diskMeanMs = 0.0;
+    /** Bytes read per store_read / written per store_write
+     *  ("io_bytes" on the disk stages). */
+    std::uint64_t readBytes = 65536;
+    std::uint64_t writeBytes = 65536;
+    bool realProxyNoise = false;
+};
+
+/** Builds the cache service.json document (paths: cache_hit,
+ *  cache_miss, and pinned-only cache_fill). */
+json::JsonValue cacheTierServiceJson(const CacheTierOptions& options = {});
+
+/** Builds the backing-store service.json document (paths:
+ *  store_read, store_write; disk stages carry io_bytes/rw). */
+json::JsonValue backingStoreServiceJson(
+    const BackingStoreOptions& options = {});
+
+/**
+ * Profiled hit rate discounted by TTL expiry: a key re-referenced
+ * as a Poisson process of rate qps/keyCount only hits if its last
+ * fill happened within ttlSeconds, which has probability
+ * 1 - exp(-(qps/keyCount) * ttl) in steady state.  ttlSeconds or
+ * keyCount <= 0 disables the discount (returns hitProbability).
+ * Shrinking the TTL therefore drives deterministic miss bursts —
+ * the invalidation-driven stampede input.
+ */
+double effectiveHitRate(double hitProbability, double qps,
+                        double keyCount, double ttlSeconds);
+
+}  // namespace models
+}  // namespace uqsim
+
+#endif  // UQSIM_MODELS_CACHE_TIER_H_

@@ -29,7 +29,9 @@ mongoServiceJson(const MongoOptions& options)
     stages.push_back(
         processingStage(2, "query_processing", std::move(cpu_dist)));
     stages.push_back(diskStage(
-        3, "disk_access", lognormalUs(disk_mean_ms * 1e3, kMongoDiskCv)));
+        3, "disk_access", lognormalUs(disk_mean_ms * 1e3, kMongoDiskCv),
+        options.diskIoBytes,
+        options.diskIoBytes > 0 ? "read" : nullptr));
     stages.push_back(socketSendStage(4));
     doc.asObject()["stages"] = JsonValue(std::move(stages));
 

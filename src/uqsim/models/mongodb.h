@@ -11,6 +11,7 @@
  * capturing I/O blocking in the multi-threaded execution model.
  */
 
+#include <cstdint>
 #include <string>
 
 #include "uqsim/json/json_value.h"
@@ -31,6 +32,14 @@ struct MongoOptions {
     double memoryHitProbability = 0.5;
     /** Mean disk access (ms, log-normal); 0 = preset default. */
     double diskMeanMs = 0.0;
+    /**
+     * Bytes read from disk per missing query ("io_bytes" on the
+     * disk stage).  0 (the default) emits no io_bytes/rw keys, so
+     * existing service JSON stays byte-identical; set it when the
+     * deployment attaches a machines.json disk and queries should
+     * contend for shared read bandwidth.
+     */
+    std::uint64_t diskIoBytes = 0;
     bool realProxyNoise = false;
 };
 

@@ -113,12 +113,20 @@ processingStage(int id, const char* name, JsonValue dist_spec)
 }
 
 JsonValue
-diskStage(int id, const char* name, JsonValue dist_spec)
+diskStage(int id, const char* name, JsonValue dist_spec,
+          std::uint64_t io_bytes, const char* rw)
 {
     // Disk time is frequency-insensitive (freq_exponent 0).
-    return stageJson(id, name, "single", false, 0,
-                     serviceTimeJson(std::move(dist_spec), 0.0, 0.0, 0.0),
-                     "disk");
+    JsonValue stage =
+        stageJson(id, name, "single", false, 0,
+                  serviceTimeJson(std::move(dist_spec), 0.0, 0.0, 0.0),
+                  "disk");
+    if (io_bytes > 0)
+        stage.asObject()["io_bytes"] =
+            static_cast<std::int64_t>(io_bytes);
+    if (rw != nullptr)
+        stage.asObject()["rw"] = rw;
+    return stage;
 }
 
 JsonValue

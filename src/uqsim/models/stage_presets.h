@@ -103,9 +103,17 @@ json::JsonValue socketSendStage(int id);
 json::JsonValue processingStage(int id, const char* name,
                                 json::JsonValue dist_spec);
 
-/** A disk I/O stage (occupies a disk channel, not a core). */
+/**
+ * A disk I/O stage (occupies a disk channel, not a core).  When
+ * @p io_bytes > 0 the stage moves that many bytes per job against a
+ * machine-attached shared disk in direction @p rw ("read" or
+ * "write"); the defaults emit neither key, keeping existing service
+ * JSON byte-identical.
+ */
 json::JsonValue diskStage(int id, const char* name,
-                          json::JsonValue dist_spec);
+                          json::JsonValue dist_spec,
+                          std::uint64_t io_bytes = 0,
+                          const char* rw = nullptr);
 
 /** A path object {"path_id", "path_name", "stages", "probability"}. */
 json::JsonValue pathJson(int id, const char* name,

@@ -62,8 +62,11 @@ PercentileRecorder::percentile(double p) const
 void
 PercentileRecorder::reset()
 {
-    values_.clear();
-    sorted_.clear();
+    // Swap with empties instead of clear(): after merging large
+    // replications the capacity would otherwise stay pinned at the
+    // pooled size for the rest of the sweep.
+    std::vector<double>().swap(values_);
+    std::vector<double>().swap(sorted_);
     sortedValid_ = false;
     summary_.reset();
 }
