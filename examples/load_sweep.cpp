@@ -11,6 +11,9 @@
  *             [--jobs N] [--reps R] [--seed S]
  *             [--journal FILE] [--resume FILE] [--strict]
  *             [--wall-timeout S] [--stall-timeout S] [--max-events N]
+ *             [--checkpoint-every N] [--checkpoint-seconds S]
+ *             [--checkpoint-dir DIR] [--checkpoint-keep K]
+ *             [--resume-from-snapshot]
  *
  * where <app> is one of: two_tier, three_tier, lb4, lb8, lb16,
  * fanout4, fanout8, fanout16, thrift, social.  --jobs 0 (default)
@@ -23,6 +26,16 @@
  * legacy fail-fast behaviour (first error aborts the sweep); the
  * watchdog flags kill stalled or runaway replications and report
  * them as timeouts.
+ *
+ * Checkpoint flags (docs/ARCHITECTURE.md §"Checkpoint / restore"):
+ * --checkpoint-every N writes a snapshot of every in-flight
+ * replication each N executed events (--checkpoint-seconds uses a
+ * simulated-time cadence instead) under --checkpoint-dir (default
+ * "checkpoints"), keeping the newest --checkpoint-keep per job;
+ * --resume-from-snapshot restores each job from its newest valid
+ * snapshot, so a SIGKILL'd sweep replays at most one checkpoint
+ * interval.  Checkpointing never changes results — trace digests
+ * match an uncheckpointed run exactly.
  *
  * Exit status: 0 all replications ok; 1 usage/config error or (with
  * --strict) a failed job; 2 the sweep completed but some
@@ -108,7 +121,10 @@ usage(const char* argv0)
                  "[--jobs N] [--reps R] [--seed S] "
                  "[--journal FILE] [--resume FILE] [--strict] "
                  "[--wall-timeout S] [--stall-timeout S] "
-                 "[--max-events N]\n",
+                 "[--max-events N] "
+                 "[--checkpoint-every N] [--checkpoint-seconds S] "
+                 "[--checkpoint-dir DIR] [--checkpoint-keep K] "
+                 "[--resume-from-snapshot]\n",
                  argv0);
 }
 
@@ -160,13 +176,32 @@ main(int argc, char** argv)
         } else if (arg == "--max-events") {
             options.watchdog.maxEventsPerReplication =
                 static_cast<std::uint64_t>(std::atoll(next_value()));
+        } else if (arg == "--checkpoint-every") {
+            options.checkpoint.everyEvents =
+                static_cast<std::uint64_t>(std::atoll(next_value()));
+            if (options.checkpoint.dir.empty())
+                options.checkpoint.dir = "checkpoints";
+        } else if (arg == "--checkpoint-seconds") {
+            options.checkpoint.everySimSeconds =
+                std::atof(next_value());
+            if (options.checkpoint.dir.empty())
+                options.checkpoint.dir = "checkpoints";
+        } else if (arg == "--checkpoint-dir") {
+            options.checkpoint.dir = next_value();
+        } else if (arg == "--checkpoint-keep") {
+            options.checkpoint.keep = std::atoi(next_value());
+        } else if (arg == "--resume-from-snapshot") {
+            options.resumeFromSnapshot = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::string message =
                 "error: unknown option \"" + arg + "\"";
             const std::string suggestion = json::suggestClosest(
                 arg, {"--jobs", "--reps", "--seed", "--journal",
                       "--resume", "--strict", "--wall-timeout",
-                      "--stall-timeout", "--max-events"});
+                      "--stall-timeout", "--max-events",
+                      "--checkpoint-every", "--checkpoint-seconds",
+                      "--checkpoint-dir", "--checkpoint-keep",
+                      "--resume-from-snapshot"});
             if (!suggestion.empty())
                 message += "; did you mean \"" + suggestion + "\"?";
             std::fprintf(stderr, "%s\n", message.c_str());

@@ -38,6 +38,11 @@
 
 namespace uqsim {
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 /** How a service's instances are selected for new requests. */
 enum class LbPolicy {
     RoundRobin,
@@ -168,6 +173,19 @@ class Deployment {
     admission(const std::string& service) const;
     /** Same, addressed by interned service id (hot path). */
     const fault::AdmissionConfig* admission(std::uint32_t service_id) const;
+
+    /**
+     * Serializes the deployment's mutable routing state into the
+     * open snapshot section: connection-id allocator position,
+     * per-service round-robin cursors, and every connection pool's
+     * occupancy (free ids in hand-out order, waiter count,
+     * high-water mark), pools in sorted-key order.
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates the live (replayed) state against saveState()'s
+     *  fields; throws SnapshotStateError on divergence. */
+    void loadState(snapshot::SnapshotReader& reader) const;
 
   private:
     struct ServiceEntry {

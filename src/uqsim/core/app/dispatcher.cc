@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "uqsim/snapshot/state_io.h"
+
 namespace uqsim {
 
 namespace {
@@ -930,6 +932,141 @@ Dispatcher::failRequest(JobId root, fault::FailReason reason,
     if (onRequestFailed_)
         onRequestFailed_(root, state->clientTag, state->created, reason);
     recycleRoot(std::move(state));
+}
+
+std::uint64_t
+Dispatcher::activeStateDigest() const
+{
+    snapshot::Digest digest;
+    // Active roots in JobId order (std::map).
+    for (const auto& [root, state] : roots_) {
+        digest.u64(root);
+        digest.i64(state->variant);
+        digest.i64(state->terminalsDone);
+        digest.i64(state->clientTag);
+        digest.i64(state->created);
+        digest.u32(state->frontId);
+        for (const MicroserviceInstance* sticky : state->affinity)
+            digest.i64(sticky == nullptr ? -1 : sticky->uid());
+        for (const auto& [node, arrived] : state->syncArrived) {
+            digest.i64(node);
+            digest.i64(arrived);
+        }
+        digest.u64(state->hops.size());
+        for (const ForwardHop& hop : state->hops) {
+            digest.i64(hop.upstream == nullptr ? -1
+                                               : hop.upstream->uid());
+            digest.i64(hop.downstream == nullptr
+                           ? -1
+                           : hop.downstream->uid());
+            digest.i64(hop.conn);
+        }
+        digest.u64(state->engagedHops.size());
+        for (const int node_id : state->engagedHops) {
+            const HopState& hop =
+                state->hopStates[static_cast<std::size_t>(node_id)];
+            digest.i64(node_id);
+            digest.boolean(hop.policy != nullptr);
+            digest.u32(hop.serviceId);
+            digest.i64(hop.liveAttempts);
+            digest.i64(hop.retriesLeft);
+            digest.i64(hop.hedgesLeft);
+            digest.boolean(hop.done);
+            digest.u64(hop.attempts.size());
+            for (const Attempt& attempt : hop.attempts) {
+                digest.u64(attempt.jobId);
+                digest.i64(attempt.sentAt);
+                digest.i64(attempt.conn);
+                digest.boolean(attempt.live);
+            }
+            digest.boolean(hop.timeoutEvent.pending());
+            digest.boolean(hop.hedgeEvent.pending());
+            digest.boolean(hop.resendEvent.pending());
+        }
+    }
+    // Dead-job set (std::set, id order).
+    digest.u64(deadJobs_.size());
+    for (const JobId dead : deadJobs_)
+        digest.u64(dead);
+    // Per-edge runtime in sorted-key order (the map is unordered).
+    std::vector<std::uint64_t> edge_keys;
+    edge_keys.reserve(edges_.size());
+    for (const auto& [key, runtime] : edges_)
+        edge_keys.push_back(key);
+    std::sort(edge_keys.begin(), edge_keys.end());
+    for (const std::uint64_t key : edge_keys) {
+        const EdgeRuntime& runtime = edges_.at(key);
+        digest.u64(key);
+        digest.boolean(runtime.breaker != nullptr);
+        if (runtime.breaker)
+            digest.u64(runtime.breaker->stateDigest());
+        digest.u64(runtime.hopLatency.count());
+        for (const double value : runtime.hopLatency.values())
+            digest.f64(value);
+    }
+    // Admission counters and per-tier fault counters (dense arrays).
+    for (const int inflight : inflightByFront_)
+        digest.i64(inflight);
+    for (const TierFaultStats& stats : tierFaults_) {
+        digest.u64(stats.errors);
+        digest.u64(stats.timeouts);
+        digest.u64(stats.hopTimeouts);
+        digest.u64(stats.retries);
+        digest.u64(stats.hedges);
+        digest.u64(stats.shed);
+        digest.u64(stats.rejected);
+        digest.u64(stats.crashKills);
+        digest.u64(stats.unreachable);
+    }
+    return digest.value();
+}
+
+void
+Dispatcher::saveState(snapshot::SnapshotWriter& writer) const
+{
+    writer.beginSection(snapshot::SectionId::Dispatcher);
+    writer.putU64(started_);
+    writer.putU64(completed_);
+    writer.putU64(failed_);
+    writer.putU64(shed_);
+    writer.putU64(retriesSent_);
+    writer.putU64(hedgesSent_);
+    writer.putU64(leakedBlocks_);
+    writer.putU64(leakedHops_);
+    writer.putU64(jobs_.created());
+    writer.putU64(jobs_.liveJobs());
+    snapshot::putRngState(writer, rng_.state());
+    snapshot::putRngState(writer, retryRng_.state());
+    writer.putU64(roots_.size());
+    writer.putU64(deadJobs_.size());
+    writer.putU64(edges_.size());
+    writer.putU64(activeStateDigest());
+    deployment_.saveState(writer);
+    writer.endSection();
+}
+
+void
+Dispatcher::loadState(snapshot::SnapshotReader& reader) const
+{
+    reader.openSection(snapshot::SectionId::Dispatcher);
+    reader.requireU64("started", started_);
+    reader.requireU64("completed", completed_);
+    reader.requireU64("failed", failed_);
+    reader.requireU64("shed", shed_);
+    reader.requireU64("retries_sent", retriesSent_);
+    reader.requireU64("hedges_sent", hedgesSent_);
+    reader.requireU64("leaked_blocks", leakedBlocks_);
+    reader.requireU64("leaked_hops", leakedHops_);
+    reader.requireU64("jobs_created", jobs_.created());
+    reader.requireU64("jobs_live", jobs_.liveJobs());
+    snapshot::requireRngState(reader, "rng", rng_.state());
+    snapshot::requireRngState(reader, "retry_rng", retryRng_.state());
+    reader.requireU64("active_roots", roots_.size());
+    reader.requireU64("dead_jobs", deadJobs_.size());
+    reader.requireU64("edges", edges_.size());
+    reader.requireU64("active_state_digest", activeStateDigest());
+    deployment_.loadState(reader);
+    reader.closeSection();
 }
 
 }  // namespace uqsim

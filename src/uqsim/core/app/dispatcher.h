@@ -156,6 +156,18 @@ class Dispatcher {
     std::uint64_t leakedBlocks() const { return leakedBlocks_; }
     std::uint64_t leakedHops() const { return leakedHops_; }
 
+    /**
+     * Writes the DISPATCHER snapshot section: request counters, RNG
+     * positions, deterministic folds of the active-root map, dead-job
+     * set, per-edge breaker + latency state, per-tier fault counters,
+     * and the deployment's pool/cursor state (snapshot.h).
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates the live (replayed) state against a snapshot's
+     *  DISPATCHER section; throws SnapshotStateError on divergence. */
+    void loadState(snapshot::SnapshotReader& reader) const;
+
   private:
     struct ForwardHop {
         const MicroserviceInstance* upstream = nullptr;
@@ -308,6 +320,11 @@ class Dispatcher {
     void decrementInflight(std::uint32_t front_id);
     /** Id-indexed fault counters, grown on demand. */
     TierFaultStats& tierFault(std::uint32_t tier_id);
+
+    /** Deterministic fold of the active-root map, dead-job set,
+     *  per-edge runtime state, and per-tier fault counters
+     *  (snapshot save + validate share this). */
+    std::uint64_t activeStateDigest() const;
 
     Simulator& sim_;
     hw::Network& network_;

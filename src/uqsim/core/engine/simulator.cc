@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "uqsim/snapshot/snapshot.h"
+
 namespace uqsim {
 
 const char*
@@ -111,6 +113,30 @@ Simulator::popChosen()
     return queue_.pop();
 }
 
+void
+Simulator::saveState(snapshot::SnapshotWriter& writer) const
+{
+    writer.beginSection(snapshot::SectionId::Engine);
+    writer.putI64(now_);
+    writer.putU64(masterSeed_);
+    writer.putU64(executedEvents_);
+    writer.putU64(traceDigest_);
+    queue_.saveState(writer);
+    writer.endSection();
+}
+
+void
+Simulator::loadState(snapshot::SnapshotReader& reader) const
+{
+    reader.openSection(snapshot::SectionId::Engine);
+    reader.requireI64("now", now_);
+    reader.requireU64("master_seed", masterSeed_);
+    reader.requireU64("executed_events", executedEvents_);
+    reader.requireU64("trace_digest", traceDigest_);
+    queue_.loadState(reader);
+    reader.closeSection();
+}
+
 audit::AuditReport
 Simulator::auditEngine() const
 {
@@ -121,6 +147,19 @@ Simulator::auditEngine() const
 
 StopReason
 Simulator::run(SimTime until, std::uint64_t max_events)
+{
+    return runLoop(until, max_events, /*clamp_clock=*/true);
+}
+
+StopReason
+Simulator::runSegment(SimTime until, std::uint64_t max_events)
+{
+    return runLoop(until, max_events, /*clamp_clock=*/false);
+}
+
+StopReason
+Simulator::runLoop(SimTime until, std::uint64_t max_events,
+                   bool clamp_clock)
 {
     stopRequested_ = false;
     const bool auditing = audit::auditModeEnabled();
@@ -137,7 +176,12 @@ Simulator::run(SimTime until, std::uint64_t max_events)
         if (next == kSimTimeMax)
             return StopReason::Drained;
         if (next > until) {
-            now_ = until;
+            // A segment boundary must not move the clock: a restored
+            // run replays by event count, which leaves the clock at
+            // the last fired event.  Only the final (non-segment)
+            // run clamps to the horizon.
+            if (clamp_clock)
+                now_ = until;
             return StopReason::TimeLimit;
         }
         if (auditing && next < now_) {

@@ -28,6 +28,11 @@
 
 namespace uqsim {
 
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 /** Why Simulator::run() returned. */
 enum class StopReason {
     Drained,       ///< no outstanding events remained
@@ -93,6 +98,18 @@ class Simulator {
      */
     StopReason run(SimTime until = kSimTimeMax,
                    std::uint64_t max_events = 0);
+
+    /**
+     * run() variant for segmented (checkpointed) execution: identical
+     * event-for-event, except that reaching @p until does NOT clamp
+     * the clock forward to @p until — the clock stays at the last
+     * fired event.  That makes running in segments bit-identical to a
+     * straight run: only the *final* run() of a simulation performs
+     * the end-of-horizon clamp.  @p max_events is an absolute
+     * executed-event threshold, like run()'s.
+     */
+    StopReason runSegment(SimTime until = kSimTimeMax,
+                          std::uint64_t max_events = 0);
 
     /** Requests the active run() to return after the current event. */
     void stop() { stopRequested_ = true; }
@@ -161,7 +178,23 @@ class Simulator {
     /** Events between control polls / audit clock checks. */
     static constexpr std::uint64_t kControlPollEvents = 1024;
 
+    /**
+     * Writes the ENGINE snapshot section: clock, executed-event
+     * count, trace digest, and the event queue's pool/heap state
+     * (snapshot.h).  Must be called between events.
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /**
+     * Validates the live (replayed) engine state against a
+     * snapshot's ENGINE section; throws SnapshotStateError on any
+     * divergence.  See docs/ARCHITECTURE.md §"Checkpoint / restore".
+     */
+    void loadState(snapshot::SnapshotReader& reader) const;
+
   private:
+    StopReason runLoop(SimTime until, std::uint64_t max_events,
+                       bool clamp_clock);
     void digestEvent(std::uint64_t when, std::uint64_t sequence);
     [[noreturn]] void throwSchedulePast(SimTime when) const;
     [[noreturn]] static void throwNegativeDelay();

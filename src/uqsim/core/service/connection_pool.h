@@ -29,6 +29,10 @@ class ConnectionIdAllocator {
   public:
     ConnectionId next() { return next_++; }
 
+    /** The id the next call to next() will hand out (snapshot
+     *  validation; ids are allocated deterministically). */
+    ConnectionId peekNext() const { return next_; }
+
   private:
     ConnectionId next_ = 1;
 };
@@ -54,6 +58,10 @@ class ConnectionPool {
     int available() const { return static_cast<int>(free_.size()); }
     std::size_t waiters() const { return waiters_.size(); }
     std::size_t maxWaiters() const { return maxWaiters_; }
+
+    /** Free connection ids in hand-out order (snapshot digesting:
+     *  FIFO reuse makes the order deterministic under replay). */
+    const std::deque<ConnectionId>& freeIds() const { return free_; }
 
     /**
      * Hands a free connection to @p ready, immediately when one is

@@ -112,6 +112,93 @@ Simulation::inMeasurementWindow() const
     return simTimeToSeconds(sim_.now()) >= options_.warmupSeconds;
 }
 
+std::uint64_t
+Simulation::computeConfigDigest() const
+{
+    snapshot::Digest digest;
+    digest.u64(options_.seed);
+    digest.f64(options_.warmupSeconds);
+    digest.f64(options_.durationSeconds);
+    digest.u64(options_.maxEvents);
+
+    const auto& machines = cluster_->machines();
+    digest.u64(machines.size());
+    for (const hw::Machine* machine : machines) {
+        digest.str(machine->name());
+        digest.u64(machine->disks().size());
+        for (const auto& disk : machine->disks()) {
+            digest.str(disk->name());
+            digest.f64(disk->config().readBytesPerSecond);
+            digest.f64(disk->config().writeBytesPerSecond);
+            digest.u64(static_cast<std::uint64_t>(
+                disk->config().queueDepth));
+        }
+    }
+
+    const auto& instances = deployment_->allInstances();
+    digest.u64(instances.size());
+    for (MicroserviceInstance* instance : instances) {
+        digest.str(instance->name());
+        digest.str(instance->machine() != nullptr
+                       ? instance->machine()->name()
+                       : std::string());
+    }
+
+    digest.u64(clients_.size() + pendingClients_.size());
+    const auto foldClient = [&digest](
+                                const workload::ClientConfig& config) {
+        digest.str(config.frontService);
+        digest.u64(static_cast<std::uint64_t>(config.connections));
+        digest.u32(static_cast<std::uint32_t>(config.mode));
+        digest.f64(config.thinkTime);
+        digest.f64(config.startTime);
+        digest.f64(config.stopTime);
+        digest.f64(config.timeout);
+        digest.u64(static_cast<std::uint64_t>(config.retries));
+        digest.f64(config.retryBackoffSeconds);
+        digest.f64(config.retryBackoffMult);
+        digest.f64(config.retryJitter);
+        digest.str(config.load ? config.load->describe()
+                               : std::string());
+    };
+    for (const auto& client : clients_)
+        foldClient(client->config());
+    for (const workload::ClientConfig& config : pendingClients_)
+        foldClient(config);
+
+    const hw::NetworkModel& model = cluster_->network().model();
+    digest.str(model.modelName());
+    if (const auto* flow = dynamic_cast<const hw::FlowModel*>(&model))
+        digest.u64(flow->linkCount());
+
+    digest.u64(faultPlan_.faults.size());
+    for (const fault::FaultSpec& spec : faultPlan_.faults) {
+        digest.u32(static_cast<std::uint32_t>(spec.kind));
+        digest.str(spec.instance);
+        digest.str(spec.service);
+        digest.f64(spec.atSeconds);
+        digest.f64(spec.recoverSeconds);
+        digest.f64(spec.mtbfSeconds);
+        digest.f64(spec.mttrSeconds);
+        digest.f64(spec.startSeconds);
+        digest.f64(spec.endSeconds);
+        digest.f64(spec.factor);
+        digest.f64(spec.extraLatencySeconds);
+        digest.f64(spec.lossProbability);
+        digest.str(spec.link);
+        digest.str(spec.switchName);
+        digest.u64(spec.groups.size());
+        for (const auto& group : spec.groups) {
+            digest.u64(group.size());
+            for (const std::string& host : group)
+                digest.str(host);
+        }
+        digest.f64(spec.capacityFactor);
+        digest.f64(spec.latencyFactor);
+    }
+    return digest.value();
+}
+
 void
 Simulation::finalize()
 {
@@ -190,10 +277,58 @@ Simulation::finalize()
         secondsToSimTime(options_.warmupSeconds),
         [this]() { measuredGenerated_ = dispatcher_->requestsStarted(); },
         "warmup-boundary");
+
+    configDigest_ = computeConfigDigest();
 }
 
 RunReport
 Simulation::run()
+{
+    // A plain run is a segmented run with zero advance calls; the
+    // engine path (one runLoop with the end-of-horizon clamp) is
+    // bit-identical to what run() always did.
+    return finishRun();
+}
+
+void
+Simulation::checkAdvance() const
+{
+    if (!finalized())
+        throw std::logic_error("finalize() before advancing");
+    if (ran_) {
+        throw std::logic_error(
+            "cannot advance after run()/finishRun()");
+    }
+}
+
+StopReason
+Simulation::advanceToEvents(std::uint64_t target_events)
+{
+    checkAdvance();
+    if (target_events <= sim_.executedEvents())
+        return StopReason::EventLimit;
+    // runLoop treats max_events as an absolute executed-event total,
+    // so the segment target composes with the configured budget by
+    // simply taking the smaller absolute bound.
+    std::uint64_t budget = target_events;
+    if (options_.maxEvents > 0 && options_.maxEvents < budget)
+        budget = options_.maxEvents;
+    return sim_.runSegment(
+        secondsToSimTime(options_.durationSeconds), budget);
+}
+
+StopReason
+Simulation::advanceToTime(SimTime until)
+{
+    checkAdvance();
+    const SimTime horizon =
+        secondsToSimTime(options_.durationSeconds);
+    return sim_.runSegment(until < horizon ? until : horizon,
+                           options_.maxEvents);
+}
+
+RunReport
+Simulation::finishRun()
 {
     if (!finalized())
         throw std::logic_error("finalize() before run()");
@@ -213,6 +348,129 @@ Simulation::run()
                    stopReasonName(reason));
     }
     return buildReport(wall);
+}
+
+snapshot::SnapshotMeta
+Simulation::snapshotMeta() const
+{
+    snapshot::SnapshotMeta meta;
+    meta.configDigest = configDigest_;
+    meta.masterSeed = sim_.masterSeed();
+    meta.simTime = sim_.now();
+    meta.executedEvents = sim_.executedEvents();
+    meta.traceDigest = sim_.traceDigest();
+    return meta;
+}
+
+void
+Simulation::saveState(snapshot::SnapshotWriter& writer) const
+{
+    if (!finalized())
+        throw std::logic_error("finalize() before saveState()");
+    writer.setMeta(snapshotMeta());
+
+    sim_.saveState(writer);  // ENGINE
+
+    writer.beginSection(snapshot::SectionId::Clients);
+    writer.putU64(clients_.size());
+    for (const auto& client : clients_)
+        client->saveState(writer);
+    writer.endSection();
+
+    dispatcher_->saveState(writer);          // DISPATCHER
+    cluster_->network().saveState(writer);   // NETWORK
+
+    writer.beginSection(snapshot::SectionId::Disks);
+    std::uint64_t diskCount = 0;
+    for (const hw::Machine* machine : cluster_->machines())
+        diskCount += machine->disks().size();
+    writer.putU64(diskCount);
+    for (const hw::Machine* machine : cluster_->machines()) {
+        for (const auto& disk : machine->disks())
+            disk->saveState(writer);
+    }
+    writer.endSection();
+
+    // The FAULTS section exists exactly when the run has a fault
+    // plan; restore rebuilds from the same config, so presence is
+    // symmetric by construction.
+    if (faultScheduler_)
+        faultScheduler_->saveState(writer);
+
+    writer.beginSection(snapshot::SectionId::Stats);
+    writer.putU64(measuredCompletions_);
+    writer.putU64(measuredGenerated_);
+    writer.putU64(measuredFailed_);
+    writer.putU64(endToEnd_.count());
+    snapshot::Digest e2e;
+    for (double value : endToEnd_.values())
+        e2e.f64(value);
+    writer.putU64(e2e.value());
+    writer.putU64(tiersById_.size());
+    snapshot::Digest tiers;
+    for (const stats::PercentileRecorder& tier : tiersById_) {
+        tiers.u64(tier.count());
+        for (double value : tier.values())
+            tiers.f64(value);
+    }
+    writer.putU64(tiers.value());
+    writer.endSection();
+}
+
+void
+Simulation::loadState(snapshot::SnapshotReader& reader) const
+{
+    if (!finalized())
+        throw std::logic_error("finalize() before loadState()");
+
+    sim_.loadState(reader);  // ENGINE
+
+    reader.openSection(snapshot::SectionId::Clients);
+    reader.requireU64("clients", clients_.size());
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+        clients_[i]->loadState(reader,
+                               "client" + std::to_string(i));
+    }
+    reader.closeSection();
+
+    dispatcher_->loadState(reader);          // DISPATCHER
+    cluster_->network().loadState(reader);   // NETWORK
+
+    reader.openSection(snapshot::SectionId::Disks);
+    std::uint64_t diskCount = 0;
+    for (const hw::Machine* machine : cluster_->machines())
+        diskCount += machine->disks().size();
+    reader.requireU64("disks", diskCount);
+    std::size_t diskIndex = 0;
+    for (const hw::Machine* machine : cluster_->machines()) {
+        for (const auto& disk : machine->disks()) {
+            disk->loadState(
+                reader, "disk" + std::to_string(diskIndex++));
+        }
+    }
+    reader.closeSection();
+
+    if (faultScheduler_)
+        faultScheduler_->loadState(reader);
+
+    reader.openSection(snapshot::SectionId::Stats);
+    reader.requireU64("measured_completions", measuredCompletions_);
+    reader.requireU64("measured_generated", measuredGenerated_);
+    reader.requireU64("measured_failed", measuredFailed_);
+    reader.requireU64("end_to_end", endToEnd_.count());
+    snapshot::Digest e2e;
+    for (double value : endToEnd_.values())
+        e2e.f64(value);
+    reader.requireU64("end_to_end_digest", e2e.value());
+    reader.requireU64("tiers", tiersById_.size());
+    snapshot::Digest tiers;
+    for (const stats::PercentileRecorder& tier : tiersById_) {
+        tiers.u64(tier.count());
+        for (double value : tier.values())
+            tiers.f64(value);
+    }
+    reader.requireU64("tier_digest", tiers.value());
+    reader.closeSection();
 }
 
 namespace {

@@ -33,6 +33,7 @@
 #include "uqsim/fault/fault_plan.h"
 #include "uqsim/fault/fault_scheduler.h"
 #include "uqsim/hw/cluster.h"
+#include "uqsim/snapshot/snapshot.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/throughput_meter.h"
 #include "uqsim/workload/client.h"
@@ -92,6 +93,63 @@ class Simulation {
      */
     RunReport run();
 
+    // -- segmented (checkpointed) execution ------------------------
+    // run() equals any interleaving of advanceToEvents()/
+    // advanceToTime() followed by one finishRun(), event for event:
+    // segment boundaries never clamp the clock (Simulator::
+    // runSegment), so the trace digest is independent of where the
+    // checkpoints fall.  See snapshot/checkpoint.h.
+
+    /**
+     * Runs until @p target_events total events have executed (an
+     * absolute count, not a delta), the duration horizon or event
+     * budget is hit, or the queue drains.
+     */
+    StopReason advanceToEvents(std::uint64_t target_events);
+
+    /** Runs until the next event would fire after @p until (clamped
+     *  to the duration horizon).  The clock is left at the last
+     *  fired event. */
+    StopReason advanceToTime(SimTime until);
+
+    /**
+     * Completes a segmented run: runs to the configured duration
+     * (with the end-of-horizon clock clamp), applies the post-run
+     * audit, and builds the report.  run() is exactly finishRun()
+     * with no preceding advance calls.
+     */
+    RunReport finishRun();
+
+    // -- checkpoint / restore --------------------------------------
+
+    /**
+     * Composition fingerprint pinned into every snapshot: seed, time
+     * horizon and budgets, machine/service/client composition,
+     * network model, and fault plan.  Restoring a snapshot into a
+     * simulation with a different digest is a hard error.  Computed
+     * at finalize().
+     */
+    std::uint64_t configDigest() const { return configDigest_; }
+
+    /** Replay coordinates at this instant (snapshot header). */
+    snapshot::SnapshotMeta snapshotMeta() const;
+
+    /**
+     * Serializes every stateful layer into @p writer (one section
+     * per layer) and sets the snapshot meta.  Must be called between
+     * events — after an advance*() return, never from inside one.
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /**
+     * Validates every layer's live state against @p reader's
+     * sections; throws snapshot::SnapshotStateError naming the
+     * section and field on any divergence.  The caller (restore)
+     * must already have replayed this simulation to the snapshot's
+     * executed-event count.
+     */
+    void loadState(snapshot::SnapshotReader& reader) const;
+
     /**
      * Attaches a supervisor mailbox to the engine (nullptr
      * detaches); see Simulator::setRunControl.  The SweepRunner's
@@ -121,6 +179,7 @@ class Simulation {
     // -- accessors -------------------------------------------------
 
     Simulator& sim() { return sim_; }
+    const Simulator& sim() const { return sim_; }
     Dispatcher& dispatcher();
     /** Null when the run has no fault plan. */
     fault::FaultScheduler* faultScheduler() { return faultScheduler_.get(); }
@@ -168,8 +227,12 @@ class Simulation {
     std::function<void(const Job&, double)> completionListener_;
     std::function<void(const std::string&, double)> tierListener_;
     bool ran_ = false;
+    std::uint64_t configDigest_ = 0;
 
     bool inMeasurementWindow() const;
+    std::uint64_t computeConfigDigest() const;
+    /** Shared guard for the segmented-run entry points. */
+    void checkAdvance() const;
 };
 
 }  // namespace uqsim

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "uqsim/json/validation.h"
+#include "uqsim/snapshot/snapshot.h"
 
 namespace uqsim {
 namespace fault {
@@ -133,6 +134,22 @@ CircuitBreaker::recordFailure(SimTime now)
             config_.failureRatio) {
         trip(now);
     }
+}
+
+std::uint64_t
+CircuitBreaker::stateDigest() const
+{
+    snapshot::Digest digest;
+    digest.u32(static_cast<std::uint32_t>(state_));
+    digest.u64(window_.size());
+    for (const bool failed : window_)
+        digest.boolean(failed);
+    digest.i64(windowFailures_);
+    digest.i64(openedAt_);
+    digest.i64(probesInFlight_);
+    digest.i64(probeSuccesses_);
+    digest.u64(trips_);
+    return digest.value();
 }
 
 void

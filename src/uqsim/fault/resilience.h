@@ -95,6 +95,10 @@ class CircuitBreaker {
     /** Closed -> Open transitions so far. */
     std::uint64_t trips() const { return trips_; }
 
+    /** Order-sensitive FNV-1a fold of the full breaker state
+     *  (snapshot validation). */
+    std::uint64_t stateDigest() const;
+
   private:
     void trip(SimTime now);
 

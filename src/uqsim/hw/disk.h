@@ -109,6 +109,18 @@ class Disk {
     /** busySeconds over the elapsed simulated time. */
     double utilization(SimTime now) const;
 
+    /**
+     * Serializes this disk's state into the open DISKS snapshot
+     * section: counters, busy integral, and deterministic folds of
+     * the in-service map (id order) and waiting FIFO.
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates the live (replayed) state against saveState()'s
+     *  fields; @p name prefixes field names in error messages. */
+    void loadState(snapshot::SnapshotReader& reader,
+                   const std::string& name) const;
+
   private:
     struct Op {
         OpKind kind = OpKind::Read;

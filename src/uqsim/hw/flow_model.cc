@@ -7,6 +7,7 @@
 
 #include "uqsim/core/engine/choice.h"
 #include "uqsim/hw/machine.h"
+#include "uqsim/snapshot/snapshot.h"
 
 namespace uqsim {
 namespace hw {
@@ -688,6 +689,91 @@ FlowModel::activeFlowRates() const
     for (const auto& [id, flow] : flows_)
         rates.push_back(flow.rate);
     return rates;
+}
+
+namespace {
+
+/** Deterministic fold of a FlowModel's dynamic state: active flows
+ *  in id order, per-link fault state, partition map, and sticky
+ *  failover picks. */
+template <typename FlowMap, typename LinkStates, typename Partition,
+          typename Picks>
+std::uint64_t
+flowStateDigest(const FlowMap& flows, const LinkStates& linkStates,
+                const Partition& partitionOf, const Picks& picks)
+{
+    snapshot::Digest digest;
+    for (const auto& [id, flow] : flows) {
+        digest.u64(id);
+        digest.f64(flow.remainingBytes);
+        digest.f64(flow.rate);
+        digest.f64(flow.tailLatency);
+        digest.str(flow.label);
+        digest.boolean(flow.completion.pending());
+    }
+    for (const auto& state : linkStates) {
+        digest.i64(state.downCount);
+        digest.f64(state.capacityFactor);
+        digest.f64(state.latencyFactor);
+        digest.i64(state.downSince);
+        digest.f64(state.downSecondsTotal);
+        digest.u64(state.drops);
+    }
+    for (const int group : partitionOf)
+        digest.i64(group);
+    for (const auto& [pair, path] : picks) {
+        digest.i64(pair.first);
+        digest.i64(pair.second);
+        // The pick is a pointer into route storage; digest the
+        // picked path's content (or a none marker for unreachable).
+        digest.boolean(path != nullptr);
+        if (path != nullptr) {
+            for (const int link : *path)
+                digest.i64(link);
+        }
+    }
+    return digest.value();
+}
+
+}  // namespace
+
+void
+FlowModel::saveState(snapshot::SnapshotWriter& writer) const
+{
+    writer.putU64(started_);
+    writer.putU64(finished_);
+    writer.putU64(reshares_);
+    writer.putU64(failovers_);
+    writer.putU64(unreachable_);
+    writer.putU64(linkDrops_);
+    writer.putU64(nextFlowId_);
+    writer.putI64(lastUpdate_);
+    writer.putI64(downLinkCount_);
+    writer.putBool(partitionActive_);
+    writer.putU64(flows_.size());
+    writer.putU64(failoverPicks_.size());
+    writer.putU64(flowStateDigest(flows_, linkStates_, partitionOf_,
+                                  failoverPicks_));
+}
+
+void
+FlowModel::loadState(snapshot::SnapshotReader& reader) const
+{
+    reader.requireU64("flow.started", started_);
+    reader.requireU64("flow.finished", finished_);
+    reader.requireU64("flow.reshares", reshares_);
+    reader.requireU64("flow.failovers", failovers_);
+    reader.requireU64("flow.unreachable", unreachable_);
+    reader.requireU64("flow.link_drops", linkDrops_);
+    reader.requireU64("flow.next_flow_id", nextFlowId_);
+    reader.requireI64("flow.last_update", lastUpdate_);
+    reader.requireI64("flow.down_links", downLinkCount_);
+    reader.requireBool("flow.partition_active", partitionActive_);
+    reader.requireU64("flow.active_flows", flows_.size());
+    reader.requireU64("flow.failover_picks", failoverPicks_.size());
+    reader.requireU64("flow.state_digest",
+                      flowStateDigest(flows_, linkStates_,
+                                      partitionOf_, failoverPicks_));
 }
 
 }  // namespace hw

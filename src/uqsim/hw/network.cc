@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "uqsim/snapshot/state_io.h"
+
 namespace uqsim {
 namespace hw {
 
@@ -112,6 +114,36 @@ Network::deliver(Machine* to, std::uint32_t bytes, Callback done)
     } else if (done) {
         done();
     }
+}
+
+void
+Network::saveState(snapshot::SnapshotWriter& writer) const
+{
+    writer.beginSection(snapshot::SectionId::Network);
+    writer.putString(model_->modelName());
+    writer.putU64(transfers_);
+    writer.putU64(dropped_);
+    writer.putBool(degraded_);
+    writer.putF64(extraLatency_);
+    writer.putF64(lossProb_);
+    snapshot::putRngState(writer, faultRng_.state());
+    model_->saveState(writer);
+    writer.endSection();
+}
+
+void
+Network::loadState(snapshot::SnapshotReader& reader) const
+{
+    reader.openSection(snapshot::SectionId::Network);
+    reader.requireString("model", model_->modelName());
+    reader.requireU64("transfers", transfers_);
+    reader.requireU64("dropped", dropped_);
+    reader.requireBool("degraded", degraded_);
+    reader.requireF64("extra_latency", extraLatency_);
+    reader.requireF64("loss_prob", lossProb_);
+    snapshot::requireRngState(reader, "fault_rng", faultRng_.state());
+    model_->loadState(reader);
+    reader.closeSection();
 }
 
 }  // namespace hw

@@ -82,6 +82,17 @@ class Network {
     std::uint64_t transferCount() const { return transfers_; }
     std::uint64_t droppedMessages() const { return dropped_; }
 
+    /**
+     * Writes the NETWORK snapshot section: façade counters,
+     * degradation-window state, loss-stream RNG position, and the
+     * model's own state (NetworkModel::saveState).
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates the live (replayed) state against a snapshot's
+     *  NETWORK section; throws SnapshotStateError on divergence. */
+    void loadState(snapshot::SnapshotReader& reader) const;
+
   private:
     void deliver(Machine* to, std::uint32_t bytes, Callback done);
 

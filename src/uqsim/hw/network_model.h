@@ -101,6 +101,18 @@ class NetworkModel {
     virtual void loopback(const Machine* machine, std::uint32_t bytes,
                           double extraLatencySeconds, Callback done,
                           const char* label) = 0;
+
+    /**
+     * Serializes model-specific state into the open NETWORK snapshot
+     * section (snapshot.h).  The default writes nothing — correct
+     * for stateless models like ConstantModel, whose in-flight
+     * messages live entirely in the engine's event queue.
+     */
+    virtual void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates live model state against saveState()'s fields; the
+     *  default reads nothing. */
+    virtual void loadState(snapshot::SnapshotReader& reader) const;
 };
 
 /**

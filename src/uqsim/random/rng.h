@@ -58,6 +58,21 @@ class Rng {
      */
     double nextGaussian();
 
+    /** Raw generator state, exposed for snapshot save/validate: the
+     *  four xoshiro256++ state words plus the Gaussian carry. */
+    struct State {
+        std::uint64_t words[4];
+        bool hasSpareGaussian;
+        double spareGaussian;
+    };
+    State
+    state() const
+    {
+        return State{{state_[0], state_[1], state_[2], state_[3]},
+                     hasSpareGaussian_,
+                     spareGaussian_};
+    }
+
   private:
     std::uint64_t state_[4];
     bool hasSpareGaussian_ = false;

@@ -175,18 +175,24 @@ JournalIndex::load(const std::string& path)
 
     JournalIndex index;
     std::string line;
+    std::size_t line_number = 0;
     bool saw_header = false;
     while (std::getline(in, line)) {
+        ++line_number;
         if (line.empty())
             continue;
         json::JsonValue doc;
         try {
             doc = json::parse(line);
-        } catch (const json::JsonError&) {
+        } catch (const json::JsonError& error) {
             // A crash mid-append leaves at most a truncated trailing
-            // line; tolerate (and count) anything unparsable rather
+            // line; tolerate (and report) anything unparsable rather
             // than losing the whole journal.
             ++index.skippedLines;
+            index.warnings.push_back(
+                path + ":" + std::to_string(line_number) +
+                ": dropped unparsable journal line (" + error.what() +
+                ")");
             continue;
         }
         if (!saw_header) {
@@ -205,8 +211,12 @@ JournalIndex::load(const std::string& path)
             // Last write wins: a resumed run's re-run entry
             // supersedes the original failure.
             index.entries[entry.key()] = std::move(entry);
-        } catch (const std::exception&) {
+        } catch (const std::exception& error) {
             ++index.skippedLines;
+            index.warnings.push_back(
+                path + ":" + std::to_string(line_number) +
+                ": dropped malformed journal entry (" + error.what() +
+                ")");
         }
     }
     if (!saw_header) {

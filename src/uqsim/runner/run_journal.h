@@ -31,6 +31,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "uqsim/json/json_value.h"
 #include "uqsim/runner/failure.h"
@@ -109,6 +110,10 @@ struct JournalIndex {
     /** Unparsable lines skipped by the reader (e.g. a line
      *  truncated by a crash mid-write). */
     std::size_t skippedLines = 0;
+    /** One human-readable warning per skipped line ("line N: ...");
+     *  the SweepRunner surfaces these when resuming, so dropped
+     *  data is visible instead of silent. */
+    std::vector<std::string> warnings;
 
     const JournalEntry* find(const std::string& sweep,
                              std::size_t point, int replication) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <exception>
 #include <iomanip>
 #include <memory>
@@ -243,6 +244,32 @@ journalEntryFor(const JobSpec& job, const std::string& sweep_label,
     return entry;
 }
 
+/** Filesystem-safe job identity for per-replication snapshot
+ *  prefixes: sweep labels may contain anything. */
+std::string
+sanitizeLabel(const std::string& label)
+{
+    std::string safe = label;
+    for (char& c : safe) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '.' ||
+                        c == '_';
+        if (!ok)
+            c = '_';
+    }
+    return safe;
+}
+
+std::string
+snapshotPrefixFor(const snapshot::CheckpointOptions& base,
+                  const std::string& sweep_label, const JobSpec& job)
+{
+    return base.prefix + "-" + sanitizeLabel(sweep_label) + "-p" +
+           std::to_string(job.point) + "-r" +
+           std::to_string(job.replication);
+}
+
 /** Rebuilds the restorable part of a ReplicationResult from a
  *  journaled stat digest. */
 ReplicationResult
@@ -305,6 +332,11 @@ SweepRunner::run()
     // mismatched jobs simply re-run.
     if (!options_.resumePath.empty()) {
         const JournalIndex index = JournalIndex::load(options_.resumePath);
+        // Crash-safety surfacing: a journal truncated mid-append is
+        // usable, but the dropped lines must be visible.
+        resumeWarnings_ = index.warnings;
+        for (const std::string& warning : resumeWarnings_)
+            std::fprintf(stderr, "uqsim: %s\n", warning.c_str());
         const bool copy_forward =
             journal != nullptr && options_.journalPath != options_.resumePath;
         for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -368,7 +400,51 @@ SweepRunner::run()
                 }
                 simulation->setRunControl(&control);
                 WatchGuard guard(&watchdog, &control);
-                slot.result.report = simulation->run();
+                if (options_.checkpoint.enabled()) {
+                    snapshot::CheckpointOptions ckpt =
+                        options_.checkpoint;
+                    ckpt.prefix = snapshotPrefixFor(
+                        options_.checkpoint,
+                        sweeps_[job.sweep].label, job);
+                    if (options_.resumeFromSnapshot) {
+                        const auto found = snapshot::newestValidSnapshot(
+                            ckpt.dir, ckpt.prefix);
+                        if (found) {
+                            try {
+                                snapshot::restoreFromSnapshot(
+                                    *simulation, found->path);
+                            } catch (const std::exception& error) {
+                                // Resume is an optimization: a
+                                // snapshot that fails validation is
+                                // reported and the job simply runs
+                                // fresh from a rebuilt simulation
+                                // (the failed restore may have
+                                // advanced this one).
+                                std::fprintf(
+                                    stderr,
+                                    "uqsim: snapshot %s not "
+                                    "restorable (%s); running job "
+                                    "fresh\n",
+                                    found->path.c_str(),
+                                    error.what());
+                                simulation = sweeps_[job.sweep].factory(
+                                    job.qps, job.seed);
+                                if (!simulation ||
+                                    !simulation->finalized()) {
+                                    throw std::logic_error(
+                                        "runner factory must return "
+                                        "a finalized simulation");
+                                }
+                                simulation->setRunControl(&control);
+                            }
+                        }
+                    }
+                    snapshot::CheckpointManager manager(*simulation,
+                                                        ckpt);
+                    slot.result.report = manager.run();
+                } else {
+                    slot.result.report = simulation->run();
+                }
                 slot.result.traceDigest =
                     simulation->sim().traceDigest();
                 slot.latencies = simulation->latencies();

@@ -48,6 +48,7 @@
 #include "uqsim/core/sim/sweep.h"
 #include "uqsim/runner/failure.h"
 #include "uqsim/runner/watchdog.h"
+#include "uqsim/snapshot/checkpoint.h"
 #include "uqsim/stats/confidence.h"
 #include "uqsim/stats/percentile_recorder.h"
 #include "uqsim/stats/summary.h"
@@ -100,6 +101,24 @@ struct RunnerOptions {
      *  (qps, seed) are restored instead of re-simulated
      *  (empty = run everything). */
     std::string resumePath;
+    /**
+     * Mid-run checkpointing (snapshot/checkpoint.h): when enabled,
+     * every replication writes periodic snapshots under
+     * "<prefix>-<sweep>-p<point>-r<replication>", so a killed sweep
+     * loses at most one checkpoint interval per in-flight job.
+     * Checkpointing never changes results: segment boundaries do
+     * not move the clock, so trace digests match an uncheckpointed
+     * run exactly.
+     */
+    snapshot::CheckpointOptions checkpoint;
+    /**
+     * With checkpointing enabled: before simulating a job from
+     * scratch, look for its newest valid snapshot and restore from
+     * it (replay-validated).  A snapshot that fails restore is
+     * reported on stderr and the job runs fresh — resume is an
+     * optimization, never a correctness risk.
+     */
+    bool resumeFromSnapshot = false;
 };
 
 /**
@@ -225,6 +244,14 @@ class SweepRunner {
     /** After run(): jobs that failed (by taxonomy, all kinds). */
     int failedJobs() const { return failedJobs_; }
 
+    /** After run(): warnings surfaced while loading the resume
+     *  journal (dropped truncated/corrupt lines).  Also printed to
+     *  stderr during run(). */
+    const std::vector<std::string>& resumeWarnings() const
+    {
+        return resumeWarnings_;
+    }
+
     const RunnerOptions& options() const { return options_; }
 
   private:
@@ -239,6 +266,7 @@ class SweepRunner {
     bool ran_ = false;
     int restoredJobs_ = 0;
     int failedJobs_ = 0;
+    std::vector<std::string> resumeWarnings_;
 };
 
 /**

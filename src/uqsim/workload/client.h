@@ -22,6 +22,12 @@
 #include "uqsim/workload/load_pattern.h"
 
 namespace uqsim {
+
+namespace snapshot {
+class SnapshotWriter;
+class SnapshotReader;
+}  // namespace snapshot
+
 namespace workload {
 
 /** How the generator paces requests. */
@@ -130,6 +136,30 @@ class Client {
 
     /** Instantaneous offered load at the current simulation time. */
     double currentOfferedLoad() const;
+
+    /**
+     * Serializes this client's state into the open snapshot section:
+     * counters, arrival cursor, RNG position, and deterministic folds
+     * of the outstanding-request and closed-loop maps.
+     */
+    void saveState(snapshot::SnapshotWriter& writer) const;
+
+    /** Validates the live (replayed) state against saveState()'s
+     *  fields; @p name prefixes field names in error messages. */
+    void loadState(snapshot::SnapshotReader& reader,
+                   const std::string& name) const;
+
+    /**
+     * Re-derives the arrival RNG from a different master seed
+     * (stream label unchanged).  Warm-state forking uses this after
+     * restore so forks explore different arrival sequences from the
+     * same warmed state; see snapshot/checkpoint.h.
+     */
+    void reseed(std::uint64_t master_seed);
+
+    /** Wraps the configured load pattern in a ScaledLoad decorator
+     *  (fork-time load perturbation; no-op pattern required). */
+    void scaleLoad(double scale);
 
   private:
     void scheduleNext();

@@ -116,5 +116,28 @@ DiurnalLoad::describe() const
     return out.str();
 }
 
+ScaledLoad::ScaledLoad(LoadPatternPtr inner, double scale)
+    : inner_(std::move(inner)), scale_(scale)
+{
+    if (!inner_)
+        throw std::invalid_argument("scaled load requires a pattern");
+    if (scale < 0.0)
+        throw std::invalid_argument("load scale must be >= 0");
+}
+
+double
+ScaledLoad::rateAt(double t) const
+{
+    return scale_ * inner_->rateAt(t);
+}
+
+std::string
+ScaledLoad::describe() const
+{
+    std::ostringstream out;
+    out << "scaled(" << scale_ << "x " << inner_->describe() << ")";
+    return out.str();
+}
+
 }  // namespace workload
 }  // namespace uqsim

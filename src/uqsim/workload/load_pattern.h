@@ -92,6 +92,27 @@ class DiurnalLoad : public LoadPattern {
     double phase_;
 };
 
+/**
+ * Multiplicative decorator over another pattern.  Used by warm-state
+ * forking (snapshot/checkpoint.h): a fork re-runs the post-warm-up
+ * phase at `scale` times the configured load without changing the
+ * configuration itself, so the fork still matches the snapshot's
+ * config digest.
+ */
+class ScaledLoad : public LoadPattern {
+  public:
+    ScaledLoad(LoadPatternPtr inner, double scale);
+
+    double rateAt(double t) const override;
+    std::string describe() const override;
+
+    double scale() const { return scale_; }
+
+  private:
+    LoadPatternPtr inner_;
+    double scale_;
+};
+
 }  // namespace workload
 }  // namespace uqsim
 

@@ -10,10 +10,18 @@
 
 #include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#endif
 
 #include "uqsim/core/engine/audit.h"
 #include "uqsim/core/engine/run_control.h"
@@ -25,6 +33,7 @@
 #include "uqsim/runner/run_journal.h"
 #include "uqsim/runner/sweep_runner.h"
 #include "uqsim/runner/watchdog.h"
+#include "uqsim/snapshot/checkpoint.h"
 
 namespace uqsim {
 namespace {
@@ -370,6 +379,13 @@ TEST(RunJournal, LastWriteWinsAndTruncatedLinesAreSkipped)
     const runner::JournalIndex index = runner::JournalIndex::load(path);
     EXPECT_EQ(index.entries.size(), 1u);
     EXPECT_EQ(index.skippedLines, 1u);
+    // The drop is surfaced, not silent: one warning naming the file
+    // and line so the harness (and the user) can see what was lost.
+    ASSERT_EQ(index.warnings.size(), 1u);
+    EXPECT_NE(index.warnings[0].find(path), std::string::npos)
+        << index.warnings[0];
+    EXPECT_NE(index.warnings[0].find(":4"), std::string::npos)
+        << index.warnings[0];
     ASSERT_NE(index.find("a", 0, 0), nullptr);
     EXPECT_TRUE(index.find("a", 0, 0)->ok());
 }
@@ -733,6 +749,75 @@ TEST(Auditor, ReportsDescribeAndRaise)
                   std::string::npos);
     }
 }
+
+// ---------------------------------------------------------------------
+// Crash recovery end to end: SIGKILL a checkpointing run, resume
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/**
+ * The real crash scenario, not a stand-in: a child process runs a
+ * checkpointing simulation and SIGKILLs *itself* mid-flight (no
+ * atexit, no unwinding, exactly what `kill -9` or the OOM killer
+ * does).  The parent then recovers from the on-disk snapshots alone
+ * and must reach a bit-identical final digest.
+ */
+TEST(CrashRecovery, SigkilledRunResumesFromSnapshotBitIdentically)
+{
+    namespace fs = std::filesystem;
+    const std::string dir = "harness_sigkill_ckpt_dir";
+    std::error_code ignored;
+    fs::remove_all(dir, ignored);
+
+    const auto factory = [] { return makeThrift(1500.0, 33); };
+
+    const pid_t child = fork();
+    ASSERT_GE(child, 0) << "fork failed";
+    if (child == 0) {
+        // Child: single-threaded simulation, checkpoints every 2000
+        // events, killed without warning once past 6500 events (by
+        // which point checkpoints at 2000/4000/6000 are on disk).
+        auto simulation = factory();
+        Simulation* raw = simulation.get();
+        simulation->setCompletionListener([raw](const Job&, double) {
+            if (raw->sim().executedEvents() > 6500)
+                ::raise(SIGKILL);
+        });
+        snapshot::CheckpointOptions options;
+        options.dir = dir;
+        options.prefix = "job";
+        options.everyEvents = 2000;
+        snapshot::CheckpointManager manager(*simulation, options);
+        manager.run();
+        // Reached only when the run finished before the kill
+        // threshold; the parent will fail on WIFSIGNALED then.
+        std::_Exit(0);
+    }
+
+    int status = 0;
+    ASSERT_EQ(::waitpid(child, &status, 0), child);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child was not killed - raise the workload";
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+    // Recovery sees only the files the kill left behind.
+    const auto found = snapshot::newestValidSnapshot(dir, "job");
+    ASSERT_TRUE(found.has_value());
+    EXPECT_GE(found->meta.executedEvents, 4000u);
+
+    auto resumed = factory();
+    snapshot::restoreFromSnapshot(*resumed, found->path);
+    resumed->finishRun();
+
+    auto reference = factory();
+    reference->run();
+    EXPECT_EQ(resumed->sim().traceDigest(),
+              reference->sim().traceDigest());
+
+    fs::remove_all(dir, ignored);
+}
+
+#endif  // __unix__ || __APPLE__
 
 }  // namespace
 }  // namespace uqsim
